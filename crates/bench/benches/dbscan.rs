@@ -1,0 +1,53 @@
+//! DBSCAN ablation: the pair-stream union-find DBSCAN (O(pairs), the
+//! paper's "O(n)" post-join step) vs. the textbook O(n²) implementation.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use icpe_cluster::naive::naive_dbscan;
+use icpe_cluster::RjcClusterer;
+use icpe_types::{DbscanParams, DistanceMetric, ObjectId, Point, Snapshot, Timestamp};
+use rand::rngs::StdRng;
+use rand::{RngExt, SeedableRng};
+use std::hint::black_box;
+
+fn clustered_snapshot(n: usize, seed: u64) -> Snapshot {
+    // A grid of blobs so DBSCAN has real work.
+    let mut rng = StdRng::seed_from_u64(seed);
+    Snapshot::from_pairs(
+        Timestamp(0),
+        (0..n).map(|i| {
+            let cx = ((i % 10) * 50) as f64;
+            let cy = ((i / 10 % 10) * 50) as f64;
+            (
+                ObjectId(i as u32),
+                Point::new(
+                    cx + rng.random_range(-4.0..4.0),
+                    cy + rng.random_range(-4.0..4.0),
+                ),
+            )
+        }),
+    )
+}
+
+fn bench_dbscan(c: &mut Criterion) {
+    let mut group = c.benchmark_group("dbscan");
+    group.sample_size(20);
+    let params = DbscanParams::new(2.0, 4).unwrap();
+    let metric = DistanceMetric::Chebyshev;
+
+    for n in [500usize, 2_000] {
+        let snap = clustered_snapshot(n, 5);
+        let rjc = RjcClusterer::new(16.0, params, metric);
+        group.bench_with_input(BenchmarkId::new("join_plus_unionfind", n), &snap, |b, s| {
+            b.iter(|| black_box(rjc.cluster_detailed(s).snapshot.clusters.len()))
+        });
+        if n <= 500 {
+            group.bench_with_input(BenchmarkId::new("naive_n_squared", n), &snap, |b, s| {
+                b.iter(|| black_box(naive_dbscan(s, &params, metric).clusters.len()))
+            });
+        }
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_dbscan);
+criterion_main!(benches);

@@ -1,0 +1,57 @@
+//! Enumeration-engine comparison: BA vs. FBA vs. VBA on a planted cluster
+//! stream — the exponential-to-linear claim of §6, measured.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use icpe_bench::pattern_workload;
+use icpe_cluster::{RjcClusterer, SnapshotClusterer};
+use icpe_pattern::{
+    BaselineEngine, EngineConfig, FbaEngine, PatternEngine, VbaEngine,
+};
+use icpe_types::{ClusterSnapshot, Constraints, DbscanParams, DistanceMetric};
+use std::hint::black_box;
+
+fn cluster_stream(objects: usize, ticks: u32) -> Vec<ClusterSnapshot> {
+    let (_, traces) = pattern_workload(objects, ticks, 0xBE);
+    let clusterer = RjcClusterer::new(
+        16.0,
+        DbscanParams::new(2.0, 4).unwrap(),
+        DistanceMetric::Chebyshev,
+    );
+    traces
+        .to_snapshots()
+        .iter()
+        .map(|s| clusterer.cluster(s))
+        .collect()
+}
+
+fn run(engine: &mut dyn PatternEngine, stream: &[ClusterSnapshot]) -> usize {
+    let mut n = 0;
+    for cs in stream {
+        n += engine.push(cs).len();
+    }
+    n + engine.finish().len()
+}
+
+fn bench_engines(c: &mut Criterion) {
+    let mut group = c.benchmark_group("enumeration");
+    group.sample_size(10);
+    let constraints = Constraints::new(3, 10, 4, 2).unwrap();
+    let config = EngineConfig::new(constraints);
+
+    for objects in [60usize, 120] {
+        let stream = cluster_stream(objects, 60);
+        group.bench_with_input(BenchmarkId::new("BA", objects), &stream, |b, s| {
+            b.iter(|| black_box(run(&mut BaselineEngine::new(config), s)))
+        });
+        group.bench_with_input(BenchmarkId::new("FBA", objects), &stream, |b, s| {
+            b.iter(|| black_box(run(&mut FbaEngine::new(config), s)))
+        });
+        group.bench_with_input(BenchmarkId::new("VBA", objects), &stream, |b, s| {
+            b.iter(|| black_box(run(&mut VbaEngine::new(config), s)))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_engines);
+criterion_main!(benches);

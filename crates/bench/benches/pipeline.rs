@@ -1,0 +1,38 @@
+//! End-to-end pipeline benchmark: the distributed deployment at N = 1 vs.
+//! N = 4 — the scaling claim of Figure 14 as a repeatable micro-benchmark.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use icpe_bench::pattern_workload;
+use icpe_core::{IcpeConfig, IcpePipeline};
+use icpe_types::{Constraints, GpsRecord};
+use std::hint::black_box;
+
+fn records() -> Vec<GpsRecord> {
+    let (_, traces) = pattern_workload(120, 80, 0xB1);
+    traces.to_gps_records()
+}
+
+fn bench_pipeline(c: &mut Criterion) {
+    let mut group = c.benchmark_group("pipeline_end_to_end");
+    group.sample_size(10);
+    let recs = records();
+    for n in [1usize, 4] {
+        let config = IcpeConfig::builder()
+            .constraints(Constraints::new(3, 10, 4, 2).unwrap())
+            .epsilon(2.0)
+            .min_pts(4)
+            .parallelism(n)
+            .build()
+            .unwrap();
+        group.bench_with_input(BenchmarkId::new("N", n), &recs, |b, recs| {
+            b.iter(|| {
+                let out = IcpePipeline::run(&config, recs.clone());
+                black_box(out.patterns.len())
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_pipeline);
+criterion_main!(benches);

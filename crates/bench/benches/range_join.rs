@@ -1,0 +1,59 @@
+//! Range-join ablations: RJC (Lemmas 1 + 2) vs. SRJ (full replication,
+//! build-then-query) vs. GDC (ε-grid) vs. the O(n²) naive join — the
+//! clustering-side comparison of Figures 10–11 in microcosm.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use icpe_cluster::naive::naive_range_join;
+use icpe_cluster::{GdcClusterer, RjcClusterer, SrjClusterer};
+use icpe_types::{DbscanParams, DistanceMetric, ObjectId, Point, Snapshot, Timestamp};
+use rand::rngs::StdRng;
+use rand::{RngExt, SeedableRng};
+use std::hint::black_box;
+
+fn snapshot(n: usize, seed: u64) -> Snapshot {
+    let mut rng = StdRng::seed_from_u64(seed);
+    Snapshot::from_pairs(
+        Timestamp(0),
+        (0..n).map(|i| {
+            (
+                ObjectId(i as u32),
+                Point::new(rng.random_range(0.0..500.0), rng.random_range(0.0..500.0)),
+            )
+        }),
+    )
+}
+
+fn bench_join(c: &mut Criterion) {
+    let mut group = c.benchmark_group("range_join");
+    group.sample_size(20);
+    let eps = 3.0;
+    let lg = 24.0;
+    let metric = DistanceMetric::Chebyshev;
+    let dbscan = DbscanParams::new(eps, 4).unwrap();
+
+    for n in [500usize, 2_000] {
+        let snap = snapshot(n, 3);
+        let rjc = RjcClusterer::new(lg, dbscan, metric);
+        let srj = SrjClusterer::new(lg, dbscan, metric);
+        let gdc = GdcClusterer::new(dbscan, metric);
+
+        group.bench_with_input(BenchmarkId::new("RJC", n), &snap, |b, s| {
+            b.iter(|| black_box(rjc.range_join(s).len()))
+        });
+        group.bench_with_input(BenchmarkId::new("SRJ", n), &snap, |b, s| {
+            b.iter(|| black_box(srj.range_join(s).len()))
+        });
+        group.bench_with_input(BenchmarkId::new("GDC", n), &snap, |b, s| {
+            b.iter(|| black_box(gdc.range_join(s).len()))
+        });
+        if n <= 500 {
+            group.bench_with_input(BenchmarkId::new("naive", n), &snap, |b, s| {
+                b.iter(|| black_box(naive_range_join(s, eps, metric).len()))
+            });
+        }
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_join);
+criterion_main!(benches);

@@ -1,0 +1,53 @@
+//! Figure 10 — clustering latency and throughput vs. the distance
+//! threshold ε, for RJC (ours) against the SRJ and GDC baselines, on all
+//! three datasets.
+//!
+//! Expected shape (paper): RJC beats SRJ (Lemmas 1–2 remove replication and
+//! verification work) and GDC (ε-sized cells over-partition); latency grows
+//! and throughput falls as ε grows.
+
+use icpe_bench::{build_traces, extent, measure_clustering, BenchParams, Dataset};
+use icpe_cluster::{GdcClusterer, RjcClusterer, SnapshotClusterer, SrjClusterer};
+use icpe_types::{DbscanParams, DistanceMetric};
+
+fn main() {
+    let params = BenchParams::default();
+    params.print_header("Figure 10 — Clustering Performance vs. ε");
+
+    for dataset in Dataset::ALL {
+        let traces = build_traces(dataset, &params);
+        let snapshots = traces.to_snapshots();
+        let ext = extent(&traces);
+        let lg = params.lg_default * ext;
+
+        println!("\n--- {} (extent {:.0}, lg {:.2}) ---", dataset.name(), ext, lg);
+        println!(
+            "{:>8} | {:>10} {:>10} {:>10} | {:>10} {:>10} {:>10}",
+            "eps", "RJC ms", "SRJ ms", "GDC ms", "RJC tps", "SRJ tps", "GDC tps"
+        );
+        for &frac in &params.eps_fractions {
+            let eps = frac * ext;
+            let dbscan = DbscanParams::new(eps, params.min_pts).expect("valid params");
+            let metric = DistanceMetric::Chebyshev;
+            let methods: Vec<Box<dyn SnapshotClusterer + Send>> = vec![
+                Box::new(RjcClusterer::new(lg, dbscan, metric)),
+                Box::new(SrjClusterer::new(lg, dbscan, metric)),
+                Box::new(GdcClusterer::new(dbscan, metric)),
+            ];
+            let rows: Vec<_> = methods
+                .iter()
+                .map(|m| measure_clustering(m.as_ref(), &snapshots))
+                .collect();
+            println!(
+                "{:>7.3}% | {:>10.3} {:>10.3} {:>10.3} | {:>10.0} {:>10.0} {:>10.0}",
+                frac * 100.0,
+                rows[0].avg_latency_ms,
+                rows[1].avg_latency_ms,
+                rows[2].avg_latency_ms,
+                rows[0].throughput_tps,
+                rows[1].throughput_tps,
+                rows[2].throughput_tps,
+            );
+        }
+    }
+}

@@ -1,0 +1,55 @@
+//! Figure 11 — clustering latency and throughput vs. the grid cell width
+//! `lg`, for RJC / SRJ / GDC on all three datasets.
+//!
+//! Expected shape (paper): RJC and SRJ have a U-shaped latency curve (too
+//! many partitions when lg is small, too little pruning when large); GDC is
+//! flat — it does not use lg at all.
+
+use icpe_bench::{build_traces, extent, measure_clustering, BenchParams, Dataset};
+use icpe_cluster::{GdcClusterer, RjcClusterer, SnapshotClusterer, SrjClusterer};
+use icpe_types::{DbscanParams, DistanceMetric};
+
+fn main() {
+    let params = BenchParams::default();
+    params.print_header("Figure 11 — Clustering Performance vs. lg");
+
+    for dataset in Dataset::ALL {
+        let traces = build_traces(dataset, &params);
+        let snapshots = traces.to_snapshots();
+        let ext = extent(&traces);
+        let eps = params.eps_default * ext;
+        let dbscan = DbscanParams::new(eps, params.min_pts).expect("valid params");
+        let metric = DistanceMetric::Chebyshev;
+
+        // GDC once: independent of lg.
+        let gdc = GdcClusterer::new(dbscan, metric);
+        let gdc_row = measure_clustering(&gdc, &snapshots);
+
+        println!("\n--- {} (extent {:.0}, eps {:.3}) ---", dataset.name(), ext, eps);
+        println!(
+            "{:>8} | {:>10} {:>10} {:>10} | {:>10} {:>10} {:>10}",
+            "lg", "RJC ms", "SRJ ms", "GDC ms", "RJC tps", "SRJ tps", "GDC tps"
+        );
+        for &frac in &params.lg_fractions {
+            let lg = frac * ext;
+            let methods: Vec<Box<dyn SnapshotClusterer + Send>> = vec![
+                Box::new(RjcClusterer::new(lg, dbscan, metric)),
+                Box::new(SrjClusterer::new(lg, dbscan, metric)),
+            ];
+            let rows: Vec<_> = methods
+                .iter()
+                .map(|m| measure_clustering(m.as_ref(), &snapshots))
+                .collect();
+            println!(
+                "{:>7.2}% | {:>10.3} {:>10.3} {:>10.3} | {:>10.0} {:>10.0} {:>10.0}",
+                frac * 100.0,
+                rows[0].avg_latency_ms,
+                rows[1].avg_latency_ms,
+                gdc_row.avg_latency_ms,
+                rows[0].throughput_tps,
+                rows[1].throughput_tps,
+                gdc_row.throughput_tps,
+            );
+        }
+    }
+}

@@ -1,0 +1,54 @@
+//! Figure 14 — pattern-detection latency/throughput vs. the number of
+//! "machines" N, for the F and V methods.
+//!
+//! N maps to the parallelism of the keyed stages (GridQuery, enumeration)
+//! of the streaming pipeline — DESIGN.md §4 documents the cluster→threads
+//! substitution. Expected shape (paper): latency falls and throughput rises
+//! with N.
+
+use icpe_bench::BenchParams;
+use icpe_core::{EnumeratorKind, IcpeConfig, IcpePipeline};
+
+fn main() {
+    let params = BenchParams::default();
+    params.print_header("Figure 14 — Pattern Detection vs. N (parallelism)");
+
+    // A heavier workload than the other figures: the keyed stages must
+    // dominate for parallelism to show (the paper's cluster has real
+    // per-snapshot work; at toy scale the exchange overhead wins).
+    let (_, traces) = icpe_bench::workloads::pattern_workload_sized(
+        params.objects * 3,
+        params.ticks,
+        10,
+        0xF18,
+    );
+    let records = traces.to_gps_records();
+    println!("streaming {} records through the distributed pipeline\n", records.len());
+
+    println!(
+        "{:>3} | {:>10} {:>10} | {:>10} {:>10}",
+        "N", "F ms", "V ms", "F tps", "V tps"
+    );
+    for &n in &params.n_values {
+        let mut cells = Vec::new();
+        for kind in [EnumeratorKind::Fba, EnumeratorKind::Vba] {
+            let config = IcpeConfig::builder()
+                .constraints(params.constraints)
+                .epsilon(2.0)
+                .min_pts(params.min_pts)
+                .parallelism(n)
+                .enumerator(kind)
+                .build()
+                .expect("valid config");
+            let out = IcpePipeline::run(&config, records.clone());
+            cells.push((
+                out.metrics.avg_latency.as_secs_f64() * 1e3,
+                out.metrics.throughput_tps,
+            ));
+        }
+        println!(
+            "{:>3} | {:>10.3} {:>10.3} | {:>10.0} {:>10.0}",
+            n, cells[0].0, cells[1].0, cells[0].1, cells[1].1,
+        );
+    }
+}

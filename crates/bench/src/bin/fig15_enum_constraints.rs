@@ -1,0 +1,89 @@
+//! Figure 15 — enumeration latency/throughput vs. each pattern constraint
+//! (M, K, L, G), FBA vs. VBA.
+//!
+//! Clustering is excluded (the paper notes it is unaffected by the
+//! constraints): the cluster stream is computed once and each engine is
+//! measured on enumeration alone. Expected shapes (paper): latency falls as
+//! M, K or L grow (more pruning / fewer candidates) and rises with G (more
+//! valid patterns).
+
+use icpe_bench::BenchParams;
+use icpe_cluster::{RjcClusterer, SnapshotClusterer};
+use icpe_pattern::{EngineConfig, FbaEngine, PatternEngine, VbaEngine};
+use icpe_types::{ClusterSnapshot, Constraints, DbscanParams, DistanceMetric};
+use std::time::Instant;
+
+fn main() {
+    let params = BenchParams::default();
+    params.print_header("Figure 15 — Enumeration Performance vs. M, K, L, G");
+
+    // Cluster once. Group size 8 so the M sweep (3…8) stays satisfiable
+    // until its top value.
+    let (_, traces) =
+        icpe_bench::workloads::pattern_workload_sized(params.objects, params.ticks, 8, 0xF19);
+    let snapshots = traces.to_snapshots();
+    let clusterer = RjcClusterer::new(
+        16.0,
+        DbscanParams::new(2.0, params.min_pts).expect("valid params"),
+        DistanceMetric::Chebyshev,
+    );
+    let cluster_stream: Vec<ClusterSnapshot> =
+        snapshots.iter().map(|s| clusterer.cluster(s)).collect();
+    println!("cluster stream: {} snapshots\n", cluster_stream.len());
+
+    let d = params.constraints;
+    sweep("M", &params.m_values, &cluster_stream, |&m| {
+        Constraints::new(m, d.k(), d.l(), d.g())
+    });
+    sweep("K", &params.k_values, &cluster_stream, |&k| {
+        Constraints::new(d.m(), k, d.l(), d.g())
+    });
+    sweep("L", &params.l_values, &cluster_stream, |&l| {
+        Constraints::new(d.m(), d.k(), l, d.g())
+    });
+    sweep("G", &params.g_values, &cluster_stream, |&g| {
+        Constraints::new(d.m(), d.k(), d.l(), g)
+    });
+}
+
+fn sweep<T: std::fmt::Display>(
+    name: &str,
+    values: &[T],
+    stream: &[ClusterSnapshot],
+    make: impl Fn(&T) -> Result<Constraints, icpe_types::TypeError>,
+) {
+    println!("--- varying {name} ---");
+    println!(
+        "{:>5} | {:>10} {:>10} | {:>10} {:>10} | {:>9} {:>9}",
+        name, "FBA ms", "VBA ms", "FBA tps", "VBA tps", "FBA pat", "VBA pat"
+    );
+    for v in values {
+        let Ok(constraints) = make(v) else {
+            continue;
+        };
+        let fba = run_engine(&mut FbaEngine::new(EngineConfig::new(constraints)), stream);
+        let vba = run_engine(&mut VbaEngine::new(EngineConfig::new(constraints)), stream);
+        println!(
+            "{:>5} | {:>10.4} {:>10.4} | {:>10.0} {:>10.0} | {:>9} {:>9}",
+            v, fba.0, vba.0, fba.1, vba.1, fba.2, vba.2,
+        );
+    }
+    println!();
+}
+
+/// Returns (avg latency ms, throughput tps, patterns reported).
+fn run_engine(engine: &mut dyn PatternEngine, stream: &[ClusterSnapshot]) -> (f64, f64, usize) {
+    let started = Instant::now();
+    let mut patterns = 0usize;
+    for cs in stream {
+        patterns += engine.push(cs).len();
+    }
+    patterns += engine.finish().len();
+    let total = started.elapsed();
+    let n = stream.len().max(1);
+    (
+        total.as_secs_f64() * 1e3 / n as f64,
+        n as f64 / total.as_secs_f64().max(1e-12),
+        patterns,
+    )
+}

@@ -1,0 +1,138 @@
+//! Table 3 — parameter ranges and defaults, the single source of truth for
+//! every harness binary.
+//!
+//! `lg` and `ε` are expressed as a fraction of the workload's maximal
+//! extent, exactly as in the paper. The temporal constraints are scaled to
+//! the harness's shorter streams (the paper's K = 120…240 presumes half a
+//! million snapshots); each binary prints both the paper's range and the
+//! scaled one it actually ran.
+
+use icpe_types::Constraints;
+
+/// The three evaluation datasets.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Dataset {
+    /// GeoLife-shaped synthetic (mixed 1–5 s sampling, anchor commutes).
+    GeoLife,
+    /// Taxi-shaped synthetic (fleet on a road network, hot spots, 5 s).
+    Taxi,
+    /// Brinkhoff-style network movement (1 s sampling).
+    Brinkhoff,
+}
+
+impl Dataset {
+    /// All three datasets.
+    pub const ALL: [Dataset; 3] = [Dataset::GeoLife, Dataset::Taxi, Dataset::Brinkhoff];
+
+    /// Display name.
+    pub fn name(self) -> &'static str {
+        match self {
+            Dataset::GeoLife => "GeoLife",
+            Dataset::Taxi => "Taxi",
+            Dataset::Brinkhoff => "Brinkhoff",
+        }
+    }
+}
+
+/// Harness parameters (Table 3, scaled).
+#[derive(Debug, Clone)]
+pub struct BenchParams {
+    /// Number of moving objects per dataset (paper: 10 000–20 151).
+    pub objects: usize,
+    /// Stream length in ticks (paper: 92 645–502 559 snapshots).
+    pub ticks: u32,
+    /// ε as a fraction of the spatial extent — paper range
+    /// {0.02%, …, 0.12%}, default 0.06%. Scaled ×10 here because the scaled
+    /// workloads have ~100× fewer objects over the same relative area (the
+    /// paper's absolute densities would make every cluster empty).
+    pub eps_fractions: Vec<f64>,
+    /// Default ε fraction.
+    pub eps_default: f64,
+    /// lg as a fraction of the extent — paper range {0.2%, …, 6.4%}.
+    pub lg_fractions: Vec<f64>,
+    /// Default lg fraction.
+    pub lg_default: f64,
+    /// minPts (paper fixes 10; scaled to the smaller clusters here).
+    pub min_pts: usize,
+    /// M sweep (paper {5,10,15,20,25}).
+    pub m_values: Vec<usize>,
+    /// K sweep (paper {120,…,240}).
+    pub k_values: Vec<usize>,
+    /// L sweep (paper {10,…,50}).
+    pub l_values: Vec<usize>,
+    /// G sweep (paper {10,…,50}).
+    pub g_values: Vec<u32>,
+    /// Object-ratio sweep Or (paper {10%,…,100%}).
+    pub or_values: Vec<f64>,
+    /// Parallelism sweep N (paper {1,…,10} machines).
+    pub n_values: Vec<usize>,
+    /// Default constraints CP(M, K, L, G), scaled.
+    pub constraints: Constraints,
+}
+
+impl Default for BenchParams {
+    fn default() -> Self {
+        let objects = env_usize("ICPE_BENCH_OBJECTS", 400);
+        let ticks = env_usize("ICPE_BENCH_TICKS", 200) as u32;
+        BenchParams {
+            objects,
+            ticks,
+            eps_fractions: vec![0.002, 0.004, 0.006, 0.008, 0.010, 0.012],
+            eps_default: 0.006,
+            lg_fractions: vec![0.002, 0.004, 0.008, 0.016, 0.032, 0.064],
+            lg_default: 0.016,
+            min_pts: 4,
+            m_values: vec![3, 4, 5, 6, 8],
+            k_values: vec![12, 15, 18, 21, 24],
+            l_values: vec![3, 4, 6, 8, 10],
+            g_values: vec![2, 3, 4, 5, 6],
+            or_values: vec![0.1, 0.2, 0.4, 0.6, 0.8, 1.0],
+            n_values: vec![1, 2, 4, 6, 8, 10],
+            constraints: Constraints::new(4, 18, 6, 4).expect("valid defaults"),
+        }
+    }
+}
+
+impl BenchParams {
+    /// Prints the Table-3 header with paper-vs-scaled values.
+    pub fn print_header(&self, title: &str) {
+        println!("================================================================");
+        println!("{title}");
+        println!("================================================================");
+        println!("scaled workload: {} objects × {} ticks per dataset", self.objects, self.ticks);
+        println!(
+            "defaults: eps = {:.3}% of extent (paper 0.06%), lg = {:.1}% (paper 1.6%), minPts = {} (paper 10)",
+            self.eps_default * 100.0,
+            self.lg_default * 100.0,
+            self.min_pts
+        );
+        let c = &self.constraints;
+        println!(
+            "constraints: CP(M={}, K={}, L={}, G={})  [paper defaults: M=10, K=180, L=30, G=30, scaled to stream length]",
+            c.m(), c.k(), c.l(), c.g()
+        );
+        println!("----------------------------------------------------------------");
+    }
+}
+
+fn env_usize(key: &str, default: usize) -> usize {
+    std::env::var(key)
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(default)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn defaults_are_consistent() {
+        let p = BenchParams::default();
+        assert!(p.eps_fractions.contains(&p.eps_default));
+        assert!(p.lg_fractions.contains(&p.lg_default));
+        assert!(p.constraints.k() >= p.constraints.l());
+        assert_eq!(Dataset::ALL.len(), 3);
+        assert_eq!(Dataset::Taxi.name(), "Taxi");
+    }
+}

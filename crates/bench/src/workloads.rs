@@ -1,0 +1,168 @@
+//! Dataset construction for the harness: the three workloads of Table 2 at
+//! harness scale, with a co-movement substrate so the pattern phase has
+//! something to find.
+
+use crate::params::{BenchParams, Dataset};
+use icpe_gen::{
+    BrinkhoffConfig, BrinkhoffGenerator, GeoLifeConfig, GeoLifeGenerator, GroupWalkConfig,
+    GroupWalkGenerator, TaxiConfig, TaxiGenerator, TraceSet,
+};
+use icpe_types::Point;
+
+/// Builds the traces of one dataset at harness scale.
+pub fn build_traces(dataset: Dataset, params: &BenchParams) -> TraceSet {
+    match dataset {
+        Dataset::GeoLife => GeoLifeGenerator::new(GeoLifeConfig {
+            num_objects: params.objects,
+            num_ticks: params.ticks,
+            area: 300.0,
+            seed: 0xFEE1,
+            ..GeoLifeConfig::default()
+        })
+        .traces(),
+        Dataset::Taxi => TaxiGenerator::new(TaxiConfig {
+            num_objects: params.objects,
+            num_ticks: params.ticks,
+            seed: 0xFEE2,
+            ..TaxiConfig::default()
+        })
+        .traces(),
+        Dataset::Brinkhoff => BrinkhoffGenerator::new(BrinkhoffConfig {
+            num_objects: params.objects,
+            num_ticks: params.ticks,
+            seed: 0xFEE3,
+            ..BrinkhoffConfig::default()
+        })
+        .traces(),
+    }
+}
+
+/// A pattern-rich workload: planted groups with episodic co-movement, used
+/// by the enumeration-focused experiments (Figures 12–15) where cluster
+/// structure must be controlled.
+pub fn pattern_workload(objects: usize, ticks: u32, seed: u64) -> (GroupWalkGenerator, TraceSet) {
+    pattern_workload_sized(objects, ticks, 6, seed)
+}
+
+/// [`pattern_workload`] with an explicit group size — the direct control
+/// over average cluster size (the "avg cluster size" series of Figs 12–13).
+pub fn pattern_workload_sized(
+    objects: usize,
+    ticks: u32,
+    group_size: usize,
+    seed: u64,
+) -> (GroupWalkGenerator, TraceSet) {
+    let num_groups = ((objects / 3) / group_size).max(1); // a third grouped
+    let gen = GroupWalkGenerator::new(GroupWalkConfig {
+        num_objects: objects.max(num_groups * group_size),
+        num_groups,
+        group_size,
+        num_snapshots: ticks,
+        area: 250.0,
+        speed: 2.0,
+        cohesion_radius: 0.7,
+        active_len: 12,
+        gap_len: 3,
+        dispersal_radius: 25.0,
+        seed,
+    });
+    let traces = gen.traces();
+    (gen, traces)
+}
+
+/// The spatial extent (max of width/height) of a trace set — the reference
+/// for the paper's percent-of-extent parameters.
+pub fn extent(traces: &TraceSet) -> f64 {
+    let mut min = Point::new(f64::INFINITY, f64::INFINITY);
+    let mut max = Point::new(f64::NEG_INFINITY, f64::NEG_INFINITY);
+    for (_, trace) in traces.iter() {
+        for &(_, p) in trace {
+            min.x = min.x.min(p.x);
+            min.y = min.y.min(p.y);
+            max.x = max.x.max(p.x);
+            max.y = max.y.max(p.y);
+        }
+    }
+    (max.x - min.x).max(max.y - min.y).max(1e-9)
+}
+
+/// Restricts a trace set to the first `ratio` fraction of object ids —
+/// the paper's `Or` (ratio of objects) knob.
+pub fn object_ratio(traces: &TraceSet, ratio: f64) -> TraceSet {
+    let keep = ((traces.num_trajectories() as f64) * ratio).ceil() as usize;
+    let mut out = TraceSet::new();
+    for (id, trace) in traces.iter().take(keep) {
+        for &(tick, p) in trace {
+            out.push(id, tick, p);
+        }
+    }
+    out
+}
+
+/// Strided subsampling to `ratio` of the objects: keeps every k-th id, so
+/// planted groups (contiguous id ranges) *thin out* proportionally — the way
+/// subsampling a real fleet shrinks its co-moving clusters. This is the
+/// `Or` knob used by the detection experiments, where average cluster size
+/// must grow with Or as in the paper's Figure 12.
+pub fn object_sample(traces: &TraceSet, ratio: f64) -> TraceSet {
+    let n = traces.num_trajectories().max(1) as f64;
+    let keep = (n * ratio).round().max(1.0) as usize;
+    let mut out = TraceSet::new();
+    let mut taken = 0usize;
+    for (i, (id, trace)) in traces.iter().enumerate() {
+        // Evenly spaced selection: take object i when its quota index
+        // advances (Bresenham-style).
+        let due = ((i + 1) * keep) / traces.num_trajectories();
+        if due > taken {
+            taken = due;
+            for &(tick, p) in trace {
+                out.push(id, tick, p);
+            }
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tiny() -> BenchParams {
+        BenchParams {
+            objects: 40,
+            ticks: 30,
+            ..BenchParams::default()
+        }
+    }
+
+    #[test]
+    fn all_datasets_build() {
+        for d in Dataset::ALL {
+            let t = build_traces(d, &tiny());
+            assert_eq!(t.num_trajectories(), 40, "{d:?}");
+            assert!(t.num_locations() > 0);
+        }
+    }
+
+    #[test]
+    fn extent_is_positive() {
+        let t = build_traces(Dataset::Taxi, &tiny());
+        assert!(extent(&t) > 10.0);
+    }
+
+    #[test]
+    fn object_ratio_scales_population() {
+        let t = build_traces(Dataset::Brinkhoff, &tiny());
+        let half = object_ratio(&t, 0.5);
+        assert_eq!(half.num_trajectories(), 20);
+        let all = object_ratio(&t, 1.0);
+        assert_eq!(all.num_trajectories(), 40);
+    }
+
+    #[test]
+    fn pattern_workload_has_groups() {
+        let (gen, traces) = pattern_workload(60, 40, 1);
+        assert!(!gen.planted_groups().is_empty());
+        assert_eq!(traces.num_trajectories(), 60);
+    }
+}

@@ -1,0 +1,145 @@
+//! Brute-force reference implementations (test oracles).
+//!
+//! O(n²) range join and a from-first-principles DBSCAN. Slow but obviously
+//! correct; every optimized path in this crate is validated against them.
+
+use crate::query::{canonical, NeighborPair};
+use icpe_types::{Cluster, ClusterSnapshot, DbscanParams, DistanceMetric, Snapshot};
+
+/// O(n²) range join: every unordered pair within `eps`.
+pub fn naive_range_join(
+    snapshot: &Snapshot,
+    eps: f64,
+    metric: DistanceMetric,
+) -> Vec<NeighborPair> {
+    let e = &snapshot.entries;
+    let mut out = Vec::new();
+    for i in 0..e.len() {
+        for j in (i + 1)..e.len() {
+            if metric.within(&e[i].location, &e[j].location, eps) {
+                out.push(canonical(e[i].id, e[j].id));
+            }
+        }
+    }
+    out.sort_unstable();
+    out
+}
+
+/// Textbook DBSCAN, straight from Definitions 8–9: compute each point's
+/// ε-neighborhood by scanning, find cores, expand clusters by BFS over
+/// density-reachability.
+pub fn naive_dbscan(
+    snapshot: &Snapshot,
+    params: &DbscanParams,
+    metric: DistanceMetric,
+) -> ClusterSnapshot {
+    let e = &snapshot.entries;
+    let n = e.len();
+    let mut neighbors: Vec<Vec<usize>> = vec![Vec::new(); n];
+    for i in 0..n {
+        for j in 0..n {
+            if i != j && metric.within(&e[i].location, &e[j].location, params.eps) {
+                neighbors[i].push(j);
+            }
+        }
+    }
+    let self_count = usize::from(params.count_self);
+    let is_core: Vec<bool> = neighbors
+        .iter()
+        .map(|ns| ns.len() + self_count >= params.min_pts)
+        .collect();
+
+    let mut assigned: Vec<Option<usize>> = vec![None; n];
+    let mut clusters: Vec<Vec<usize>> = Vec::new();
+    for start in 0..n {
+        if !is_core[start] || assigned[start].is_some() {
+            continue;
+        }
+        // BFS over core connectivity, absorbing borders.
+        let cluster_id = clusters.len();
+        clusters.push(Vec::new());
+        let mut queue = vec![start];
+        assigned[start] = Some(cluster_id);
+        while let Some(u) = queue.pop() {
+            clusters[cluster_id].push(u);
+            for &v in &neighbors[u] {
+                if assigned[v].is_none() {
+                    assigned[v] = Some(cluster_id);
+                    if is_core[v] {
+                        queue.push(v);
+                    } else {
+                        clusters[cluster_id].push(v);
+                    }
+                }
+            }
+        }
+    }
+    let mut snapshot_out = ClusterSnapshot {
+        time: snapshot.time,
+        clusters: clusters
+            .into_iter()
+            .map(|idxs| Cluster::new(idxs.into_iter().map(|i| e[i].id).collect()))
+            .collect(),
+    };
+    snapshot_out.normalize();
+    snapshot_out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use icpe_types::{ObjectId, Point, Timestamp};
+
+    fn snap(points: &[(u32, f64, f64)]) -> Snapshot {
+        Snapshot::from_pairs(
+            Timestamp(0),
+            points
+                .iter()
+                .map(|&(id, x, y)| (ObjectId(id), Point::new(x, y))),
+        )
+    }
+
+    #[test]
+    fn join_finds_close_pairs_only() {
+        let s = snap(&[(1, 0.0, 0.0), (2, 0.5, 0.5), (3, 10.0, 10.0)]);
+        let pairs = naive_range_join(&s, 1.0, DistanceMetric::Chebyshev);
+        assert_eq!(pairs, vec![(ObjectId(1), ObjectId(2))]);
+    }
+
+    #[test]
+    fn fig2_style_cluster() {
+        // A tight blob of 5 + an isolated point; minPts = 3.
+        let s = snap(&[
+            (1, 0.0, 0.0),
+            (2, 0.4, 0.0),
+            (3, 0.0, 0.4),
+            (4, 0.4, 0.4),
+            (5, 0.2, 0.2),
+            (9, 50.0, 50.0),
+        ]);
+        let params = DbscanParams::new(0.5, 3).unwrap();
+        let cs = naive_dbscan(&s, &params, DistanceMetric::Chebyshev);
+        assert_eq!(cs.clusters.len(), 1);
+        assert_eq!(cs.clusters[0].len(), 5);
+        assert!(!cs.clusters[0].contains(ObjectId(9)));
+    }
+
+    #[test]
+    fn border_reachable_through_core_chain() {
+        // Chebyshev, eps=1, minPts=3 (self-counting → degree ≥ 2 is core).
+        // Line: a(0) b(1) c(2) d(3): b,c core (deg 2); a,d borders.
+        let s = snap(&[(1, 0.0, 0.0), (2, 1.0, 0.0), (3, 2.0, 0.0), (4, 3.0, 0.0)]);
+        let params = DbscanParams::new(1.0, 3).unwrap();
+        let cs = naive_dbscan(&s, &params, DistanceMetric::Chebyshev);
+        assert_eq!(cs.clusters.len(), 1);
+        assert_eq!(cs.clusters[0].len(), 4);
+    }
+
+    #[test]
+    fn all_noise_when_sparse() {
+        let s = snap(&[(1, 0.0, 0.0), (2, 5.0, 5.0)]);
+        let params = DbscanParams::new(1.0, 2).unwrap();
+        let cs = naive_dbscan(&s, &params, DistanceMetric::Chebyshev);
+        assert!(cs.clusters.is_empty());
+    }
+}

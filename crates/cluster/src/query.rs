@@ -1,0 +1,183 @@
+//! **GridQuery** — Algorithm 2 of the paper.
+//!
+//! One engine instance owns one grid cell's R-tree for one snapshot. Data
+//! objects are processed *query-then-insert* (Lemma 2): each data object
+//! probes the R-tree built so far — which contains exactly the data objects
+//! that arrived before it — and is then inserted. Every same-cell pair is
+//! thus reported exactly once, by whichever partner arrives later. Query
+//! objects only probe and are never inserted.
+
+use crate::gridobject::GridObject;
+use icpe_index::RTree;
+use icpe_types::{DistanceMetric, ObjectId, Point};
+
+/// A neighbor pair `(u, v)` with `d(u, v) ≤ ε`, canonicalized to `u < v`.
+pub type NeighborPair = (ObjectId, ObjectId);
+
+/// The per-cell range-query engine (one per `(snapshot, grid cell)`).
+#[derive(Debug)]
+pub struct CellQueryEngine {
+    tree: RTree<ObjectId>,
+    eps: f64,
+    metric: DistanceMetric,
+    scratch: Vec<NeighborPair>,
+}
+
+impl CellQueryEngine {
+    /// Creates an engine for one cell.
+    pub fn new(eps: f64, metric: DistanceMetric) -> Self {
+        CellQueryEngine {
+            tree: RTree::new(),
+            eps,
+            metric,
+            scratch: Vec::new(),
+        }
+    }
+
+    /// Processes a data object: probe the tree built so far, then insert
+    /// (Lemma 2, Algorithm 2 lines 2–4). Emits discovered pairs.
+    pub fn push_data(&mut self, id: ObjectId, location: Point, out: &mut Vec<NeighborPair>) {
+        self.probe(id, location, out);
+        self.tree.insert(location, id);
+    }
+
+    /// Processes a query object: probe only (Algorithm 2 lines 5–6).
+    pub fn push_query(&mut self, id: ObjectId, location: Point, out: &mut Vec<NeighborPair>) {
+        self.probe(id, location, out);
+    }
+
+    /// Processes a full cell worth of grid objects. Data objects must come
+    /// first for Lemma 2 to be sound; this method enforces the ordering
+    /// internally, so callers may pass them interleaved.
+    pub fn run_cell(&mut self, objects: &[GridObject], out: &mut Vec<NeighborPair>) {
+        for o in objects.iter().filter(|o| !o.is_query) {
+            self.push_data(o.id, o.location, out);
+        }
+        for o in objects.iter().filter(|o| o.is_query) {
+            self.push_query(o.id, o.location, out);
+        }
+    }
+
+    /// Number of data objects inserted so far.
+    pub fn len(&self) -> usize {
+        self.tree.len()
+    }
+
+    /// True if no data objects were inserted.
+    pub fn is_empty(&self) -> bool {
+        self.tree.is_empty()
+    }
+
+    fn probe(&mut self, id: ObjectId, location: Point, out: &mut Vec<NeighborPair>) {
+        let mut hits = Vec::new();
+        self.tree.query_within(&location, self.eps, self.metric, &mut hits);
+        self.scratch.clear();
+        for (_, &other) in hits {
+            if other != id {
+                self.scratch.push(canonical(id, other));
+            }
+        }
+        out.extend_from_slice(&self.scratch);
+    }
+}
+
+/// Orders a pair so the smaller id comes first.
+#[inline]
+pub fn canonical(a: ObjectId, b: ObjectId) -> NeighborPair {
+    if a <= b {
+        (a, b)
+    } else {
+        (b, a)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use icpe_index::GridKey;
+    use icpe_types::Timestamp;
+
+    fn oid(v: u32) -> ObjectId {
+        ObjectId(v)
+    }
+
+    #[test]
+    fn lemma2_reports_each_same_cell_pair_once() {
+        let mut engine = CellQueryEngine::new(1.0, DistanceMetric::Chebyshev);
+        let mut out = Vec::new();
+        engine.push_data(oid(1), Point::new(0.0, 0.0), &mut out);
+        engine.push_data(oid(2), Point::new(0.5, 0.5), &mut out);
+        engine.push_data(oid(3), Point::new(0.7, 0.7), &mut out);
+        out.sort_unstable();
+        assert_eq!(
+            out,
+            vec![(oid(1), oid(2)), (oid(1), oid(3)), (oid(2), oid(3))]
+        );
+        assert_eq!(engine.len(), 3);
+    }
+
+    #[test]
+    fn query_objects_probe_but_do_not_insert() {
+        let mut engine = CellQueryEngine::new(1.0, DistanceMetric::Chebyshev);
+        let mut out = Vec::new();
+        engine.push_data(oid(1), Point::new(0.0, 0.0), &mut out);
+        engine.push_query(oid(9), Point::new(0.5, 0.5), &mut out);
+        assert_eq!(out, vec![(oid(1), oid(9))]);
+        assert_eq!(engine.len(), 1, "query object must not be inserted");
+        // A second identical query still sees only the data object.
+        out.clear();
+        engine.push_query(oid(10), Point::new(0.5, 0.5), &mut out);
+        assert_eq!(out, vec![(oid(1), oid(10))]);
+    }
+
+    #[test]
+    fn run_cell_reorders_interleaved_objects() {
+        let k = GridKey::new(0, 0);
+        let t = Timestamp(0);
+        // Query object listed before the data objects it must see.
+        let objs = vec![
+            GridObject::query(k, oid(9), Point::new(0.5, 0.5), t),
+            GridObject::data(k, oid(1), Point::new(0.0, 0.0), t),
+            GridObject::data(k, oid(2), Point::new(0.9, 0.9), t),
+        ];
+        let mut engine = CellQueryEngine::new(1.0, DistanceMetric::Chebyshev);
+        let mut out = Vec::new();
+        engine.run_cell(&objs, &mut out);
+        out.sort_unstable();
+        assert_eq!(
+            out,
+            vec![(oid(1), oid(2)), (oid(1), oid(9)), (oid(2), oid(9))]
+        );
+    }
+
+    #[test]
+    fn metric_is_respected() {
+        let mut engine = CellQueryEngine::new(1.0, DistanceMetric::L1);
+        let mut out = Vec::new();
+        engine.push_data(oid(1), Point::new(0.0, 0.0), &mut out);
+        // L1 distance 1.6 > 1.0, Chebyshev 0.8 ≤ 1.0 → excluded under L1.
+        engine.push_data(oid(2), Point::new(0.8, 0.8), &mut out);
+        assert!(out.is_empty());
+        // Object 3 is within L1 range of both earlier objects:
+        // d(1,3) = 1.0 and d(2,3) = 0.6.
+        engine.push_data(oid(3), Point::new(0.5, 0.5), &mut out);
+        out.sort_unstable();
+        assert_eq!(out, vec![(oid(1), oid(3)), (oid(2), oid(3))]);
+    }
+
+    #[test]
+    fn duplicate_locations_pair_up() {
+        let mut engine = CellQueryEngine::new(0.5, DistanceMetric::Chebyshev);
+        let mut out = Vec::new();
+        engine.push_data(oid(1), Point::new(2.0, 2.0), &mut out);
+        engine.push_data(oid(2), Point::new(2.0, 2.0), &mut out);
+        assert_eq!(out, vec![(oid(1), oid(2))]);
+    }
+
+    #[test]
+    fn canonical_orders_ids() {
+        assert_eq!(canonical(oid(5), oid(3)), (oid(3), oid(5)));
+        assert_eq!(canonical(oid(3), oid(5)), (oid(3), oid(5)));
+        assert_eq!(canonical(oid(4), oid(4)), (oid(4), oid(4)));
+    }
+}

@@ -1,0 +1,103 @@
+//! **GridSync** — result collection with deduplication.
+//!
+//! Lemma 1 eliminates *most* duplicate discoveries, but a pair of locations
+//! lying in the same horizontal band (each inside the other's upper
+//! half-region) can still be found from both sides. `PairCollector`
+//! canonicalizes and deduplicates, yielding exact set semantics for
+//! `RJ(O, ε)`, and counts how many duplicates were suppressed (an observable
+//! for the Lemma-1 ablation bench).
+
+use crate::query::NeighborPair;
+use std::collections::HashSet;
+
+/// Collects neighbor pairs from all cells, deduplicating.
+#[derive(Debug, Default)]
+pub struct PairCollector {
+    seen: HashSet<NeighborPair>,
+    duplicates: usize,
+}
+
+impl PairCollector {
+    /// An empty collector.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Adds one canonical pair; returns `true` if it was new.
+    pub fn add(&mut self, pair: NeighborPair) -> bool {
+        debug_assert!(pair.0 <= pair.1, "pairs must be canonicalized");
+        if self.seen.insert(pair) {
+            true
+        } else {
+            self.duplicates += 1;
+            false
+        }
+    }
+
+    /// Adds many pairs.
+    pub fn extend(&mut self, pairs: impl IntoIterator<Item = NeighborPair>) {
+        for p in pairs {
+            self.add(p);
+        }
+    }
+
+    /// Number of distinct pairs collected.
+    pub fn len(&self) -> usize {
+        self.seen.len()
+    }
+
+    /// True if no pairs were collected.
+    pub fn is_empty(&self) -> bool {
+        self.seen.is_empty()
+    }
+
+    /// How many duplicate discoveries were suppressed.
+    pub fn duplicates(&self) -> usize {
+        self.duplicates
+    }
+
+    /// Consumes the collector, returning the distinct pairs (sorted, for
+    /// deterministic downstream processing).
+    pub fn into_pairs(self) -> Vec<NeighborPair> {
+        let mut v: Vec<NeighborPair> = self.seen.into_iter().collect();
+        v.sort_unstable();
+        v
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use icpe_types::ObjectId;
+
+    fn p(a: u32, b: u32) -> NeighborPair {
+        (ObjectId(a), ObjectId(b))
+    }
+
+    #[test]
+    fn dedup_and_count() {
+        let mut c = PairCollector::new();
+        assert!(c.add(p(1, 2)));
+        assert!(!c.add(p(1, 2)));
+        assert!(c.add(p(2, 3)));
+        assert_eq!(c.len(), 2);
+        assert_eq!(c.duplicates(), 1);
+        assert_eq!(c.into_pairs(), vec![p(1, 2), p(2, 3)]);
+    }
+
+    #[test]
+    fn extend_and_sorted_output() {
+        let mut c = PairCollector::new();
+        c.extend([p(5, 9), p(1, 2), p(5, 9), p(0, 7)]);
+        assert_eq!(c.len(), 3);
+        assert_eq!(c.duplicates(), 1);
+        assert_eq!(c.into_pairs(), vec![p(0, 7), p(1, 2), p(5, 9)]);
+    }
+
+    #[test]
+    fn empty_collector() {
+        let c = PairCollector::new();
+        assert!(c.is_empty());
+        assert!(c.into_pairs().is_empty());
+    }
+}

@@ -1,0 +1,288 @@
+//! ICPE configuration: every knob of Table 3 plus deployment options.
+
+use icpe_pattern::Semantics;
+use icpe_runtime::{AlignerConfig, RuntimeConfig};
+use icpe_types::{Constraints, DbscanParams, DistanceMetric, TypeError};
+
+/// Which clustering method runs in the clustering phase (§7.1 comparisons).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum ClustererKind {
+    /// The paper's range-join clustering (GridAllocate + GridQuery with
+    /// Lemmas 1–2, then DBSCAN).
+    #[default]
+    Rjc,
+    /// The SRJ baseline: full-region replication, build-then-query.
+    Srj,
+    /// The GDC baseline: ε-grid DBSCAN, single partition.
+    Gdc,
+}
+
+impl ClustererKind {
+    /// Display name as used in the paper's figures.
+    pub fn name(self) -> &'static str {
+        match self {
+            ClustererKind::Rjc => "RJC",
+            ClustererKind::Srj => "SRJ",
+            ClustererKind::Gdc => "GDC",
+        }
+    }
+}
+
+/// Which enumeration engine runs in the pattern phase (§7.2 comparisons).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum EnumeratorKind {
+    /// Baseline (SPARE adapted): exponential subset enumeration.
+    Baseline,
+    /// Fixed-length bit compression (best latency).
+    #[default]
+    Fba,
+    /// Variable-length bit compression (best throughput).
+    Vba,
+}
+
+impl EnumeratorKind {
+    /// Display name as used in the paper's figures.
+    pub fn name(self) -> &'static str {
+        match self {
+            EnumeratorKind::Baseline => "B",
+            EnumeratorKind::Fba => "F",
+            EnumeratorKind::Vba => "V",
+        }
+    }
+}
+
+/// Full ICPE configuration. Build with [`IcpeConfig::builder`].
+#[derive(Debug, Clone)]
+pub struct IcpeConfig {
+    /// Grid cell width `lg` of the GR-index.
+    pub lg: f64,
+    /// DBSCAN density parameters (ε, minPts).
+    pub dbscan: DbscanParams,
+    /// Distance metric (defaults to Chebyshev — the paper's square range
+    /// region; see `icpe-types`).
+    pub metric: DistanceMetric,
+    /// The `CP(M, K, L, G)` pattern constraints.
+    pub constraints: Constraints,
+    /// Temporal validity semantics (default: Definition-4 subsequence).
+    pub semantics: Semantics,
+    /// Clustering method.
+    pub clusterer: ClustererKind,
+    /// Enumeration engine.
+    pub enumerator: EnumeratorKind,
+    /// Parallelism `N` of the keyed stages (GridQuery, enumeration) in the
+    /// streaming deployment — the paper's machine count.
+    pub parallelism: usize,
+    /// Runtime channel capacity (backpressure depth).
+    pub runtime: RuntimeConfig,
+    /// Stream time-alignment settings.
+    pub aligner: AlignerConfig,
+    /// Baseline guard (see `icpe-pattern`).
+    pub max_baseline_partition: usize,
+}
+
+impl IcpeConfig {
+    /// Starts a builder with the Table-3 default shape (clustering defaults
+    /// must still be scaled to the workload's coordinate units via
+    /// [`IcpeConfigBuilder::epsilon`] / [`IcpeConfigBuilder::grid_width`]).
+    pub fn builder() -> IcpeConfigBuilder {
+        IcpeConfigBuilder::default()
+    }
+
+    /// The engine-side configuration for the pattern phase.
+    pub(crate) fn engine_config(&self) -> icpe_pattern::EngineConfig {
+        let mut cfg = icpe_pattern::EngineConfig::new(self.constraints);
+        cfg.semantics = self.semantics;
+        cfg.max_baseline_partition = self.max_baseline_partition;
+        cfg
+    }
+}
+
+/// Builder for [`IcpeConfig`].
+#[derive(Debug, Clone)]
+pub struct IcpeConfigBuilder {
+    lg: Option<f64>,
+    eps: f64,
+    min_pts: usize,
+    metric: DistanceMetric,
+    constraints: Option<Constraints>,
+    semantics: Semantics,
+    clusterer: ClustererKind,
+    enumerator: EnumeratorKind,
+    parallelism: usize,
+    runtime: RuntimeConfig,
+    aligner: AlignerConfig,
+    max_baseline_partition: usize,
+}
+
+impl Default for IcpeConfigBuilder {
+    fn default() -> Self {
+        IcpeConfigBuilder {
+            lg: None,
+            eps: 1.0,
+            min_pts: 10,
+            metric: DistanceMetric::Chebyshev,
+            constraints: None,
+            semantics: Semantics::default(),
+            clusterer: ClustererKind::default(),
+            enumerator: EnumeratorKind::default(),
+            parallelism: 4,
+            runtime: RuntimeConfig::default(),
+            aligner: AlignerConfig::default(),
+            max_baseline_partition: 22,
+        }
+    }
+}
+
+impl IcpeConfigBuilder {
+    /// Sets the pattern constraints `CP(M, K, L, G)` (required).
+    pub fn constraints(mut self, c: Constraints) -> Self {
+        self.constraints = Some(c);
+        self
+    }
+
+    /// Sets the DBSCAN distance threshold ε (required in workload units).
+    pub fn epsilon(mut self, eps: f64) -> Self {
+        self.eps = eps;
+        self
+    }
+
+    /// Sets DBSCAN's `minPts` (default 10, the paper's fixed value).
+    pub fn min_pts(mut self, min_pts: usize) -> Self {
+        self.min_pts = min_pts;
+        self
+    }
+
+    /// Sets the grid cell width `lg` (default: `8 × ε`, a mid-range choice
+    /// on the paper's Figure-11 sweet spot).
+    pub fn grid_width(mut self, lg: f64) -> Self {
+        self.lg = Some(lg);
+        self
+    }
+
+    /// Sets the distance metric.
+    pub fn metric(mut self, metric: DistanceMetric) -> Self {
+        self.metric = metric;
+        self
+    }
+
+    /// Sets the temporal validity semantics.
+    pub fn semantics(mut self, semantics: Semantics) -> Self {
+        self.semantics = semantics;
+        self
+    }
+
+    /// Selects the clustering method.
+    pub fn clusterer(mut self, kind: ClustererKind) -> Self {
+        self.clusterer = kind;
+        self
+    }
+
+    /// Selects the enumeration engine.
+    pub fn enumerator(mut self, kind: EnumeratorKind) -> Self {
+        self.enumerator = kind;
+        self
+    }
+
+    /// Sets the keyed-stage parallelism `N`.
+    pub fn parallelism(mut self, n: usize) -> Self {
+        self.parallelism = n.max(1);
+        self
+    }
+
+    /// Overrides the runtime settings.
+    pub fn runtime(mut self, runtime: RuntimeConfig) -> Self {
+        self.runtime = runtime;
+        self
+    }
+
+    /// Overrides the aligner settings.
+    pub fn aligner(mut self, aligner: AlignerConfig) -> Self {
+        self.aligner = aligner;
+        self
+    }
+
+    /// Overrides the Baseline partition-size guard.
+    pub fn max_baseline_partition(mut self, n: usize) -> Self {
+        self.max_baseline_partition = n;
+        self
+    }
+
+    /// Validates and builds the configuration.
+    pub fn build(self) -> Result<IcpeConfig, TypeError> {
+        let constraints = self.constraints.ok_or_else(|| {
+            TypeError::InvalidConstraints("constraints(M,K,L,G) must be provided".into())
+        })?;
+        let dbscan = DbscanParams::new(self.eps, self.min_pts)?;
+        let lg = self.lg.unwrap_or(8.0 * self.eps);
+        if lg <= 0.0 || !lg.is_finite() {
+            return Err(TypeError::InvalidDbscanParams(format!(
+                "grid width must be positive and finite, got {lg}"
+            )));
+        }
+        Ok(IcpeConfig {
+            lg,
+            dbscan,
+            metric: self.metric,
+            constraints,
+            semantics: self.semantics,
+            clusterer: self.clusterer,
+            enumerator: self.enumerator,
+            parallelism: self.parallelism,
+            runtime: self.runtime,
+            aligner: self.aligner,
+            max_baseline_partition: self.max_baseline_partition,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn builder_requires_constraints() {
+        assert!(IcpeConfig::builder().build().is_err());
+    }
+
+    #[test]
+    fn builder_defaults_are_sane() {
+        let c = IcpeConfig::builder()
+            .constraints(Constraints::new(3, 4, 2, 2).unwrap())
+            .epsilon(0.5)
+            .build()
+            .unwrap();
+        assert_eq!(c.lg, 4.0); // 8 × ε
+        assert_eq!(c.dbscan.min_pts, 10);
+        assert_eq!(c.clusterer, ClustererKind::Rjc);
+        assert_eq!(c.enumerator, EnumeratorKind::Fba);
+        assert!(c.parallelism >= 1);
+    }
+
+    #[test]
+    fn builder_rejects_bad_eps() {
+        let b = IcpeConfig::builder()
+            .constraints(Constraints::new(2, 2, 1, 1).unwrap())
+            .epsilon(-1.0);
+        assert!(b.build().is_err());
+    }
+
+    #[test]
+    fn kind_names_match_paper() {
+        assert_eq!(ClustererKind::Rjc.name(), "RJC");
+        assert_eq!(ClustererKind::Srj.name(), "SRJ");
+        assert_eq!(ClustererKind::Gdc.name(), "GDC");
+        assert_eq!(EnumeratorKind::Baseline.name(), "B");
+        assert_eq!(EnumeratorKind::Fba.name(), "F");
+        assert_eq!(EnumeratorKind::Vba.name(), "V");
+    }
+
+    #[test]
+    fn parallelism_clamps_to_one() {
+        let c = IcpeConfig::builder()
+            .constraints(Constraints::new(2, 2, 1, 1).unwrap())
+            .parallelism(0)
+            .build()
+            .unwrap();
+        assert_eq!(c.parallelism, 1);
+    }
+}

@@ -1,0 +1,31 @@
+//! # icpe-core — the assembled ICPE framework
+//!
+//! Ties the substrates together into the paper's processing flow (Fig. 3):
+//!
+//! ```text
+//! streaming GPS records
+//!   → Discretization          (icpe-types::Discretizer)
+//!   → Time alignment          (icpe-runtime::TimeAligner, §4 "last time")
+//!   → Indexed clustering      (icpe-cluster: GridAllocate → GridQuery →
+//!                              GridSync → DBSCAN, §5)
+//!   → Pattern enumeration     (icpe-pattern: BA / FBA / VBA, §6)
+//!   → co-movement patterns
+//! ```
+//!
+//! Two deployment forms are provided:
+//!
+//! * [`IcpeEngine`] — a deterministic, single-threaded engine processing one
+//!   snapshot at a time. The reference form: used by correctness tests, the
+//!   per-phase latency benchmarks, and as the simplest API entry point.
+//! * [`pipeline::IcpePipeline`] — the distributed streaming deployment on
+//!   `icpe-runtime`: parallel keyed GridQuery subtasks, parallel keyed
+//!   enumeration subtasks, broadcast snapshot-boundary ticks, and
+//!   latency/throughput metrics — the paper's Flink job, in-process.
+
+pub mod config;
+pub mod engine;
+pub mod pipeline;
+
+pub use config::{ClustererKind, EnumeratorKind, IcpeConfig, IcpeConfigBuilder};
+pub use engine::IcpeEngine;
+pub use pipeline::{IcpePipeline, PipelineOutput};

@@ -1,0 +1,521 @@
+//! The distributed streaming deployment (the paper's Flink job, Fig. 5).
+//!
+//! ```text
+//! Source(1) → [Discretize(N, keyBy id)] → Align(1) → GridAllocate(1)
+//!     → GridQuery(N, keyBy grid cell)    ┐  keyed data,
+//!     → GridSync+DBSCAN(1)               │  broadcast per-snapshot ticks
+//!     → Enumerate(N, keyBy owner id)     ┘
+//!     → Sink(1)
+//! ```
+//!
+//! Snapshot boundaries travel as broadcast *ticks* (the runtime equivalent
+//! of Flink punctuation/watermarks): a keyed subtask knows a snapshot's
+//! contribution is complete when it has seen the boundary tick from each of
+//! its upstream producers. Latency is measured from a snapshot entering
+//! GridAllocate until all enumeration subtasks have reported its tick done;
+//! throughput is completed snapshots per second — the two measures of §7.
+
+use crate::config::{ClustererKind, EnumeratorKind, IcpeConfig};
+use icpe_cluster::allocate::allocate_one;
+use icpe_cluster::query::NeighborPair;
+use icpe_cluster::sync::PairCollector;
+use icpe_cluster::{dbscan_from_pairs, CellQueryEngine, GdcClusterer, SnapshotClusterer};
+use icpe_index::{Grid, GridKey, RTree};
+use icpe_pattern::partition::Partition;
+use icpe_pattern::{id_partitions, BaselineEngine, FbaEngine, PatternEngine, VbaEngine};
+use icpe_runtime::{
+    AlignOperator, Collector, Exchange, MetricsReport, Operator, PipelineMetrics, Routing, Stream,
+};
+use icpe_types::{
+    ClusterSnapshot, DbscanParams, DistanceMetric, GpsRecord, ObjectId, Pattern, Snapshot,
+    Timestamp,
+};
+use std::collections::hash_map::DefaultHasher;
+use std::collections::{BTreeMap, HashMap};
+use std::hash::{Hash, Hasher};
+
+/// What a pipeline run produces.
+#[derive(Debug)]
+pub struct PipelineOutput {
+    /// Every reported pattern (across all windows; dedupe with
+    /// [`icpe_pattern::unique_object_sets`] if only the sets matter).
+    pub patterns: Vec<Pattern>,
+    /// Latency/throughput summary.
+    pub metrics: MetricsReport,
+}
+
+/// The distributed ICPE deployment.
+pub struct IcpePipeline;
+
+impl IcpePipeline {
+    /// Runs the full dataflow over a (possibly out-of-order) stream of
+    /// discretized GPS records, blocking until completion.
+    pub fn run(config: &IcpeConfig, records: Vec<GpsRecord>) -> PipelineOutput {
+        let metrics = PipelineMetrics::new();
+        let n = config.parallelism;
+        let aligner_config = config.aligner;
+
+        let source = Stream::source(config.runtime, 1, move |_| records.clone().into_iter());
+        let snapshots = source.apply("align", 1, Exchange::Rebalance, |_| {
+            AlignOperator::new(aligner_config)
+        });
+        let partitions = cluster_stages(snapshots, config, &metrics);
+        let engine_config = config.engine_config();
+        let enumerator_kind = config.enumerator;
+        let outputs = partitions.apply(
+            "enumerate",
+            n,
+            Exchange::per_record(|msg: &PartMsg| match msg {
+                PartMsg::Part { partition, .. } => Routing::Key(hash_id(partition.owner)),
+                PartMsg::Tick(_) => Routing::Broadcast,
+            }),
+            move |_| EnumerateOp::new(enumerator_kind, engine_config),
+        );
+
+        let mut patterns = Vec::new();
+        let mut done_counts: HashMap<u32, usize> = HashMap::new();
+        outputs.for_each(|msg| match msg {
+            OutMsg::Pattern(p) => patterns.push(p),
+            OutMsg::Done(t) => {
+                let c = done_counts.entry(t).or_insert(0);
+                *c += 1;
+                if *c == n {
+                    metrics.mark_done(t);
+                }
+            }
+        });
+        PipelineOutput {
+            patterns,
+            metrics: metrics.report(),
+        }
+    }
+}
+
+fn hash_id(id: ObjectId) -> u64 {
+    let mut h = DefaultHasher::new();
+    id.hash(&mut h);
+    h.finish()
+}
+
+fn hash_key(key: GridKey) -> u64 {
+    let mut h = DefaultHasher::new();
+    key.hash(&mut h);
+    h.finish()
+}
+
+/// Builds the clustering stages for the configured method, producing the
+/// keyed partition stream consumed by enumeration.
+fn cluster_stages(
+    snapshots: Stream<Snapshot>,
+    config: &IcpeConfig,
+    metrics: &PipelineMetrics,
+) -> Stream<PartMsg> {
+    let n = config.parallelism;
+    let m = config.constraints.m();
+    let dbscan = config.dbscan;
+    let metric = config.metric;
+    let lg = config.lg;
+    match config.clusterer {
+        ClustererKind::Rjc | ClustererKind::Srj => {
+            let full_replication = config.clusterer == ClustererKind::Srj;
+            let build_then_query = full_replication;
+            let m0 = metrics.clone();
+            let grid_objects = snapshots.apply("allocate", 1, Exchange::Rebalance, move |_| {
+                AllocateOp {
+                    grid: Grid::new(lg),
+                    eps: dbscan.eps,
+                    full_replication,
+                    metrics: m0.clone(),
+                }
+            });
+            let pairs = grid_objects.apply(
+                "grid-query",
+                n,
+                Exchange::per_record(|msg: &ClusterMsg| match msg {
+                    ClusterMsg::Obj(o) => Routing::Key(hash_key(o.key)),
+                    ClusterMsg::Tick(_) => Routing::Broadcast,
+                }),
+                move |_| QueryOp::new(dbscan.eps, metric, build_then_query),
+            );
+            pairs.apply("sync-dbscan", 1, Exchange::Rebalance, move |_| SyncDbscanOp {
+                upstream: n,
+                m,
+                dbscan,
+                pending: BTreeMap::new(),
+            })
+        }
+        ClustererKind::Gdc => {
+            let m0 = metrics.clone();
+            snapshots.apply("gdc-cluster", 1, Exchange::Rebalance, move |_| GdcOp {
+                clusterer: GdcClusterer::new(dbscan, metric),
+                m,
+                metrics: m0.clone(),
+            })
+        }
+    }
+}
+
+// ---- messages --------------------------------------------------------------
+
+/// GridAllocate → GridQuery.
+#[derive(Debug, Clone)]
+enum ClusterMsg {
+    Obj(icpe_cluster::GridObject),
+    /// Snapshot boundary: all objects of this time have been emitted.
+    Tick(u32),
+}
+
+/// GridQuery → GridSync.
+#[derive(Debug, Clone)]
+enum PairMsg {
+    Pairs(u32, Vec<NeighborPair>),
+    Tick(u32),
+}
+
+/// GridSync/DBSCAN → Enumerate.
+#[derive(Debug, Clone)]
+pub(crate) enum PartMsg {
+    Part { time: u32, partition: Partition },
+    Tick(u32),
+}
+
+/// Enumerate → Sink.
+#[derive(Debug, Clone)]
+enum OutMsg {
+    Pattern(Pattern),
+    Done(u32),
+}
+
+// ---- operators -------------------------------------------------------------
+
+/// GridAllocate (Algorithm 1) as a pipeline operator; also the latency
+/// ingest point.
+struct AllocateOp {
+    grid: Grid,
+    eps: f64,
+    full_replication: bool,
+    metrics: PipelineMetrics,
+}
+
+impl Operator<Snapshot, ClusterMsg> for AllocateOp {
+    fn process(&mut self, snapshot: Snapshot, out: &mut Collector<ClusterMsg>) {
+        self.metrics.mark_ingest(snapshot.time.0);
+        let mut buf = Vec::new();
+        for e in &snapshot.entries {
+            allocate_one(
+                e.id,
+                e.location,
+                snapshot.time,
+                &self.grid,
+                self.eps,
+                self.full_replication,
+                &mut buf,
+            );
+        }
+        out.emit_all(buf.into_iter().map(ClusterMsg::Obj));
+        out.emit(ClusterMsg::Tick(snapshot.time.0));
+    }
+}
+
+/// GridQuery (Algorithm 2) as a keyed operator: one subtask owns many cells;
+/// objects buffer per (time, cell) and the range queries run at the
+/// snapshot-boundary tick.
+struct QueryOp {
+    eps: f64,
+    metric: DistanceMetric,
+    build_then_query: bool,
+    buffers: BTreeMap<u32, HashMap<GridKey, Vec<icpe_cluster::GridObject>>>,
+}
+
+impl QueryOp {
+    fn new(eps: f64, metric: DistanceMetric, build_then_query: bool) -> Self {
+        QueryOp {
+            eps,
+            metric,
+            build_then_query,
+            buffers: BTreeMap::new(),
+        }
+    }
+
+    fn flush_time(&mut self, t: u32, out: &mut Collector<PairMsg>) {
+        let mut pairs = Vec::new();
+        if let Some(cells) = self.buffers.remove(&t) {
+            for (_, objects) in cells {
+                if self.build_then_query {
+                    // SRJ: build the complete local index, then query every
+                    // object against it.
+                    let mut items: Vec<(icpe_types::Point, ObjectId)> = objects
+                        .iter()
+                        .filter(|o| !o.is_query)
+                        .map(|o| (o.location, o.id))
+                        .collect();
+                    let tree = RTree::bulk_load_with_max_entries(16, &mut items);
+                    let mut hits = Vec::new();
+                    for o in &objects {
+                        hits.clear();
+                        tree.query_within(&o.location, self.eps, self.metric, &mut hits);
+                        for (_, &other) in &hits {
+                            if other != o.id {
+                                pairs.push(icpe_cluster::query::canonical(o.id, other));
+                            }
+                        }
+                    }
+                } else {
+                    // RJC: Lemma-2 interleaved query-then-insert.
+                    let mut engine = CellQueryEngine::new(self.eps, self.metric);
+                    engine.run_cell(&objects, &mut pairs);
+                }
+            }
+        }
+        out.emit(PairMsg::Pairs(t, pairs));
+        out.emit(PairMsg::Tick(t));
+    }
+}
+
+impl Operator<ClusterMsg, PairMsg> for QueryOp {
+    fn process(&mut self, msg: ClusterMsg, out: &mut Collector<PairMsg>) {
+        match msg {
+            ClusterMsg::Obj(o) => {
+                self.buffers
+                    .entry(o.time.0)
+                    .or_default()
+                    .entry(o.key)
+                    .or_default()
+                    .push(o);
+            }
+            ClusterMsg::Tick(t) => self.flush_time(t, out),
+        }
+    }
+
+    fn finish(&mut self, out: &mut Collector<PairMsg>) {
+        let times: Vec<u32> = self.buffers.keys().copied().collect();
+        for t in times {
+            self.flush_time(t, out);
+        }
+    }
+}
+
+/// GridSync + DBSCAN + id-based partitioning, single subtask (as in the
+/// paper: the collection step is centralized and DBSCAN is O(pairs)).
+struct SyncDbscanOp {
+    upstream: usize,
+    m: usize,
+    dbscan: DbscanParams,
+    pending: BTreeMap<u32, (PairCollector, usize)>,
+}
+
+impl Operator<PairMsg, PartMsg> for SyncDbscanOp {
+    fn process(&mut self, msg: PairMsg, out: &mut Collector<PartMsg>) {
+        match msg {
+            PairMsg::Pairs(t, pairs) => {
+                let entry = self.pending.entry(t).or_default();
+                entry.0.extend(pairs);
+            }
+            PairMsg::Tick(t) => {
+                let entry = self.pending.entry(t).or_default();
+                entry.1 += 1;
+                if entry.1 == self.upstream {
+                    let (collector, _) = self.pending.remove(&t).unwrap();
+                    let pairs = collector.into_pairs();
+                    let mut objects: Vec<ObjectId> =
+                        pairs.iter().flat_map(|&(a, b)| [a, b]).collect();
+                    objects.sort_unstable();
+                    objects.dedup();
+                    let outcome =
+                        dbscan_from_pairs(Timestamp(t), &objects, &pairs, &self.dbscan);
+                    for partition in id_partitions(&outcome.snapshot, self.m) {
+                        out.emit(PartMsg::Part { time: t, partition });
+                    }
+                    out.emit(PartMsg::Tick(t));
+                }
+            }
+        }
+    }
+}
+
+/// GDC (centralized) clustering straight from snapshots to partitions.
+struct GdcOp {
+    clusterer: GdcClusterer,
+    m: usize,
+    metrics: PipelineMetrics,
+}
+
+impl Operator<Snapshot, PartMsg> for GdcOp {
+    fn process(&mut self, snapshot: Snapshot, out: &mut Collector<PartMsg>) {
+        self.metrics.mark_ingest(snapshot.time.0);
+        let t = snapshot.time.0;
+        let clusters: ClusterSnapshot = self.clusterer.cluster(&snapshot);
+        for partition in id_partitions(&clusters, self.m) {
+            out.emit(PartMsg::Part { time: t, partition });
+        }
+        out.emit(PartMsg::Tick(t));
+    }
+}
+
+/// One enumeration subtask: owns the engines' state for the owner ids routed
+/// to it, advances time on broadcast ticks.
+struct EnumerateOp {
+    engine: Box<dyn PatternEngine + Send>,
+    pending: HashMap<u32, Vec<Partition>>,
+}
+
+impl EnumerateOp {
+    fn new(kind: EnumeratorKind, config: icpe_pattern::EngineConfig) -> Self {
+        let engine: Box<dyn PatternEngine + Send> = match kind {
+            EnumeratorKind::Baseline => Box::new(BaselineEngine::new(config)),
+            EnumeratorKind::Fba => Box::new(FbaEngine::new(config)),
+            EnumeratorKind::Vba => Box::new(VbaEngine::new(config)),
+        };
+        EnumerateOp {
+            engine,
+            pending: HashMap::new(),
+        }
+    }
+}
+
+impl Operator<PartMsg, OutMsg> for EnumerateOp {
+    fn process(&mut self, msg: PartMsg, out: &mut Collector<OutMsg>) {
+        match msg {
+            PartMsg::Part { time, partition } => {
+                self.pending.entry(time).or_default().push(partition);
+            }
+            PartMsg::Tick(t) => {
+                let parts = self.pending.remove(&t).unwrap_or_default();
+                let patterns = self.engine.push_partitions(Timestamp(t), parts);
+                out.emit_all(patterns.into_iter().map(OutMsg::Pattern));
+                out.emit(OutMsg::Done(t));
+            }
+        }
+    }
+
+    fn finish(&mut self, out: &mut Collector<OutMsg>) {
+        let patterns = self.engine.finish();
+        out.emit_all(patterns.into_iter().map(OutMsg::Pattern));
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use icpe_pattern::unique_object_sets;
+    use icpe_types::{Constraints, Point};
+
+    /// Three co-walking objects + two wanderers, as pre-discretized records.
+    fn walking_records(ticks: u32) -> Vec<GpsRecord> {
+        let mut out = Vec::new();
+        for t in 0..ticks {
+            let base = t as f64 * 0.5;
+            let last = if t == 0 { None } else { Some(Timestamp(t - 1)) };
+            for (id, p) in [
+                (1u32, Point::new(base, 0.0)),
+                (2, Point::new(base + 0.3, 0.3)),
+                (3, Point::new(base + 0.6, 0.0)),
+                (8, Point::new(100.0 + base, 50.0)),
+                (9, Point::new(-100.0, 50.0 - base)),
+            ] {
+                out.push(GpsRecord::new(ObjectId(id), p, Timestamp(t), last));
+            }
+        }
+        out
+    }
+
+    fn config(n: usize, enumerator: EnumeratorKind) -> IcpeConfig {
+        IcpeConfig::builder()
+            .constraints(Constraints::new(3, 4, 2, 2).unwrap())
+            .epsilon(1.0)
+            .min_pts(3)
+            .parallelism(n)
+            .enumerator(enumerator)
+            .build()
+            .unwrap()
+    }
+
+    #[test]
+    fn pipeline_detects_the_walking_group() {
+        for kind in [EnumeratorKind::Fba, EnumeratorKind::Vba, EnumeratorKind::Baseline] {
+            let out = IcpePipeline::run(&config(3, kind), walking_records(10));
+            let sets = unique_object_sets(&out.patterns);
+            assert!(
+                sets.contains(&vec![ObjectId(1), ObjectId(2), ObjectId(3)]),
+                "{kind:?}: {sets:?}"
+            );
+            assert_eq!(out.metrics.snapshots, 10);
+        }
+    }
+
+    #[test]
+    fn pipeline_matches_sync_engine() {
+        let cfg = config(4, EnumeratorKind::Fba);
+        let out = IcpePipeline::run(&cfg, walking_records(12));
+        let pipeline_sets = unique_object_sets(&out.patterns);
+
+        let mut engine = crate::engine::IcpeEngine::new(cfg);
+        let mut patterns = Vec::new();
+        for t in 0..12u32 {
+            let base = t as f64 * 0.5;
+            let snap = Snapshot::from_pairs(
+                Timestamp(t),
+                [
+                    (ObjectId(1), Point::new(base, 0.0)),
+                    (ObjectId(2), Point::new(base + 0.3, 0.3)),
+                    (ObjectId(3), Point::new(base + 0.6, 0.0)),
+                    (ObjectId(8), Point::new(100.0 + base, 50.0)),
+                    (ObjectId(9), Point::new(-100.0, 50.0 - base)),
+                ],
+            );
+            patterns.extend(engine.push_snapshot(snap));
+        }
+        patterns.extend(engine.finish());
+        assert_eq!(pipeline_sets, unique_object_sets(&patterns));
+    }
+
+    #[test]
+    fn pipeline_parallelism_does_not_change_results() {
+        let base = unique_object_sets(
+            &IcpePipeline::run(&config(1, EnumeratorKind::Fba), walking_records(10)).patterns,
+        );
+        for n in [2, 4, 8] {
+            let out = IcpePipeline::run(&config(n, EnumeratorKind::Fba), walking_records(10));
+            assert_eq!(unique_object_sets(&out.patterns), base, "N = {n}");
+        }
+    }
+
+    #[test]
+    fn pipeline_srj_and_gdc_agree_with_rjc() {
+        let mk = |kind: ClustererKind| {
+            let cfg = IcpeConfig::builder()
+                .constraints(Constraints::new(3, 4, 2, 2).unwrap())
+                .epsilon(1.0)
+                .min_pts(3)
+                .parallelism(2)
+                .clusterer(kind)
+                .build()
+                .unwrap();
+            unique_object_sets(&IcpePipeline::run(&cfg, walking_records(10)).patterns)
+        };
+        let rjc = mk(ClustererKind::Rjc);
+        assert_eq!(mk(ClustererKind::Srj), rjc);
+        assert_eq!(mk(ClustererKind::Gdc), rjc);
+    }
+
+    #[test]
+    fn pipeline_handles_out_of_order_records() {
+        // Swap some records around within a small window; the aligner must
+        // still produce identical results.
+        let mut records = walking_records(10);
+        let n = records.len();
+        for i in (0..n - 3).step_by(3) {
+            records.swap(i, i + 3);
+        }
+        let out = IcpePipeline::run(&config(2, EnumeratorKind::Fba), records);
+        let sets = unique_object_sets(&out.patterns);
+        assert!(sets.contains(&vec![ObjectId(1), ObjectId(2), ObjectId(3)]));
+    }
+
+    #[test]
+    fn empty_input_produces_nothing() {
+        let out = IcpePipeline::run(&config(2, EnumeratorKind::Fba), Vec::new());
+        assert!(out.patterns.is_empty());
+        assert_eq!(out.metrics.snapshots, 0);
+    }
+}

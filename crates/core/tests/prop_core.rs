@@ -1,0 +1,74 @@
+//! Property-based end-to-end test: the distributed pipeline and the
+//! synchronous engine report identical pattern sets on randomized planted
+//! workloads, for every enumeration engine and any parallelism.
+
+use icpe_core::{EnumeratorKind, IcpeConfig, IcpeEngine, IcpePipeline};
+use icpe_gen::{GroupWalkConfig, GroupWalkGenerator};
+use icpe_pattern::unique_object_sets;
+use icpe_types::{Constraints, GpsRecord};
+use proptest::prelude::*;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(12))]
+
+    #[test]
+    fn pipeline_equals_engine_on_random_workloads(
+        seed in 0u64..1_000,
+        num_groups in 1usize..4,
+        group_size in 3usize..6,
+        gap_len in 0u32..4,
+        parallelism in 1usize..5,
+        kind_idx in 0usize..3,
+    ) {
+        let kind = [
+            EnumeratorKind::Baseline,
+            EnumeratorKind::Fba,
+            EnumeratorKind::Vba,
+        ][kind_idx];
+        let gen = GroupWalkGenerator::new(GroupWalkConfig {
+            num_objects: num_groups * group_size + 8,
+            num_groups,
+            group_size,
+            num_snapshots: 30,
+            active_len: 10,
+            gap_len,
+            cohesion_radius: 0.6,
+            seed,
+            ..GroupWalkConfig::default()
+        });
+        let snaps = gen.snapshots();
+        let config = IcpeConfig::builder()
+            .constraints(Constraints::new(3, 8, 4, 3).expect("valid"))
+            .epsilon(1.6)
+            .min_pts(3)
+            .parallelism(parallelism)
+            .enumerator(kind)
+            .build()
+            .expect("valid config");
+
+        // Synchronous engine.
+        let mut engine = IcpeEngine::new(config.clone());
+        let mut sync_patterns = Vec::new();
+        for s in &snaps {
+            sync_patterns.extend(engine.push_snapshot(s.clone()));
+        }
+        sync_patterns.extend(engine.finish());
+
+        // Distributed pipeline over the equivalent record stream.
+        let mut records: Vec<GpsRecord> = Vec::new();
+        for s in &snaps {
+            for e in &s.entries {
+                records.push(GpsRecord::new(e.id, e.location, s.time, e.last_time));
+            }
+        }
+        let out = IcpePipeline::run(&config, records);
+
+        prop_assert_eq!(
+            unique_object_sets(&out.patterns),
+            unique_object_sets(&sync_patterns),
+            "kind {:?} parallelism {}",
+            kind,
+            parallelism
+        );
+    }
+}

@@ -1,0 +1,239 @@
+//! Brinkhoff-style network-based moving objects (the paper's synthetic
+//! dataset, §7: "an object position is generated every second while an
+//! object moves through the road network with random but reasonable
+//! direction and speed").
+
+use crate::network::RoadNetwork;
+use crate::stream::TraceSet;
+use icpe_types::{ObjectId, Point};
+use rand::rngs::StdRng;
+use rand::{RngExt, SeedableRng};
+
+/// Configuration of the Brinkhoff-style generator.
+#[derive(Debug, Clone)]
+pub struct BrinkhoffConfig {
+    /// Number of moving objects.
+    pub num_objects: usize,
+    /// Number of ticks to simulate (1 tick = 1 s, the paper's sampling).
+    pub num_ticks: u32,
+    /// Grid columns of the road network.
+    pub net_nx: usize,
+    /// Grid rows of the road network.
+    pub net_ny: usize,
+    /// Block length (distance between grid nodes).
+    pub block: f64,
+    /// Probability of a diagonal shortcut per cell.
+    pub diagonal_prob: f64,
+    /// RNG seed (also seeds the network).
+    pub seed: u64,
+}
+
+impl Default for BrinkhoffConfig {
+    fn default() -> Self {
+        BrinkhoffConfig {
+            num_objects: 200,
+            num_ticks: 120,
+            net_nx: 12,
+            net_ny: 12,
+            block: 10.0,
+            diagonal_prob: 0.15,
+            seed: 0xB21,
+        }
+    }
+}
+
+/// One object's routing state.
+struct Traveler {
+    /// Remaining path (node indices), front = next waypoint.
+    path: Vec<usize>,
+    /// Index into `path` of the edge currently being traversed (`path[i]` →
+    /// `path[i+1]`).
+    leg: usize,
+    /// Distance covered along the current leg.
+    covered: f64,
+    /// Current position.
+    position: Point,
+}
+
+/// Generates network-constrained traces.
+#[derive(Debug)]
+pub struct BrinkhoffGenerator {
+    config: BrinkhoffConfig,
+    network: RoadNetwork,
+}
+
+impl BrinkhoffGenerator {
+    /// Builds the generator (and its road network).
+    pub fn new(config: BrinkhoffConfig) -> Self {
+        let network = RoadNetwork::grid(
+            config.net_nx,
+            config.net_ny,
+            config.block,
+            config.diagonal_prob,
+            config.seed,
+        );
+        BrinkhoffGenerator { config, network }
+    }
+
+    /// The underlying road network.
+    pub fn network(&self) -> &RoadNetwork {
+        &self.network
+    }
+
+    /// Simulates all objects and returns their traces (every object reports
+    /// every tick).
+    pub fn traces(&self) -> TraceSet {
+        let mut rng = StdRng::seed_from_u64(self.config.seed.wrapping_add(1));
+        let n_nodes = self.network.num_nodes();
+        let mut travelers: Vec<Traveler> = (0..self.config.num_objects)
+            .map(|_| {
+                let start = rng.random_range(0..n_nodes);
+                Traveler {
+                    path: vec![start],
+                    leg: 0,
+                    covered: 0.0,
+                    position: self.network.position(start),
+                }
+            })
+            .collect();
+
+        let mut traces = TraceSet::new();
+        for tick in 0..self.config.num_ticks {
+            for (i, tr) in travelers.iter_mut().enumerate() {
+                self.advance(tr, &mut rng);
+                traces.push(ObjectId(i as u32), tick, tr.position);
+            }
+        }
+        traces
+    }
+
+    /// Moves a traveler one tick along its route, re-routing at the
+    /// destination.
+    fn advance(&self, tr: &mut Traveler, rng: &mut StdRng) {
+        // At the end of the path: pick a fresh destination.
+        if tr.leg + 1 >= tr.path.len() {
+            let here = *tr.path.last().unwrap();
+            let mut dest = rng.random_range(0..self.network.num_nodes());
+            if dest == here {
+                dest = (dest + 1) % self.network.num_nodes();
+            }
+            tr.path = self
+                .network
+                .shortest_path(here, dest)
+                .expect("grid networks are connected");
+            tr.leg = 0;
+            tr.covered = 0.0;
+            if tr.path.len() == 1 {
+                tr.position = self.network.position(tr.path[0]);
+                return;
+            }
+        }
+        // Advance by the current edge's speed, possibly across several legs.
+        let mut budget = self.network.edge_speed(tr.path[tr.leg], tr.path[tr.leg + 1]);
+        loop {
+            let a = tr.path[tr.leg];
+            let b = tr.path[tr.leg + 1];
+            let pa = self.network.position(a);
+            let pb = self.network.position(b);
+            let leg_len = pa.l2(&pb).max(1e-9);
+            let remaining = leg_len - tr.covered;
+            if budget < remaining {
+                tr.covered += budget;
+                let f = tr.covered / leg_len;
+                tr.position = Point::new(pa.x + (pb.x - pa.x) * f, pa.y + (pb.y - pa.y) * f);
+                return;
+            }
+            budget -= remaining;
+            tr.leg += 1;
+            tr.covered = 0.0;
+            tr.position = pb;
+            if tr.leg + 1 >= tr.path.len() {
+                return; // arrived; re-route next tick
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::stream::dataset_stats;
+
+    fn small() -> BrinkhoffConfig {
+        BrinkhoffConfig {
+            num_objects: 20,
+            num_ticks: 50,
+            net_nx: 5,
+            net_ny: 5,
+            block: 10.0,
+            diagonal_prob: 0.2,
+            seed: 7,
+        }
+    }
+
+    #[test]
+    fn every_object_reports_every_tick() {
+        let gen = BrinkhoffGenerator::new(small());
+        let traces = gen.traces();
+        let stats = dataset_stats(&traces);
+        assert_eq!(stats.trajectories, 20);
+        assert_eq!(stats.locations, 20 * 50);
+        assert_eq!(stats.snapshots, 50);
+    }
+
+    #[test]
+    fn movement_is_speed_bounded() {
+        let gen = BrinkhoffGenerator::new(small());
+        let traces = gen.traces();
+        let max_speed = crate::network::SPEED_CLASSES
+            .iter()
+            .fold(f64::MIN, |a, &b| a.max(b));
+        for (_, trace) in traces.iter() {
+            for w in trace.windows(2) {
+                let d = w[0].1.l2(&w[1].1);
+                // One tick of travel plus numeric slack; jumps would mean a
+                // teleporting bug.
+                assert!(
+                    d <= max_speed * 1.5 + 1e-6,
+                    "object moved {d} in one tick"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn positions_stay_within_network_extent() {
+        let cfg = small();
+        let extent = (cfg.net_nx as f64) * cfg.block * 1.2;
+        let gen = BrinkhoffGenerator::new(cfg);
+        for (_, trace) in gen.traces().iter() {
+            for &(_, p) in trace {
+                assert!(p.x > -extent && p.x < extent && p.y > -extent && p.y < extent);
+            }
+        }
+    }
+
+    #[test]
+    fn deterministic_under_seed() {
+        let a = BrinkhoffGenerator::new(small()).traces();
+        let b = BrinkhoffGenerator::new(small()).traces();
+        assert_eq!(
+            a.trace(ObjectId(3)).unwrap(),
+            b.trace(ObjectId(3)).unwrap()
+        );
+    }
+
+    #[test]
+    fn objects_actually_move() {
+        let gen = BrinkhoffGenerator::new(small());
+        let traces = gen.traces();
+        let moved = traces
+            .iter()
+            .filter(|(_, t)| {
+                let first = t.first().unwrap().1;
+                t.iter().any(|&(_, p)| p.l2(&first) > 1.0)
+            })
+            .count();
+        assert!(moved >= 18, "only {moved}/20 objects moved");
+    }
+}

@@ -1,0 +1,232 @@
+//! A GeoLife-shaped synthetic workload.
+//!
+//! GeoLife (Microsoft Research) records multi-year personal mobility with
+//! mixed transport modes and 1–5 s sampling; 91% of its trajectories sample
+//! every 1–5 s. The experiments stress its *density structure* — people
+//! concentrate around anchor places and co-travel in small knots — and its
+//! *irregular sampling*. This generator reproduces those traits: each person
+//! commutes between personal anchor points at a mode-dependent speed and
+//! reports every 1–5 ticks; a fraction of the population travels in small
+//! co-moving knots (shared anchors and schedule).
+
+use crate::stream::TraceSet;
+use icpe_types::{ObjectId, Point};
+use rand::rngs::StdRng;
+use rand::{RngExt, SeedableRng};
+
+/// Configuration of the GeoLife-like generator.
+#[derive(Debug, Clone)]
+pub struct GeoLifeConfig {
+    /// Number of people.
+    pub num_objects: usize,
+    /// Number of ticks.
+    pub num_ticks: u32,
+    /// Square arena side length.
+    pub area: f64,
+    /// Number of shared anchor places (campus, stations, malls).
+    pub num_anchors: usize,
+    /// Fraction of the population moving in co-travel knots.
+    pub group_fraction: f64,
+    /// Knot size.
+    pub group_size: usize,
+    /// RNG seed.
+    pub seed: u64,
+}
+
+impl Default for GeoLifeConfig {
+    fn default() -> Self {
+        GeoLifeConfig {
+            num_objects: 180,
+            num_ticks: 150,
+            area: 300.0,
+            num_anchors: 8,
+            group_fraction: 0.3,
+            group_size: 5,
+            seed: 0x6E0,
+        }
+    }
+}
+
+/// Transport-mode speeds (distance per tick): walk, bike, bus/car.
+const MODE_SPEEDS: [f64; 3] = [0.8, 2.5, 6.0];
+
+/// Generates GeoLife-shaped traces.
+#[derive(Debug)]
+pub struct GeoLifeGenerator {
+    config: GeoLifeConfig,
+}
+
+struct Person {
+    position: Point,
+    target: usize,
+    speed: f64,
+    /// Sampling period in ticks (1–5, the dataset's 1–5 s).
+    period: u32,
+    /// Phase offset so reports do not all align.
+    phase: u32,
+    /// Members of a knot share a knot id; `usize::MAX` = solo.
+    knot: usize,
+}
+
+impl GeoLifeGenerator {
+    /// Creates the generator.
+    pub fn new(config: GeoLifeConfig) -> Self {
+        assert!(config.num_anchors >= 2, "need at least two anchors");
+        GeoLifeGenerator { config }
+    }
+
+    /// Simulates and returns the traces.
+    pub fn traces(&self) -> TraceSet {
+        let c = &self.config;
+        let mut rng = StdRng::seed_from_u64(c.seed);
+        let anchors: Vec<Point> = (0..c.num_anchors)
+            .map(|_| {
+                Point::new(
+                    rng.random_range(0.1 * c.area..0.9 * c.area),
+                    rng.random_range(0.1 * c.area..0.9 * c.area),
+                )
+            })
+            .collect();
+
+        let num_grouped = ((c.num_objects as f64 * c.group_fraction) as usize / c.group_size)
+            * c.group_size;
+        let mut people: Vec<Person> = Vec::with_capacity(c.num_objects);
+        for i in 0..c.num_objects {
+            let knot = if i < num_grouped {
+                i / c.group_size
+            } else {
+                usize::MAX
+            };
+            let start = rng.random_range(0..anchors.len());
+            people.push(Person {
+                position: anchors[start],
+                target: (start + 1 + rng.random_range(0..anchors.len() - 1)) % anchors.len(),
+                speed: MODE_SPEEDS[rng.random_range(0..MODE_SPEEDS.len())],
+                period: rng.random_range(1..=5),
+                phase: rng.random_range(0..5),
+                knot,
+            });
+        }
+        // Knot members share target, speed and cadence with their first
+        // member (they travel together).
+        for i in 0..num_grouped {
+            let head = (i / c.group_size) * c.group_size;
+            if i != head {
+                people[i].target = people[head].target;
+                people[i].speed = people[head].speed;
+                people[i].period = people[head].period;
+                people[i].phase = people[head].phase;
+                people[i].position = people[head].position;
+            }
+        }
+
+        let mut traces = TraceSet::new();
+        for tick in 0..c.num_ticks {
+            // Move heads and solos; followers copy their head with jitter.
+            for i in 0..people.len() {
+                let is_follower =
+                    people[i].knot != usize::MAX && i % c.group_size != 0;
+                if is_follower {
+                    continue;
+                }
+                let target = anchors[people[i].target];
+                let p = &mut people[i];
+                let d = p.position.l2(&target);
+                if d <= p.speed {
+                    p.position = target;
+                    // Dwell, then pick the next anchor.
+                    if rng.random_bool(0.2) {
+                        p.target = rng.random_range(0..anchors.len());
+                    }
+                } else {
+                    let f = p.speed / d;
+                    p.position = Point::new(
+                        p.position.x + (target.x - p.position.x) * f,
+                        p.position.y + (target.y - p.position.y) * f,
+                    );
+                }
+            }
+            for i in 0..people.len() {
+                let is_follower =
+                    people[i].knot != usize::MAX && i % c.group_size != 0;
+                if is_follower {
+                    let head = (i / c.group_size) * c.group_size;
+                    let head_pos = people[head].position;
+                    let p = &mut people[i];
+                    p.position = Point::new(
+                        head_pos.x + rng.random_range(-0.5..0.5),
+                        head_pos.y + rng.random_range(-0.5..0.5),
+                    );
+                }
+                let p = &people[i];
+                if (tick + p.phase).is_multiple_of(p.period) {
+                    traces.push(ObjectId(i as u32), tick, p.position);
+                }
+            }
+        }
+        traces
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::stream::dataset_stats;
+
+    fn cfg() -> GeoLifeConfig {
+        GeoLifeConfig {
+            num_objects: 50,
+            num_ticks: 60,
+            seed: 3,
+            ..GeoLifeConfig::default()
+        }
+    }
+
+    #[test]
+    fn sampling_is_irregular() {
+        let traces = GeoLifeGenerator::new(cfg()).traces();
+        let stats = dataset_stats(&traces);
+        assert_eq!(stats.trajectories, 50);
+        // With periods 1..=5 the location count is well below dense.
+        assert!(stats.locations < 50 * 60);
+        assert!(stats.locations > 50 * 60 / 6);
+    }
+
+    #[test]
+    fn knot_members_report_in_lockstep_positions() {
+        let c = cfg();
+        let gen = GeoLifeGenerator::new(c.clone());
+        let traces = gen.traces();
+        // First knot: objects 0..group_size share cadence; whenever both 0
+        // and 1 report at the same tick they are within 1.0 of each other.
+        let t0 = traces.trace(ObjectId(0)).unwrap();
+        let t1 = traces.trace(ObjectId(1)).unwrap();
+        let mut shared = 0;
+        for &(tick, p0) in t0 {
+            if let Some(&(_, p1)) = t1.iter().find(|&&(tk, _)| tk == tick) {
+                shared += 1;
+                assert!(p0.chebyshev(&p1) <= 1.2, "knot split at tick {tick}");
+            }
+        }
+        assert!(shared > 5, "knot members shared only {shared} ticks");
+    }
+
+    #[test]
+    fn deterministic_under_seed() {
+        let a = GeoLifeGenerator::new(cfg()).traces();
+        let b = GeoLifeGenerator::new(cfg()).traces();
+        assert_eq!(a.trace(ObjectId(9)).unwrap(), b.trace(ObjectId(9)).unwrap());
+    }
+
+    #[test]
+    fn positions_stay_in_arena() {
+        let c = cfg();
+        let traces = GeoLifeGenerator::new(c.clone()).traces();
+        for (_, trace) in traces.iter() {
+            for &(_, p) in trace {
+                assert!(p.x >= -1.0 && p.x <= c.area + 1.0);
+                assert!(p.y >= -1.0 && p.y <= c.area + 1.0);
+            }
+        }
+    }
+}

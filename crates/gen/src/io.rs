@@ -1,0 +1,235 @@
+//! CSV import/export for trajectory data.
+//!
+//! The bridge to real datasets: GeoLife, taxi feeds, and most trajectory
+//! corpora distribute as delimited text. Two schemas are supported:
+//!
+//! * **discrete** — `id,tick,x,y`: already discretized ticks ([`TraceSet`]);
+//! * **raw** — `id,time,x,y`: clock-time seconds ([`RawRecord`]s), to be
+//!   discretized by [`icpe_types::Discretizer`].
+//!
+//! Plain `std` I/O; no CSV crate needed for four numeric columns.
+
+use crate::stream::TraceSet;
+use icpe_types::{ObjectId, Point, RawRecord};
+use std::io::{BufRead, BufReader, BufWriter, Read, Write};
+
+/// Errors from CSV parsing.
+#[derive(Debug)]
+pub enum CsvError {
+    /// Underlying I/O failure.
+    Io(std::io::Error),
+    /// A malformed line (1-based line number and reason).
+    Parse(usize, String),
+}
+
+impl std::fmt::Display for CsvError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            CsvError::Io(e) => write!(f, "csv io error: {e}"),
+            CsvError::Parse(line, msg) => write!(f, "csv parse error at line {line}: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for CsvError {}
+
+impl From<std::io::Error> for CsvError {
+    fn from(e: std::io::Error) -> Self {
+        CsvError::Io(e)
+    }
+}
+
+/// Writes a trace set as `id,tick,x,y` lines (with header).
+pub fn write_traces(traces: &TraceSet, out: impl Write) -> Result<(), CsvError> {
+    let mut w = BufWriter::new(out);
+    writeln!(w, "id,tick,x,y")?;
+    for (id, trace) in traces.iter() {
+        for &(tick, p) in trace {
+            writeln!(w, "{},{},{},{}", id.raw(), tick, p.x, p.y)?;
+        }
+    }
+    w.flush()?;
+    Ok(())
+}
+
+/// Reads `id,tick,x,y` lines (optional header) into a trace set.
+/// Rows may be in any order; they are sorted per trajectory.
+pub fn read_traces(input: impl Read) -> Result<TraceSet, CsvError> {
+    let mut rows: Vec<(u32, u32, f64, f64)> = Vec::new();
+    for (lineno, line) in BufReader::new(input).lines().enumerate() {
+        let line = line?;
+        if let Some(row) = parse_row(&line, lineno + 1, "tick")? {
+            rows.push(row);
+        }
+    }
+    rows.sort_by_key(|&(id, tick, _, _)| (id, tick));
+    let mut traces = TraceSet::new();
+    let mut last: Option<(u32, u32)> = None;
+    for (id, tick, x, y) in rows {
+        if last == Some((id, tick)) {
+            continue; // duplicate (id, tick) rows: keep the first
+        }
+        last = Some((id, tick));
+        traces.push(ObjectId(id), tick, Point::new(x, y));
+    }
+    Ok(traces)
+}
+
+/// Writes raw records as `id,time,x,y` lines (with header).
+pub fn write_raw_records(records: &[RawRecord], out: impl Write) -> Result<(), CsvError> {
+    let mut w = BufWriter::new(out);
+    writeln!(w, "id,time,x,y")?;
+    for r in records {
+        writeln!(w, "{},{},{},{}", r.id.raw(), r.time, r.location.x, r.location.y)?;
+    }
+    w.flush()?;
+    Ok(())
+}
+
+/// Reads `id,time,x,y` lines (optional header) into raw records, preserving
+/// row order (the arrival order of the stream).
+pub fn read_raw_records(input: impl Read) -> Result<Vec<RawRecord>, CsvError> {
+    let mut out = Vec::new();
+    for (lineno, line) in BufReader::new(input).lines().enumerate() {
+        let line = line?;
+        if let Some((id, _, x, y)) = parse_row_raw(&line, lineno + 1)? {
+            // parse_row_raw keeps time as f64 in its second slot.
+            let time: f64 = field(&line, 1, lineno + 1)?;
+            out.push(RawRecord::new(ObjectId(id), Point::new(x, y), time));
+        }
+    }
+    Ok(out)
+}
+
+/// Parses one `id,<u32>,x,y` row; `None` for blank lines and the header.
+fn parse_row(
+    line: &str,
+    lineno: usize,
+    second_col: &str,
+) -> Result<Option<(u32, u32, f64, f64)>, CsvError> {
+    let trimmed = line.trim();
+    if trimmed.is_empty() || trimmed.starts_with("id,") || trimmed.starts_with('#') {
+        return Ok(None);
+    }
+    let mut parts = trimmed.split(',');
+    let id: u32 = next_field(&mut parts, "id", lineno)?;
+    let second: u32 = next_field(&mut parts, second_col, lineno)?;
+    let x: f64 = next_field(&mut parts, "x", lineno)?;
+    let y: f64 = next_field(&mut parts, "y", lineno)?;
+    Ok(Some((id, second, x, y)))
+}
+
+/// Like [`parse_row`] but tolerates a fractional second column.
+fn parse_row_raw(line: &str, lineno: usize) -> Result<Option<(u32, f64, f64, f64)>, CsvError> {
+    let trimmed = line.trim();
+    if trimmed.is_empty() || trimmed.starts_with("id,") || trimmed.starts_with('#') {
+        return Ok(None);
+    }
+    let mut parts = trimmed.split(',');
+    let id: u32 = next_field(&mut parts, "id", lineno)?;
+    let time: f64 = next_field(&mut parts, "time", lineno)?;
+    let x: f64 = next_field(&mut parts, "x", lineno)?;
+    let y: f64 = next_field(&mut parts, "y", lineno)?;
+    Ok(Some((id, time, x, y)))
+}
+
+fn next_field<'a, T: std::str::FromStr>(
+    parts: &mut impl Iterator<Item = &'a str>,
+    name: &str,
+    lineno: usize,
+) -> Result<T, CsvError> {
+    let raw = parts
+        .next()
+        .ok_or_else(|| CsvError::Parse(lineno, format!("missing column {name}")))?;
+    raw.trim()
+        .parse()
+        .map_err(|_| CsvError::Parse(lineno, format!("bad {name}: {raw:?}")))
+}
+
+fn field<T: std::str::FromStr>(line: &str, idx: usize, lineno: usize) -> Result<T, CsvError> {
+    let raw = line
+        .trim()
+        .split(',')
+        .nth(idx)
+        .ok_or_else(|| CsvError::Parse(lineno, format!("missing column {idx}")))?;
+    raw.trim()
+        .parse()
+        .map_err(|_| CsvError::Parse(lineno, format!("bad column {idx}: {raw:?}")))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> TraceSet {
+        let mut t = TraceSet::new();
+        t.push(ObjectId(1), 0, Point::new(0.5, -1.25));
+        t.push(ObjectId(1), 2, Point::new(1.5, 0.0));
+        t.push(ObjectId(7), 1, Point::new(10.0, 10.0));
+        t
+    }
+
+    #[test]
+    fn traces_round_trip() {
+        let mut buf = Vec::new();
+        write_traces(&sample(), &mut buf).unwrap();
+        let text = String::from_utf8(buf.clone()).unwrap();
+        assert!(text.starts_with("id,tick,x,y\n"));
+        let back = read_traces(buf.as_slice()).unwrap();
+        assert_eq!(back.num_trajectories(), 2);
+        assert_eq!(back.trace(ObjectId(1)), sample().trace(ObjectId(1)));
+        assert_eq!(back.trace(ObjectId(7)), sample().trace(ObjectId(7)));
+    }
+
+    #[test]
+    fn raw_records_round_trip() {
+        let records = vec![
+            RawRecord::new(ObjectId(2), Point::new(1.0, 2.0), 0.5),
+            RawRecord::new(ObjectId(1), Point::new(3.0, 4.0), 1.25),
+        ];
+        let mut buf = Vec::new();
+        write_raw_records(&records, &mut buf).unwrap();
+        let back = read_raw_records(buf.as_slice()).unwrap();
+        assert_eq!(back, records, "order must be preserved");
+    }
+
+    #[test]
+    fn reader_tolerates_header_blank_lines_and_comments() {
+        let text = "id,tick,x,y\n\n# comment\n3,1,2.0,3.0\n3,0,1.0,1.0\n";
+        let traces = read_traces(text.as_bytes()).unwrap();
+        // Out-of-order rows are sorted per trajectory.
+        assert_eq!(
+            traces.trace(ObjectId(3)).unwrap(),
+            &[(0, Point::new(1.0, 1.0)), (1, Point::new(2.0, 3.0))]
+        );
+    }
+
+    #[test]
+    fn duplicate_rows_keep_first() {
+        let text = "1,0,1.0,1.0\n1,0,9.0,9.0\n";
+        let traces = read_traces(text.as_bytes()).unwrap();
+        assert_eq!(traces.trace(ObjectId(1)).unwrap().len(), 1);
+        assert_eq!(
+            traces.trace(ObjectId(1)).unwrap()[0].1,
+            Point::new(1.0, 1.0)
+        );
+    }
+
+    #[test]
+    fn malformed_rows_error_with_line_numbers() {
+        let err = read_traces("1,0,1.0\n".as_bytes()).unwrap_err();
+        assert!(matches!(err, CsvError::Parse(1, _)), "{err}");
+        let err = read_traces("1,zero,1.0,2.0\n".as_bytes()).unwrap_err();
+        let msg = err.to_string();
+        assert!(msg.contains("line 1") && msg.contains("tick"), "{msg}");
+    }
+
+    #[test]
+    fn file_round_trip() {
+        let path = std::env::temp_dir().join("icpe_io_test.csv");
+        write_traces(&sample(), std::fs::File::create(&path).unwrap()).unwrap();
+        let back = read_traces(std::fs::File::open(&path).unwrap()).unwrap();
+        assert_eq!(back.num_locations(), 3);
+        let _ = std::fs::remove_file(&path);
+    }
+}

@@ -1,0 +1,230 @@
+//! A synthetic road network: the substrate of the Brinkhoff-style generator.
+//!
+//! The paper generates objects "on the real road network of Las Vegas" —
+//! famously a grid city. We synthesize a jittered grid with occasional
+//! diagonal shortcuts and per-edge speed classes, and provide shortest-path
+//! routing (Dijkstra over travel time).
+
+use icpe_types::Point;
+use rand::rngs::StdRng;
+use rand::{RngExt, SeedableRng};
+use std::cmp::Ordering;
+use std::collections::BinaryHeap;
+
+/// Edge speed classes, in distance units per tick.
+pub const SPEED_CLASSES: [f64; 3] = [0.5, 1.0, 2.0];
+
+/// A node of the road network.
+#[derive(Debug, Clone, Copy)]
+pub struct Node {
+    /// Planar position.
+    pub position: Point,
+}
+
+/// A directed edge (stored once per direction).
+#[derive(Debug, Clone, Copy)]
+pub struct Edge {
+    /// Target node index.
+    pub to: usize,
+    /// Euclidean length.
+    pub length: f64,
+    /// Free-flow speed (distance per tick).
+    pub speed: f64,
+}
+
+/// A road network: jittered grid plus random diagonals.
+#[derive(Debug, Clone)]
+pub struct RoadNetwork {
+    nodes: Vec<Node>,
+    adjacency: Vec<Vec<Edge>>,
+}
+
+impl RoadNetwork {
+    /// Builds an `nx × ny` grid with spacing `block`, node jitter, and a
+    /// `diagonal_prob` chance of a diagonal shortcut per cell.
+    pub fn grid(nx: usize, ny: usize, block: f64, diagonal_prob: f64, seed: u64) -> Self {
+        assert!(nx >= 2 && ny >= 2, "network needs at least a 2×2 grid");
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mut nodes = Vec::with_capacity(nx * ny);
+        for y in 0..ny {
+            for x in 0..nx {
+                let jx = rng.random_range(-0.15..0.15) * block;
+                let jy = rng.random_range(-0.15..0.15) * block;
+                nodes.push(Node {
+                    position: Point::new(x as f64 * block + jx, y as f64 * block + jy),
+                });
+            }
+        }
+        let idx = |x: usize, y: usize| y * nx + x;
+        let mut adjacency: Vec<Vec<Edge>> = vec![Vec::new(); nodes.len()];
+        let connect = |a: usize, b: usize, rng: &mut StdRng, adj: &mut Vec<Vec<Edge>>,
+                           nodes: &[Node]| {
+            let length = nodes[a].position.l2(&nodes[b].position);
+            let speed = SPEED_CLASSES[rng.random_range(0..SPEED_CLASSES.len())];
+            adj[a].push(Edge {
+                to: b,
+                length,
+                speed,
+            });
+            adj[b].push(Edge {
+                to: a,
+                length,
+                speed,
+            });
+        };
+        for y in 0..ny {
+            for x in 0..nx {
+                if x + 1 < nx {
+                    connect(idx(x, y), idx(x + 1, y), &mut rng, &mut adjacency, &nodes);
+                }
+                if y + 1 < ny {
+                    connect(idx(x, y), idx(x, y + 1), &mut rng, &mut adjacency, &nodes);
+                }
+                if x + 1 < nx && y + 1 < ny && rng.random_bool(diagonal_prob) {
+                    connect(idx(x, y), idx(x + 1, y + 1), &mut rng, &mut adjacency, &nodes);
+                }
+            }
+        }
+        RoadNetwork { nodes, adjacency }
+    }
+
+    /// Number of nodes.
+    pub fn num_nodes(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// Number of (undirected) edges.
+    pub fn num_edges(&self) -> usize {
+        self.adjacency.iter().map(Vec::len).sum::<usize>() / 2
+    }
+
+    /// A node's position.
+    pub fn position(&self, node: usize) -> Point {
+        self.nodes[node].position
+    }
+
+    /// The outgoing edges of a node.
+    pub fn edges(&self, node: usize) -> &[Edge] {
+        &self.adjacency[node]
+    }
+
+    /// Fastest route (by travel time) from `from` to `to`, as a node list
+    /// including both endpoints. `None` only if the graph were disconnected
+    /// (a grid never is).
+    pub fn shortest_path(&self, from: usize, to: usize) -> Option<Vec<usize>> {
+        #[derive(PartialEq)]
+        struct Entry(f64, usize);
+        impl Eq for Entry {}
+        impl Ord for Entry {
+            fn cmp(&self, other: &Self) -> Ordering {
+                other.0.total_cmp(&self.0) // min-heap
+            }
+        }
+        impl PartialOrd for Entry {
+            fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+                Some(self.cmp(other))
+            }
+        }
+
+        let n = self.nodes.len();
+        let mut dist = vec![f64::INFINITY; n];
+        let mut prev = vec![usize::MAX; n];
+        let mut heap = BinaryHeap::new();
+        dist[from] = 0.0;
+        heap.push(Entry(0.0, from));
+        while let Some(Entry(d, u)) = heap.pop() {
+            if u == to {
+                break;
+            }
+            if d > dist[u] {
+                continue;
+            }
+            for e in &self.adjacency[u] {
+                let nd = d + e.length / e.speed;
+                if nd < dist[e.to] {
+                    dist[e.to] = nd;
+                    prev[e.to] = u;
+                    heap.push(Entry(nd, e.to));
+                }
+            }
+        }
+        if dist[to].is_infinite() {
+            return None;
+        }
+        let mut path = vec![to];
+        let mut cur = to;
+        while cur != from {
+            cur = prev[cur];
+            path.push(cur);
+        }
+        path.reverse();
+        Some(path)
+    }
+
+    /// The speed of the edge `a → b` (must exist).
+    pub fn edge_speed(&self, a: usize, b: usize) -> f64 {
+        self.adjacency[a]
+            .iter()
+            .find(|e| e.to == b)
+            .map(|e| e.speed)
+            .expect("edge must exist")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn grid_has_expected_topology() {
+        let net = RoadNetwork::grid(4, 3, 10.0, 0.0, 1);
+        assert_eq!(net.num_nodes(), 12);
+        // 3×3 horizontal per row × 3 rows? horizontal: 3 per row × 3 rows =
+        // 9; vertical: 4 per column-pair × 2 = 8 → 17.
+        assert_eq!(net.num_edges(), 17);
+    }
+
+    #[test]
+    fn diagonals_add_edges() {
+        let without = RoadNetwork::grid(5, 5, 10.0, 0.0, 2).num_edges();
+        let with = RoadNetwork::grid(5, 5, 10.0, 1.0, 2).num_edges();
+        assert_eq!(with, without + 16); // one diagonal per interior cell
+    }
+
+    #[test]
+    fn shortest_path_connects_and_is_minimal_hops_on_uniform_grid() {
+        let net = RoadNetwork::grid(6, 6, 10.0, 0.0, 3);
+        let path = net.shortest_path(0, 35).unwrap();
+        assert_eq!(*path.first().unwrap(), 0);
+        assert_eq!(*path.last().unwrap(), 35);
+        // Consecutive path nodes must be connected.
+        for w in path.windows(2) {
+            assert!(net.edges(w[0]).iter().any(|e| e.to == w[1]));
+        }
+        // Manhattan distance on the grid is 5 + 5 = 10 hops minimum.
+        assert!(path.len() >= 11);
+    }
+
+    #[test]
+    fn path_to_self_is_singleton() {
+        let net = RoadNetwork::grid(3, 3, 10.0, 0.0, 4);
+        assert_eq!(net.shortest_path(4, 4).unwrap(), vec![4]);
+    }
+
+    #[test]
+    fn edge_speed_lookup() {
+        let net = RoadNetwork::grid(3, 3, 10.0, 0.0, 5);
+        let e = net.edges(0)[0];
+        assert!(SPEED_CLASSES.contains(&net.edge_speed(0, e.to)));
+    }
+
+    #[test]
+    fn deterministic_under_seed() {
+        let a = RoadNetwork::grid(4, 4, 10.0, 0.5, 9);
+        let b = RoadNetwork::grid(4, 4, 10.0, 0.5, 9);
+        assert_eq!(a.num_edges(), b.num_edges());
+        for i in 0..a.num_nodes() {
+            assert_eq!(a.position(i), b.position(i));
+        }
+    }
+}

@@ -1,0 +1,219 @@
+//! A Taxi-shaped synthetic workload.
+//!
+//! The paper's Taxi dataset is proprietary (Hangzhou taxis, 5 s sampling,
+//! month-long traces segmented into trips). What the experiments exercise is
+//! a dense urban fleet with hot-spot attraction (many taxis converge on the
+//! same areas — large clusters) and road-constrained platooning. This
+//! generator runs a fleet on the synthetic road network with hot-spot-biased
+//! destinations; 1 tick = 5 s.
+
+use crate::network::RoadNetwork;
+use crate::stream::TraceSet;
+use icpe_types::{ObjectId, Point};
+use rand::rngs::StdRng;
+use rand::{RngExt, SeedableRng};
+
+/// Configuration of the taxi-fleet generator.
+#[derive(Debug, Clone)]
+pub struct TaxiConfig {
+    /// Fleet size.
+    pub num_objects: usize,
+    /// Number of ticks (1 tick = 5 s).
+    pub num_ticks: u32,
+    /// Road-network grid columns.
+    pub net_nx: usize,
+    /// Road-network grid rows.
+    pub net_ny: usize,
+    /// Block length.
+    pub block: f64,
+    /// Number of hot spots (stations, malls) that attract trips.
+    pub num_hotspots: usize,
+    /// Probability that a new trip targets a hot spot.
+    pub hotspot_bias: f64,
+    /// RNG seed.
+    pub seed: u64,
+}
+
+impl Default for TaxiConfig {
+    fn default() -> Self {
+        TaxiConfig {
+            num_objects: 220,
+            num_ticks: 150,
+            net_nx: 10,
+            net_ny: 10,
+            block: 12.0,
+            num_hotspots: 4,
+            hotspot_bias: 0.6,
+            seed: 0x7A81,
+        }
+    }
+}
+
+/// Generates taxi-fleet traces.
+#[derive(Debug)]
+pub struct TaxiGenerator {
+    config: TaxiConfig,
+    network: RoadNetwork,
+    hotspots: Vec<usize>,
+}
+
+impl TaxiGenerator {
+    /// Builds the generator, its network, and its hot-spot nodes.
+    pub fn new(config: TaxiConfig) -> Self {
+        let network = RoadNetwork::grid(
+            config.net_nx,
+            config.net_ny,
+            config.block,
+            0.1,
+            config.seed,
+        );
+        let mut rng = StdRng::seed_from_u64(config.seed.wrapping_add(7));
+        let hotspots: Vec<usize> = (0..config.num_hotspots)
+            .map(|_| rng.random_range(0..network.num_nodes()))
+            .collect();
+        TaxiGenerator {
+            config,
+            network,
+            hotspots,
+        }
+    }
+
+    /// The hot-spot node indices.
+    pub fn hotspots(&self) -> &[usize] {
+        &self.hotspots
+    }
+
+    /// The underlying road network.
+    pub fn network(&self) -> &RoadNetwork {
+        &self.network
+    }
+
+    /// Simulates and returns the traces (one report per taxi per tick).
+    pub fn traces(&self) -> TraceSet {
+        let c = &self.config;
+        let mut rng = StdRng::seed_from_u64(c.seed.wrapping_add(99));
+        let n_nodes = self.network.num_nodes();
+
+        struct Taxi {
+            path: Vec<usize>,
+            leg: usize,
+            covered: f64,
+            position: Point,
+        }
+        let mut taxis: Vec<Taxi> = (0..c.num_objects)
+            .map(|_| {
+                let start = rng.random_range(0..n_nodes);
+                Taxi {
+                    path: vec![start],
+                    leg: 0,
+                    covered: 0.0,
+                    position: self.network.position(start),
+                }
+            })
+            .collect();
+
+        let mut traces = TraceSet::new();
+        for tick in 0..c.num_ticks {
+            for (i, taxi) in taxis.iter_mut().enumerate() {
+                // New trip when the previous one ended.
+                if taxi.leg + 1 >= taxi.path.len() {
+                    let here = *taxi.path.last().unwrap();
+                    let dest = if rng.random_bool(c.hotspot_bias) {
+                        self.hotspots[rng.random_range(0..self.hotspots.len())]
+                    } else {
+                        rng.random_range(0..n_nodes)
+                    };
+                    if dest != here {
+                        taxi.path = self
+                            .network
+                            .shortest_path(here, dest)
+                            .expect("grid networks are connected");
+                        taxi.leg = 0;
+                        taxi.covered = 0.0;
+                    }
+                }
+                // Advance one tick (5 s: ×5 the per-second edge speed).
+                if taxi.leg + 1 < taxi.path.len() {
+                    let mut budget =
+                        5.0 * self.network.edge_speed(taxi.path[taxi.leg], taxi.path[taxi.leg + 1]);
+                    while taxi.leg + 1 < taxi.path.len() && budget > 0.0 {
+                        let pa = self.network.position(taxi.path[taxi.leg]);
+                        let pb = self.network.position(taxi.path[taxi.leg + 1]);
+                        let leg_len = pa.l2(&pb).max(1e-9);
+                        let remaining = leg_len - taxi.covered;
+                        if budget < remaining {
+                            taxi.covered += budget;
+                            let f = taxi.covered / leg_len;
+                            taxi.position =
+                                Point::new(pa.x + (pb.x - pa.x) * f, pa.y + (pb.y - pa.y) * f);
+                            budget = 0.0;
+                        } else {
+                            budget -= remaining;
+                            taxi.leg += 1;
+                            taxi.covered = 0.0;
+                            taxi.position = pb;
+                        }
+                    }
+                }
+                traces.push(ObjectId(i as u32), tick, taxi.position);
+            }
+        }
+        traces
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::stream::dataset_stats;
+    use icpe_types::DistanceMetric;
+
+    fn cfg() -> TaxiConfig {
+        TaxiConfig {
+            num_objects: 40,
+            num_ticks: 60,
+            net_nx: 6,
+            net_ny: 6,
+            seed: 5,
+            ..TaxiConfig::default()
+        }
+    }
+
+    #[test]
+    fn dense_sampling_every_tick() {
+        let stats = dataset_stats(&TaxiGenerator::new(cfg()).traces());
+        assert_eq!(stats.trajectories, 40);
+        assert_eq!(stats.locations, 40 * 60);
+    }
+
+    #[test]
+    fn hotspots_attract_density() {
+        let gen = TaxiGenerator::new(cfg());
+        let traces = gen.traces();
+        // At the last tick, count taxis near any hotspot vs. a random node.
+        let near = |p: &Point, node: usize| {
+            DistanceMetric::Chebyshev.within(p, &gen.network().position(node), 15.0)
+        };
+        let mut near_hot = 0usize;
+        let mut total = 0usize;
+        for (_, trace) in traces.iter() {
+            let &(_, p) = trace.last().unwrap();
+            total += 1;
+            if gen.hotspots().iter().any(|&h| near(&p, h)) {
+                near_hot += 1;
+            }
+        }
+        // With a 0.6 hot-spot bias a solid share of the fleet converges.
+        assert!(
+            near_hot * 4 >= total,
+            "only {near_hot}/{total} taxis near hotspots"
+        );
+    }
+
+    #[test]
+    fn deterministic_under_seed() {
+        let a = TaxiGenerator::new(cfg()).traces();
+        let b = TaxiGenerator::new(cfg()).traces();
+        assert_eq!(a.trace(ObjectId(0)).unwrap(), b.trace(ObjectId(0)).unwrap());
+    }
+}

@@ -1,0 +1,212 @@
+//! The global grid layer of the GR-index.
+//!
+//! Grid cells are the paper's distribution keys: records with the same cell
+//! key are routed to the same `GridQuery` subtask. This module computes cell
+//! keys (`⟨⌊x/lg⌋, ⌊y/lg⌋⟩`, §5.1 "Key Computation") and the replication key
+//! sets of the range join:
+//!
+//! * [`Grid::lemma1_query_keys`] — the cells intersecting the **upper half**
+//!   of the range region (Lemma 1), which suffice for a self-join;
+//! * [`Grid::full_query_keys`] — the cells intersecting the **full** range
+//!   region, used by the SRJ baseline (and by plain, non-join range queries).
+
+use icpe_types::{Point, Rect};
+use std::fmt;
+
+/// A grid cell key `⟨⌊x/lg⌋, ⌊y/lg⌋⟩`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct GridKey {
+    /// Column index.
+    pub x: i64,
+    /// Row index.
+    pub y: i64,
+}
+
+impl GridKey {
+    /// Creates a key from raw column/row indices.
+    pub fn new(x: i64, y: i64) -> Self {
+        GridKey { x, y }
+    }
+}
+
+impl fmt::Display for GridKey {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "⟨{},{}⟩", self.x, self.y)
+    }
+}
+
+/// A uniform grid with cell width `lg`.
+#[derive(Debug, Clone, Copy)]
+pub struct Grid {
+    cell_width: f64,
+}
+
+impl Grid {
+    /// Creates a grid; `cell_width` must be positive and finite.
+    pub fn new(cell_width: f64) -> Self {
+        assert!(
+            cell_width > 0.0 && cell_width.is_finite(),
+            "grid cell width must be positive and finite, got {cell_width}"
+        );
+        Grid { cell_width }
+    }
+
+    /// The cell width `lg`.
+    #[inline]
+    pub fn cell_width(&self) -> f64 {
+        self.cell_width
+    }
+
+    /// The key of the cell containing `p`.
+    #[inline]
+    pub fn key_of(&self, p: Point) -> GridKey {
+        GridKey {
+            x: (p.x / self.cell_width).floor() as i64,
+            y: (p.y / self.cell_width).floor() as i64,
+        }
+    }
+
+    /// The spatial extent of a cell.
+    pub fn cell_rect(&self, key: GridKey) -> Rect {
+        let w = self.cell_width;
+        Rect::new(
+            key.x as f64 * w,
+            key.y as f64 * w,
+            (key.x + 1) as f64 * w,
+            (key.y + 1) as f64 * w,
+        )
+    }
+
+    /// All cell keys whose cells intersect `rect`.
+    pub fn keys_in_rect(&self, rect: &Rect) -> Vec<GridKey> {
+        let w = self.cell_width;
+        let x0 = (rect.min_x / w).floor() as i64;
+        let x1 = (rect.max_x / w).floor() as i64;
+        let y0 = (rect.min_y / w).floor() as i64;
+        let y1 = (rect.max_y / w).floor() as i64;
+        let mut out = Vec::with_capacity(((x1 - x0 + 1) * (y1 - y0 + 1)) as usize);
+        for y in y0..=y1 {
+            for x in x0..=x1 {
+                out.push(GridKey { x, y });
+            }
+        }
+        out
+    }
+
+    /// Lemma 1 replication set: the keys of the cells intersecting the upper
+    /// half of the range region, `[x−ε, x+ε] × [y, y+ε]`, **excluding** the
+    /// home cell of `p` (which receives `p` as a data object instead).
+    pub fn lemma1_query_keys(&self, p: Point, eps: f64) -> Vec<GridKey> {
+        let home = self.key_of(p);
+        let mut keys = self.keys_in_rect(&Rect::padded_upper_range_region(p, eps));
+        keys.retain(|&k| k != home);
+        keys
+    }
+
+    /// Full replication set (no Lemma 1): the keys of all cells intersecting
+    /// the complete range region, excluding the home cell. Used by SRJ.
+    pub fn full_query_keys(&self, p: Point, eps: f64) -> Vec<GridKey> {
+        let home = self.key_of(p);
+        let mut keys = self.keys_in_rect(&Rect::padded_range_region(p, eps));
+        keys.retain(|&k| k != home);
+        keys
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_key_example() {
+        // §5.1: o5 = (4, 8) with lg = 3 → key ⟨1, 2⟩.
+        let g = Grid::new(3.0);
+        assert_eq!(g.key_of(Point::new(4.0, 8.0)), GridKey::new(1, 2));
+    }
+
+    #[test]
+    fn keys_handle_negative_coordinates() {
+        let g = Grid::new(2.0);
+        assert_eq!(g.key_of(Point::new(-0.5, -3.5)), GridKey::new(-1, -2));
+        assert_eq!(g.key_of(Point::new(0.0, 0.0)), GridKey::new(0, 0));
+    }
+
+    #[test]
+    fn cell_rect_round_trips_key() {
+        let g = Grid::new(2.5);
+        for key in [GridKey::new(0, 0), GridKey::new(3, -2), GridKey::new(-4, 7)] {
+            let r = g.cell_rect(key);
+            // Center of the cell maps back to the key.
+            assert_eq!(g.key_of(r.center()), key);
+        }
+    }
+
+    #[test]
+    fn keys_in_rect_covers_the_rect() {
+        let g = Grid::new(1.0);
+        let keys = g.keys_in_rect(&Rect::new(0.5, 0.5, 2.5, 1.5));
+        // x ∈ {0,1,2}, y ∈ {0,1}
+        assert_eq!(keys.len(), 6);
+        assert!(keys.contains(&GridKey::new(2, 1)));
+        assert!(keys.contains(&GridKey::new(0, 0)));
+    }
+
+    #[test]
+    fn lemma1_keys_cover_upper_half_only() {
+        // Point at the center of cell (1,1), eps half a cell: the upper half
+        // region touches rows y ∈ {1}, columns x ∈ {0,1,2} — wait, eps = 0.5
+        // with cell width 1 touches columns {0,1,2}? The region is
+        // [1.0, 2.0] × [1.5, 2.0] for p=(1.5,1.5): columns {1,2}, rows {1,2}.
+        let g = Grid::new(1.0);
+        let p = Point::new(1.5, 1.5);
+        let keys = g.lemma1_query_keys(p, 0.5);
+        assert!(!keys.contains(&GridKey::new(1, 1)), "home excluded");
+        // Must reach the three cells the upper half-region overlaps; the
+        // boundary pad may add the column to the left (edge exactly at 1.0)
+        // but never a cell strictly below the home row.
+        for k in [GridKey::new(2, 1), GridKey::new(1, 2), GridKey::new(2, 2)] {
+            assert!(keys.contains(&k), "missing {k}");
+        }
+        assert!(keys.len() <= 5);
+        assert!(keys.iter().all(|k| k.y >= 1), "no cells below the home row");
+    }
+
+    #[test]
+    fn lemma1_is_a_subset_of_full_keys() {
+        let g = Grid::new(3.0);
+        let p = Point::new(10.3, 22.9);
+        let eps = 4.2;
+        let full = g.full_query_keys(p, eps);
+        for k in g.lemma1_query_keys(p, eps) {
+            assert!(full.contains(&k));
+        }
+        // Full region also covers cells strictly below the home row.
+        assert!(full.len() > g.lemma1_query_keys(p, eps).len());
+    }
+
+    #[test]
+    fn paper_o9_example_full_region() {
+        // §5.2: o9's range region intersects g5, g6, g9, g10 (a 2×2 block).
+        // Model: cell width 3, o9 near the top-left corner of cell ⟨1,1⟩.
+        let g = Grid::new(3.0);
+        let o9 = Point::new(3.5, 5.5);
+        let eps = 1.0;
+        let mut full: Vec<GridKey> = g.keys_in_rect(&Rect::range_region(o9, eps));
+        full.sort();
+        assert_eq!(
+            full,
+            vec![
+                GridKey::new(0, 1),
+                GridKey::new(0, 2),
+                GridKey::new(1, 1),
+                GridKey::new(1, 2),
+            ]
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "grid cell width")]
+    fn zero_cell_width_panics() {
+        Grid::new(0.0);
+    }
+}

@@ -1,0 +1,96 @@
+//! Id-based partitioning (§6.1) and Lemma 3.
+//!
+//! Each trajectory id is a partition key (a Flink subtask in the paper). At
+//! time `t`, the partition `P_t(o)` of owner `o` holds the *other* members
+//! of `o`'s cluster with ids **larger** than `o` — so every pattern is
+//! discovered exactly once, in the subtask of its minimum id. Clusters
+//! smaller than the significance threshold `M` are discarded up front
+//! (Lemma 3).
+
+use icpe_types::{ClusterSnapshot, ObjectId};
+
+/// One owner's partition at one time.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Partition {
+    /// The partition owner (subtask key).
+    pub owner: ObjectId,
+    /// Cluster co-members with ids greater than `owner`, ascending.
+    pub members: Vec<ObjectId>,
+}
+
+/// Computes all non-empty partitions of one cluster snapshot, applying the
+/// Lemma-3 significance filter (`|C| ≥ m`).
+pub fn id_partitions(snapshot: &ClusterSnapshot, m: usize) -> Vec<Partition> {
+    let mut out = Vec::new();
+    for cluster in &snapshot.clusters {
+        if cluster.len() < m {
+            continue; // Lemma 3
+        }
+        let ids = cluster.members(); // sorted ascending
+        for (i, &owner) in ids.iter().enumerate() {
+            let members = ids[i + 1..].to_vec();
+            if members.is_empty() {
+                continue; // the largest id owns nothing; no pattern starts here
+            }
+            out.push(Partition { owner, members });
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use icpe_types::Timestamp;
+
+    fn oid(v: u32) -> ObjectId {
+        ObjectId(v)
+    }
+
+    fn cs(groups: &[&[u32]]) -> ClusterSnapshot {
+        ClusterSnapshot::from_groups(
+            Timestamp(1),
+            groups
+                .iter()
+                .map(|g| g.iter().copied().map(ObjectId).collect::<Vec<_>>()),
+        )
+    }
+
+    #[test]
+    fn paper_fig7_partitions_at_time_1() {
+        // Clusters {o1,o2}, {o3,o4}, {o5,o6,o7} → P(o1)={o2}, P(o3)={o4},
+        // P(o5)={o6,o7}, P(o6)={o7}; owners with empty partitions omitted.
+        let parts = id_partitions(&cs(&[&[1, 2], &[3, 4], &[5, 6, 7]]), 2);
+        let find = |o: u32| {
+            parts
+                .iter()
+                .find(|p| p.owner == oid(o))
+                .map(|p| p.members.clone())
+        };
+        assert_eq!(find(1), Some(vec![oid(2)]));
+        assert_eq!(find(3), Some(vec![oid(4)]));
+        assert_eq!(find(5), Some(vec![oid(6), oid(7)]));
+        assert_eq!(find(6), Some(vec![oid(7)]));
+        assert_eq!(find(2), None);
+        assert_eq!(find(4), None);
+        assert_eq!(find(7), None);
+    }
+
+    #[test]
+    fn lemma3_discards_small_clusters() {
+        // M = 3: clusters of size 2 are discarded entirely.
+        let parts = id_partitions(&cs(&[&[1, 2], &[3, 4], &[5, 6, 7]]), 3);
+        assert!(parts.iter().all(|p| p.owner >= oid(5)));
+        assert_eq!(parts.len(), 2);
+    }
+
+    #[test]
+    fn empty_snapshot_has_no_partitions() {
+        assert!(id_partitions(&cs(&[]), 2).is_empty());
+    }
+
+    #[test]
+    fn singleton_cluster_never_partitions() {
+        assert!(id_partitions(&cs(&[&[9]]), 1).is_empty());
+    }
+}

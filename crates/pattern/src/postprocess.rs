@@ -1,0 +1,194 @@
+//! Post-processing of the raw pattern stream.
+//!
+//! The engines report *every* qualifying (object set, witness) — the same
+//! set can surface from many windows, and every subset of a qualifying set
+//! qualifies too (Definition 4 is downward-closed in `O`). Consumers usually
+//! want a digest:
+//!
+//! * [`merge_patterns`] — one entry per object set, with the union of all
+//!   witnessed times;
+//! * [`maximal_patterns`] — only sets not contained in another reported set
+//!   (the *closed* form that swarm/platoon mining reports);
+//! * [`PatternSummary`] — both, plus counts, as a single report.
+
+use crate::engine::unique_object_sets;
+use icpe_types::{ObjectId, Pattern, TimeSequence, Timestamp};
+use std::collections::{BTreeMap, BTreeSet};
+
+/// Merges reports of the same object set: the result has one [`Pattern`]
+/// per distinct set, whose time sequence is the sorted union of every
+/// witnessed time. Output is sorted by object set.
+///
+/// The merged sequence is a union of valid witnesses, not necessarily
+/// itself `(K, L, G)`-valid as a whole — it answers "when was this group
+/// ever co-moving as part of a valid pattern".
+pub fn merge_patterns(patterns: &[Pattern]) -> Vec<Pattern> {
+    let mut merged: BTreeMap<Vec<ObjectId>, BTreeSet<Timestamp>> = BTreeMap::new();
+    for p in patterns {
+        merged
+            .entry(p.objects.clone())
+            .or_default()
+            .extend(p.times.times().iter().copied());
+    }
+    merged
+        .into_iter()
+        .map(|(objects, times)| {
+            let mut seq = TimeSequence::new();
+            for t in times {
+                seq.push(t).expect("BTreeSet iterates in increasing order");
+            }
+            Pattern { objects, times: seq }
+        })
+        .collect()
+}
+
+/// Keeps only the *maximal* object sets: those not strictly contained in
+/// another reported set. Input is first merged; output sorted by set.
+pub fn maximal_patterns(patterns: &[Pattern]) -> Vec<Pattern> {
+    let merged = merge_patterns(patterns);
+    let sets: Vec<&Vec<ObjectId>> = merged.iter().map(|p| &p.objects).collect();
+    merged
+        .iter()
+        .filter(|p| {
+            !sets
+                .iter()
+                .any(|other| other.len() > p.objects.len() && is_subset(&p.objects, other))
+        })
+        .cloned()
+        .collect()
+}
+
+fn is_subset(small: &[ObjectId], big: &[ObjectId]) -> bool {
+    // Both sorted.
+    let mut i = 0;
+    for x in small {
+        while i < big.len() && big[i] < *x {
+            i += 1;
+        }
+        if i >= big.len() || big[i] != *x {
+            return false;
+        }
+        i += 1;
+    }
+    true
+}
+
+/// A digest of a detection run.
+#[derive(Debug, Clone)]
+pub struct PatternSummary {
+    /// Raw reports received.
+    pub reports: usize,
+    /// Distinct object sets.
+    pub distinct_sets: usize,
+    /// Merged patterns (one per set, unioned times).
+    pub merged: Vec<Pattern>,
+    /// The maximal (closed) patterns.
+    pub maximal: Vec<Pattern>,
+}
+
+impl PatternSummary {
+    /// Builds the summary from raw engine output.
+    pub fn from_reports(patterns: &[Pattern]) -> Self {
+        let merged = merge_patterns(patterns);
+        let maximal = maximal_patterns(patterns);
+        PatternSummary {
+            reports: patterns.len(),
+            distinct_sets: unique_object_sets(patterns).len(),
+            merged,
+            maximal,
+        }
+    }
+}
+
+impl std::fmt::Display for PatternSummary {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        writeln!(
+            f,
+            "{} reports, {} distinct sets, {} maximal:",
+            self.reports, self.distinct_sets, self.maximal.len()
+        )?;
+        for p in &self.maximal {
+            writeln!(f, "  {p}")?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn oid(v: u32) -> ObjectId {
+        ObjectId(v)
+    }
+
+    fn pat(objs: &[u32], times: &[u32]) -> Pattern {
+        Pattern::new(
+            objs.iter().copied().map(ObjectId).collect(),
+            TimeSequence::from_raw(times.iter().copied()).unwrap(),
+        )
+    }
+
+    #[test]
+    fn merge_unions_witnesses() {
+        let merged = merge_patterns(&[
+            pat(&[1, 2], &[1, 2, 3]),
+            pat(&[1, 2], &[3, 4, 5]),
+            pat(&[3, 4], &[7, 8]),
+        ]);
+        assert_eq!(merged.len(), 2);
+        assert_eq!(merged[0].objects, vec![oid(1), oid(2)]);
+        let want: Vec<Timestamp> = [1, 2, 3, 4, 5].map(Timestamp).to_vec();
+        assert_eq!(merged[0].times.times(), want.as_slice());
+        assert_eq!(merged[1].objects, vec![oid(3), oid(4)]);
+    }
+
+    #[test]
+    fn maximal_drops_contained_sets() {
+        let maximal = maximal_patterns(&[
+            pat(&[1, 2], &[1, 2]),
+            pat(&[1, 2, 3], &[1, 2]),
+            pat(&[2, 3], &[1, 2]),
+            pat(&[7, 8], &[5, 6]),
+        ]);
+        let sets: Vec<Vec<ObjectId>> = maximal.into_iter().map(|p| p.objects).collect();
+        assert_eq!(
+            sets,
+            vec![
+                vec![oid(1), oid(2), oid(3)],
+                vec![oid(7), oid(8)],
+            ]
+        );
+    }
+
+    #[test]
+    fn equal_sets_are_not_mutually_maximal_dropped() {
+        // A set is only dropped for a *strictly larger* superset.
+        let maximal = maximal_patterns(&[pat(&[1, 2], &[1, 2]), pat(&[1, 2], &[4, 5])]);
+        assert_eq!(maximal.len(), 1);
+    }
+
+    #[test]
+    fn summary_counts() {
+        let s = PatternSummary::from_reports(&[
+            pat(&[1, 2], &[1, 2]),
+            pat(&[1, 2], &[2, 3]),
+            pat(&[1, 2, 3], &[1, 2]),
+        ]);
+        assert_eq!(s.reports, 3);
+        assert_eq!(s.distinct_sets, 2);
+        assert_eq!(s.merged.len(), 2);
+        assert_eq!(s.maximal.len(), 1);
+        let text = s.to_string();
+        assert!(text.contains("3 reports"));
+        assert!(text.contains("{o1, o2, o3}"));
+    }
+
+    #[test]
+    fn empty_input() {
+        assert!(merge_patterns(&[]).is_empty());
+        assert!(maximal_patterns(&[]).is_empty());
+        let s = PatternSummary::from_reports(&[]);
+        assert_eq!(s.reports, 0);
+    }
+}

@@ -1,0 +1,168 @@
+//! The exhaustive offline oracle: mines every `CP(M, K, L, G)` pattern from
+//! the full cluster history by brute force. Exponential — test workloads
+//! keep clusters small — but independent of the windowing, bit compression
+//! and candidate machinery of the streaming engines, which makes it the
+//! ground truth they are validated against.
+
+use crate::runs::{runs_from_times, runs_witness, Semantics};
+use icpe_types::{ClusterSnapshot, Constraints, ObjectId, Pattern, TimeSequence};
+use std::collections::{BTreeSet, HashMap};
+
+/// Maximum cluster size the oracle will expand (2^16 subsets).
+const MAX_CLUSTER: usize = 16;
+
+/// Collects cluster snapshots and mines patterns exhaustively.
+#[derive(Debug, Default)]
+pub struct ExhaustiveMiner {
+    history: Vec<ClusterSnapshot>,
+}
+
+impl ExhaustiveMiner {
+    /// An empty miner.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Appends one cluster snapshot (any time order; sorted at mine time).
+    pub fn push(&mut self, snapshot: ClusterSnapshot) {
+        self.history.push(snapshot);
+    }
+
+    /// Mines all patterns under the given constraints and semantics,
+    /// returning one pattern per qualifying object set (with a witnessing
+    /// time sequence).
+    pub fn mine(&self, constraints: &Constraints, semantics: Semantics) -> Vec<Pattern> {
+        let mut history = self.history.clone();
+        history.sort_by_key(|cs| cs.time);
+
+        // Candidate object sets: every subset (size ≥ M) of every cluster.
+        let mut candidates: BTreeSet<Vec<ObjectId>> = BTreeSet::new();
+        for cs in &history {
+            for cluster in &cs.clusters {
+                let ids = cluster.members();
+                if ids.len() < constraints.m() {
+                    continue;
+                }
+                assert!(
+                    ids.len() <= MAX_CLUSTER,
+                    "oracle cluster too large: {} > {MAX_CLUSTER}",
+                    ids.len()
+                );
+                for mask in 1u32..(1 << ids.len()) {
+                    if (mask.count_ones() as usize) < constraints.m() {
+                        continue;
+                    }
+                    let subset: Vec<ObjectId> = (0..ids.len())
+                        .filter(|&i| mask & (1 << i) != 0)
+                        .map(|i| ids[i])
+                        .collect();
+                    candidates.insert(subset);
+                }
+            }
+        }
+
+        // Times at which each candidate is co-clustered.
+        let mut co_times: HashMap<&Vec<ObjectId>, Vec<u32>> = HashMap::new();
+        for cand in &candidates {
+            let mut times = Vec::new();
+            for cs in &history {
+                let together = cs
+                    .clusters
+                    .iter()
+                    .any(|c| cand.iter().all(|&id| c.contains(id)));
+                if together {
+                    times.push(cs.time.0);
+                }
+            }
+            co_times.insert(cand, times);
+        }
+
+        let mut out = Vec::new();
+        for (cand, times) in co_times {
+            let runs = runs_from_times(&times);
+            if let Some(witness) =
+                runs_witness(&runs, constraints.k(), constraints.l(), constraints.g(), semantics)
+            {
+                let seq = TimeSequence::from_raw(witness).expect("witness is increasing");
+                out.push(Pattern::new(cand.clone(), seq));
+            }
+        }
+        out.sort_by(|a, b| a.objects.cmp(&b.objects));
+        out
+    }
+
+    /// The qualifying object sets only (sorted, deduplicated).
+    pub fn mine_object_sets(
+        &self,
+        constraints: &Constraints,
+        semantics: Semantics,
+    ) -> Vec<Vec<ObjectId>> {
+        self.mine(constraints, semantics)
+            .into_iter()
+            .map(|p| p.objects)
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use icpe_types::Timestamp;
+
+    fn oid(v: u32) -> ObjectId {
+        ObjectId(v)
+    }
+
+    fn cs(t: u32, groups: &[&[u32]]) -> ClusterSnapshot {
+        ClusterSnapshot::from_groups(
+            Timestamp(t),
+            groups
+                .iter()
+                .map(|g| g.iter().copied().map(ObjectId).collect::<Vec<_>>()),
+        )
+    }
+
+    #[test]
+    fn finds_the_fig2_cp_3_4_2_2_pattern() {
+        let mut miner = ExhaustiveMiner::new();
+        // {o4,o5,o6} together at times 3,4,6,7 (plus distractors).
+        miner.push(cs(3, &[&[4, 5, 6], &[1, 2]]));
+        miner.push(cs(4, &[&[4, 5, 6]]));
+        miner.push(cs(5, &[&[4, 5]]));
+        miner.push(cs(6, &[&[4, 5, 6]]));
+        miner.push(cs(7, &[&[4, 5, 6]]));
+        let c = Constraints::new(3, 4, 2, 2).unwrap();
+        let sets = miner.mine_object_sets(&c, Semantics::Subsequence);
+        assert_eq!(sets, vec![vec![oid(4), oid(5), oid(6)]]);
+    }
+
+    #[test]
+    fn subsets_of_patterns_also_qualify() {
+        let mut miner = ExhaustiveMiner::new();
+        for t in 0..4 {
+            miner.push(cs(t, &[&[1, 2, 3]]));
+        }
+        let c = Constraints::new(2, 4, 2, 2).unwrap();
+        let sets = miner.mine_object_sets(&c, Semantics::Subsequence);
+        assert_eq!(sets.len(), 4); // {1,2}, {1,3}, {2,3}, {1,2,3}
+    }
+
+    #[test]
+    fn witness_times_satisfy_constraints() {
+        let mut miner = ExhaustiveMiner::new();
+        for t in [0, 1, 3, 4, 8, 9] {
+            miner.push(cs(t, &[&[1, 2]]));
+        }
+        let c = Constraints::new(2, 4, 2, 2).unwrap();
+        for p in miner.mine(&c, Semantics::Subsequence) {
+            assert!(p.satisfies(&c), "{p}");
+        }
+    }
+
+    #[test]
+    fn empty_history_mines_nothing() {
+        let miner = ExhaustiveMiner::new();
+        let c = Constraints::new(2, 2, 1, 1).unwrap();
+        assert!(miner.mine(&c, Semantics::Subsequence).is_empty());
+    }
+}

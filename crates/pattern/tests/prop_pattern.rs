@@ -1,0 +1,151 @@
+//! Cross-engine equivalence: BA ≡ FBA ≡ VBA ≡ exhaustive oracle on random
+//! cluster streams, under the default (Definition-4 / subsequence)
+//! semantics; plus bit-string validity ≡ the tiny exhaustive subset search.
+
+use icpe_pattern::reference::ExhaustiveMiner;
+use icpe_pattern::runs::{exhaustive_subsequence_valid, runs_from_times, runs_valid};
+use icpe_pattern::{
+    unique_object_sets, BaselineEngine, EngineConfig, FbaEngine, PatternEngine, Semantics,
+    VbaEngine,
+};
+use icpe_types::{ClusterSnapshot, Constraints, ObjectId, Pattern, Timestamp};
+use proptest::prelude::*;
+
+/// A random dense cluster stream over a small population: at each tick,
+/// objects are grouped by a random assignment; group 0 means "noise".
+fn arb_stream(
+    num_objects: u32,
+    num_groups: u32,
+    ticks: usize,
+) -> impl Strategy<Value = Vec<ClusterSnapshot>> {
+    prop::collection::vec(
+        prop::collection::vec(0..=num_groups, num_objects as usize),
+        1..ticks,
+    )
+    .prop_map(move |assignments| {
+        assignments
+            .into_iter()
+            .enumerate()
+            .map(|(t, assign)| {
+                let mut groups: Vec<Vec<ObjectId>> = vec![Vec::new(); num_groups as usize];
+                for (obj, &g) in assign.iter().enumerate() {
+                    if g > 0 {
+                        groups[(g - 1) as usize].push(ObjectId(obj as u32));
+                    }
+                }
+                ClusterSnapshot::from_groups(
+                    Timestamp(t as u32),
+                    groups.into_iter().filter(|g| g.len() >= 2),
+                )
+            })
+            .collect()
+    })
+}
+
+fn run_engine(engine: &mut dyn PatternEngine, stream: &[ClusterSnapshot]) -> Vec<Pattern> {
+    let mut out = Vec::new();
+    for s in stream {
+        out.extend(engine.push(s));
+    }
+    out.extend(engine.finish());
+    out
+}
+
+fn arb_constraints() -> impl Strategy<Value = Constraints> {
+    (2usize..4, 2usize..6, 1usize..3, 1u32..4).prop_map(|(m, k, l, g)| {
+        let l = l.min(k);
+        Constraints::new(m, k, l, g).expect("valid constraints")
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(40))]
+
+    /// The central theorem of the reproduction: all three streaming engines
+    /// report exactly the oracle's object sets under subsequence semantics.
+    #[test]
+    fn engines_agree_with_oracle(
+        stream in arb_stream(7, 2, 14),
+        constraints in arb_constraints(),
+    ) {
+        let config = EngineConfig::new(constraints);
+        let mut ba = BaselineEngine::new(config);
+        let mut fba = FbaEngine::new(config);
+        let mut vba = VbaEngine::new(config);
+        let ba_sets = unique_object_sets(&run_engine(&mut ba, &stream));
+        let fba_sets = unique_object_sets(&run_engine(&mut fba, &stream));
+        let vba_sets = unique_object_sets(&run_engine(&mut vba, &stream));
+
+        let mut miner = ExhaustiveMiner::new();
+        for s in &stream {
+            miner.push(s.clone());
+        }
+        let oracle_sets = miner.mine_object_sets(&constraints, Semantics::Subsequence);
+
+        prop_assert_eq!(&ba_sets, &oracle_sets, "BA disagrees with oracle");
+        prop_assert_eq!(&fba_sets, &oracle_sets, "FBA disagrees with oracle");
+        prop_assert_eq!(&vba_sets, &oracle_sets, "VBA disagrees with oracle");
+    }
+
+    /// Every reported pattern satisfies the constraints it was mined under,
+    /// and its witnessing times are genuinely co-clustered times.
+    #[test]
+    fn reported_patterns_are_sound(
+        stream in arb_stream(6, 2, 12),
+        constraints in arb_constraints(),
+    ) {
+        let config = EngineConfig::new(constraints);
+        for engine in [&mut BaselineEngine::new(config) as &mut dyn PatternEngine,
+                       &mut FbaEngine::new(config),
+                       &mut VbaEngine::new(config)] {
+            let name = engine.name();
+            for p in run_engine(engine, &stream) {
+                prop_assert!(p.satisfies(&constraints), "{name}: {p}");
+                for t in p.times.times() {
+                    let snap = stream.iter().find(|s| s.time == *t)
+                        .expect("witness time within stream");
+                    let together = snap.clusters.iter()
+                        .any(|c| p.objects.iter().all(|&o| c.contains(o)));
+                    prop_assert!(together, "{name}: {p} not co-clustered at {t}");
+                }
+            }
+        }
+    }
+
+    /// Bit-run validity equals the exhaustive subset search (the independent
+    /// definition of Definition-4 semantics).
+    #[test]
+    fn subsequence_validity_matches_exhaustive(
+        bits in prop::collection::vec(prop::bool::ANY, 1..16),
+        k in 1usize..6,
+        l in 1usize..4,
+        g in 1u32..4,
+    ) {
+        let times: Vec<u32> = bits.iter().enumerate()
+            .filter(|(_, &b)| b)
+            .map(|(i, _)| i as u32)
+            .collect();
+        let fast = runs_valid(&runs_from_times(&times), k, l, g, Semantics::Subsequence);
+        let slow = exhaustive_subsequence_valid(&times, k, l, g);
+        prop_assert_eq!(fast, slow, "times {:?} k={} l={} g={}", times, k, l, g);
+    }
+
+    /// PaperGreedy never reports more than Subsequence (it is a strict
+    /// subset relation: every greedy-valid candidate is subsequence-valid).
+    #[test]
+    fn greedy_is_a_subset_of_subsequence(
+        bits in prop::collection::vec(prop::bool::ANY, 1..20),
+        k in 1usize..6,
+        l in 1usize..4,
+        g in 1u32..4,
+    ) {
+        let times: Vec<u32> = bits.iter().enumerate()
+            .filter(|(_, &b)| b)
+            .map(|(i, _)| i as u32)
+            .collect();
+        let runs = runs_from_times(&times);
+        if runs_valid(&runs, k, l, g, Semantics::PaperGreedy) {
+            prop_assert!(runs_valid(&runs, k, l, g, Semantics::Subsequence));
+        }
+    }
+}

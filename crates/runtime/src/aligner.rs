@@ -1,0 +1,478 @@
+//! Stream time synchronization via *"last time"* chaining (paper §4).
+//!
+//! Flink does not deliver records in global time order, but pattern
+//! detection must process snapshots in ascending time order. The paper's
+//! mechanism: every record carries the discretized time of its trajectory's
+//! *previous* report. Chaining these links tells the system, per trajectory,
+//! through which time its reports are fully known — and therefore when a
+//! snapshot can no longer gain members and may be sealed.
+//!
+//! Example from the paper: for records `r1, r3` of one trajectory where
+//! `r3.last_time = 2`, the system must keep waiting for `r2`; but if
+//! `r5.last_time = 3`, no record was reported at time 4 and the system need
+//! not wait for one.
+//!
+//! A time `u` is sealed when (a) some record with a strictly later time has
+//! been witnessed (so `u` is in the past of the stream) and (b) every known
+//! trajectory either is clarified through `u` or has lagged out (see
+//! [`AlignerConfig::max_lag`]).
+
+use crate::operator::{Collector, Operator};
+use icpe_types::{GpsRecord, ObjectId, Snapshot, Timestamp};
+use std::collections::{BTreeMap, HashMap};
+
+/// Configuration of the [`TimeAligner`].
+#[derive(Debug, Clone, Copy)]
+pub struct AlignerConfig {
+    /// A trajectory whose clarified time lags more than this many intervals
+    /// behind the newest witnessed time is considered departed and stops
+    /// blocking progress. (Unbounded waiting would stall the stream when a
+    /// device goes offline; Flink jobs use idle-source timeouts the same
+    /// way.)
+    pub max_lag: u32,
+    /// Emit empty snapshots for times at which no object reported. Keeps the
+    /// snapshot stream dense in time, which the enumeration engines rely on
+    /// for gap bookkeeping.
+    pub emit_empty: bool,
+    /// Extra intervals a time stays open beyond the newest witnessed time.
+    /// The *last-time* chaining decides exactly when **known** trajectories
+    /// are complete, but a trajectory's very first record carries no link —
+    /// only this watermark-style allowance protects it from arriving after
+    /// its snapshot sealed.
+    pub lateness: u32,
+}
+
+impl Default for AlignerConfig {
+    fn default() -> Self {
+        AlignerConfig {
+            max_lag: 16,
+            emit_empty: true,
+            lateness: 2,
+        }
+    }
+}
+
+/// Per-trajectory chaining state.
+#[derive(Debug, Default)]
+struct Chain {
+    /// Largest time through which this trajectory's reports are fully known.
+    clarified: Option<u32>,
+    /// Received records whose `last_time` link has not connected yet,
+    /// keyed by that `last_time` (value: the record's own time).
+    waiting: BTreeMap<u32, u32>,
+}
+
+/// Buffers out-of-order [`GpsRecord`]s and seals [`Snapshot`]s in strictly
+/// increasing time order once their membership can no longer change.
+#[derive(Debug)]
+pub struct TimeAligner {
+    config: AlignerConfig,
+    /// Buffered (not yet sealed) snapshot contents by time.
+    buffers: BTreeMap<u32, Snapshot>,
+    chains: HashMap<ObjectId, Chain>,
+    /// All times `< sealed_up_to` are sealed; `None` until the first seal.
+    sealed_up_to: Option<u32>,
+    /// Largest record time seen.
+    max_seen: u32,
+}
+
+impl TimeAligner {
+    /// Creates an aligner.
+    pub fn new(config: AlignerConfig) -> Self {
+        TimeAligner {
+            config,
+            buffers: BTreeMap::new(),
+            chains: HashMap::new(),
+            sealed_up_to: None,
+            max_seen: 0,
+        }
+    }
+
+    /// Ingests one record; returns any snapshots that became sealable,
+    /// in ascending time order.
+    pub fn push(&mut self, rec: GpsRecord) -> Vec<Snapshot> {
+        let t = rec.time.0;
+        if let Some(s) = self.sealed_up_to {
+            if t < s {
+                // Arrived after its snapshot was sealed (lag exceeded); drop.
+                return Vec::new();
+            }
+        }
+        self.max_seen = self.max_seen.max(t);
+        self.buffers
+            .entry(t)
+            .or_insert_with(|| Snapshot::new(Timestamp(t)))
+            .push(rec.id, rec.location, rec.last_time);
+
+        // Advance this trajectory's clarification chain.
+        let chain = self.chains.entry(rec.id).or_default();
+        match rec.last_time {
+            // First report of the trajectory: the chain starts here.
+            None => chain.clarified = Some(chain.clarified.map_or(t, |c| c.max(t))),
+            Some(lt) => match chain.clarified {
+                Some(c) if lt.0 == c => chain.clarified = Some(t),
+                Some(c) if lt.0 < c => {
+                    // Link points below the clarified frontier (predecessor
+                    // was dropped after a retirement): fast-forward.
+                    chain.clarified = Some(c.max(t));
+                }
+                _ => {
+                    chain.waiting.insert(lt.0, t);
+                }
+            },
+        }
+        // Consume any waiting links that now connect.
+        while let Some(c) = chain.clarified {
+            match chain.waiting.remove(&c) {
+                Some(next_t) => chain.clarified = Some(next_t),
+                None => break,
+            }
+        }
+
+        self.drain_sealable()
+    }
+
+    /// Seals everything still buffered (end of stream).
+    pub fn flush(&mut self) -> Vec<Snapshot> {
+        let mut out = Vec::new();
+        let times: Vec<u32> = self.buffers.keys().copied().collect();
+        for t in times {
+            if self.config.emit_empty {
+                if let Some(s) = self.sealed_up_to {
+                    for gap in s..t {
+                        out.push(Snapshot::new(Timestamp(gap)));
+                    }
+                }
+            }
+            out.push(self.buffers.remove(&t).unwrap());
+            self.sealed_up_to = Some(t + 1);
+        }
+        out
+    }
+
+    /// Number of buffered (unsealed) snapshots.
+    pub fn pending(&self) -> usize {
+        self.buffers.len()
+    }
+
+    fn drain_sealable(&mut self) -> Vec<Snapshot> {
+        let mut out = Vec::new();
+        loop {
+            let u = match self.sealed_up_to {
+                Some(s) => s,
+                // Nothing sealed yet: start at the earliest buffered time.
+                None => match self.buffers.keys().next() {
+                    Some(&t) => t,
+                    None => break,
+                },
+            };
+            if !self.can_seal(u) {
+                break;
+            }
+            match self.buffers.remove(&u) {
+                Some(snap) => out.push(snap),
+                None if self.config.emit_empty => out.push(Snapshot::new(Timestamp(u))),
+                None => {}
+            }
+            self.sealed_up_to = Some(u + 1);
+        }
+        out
+    }
+
+    /// A time `u` can be sealed when it lies strictly in the stream's past
+    /// and every known trajectory either is clarified through `u` or has
+    /// lagged out.
+    fn can_seal(&mut self, u: u32) -> bool {
+        if u.saturating_add(self.config.lateness) >= self.max_seen {
+            return false;
+        }
+        let max_lag = self.config.max_lag;
+        let max_seen = self.max_seen;
+        let mut blocked = false;
+        self.chains.retain(|_, chain| {
+            let clarified = chain.clarified.unwrap_or(0);
+            if clarified >= u {
+                return true;
+            }
+            // The trajectory is behind. Has it lagged out entirely? A chain
+            // whose newest *known* report (frontier) is also ancient is
+            // departed; a chain whose clarified end is ancient but whose
+            // frontier is recent is stuck on a lost link — retire it too,
+            // otherwise it would stall the stream forever.
+            if clarified.saturating_add(max_lag) < max_seen {
+                return false;
+            }
+            blocked = true;
+            true
+        });
+        !blocked
+    }
+}
+
+/// [`TimeAligner`] as a pipeline [`Operator`].
+pub struct AlignOperator {
+    aligner: TimeAligner,
+}
+
+impl AlignOperator {
+    /// Wraps an aligner for use in a dataflow stage (parallelism must be 1,
+    /// since alignment is a global ordering decision).
+    pub fn new(config: AlignerConfig) -> Self {
+        AlignOperator {
+            aligner: TimeAligner::new(config),
+        }
+    }
+}
+
+impl Operator<GpsRecord, Snapshot> for AlignOperator {
+    fn process(&mut self, input: GpsRecord, out: &mut Collector<Snapshot>) {
+        out.emit_all(self.aligner.push(input));
+    }
+
+    fn finish(&mut self, out: &mut Collector<Snapshot>) {
+        out.emit_all(self.aligner.flush());
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use icpe_types::Point;
+
+    fn rec(id: u32, t: u32, last: Option<u32>) -> GpsRecord {
+        GpsRecord::new(
+            ObjectId(id),
+            Point::new(t as f64, id as f64),
+            Timestamp(t),
+            last.map(Timestamp),
+        )
+    }
+
+    fn aligner() -> TimeAligner {
+        TimeAligner::new(AlignerConfig {
+            max_lag: 100,
+            emit_empty: true,
+            lateness: 0,
+        })
+    }
+
+    #[test]
+    fn in_order_single_object_seals_previous_times() {
+        let mut a = aligner();
+        // Time 0 cannot seal yet: nothing newer witnessed.
+        assert!(a.push(rec(1, 0, None)).is_empty());
+        let out = a.push(rec(1, 1, Some(0)));
+        // Time 0 is now complete (object 1 clarified through 1).
+        assert_eq!(out.len(), 1);
+        assert_eq!(out[0].time, Timestamp(0));
+        assert_eq!(out[0].len(), 1);
+    }
+
+    #[test]
+    fn paper_example_waits_for_r2_but_not_r4() {
+        let mut a = aligner();
+        // tr = {r1, r2, r3, r5}; receive r1 then r3 (r3.last_time = 2).
+        assert!(a.push(rec(1, 1, None)).is_empty());
+        let out = a.push(rec(1, 3, Some(2)));
+        // Snapshot 1 seals (r2 cannot change it), but snapshot 2 must wait
+        // for the still-missing r2.
+        assert_eq!(out.len(), 1);
+        assert_eq!(out[0].time, Timestamp(1));
+
+        // r2 arrives: chain connects 1→2→3; snapshot 2 seals.
+        let out = a.push(rec(1, 2, Some(1)));
+        assert_eq!(out.len(), 1);
+        assert_eq!(out[0].time, Timestamp(2));
+
+        // r5 with last_time 3: no record was reported at time 4, so the
+        // system does not wait — snapshot 3 and the empty snapshot 4 seal.
+        let out = a.push(rec(1, 5, Some(3)));
+        assert_eq!(out.len(), 2);
+        assert_eq!(out[0].time, Timestamp(3));
+        assert_eq!(out[0].len(), 1);
+        assert_eq!(out[1].time, Timestamp(4));
+        assert!(out[1].is_empty());
+    }
+
+    #[test]
+    fn two_objects_block_until_both_clarified() {
+        let mut a = aligner();
+        a.push(rec(1, 0, None));
+        a.push(rec(2, 0, None));
+        let out = a.push(rec(1, 1, Some(0)));
+        assert_eq!(out.len(), 1, "time 0 sealable: both clarified ≥ 0");
+        assert_eq!(out[0].time, Timestamp(0));
+        assert_eq!(out[0].len(), 2);
+
+        let out = a.push(rec(1, 2, Some(1)));
+        assert!(out.is_empty(), "time 1 blocked by object 2");
+
+        let out = a.push(rec(2, 1, Some(0)));
+        assert_eq!(out.len(), 1);
+        assert_eq!(out[0].time, Timestamp(1));
+        assert_eq!(out[0].len(), 2);
+    }
+
+    #[test]
+    fn out_of_order_across_objects_is_reordered() {
+        let mut a = aligner();
+        let mut sealed = Vec::new();
+        sealed.extend(a.push(rec(2, 1, None)));
+        sealed.extend(a.push(rec(1, 0, None)));
+        sealed.extend(a.push(rec(1, 1, Some(0))));
+        sealed.extend(a.push(rec(2, 2, Some(1))));
+        sealed.extend(a.push(rec(1, 2, Some(1))));
+        sealed.extend(a.flush());
+        let times: Vec<u32> = sealed.iter().map(|s| s.time.0).collect();
+        assert_eq!(times, vec![0, 1, 2], "sealed in ascending order");
+        // Snapshot 1 contains both objects despite reversed arrival.
+        assert_eq!(sealed[1].len(), 2);
+    }
+
+    #[test]
+    fn out_of_order_within_object_chains_via_last_time() {
+        let mut a = aligner();
+        assert!(a.push(rec(1, 0, None)).is_empty());
+        // Records at times 2 and 3 arrive before the record at time 1.
+        let out = a.push(rec(1, 2, Some(1)));
+        // Snapshot 0 seals (the object is clarified through 0 and time 2 was
+        // witnessed); snapshots 1 and 2 must wait for the missing link.
+        assert_eq!(out.len(), 1);
+        assert_eq!(out[0].time, Timestamp(0));
+        assert!(a.push(rec(1, 3, Some(2))).is_empty());
+        let out = a.push(rec(1, 1, Some(0)));
+        // Chain connects 0→1→2→3: snapshots 1 and 2 seal.
+        let times: Vec<u32> = out.iter().map(|s| s.time.0).collect();
+        assert_eq!(times, vec![1, 2]);
+    }
+
+    #[test]
+    fn lagging_object_is_retired_after_max_lag() {
+        let mut a = TimeAligner::new(AlignerConfig {
+            max_lag: 3,
+            emit_empty: true,
+            lateness: 0,
+        });
+        a.push(rec(1, 0, None));
+        a.push(rec(2, 0, None));
+        // Object 1 keeps reporting; object 2 goes silent.
+        let mut sealed = Vec::new();
+        for t in 1..10 {
+            sealed.extend(a.push(rec(1, t, Some(t - 1))));
+        }
+        assert!(
+            sealed.iter().any(|s| s.time.0 >= 4),
+            "sealing resumed past the lagged object, sealed: {:?}",
+            sealed.iter().map(|s| s.time.0).collect::<Vec<_>>()
+        );
+    }
+
+    #[test]
+    fn flush_seals_remaining_buffered_times_with_gaps() {
+        let mut a = aligner();
+        let mut out = Vec::new();
+        out.extend(a.push(rec(1, 2, None)));
+        out.extend(a.push(rec(1, 5, Some(2))));
+        out.extend(a.flush());
+        let times: Vec<u32> = out.iter().map(|s| s.time.0).collect();
+        assert_eq!(times, vec![2, 3, 4, 5]);
+        assert!(out[1].is_empty() && out[2].is_empty());
+        assert_eq!(a.pending(), 0);
+    }
+
+    #[test]
+    fn no_empty_snapshots_when_disabled() {
+        let mut a = TimeAligner::new(AlignerConfig {
+            max_lag: 100,
+            emit_empty: false,
+            lateness: 0,
+        });
+        let mut out = Vec::new();
+        out.extend(a.push(rec(1, 2, None)));
+        out.extend(a.push(rec(1, 5, Some(2))));
+        out.extend(a.flush());
+        let times: Vec<u32> = out.iter().map(|s| s.time.0).collect();
+        assert_eq!(times, vec![2, 5]);
+    }
+
+    #[test]
+    fn late_record_for_sealed_snapshot_is_dropped() {
+        let mut a = TimeAligner::new(AlignerConfig {
+            max_lag: 2,
+            emit_empty: true,
+            lateness: 0,
+        });
+        a.push(rec(1, 0, None));
+        for t in 1..8 {
+            a.push(rec(1, t, Some(t - 1)));
+        }
+        // Object 2's ancient record arrives after time 0 was sealed.
+        let out = a.push(rec(2, 0, None));
+        assert!(out.is_empty(), "late record must not reopen sealed times");
+    }
+
+    #[test]
+    fn restart_after_retirement_does_not_stall() {
+        let mut a = TimeAligner::new(AlignerConfig {
+            max_lag: 2,
+            emit_empty: true,
+            lateness: 0,
+        });
+        a.push(rec(1, 0, None));
+        a.push(rec(2, 0, None));
+        let mut sealed = Vec::new();
+        for t in 1..8 {
+            sealed.extend(a.push(rec(1, t, Some(t - 1))));
+        }
+        // Object 2 comes back with a link into its retired past.
+        sealed.extend(a.push(rec(2, 8, Some(0))));
+        for t in 8..12 {
+            sealed.extend(a.push(rec(1, t + 1, Some(t))));
+        }
+        let max_sealed = sealed.iter().map(|s| s.time.0).max().unwrap();
+        assert!(max_sealed >= 8, "stream stalled at {max_sealed}");
+    }
+
+    #[test]
+    fn empty_aligner_flush_is_empty() {
+        let mut a = aligner();
+        assert!(a.flush().is_empty());
+        assert_eq!(a.pending(), 0);
+    }
+
+    #[test]
+    fn operator_wrapper_emits_through_collector() {
+        // Default config has lateness = 2: nothing seals while the stream is
+        // only 2 ticks deep; finish() flushes everything.
+        let mut op = AlignOperator::new(AlignerConfig::default());
+        let mut c = Collector::new();
+        op.process(rec(1, 0, None), &mut c);
+        op.process(rec(1, 1, Some(0)), &mut c);
+        let first: Vec<Snapshot> = c.drain().collect();
+        assert!(first.is_empty());
+        op.finish(&mut c);
+        let rest: Vec<Snapshot> = c.drain().collect();
+        assert_eq!(rest.len(), 2);
+        assert_eq!(rest[0].time, Timestamp(0));
+        assert_eq!(rest[1].time, Timestamp(1));
+    }
+
+    #[test]
+    fn lateness_protects_late_first_records() {
+        // Object 2's very first record (no last-time link) arrives one tick
+        // late; with lateness ≥ 1 it must not be dropped.
+        let mut a = TimeAligner::new(AlignerConfig {
+            max_lag: 100,
+            emit_empty: true,
+            lateness: 1,
+        });
+        let mut sealed = Vec::new();
+        sealed.extend(a.push(rec(1, 0, None)));
+        sealed.extend(a.push(rec(1, 1, Some(0))));
+        sealed.extend(a.push(rec(2, 0, None))); // late first record
+        sealed.extend(a.push(rec(1, 2, Some(1))));
+        sealed.extend(a.flush());
+        let s0 = sealed.iter().find(|s| s.time == Timestamp(0)).unwrap();
+        assert_eq!(s0.len(), 2, "late first record was dropped");
+    }
+}

@@ -1,0 +1,238 @@
+//! Record routing between consecutive pipeline stages.
+
+use crossbeam::channel::Sender;
+use std::sync::Arc;
+
+/// Routing failed because the downstream stage hung up (all of its
+/// receivers were dropped) — the upstream subtask should stop producing.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Disconnected;
+
+impl std::fmt::Display for Disconnected {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "downstream stage disconnected")
+    }
+}
+
+impl std::error::Error for Disconnected {}
+
+/// Per-record routing decision for [`Exchange::PerRecord`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Routing {
+    /// Route to the subtask owning this key hash.
+    Key(u64),
+    /// Copy to every subtask (punctuation/ticks).
+    Broadcast,
+}
+
+/// How records are distributed from one stage's subtasks to the next
+/// stage's subtasks — the Flink exchange patterns the paper relies on.
+pub enum Exchange<T> {
+    /// Hash partitioning: records with equal keys go to the same subtask
+    /// (Flink's `keyBy`). The closure maps a record to its key hash.
+    KeyBy(Arc<dyn Fn(&T) -> u64 + Send + Sync>),
+    /// Round-robin distribution (Flink's `rebalance`).
+    Rebalance,
+    /// Every record is copied to every subtask (requires `T: Clone`).
+    Broadcast,
+    /// Mixed mode: each record chooses keyed or broadcast routing — the
+    /// pattern ICPE uses to interleave keyed data with broadcast
+    /// snapshot-boundary ticks (Flink jobs do this with `keyBy` plus
+    /// broadcast watermarks).
+    PerRecord(Arc<dyn Fn(&T) -> Routing + Send + Sync>),
+}
+
+impl<T> Exchange<T> {
+    /// Convenience constructor for [`Exchange::KeyBy`].
+    pub fn key_by(f: impl Fn(&T) -> u64 + Send + Sync + 'static) -> Self {
+        Exchange::KeyBy(Arc::new(f))
+    }
+
+    /// Convenience constructor for [`Exchange::PerRecord`].
+    pub fn per_record(f: impl Fn(&T) -> Routing + Send + Sync + 'static) -> Self {
+        Exchange::PerRecord(Arc::new(f))
+    }
+}
+
+impl<T> Clone for Exchange<T> {
+    fn clone(&self) -> Self {
+        match self {
+            Exchange::KeyBy(f) => Exchange::KeyBy(Arc::clone(f)),
+            Exchange::Rebalance => Exchange::Rebalance,
+            Exchange::Broadcast => Exchange::Broadcast,
+            Exchange::PerRecord(f) => Exchange::PerRecord(Arc::clone(f)),
+        }
+    }
+}
+
+impl<T> std::fmt::Debug for Exchange<T> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            Exchange::KeyBy(_) => write!(f, "KeyBy"),
+            Exchange::Rebalance => write!(f, "Rebalance"),
+            Exchange::Broadcast => write!(f, "Broadcast"),
+            Exchange::PerRecord(_) => write!(f, "PerRecord"),
+        }
+    }
+}
+
+/// One upstream subtask's routing handle: a set of senders (one per
+/// downstream subtask) plus the exchange strategy.
+///
+/// Each subtask owns its own `Router` clone so round-robin counters are
+/// subtask-local, exactly like Flink's per-channel rebalance.
+pub struct Router<T> {
+    senders: Vec<Sender<T>>,
+    strategy: Exchange<T>,
+    rr: usize,
+}
+
+impl<T> Router<T> {
+    pub(crate) fn new(senders: Vec<Sender<T>>, strategy: Exchange<T>) -> Self {
+        debug_assert!(!senders.is_empty());
+        Router {
+            senders,
+            strategy,
+            rr: 0,
+        }
+    }
+
+    pub(crate) fn clone_for_subtask(&self, subtask: usize) -> Self {
+        Router {
+            senders: self.senders.clone(),
+            strategy: self.strategy.clone(),
+            // Stagger round-robin starts so subtasks do not all hammer
+            // downstream subtask 0 first.
+            rr: subtask % self.senders.len(),
+        }
+    }
+
+    /// Routes one record. Blocks when the target channel is full
+    /// (backpressure). Returns `Err` when the downstream stage is gone.
+    pub fn route(&mut self, record: T) -> Result<(), Disconnected>
+    where
+        T: Clone,
+    {
+        match &self.strategy {
+            Exchange::KeyBy(f) => {
+                let idx = (f(&record) % self.senders.len() as u64) as usize;
+                self.senders[idx].send(record).map_err(|_| Disconnected)
+            }
+            Exchange::Rebalance => {
+                let idx = self.rr;
+                self.rr = (self.rr + 1) % self.senders.len();
+                self.senders[idx].send(record).map_err(|_| Disconnected)
+            }
+            Exchange::Broadcast => self.broadcast(record),
+            Exchange::PerRecord(f) => match f(&record) {
+                Routing::Key(k) => {
+                    let idx = (k % self.senders.len() as u64) as usize;
+                    self.senders[idx].send(record).map_err(|_| Disconnected)
+                }
+                Routing::Broadcast => self.broadcast(record),
+            },
+        }
+    }
+
+    fn broadcast(&self, record: T) -> Result<(), Disconnected>
+    where
+        T: Clone,
+    {
+        let last = self.senders.len() - 1;
+        for s in &self.senders[..last] {
+            s.send(record.clone()).map_err(|_| Disconnected)?;
+        }
+        self.senders[last].send(record).map_err(|_| Disconnected)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crossbeam::channel::bounded;
+
+    fn routers_and_receivers(
+        n: usize,
+        strategy: Exchange<u64>,
+    ) -> (Router<u64>, Vec<crossbeam::channel::Receiver<u64>>) {
+        let (senders, receivers): (Vec<_>, Vec<_>) = (0..n).map(|_| bounded(64)).unzip();
+        (Router::new(senders, strategy), receivers)
+    }
+
+    #[test]
+    fn key_by_is_deterministic_per_key() {
+        let (mut r, rx) = routers_and_receivers(4, Exchange::key_by(|x: &u64| *x));
+        for v in [5u64, 5, 5, 9, 9] {
+            r.route(v).unwrap();
+        }
+        drop(r);
+        let counts: Vec<usize> = rx.iter().map(|c| c.try_iter().count()).collect();
+        // key 5 → subtask 1, key 9 → subtask 1 (9 % 4 = 1)... both to 1.
+        assert_eq!(counts.iter().sum::<usize>(), 5);
+        assert_eq!(counts[1], 5);
+    }
+
+    #[test]
+    fn rebalance_spreads_evenly() {
+        let (mut r, rx) = routers_and_receivers(3, Exchange::Rebalance);
+        for v in 0..9u64 {
+            r.route(v).unwrap();
+        }
+        drop(r);
+        for c in rx {
+            assert_eq!(c.try_iter().count(), 3);
+        }
+    }
+
+    #[test]
+    fn broadcast_copies_to_all() {
+        let (mut r, rx) = routers_and_receivers(3, Exchange::Broadcast);
+        r.route(7).unwrap();
+        r.route(8).unwrap();
+        drop(r);
+        for c in rx {
+            assert_eq!(c.try_iter().collect::<Vec<_>>(), vec![7, 8]);
+        }
+    }
+
+    #[test]
+    fn per_record_mixes_keyed_and_broadcast() {
+        // Even records keyed, odd records broadcast.
+        let (mut r, rx) = routers_and_receivers(
+            3,
+            Exchange::per_record(|x: &u64| {
+                if x.is_multiple_of(2) {
+                    Routing::Key(*x)
+                } else {
+                    Routing::Broadcast
+                }
+            }),
+        );
+        r.route(6).unwrap(); // key 6 → subtask 0
+        r.route(1).unwrap(); // broadcast
+        drop(r);
+        let got: Vec<Vec<u64>> = rx.iter().map(|c| c.try_iter().collect()).collect();
+        assert_eq!(got[0], vec![6, 1]);
+        assert_eq!(got[1], vec![1]);
+        assert_eq!(got[2], vec![1]);
+    }
+
+    #[test]
+    fn route_fails_when_downstream_dropped() {
+        let (mut r, rx) = routers_and_receivers(2, Exchange::Rebalance);
+        drop(rx);
+        assert!(r.route(1).is_err());
+    }
+
+    #[test]
+    fn subtask_clones_stagger_round_robin() {
+        let (r, rx) = routers_and_receivers(2, Exchange::Rebalance);
+        let mut r0 = r.clone_for_subtask(0);
+        let mut r1 = r.clone_for_subtask(1);
+        r0.route(10).unwrap(); // → subtask 0
+        r1.route(20).unwrap(); // → subtask 1 (staggered start)
+        drop((r, r0, r1));
+        assert_eq!(rx[0].try_iter().collect::<Vec<_>>(), vec![10]);
+        assert_eq!(rx[1].try_iter().collect::<Vec<_>>(), vec![20]);
+    }
+}

@@ -1,0 +1,34 @@
+//! # icpe-runtime — a minimal pipelined stream-processing runtime
+//!
+//! The paper deploys ICPE on Apache Flink, relying on three platform
+//! primitives: **keyed partitioning** (`keyBy` on a grid key or trajectory
+//! id), **pipelined tuple-at-a-time transfer** between operators, and
+//! **operator-local state** in parallel subtasks. This crate provides exactly
+//! those primitives as an in-process, multi-threaded dataflow:
+//!
+//! * [`Stream`] — a builder for linear dataflows; every stage runs `p`
+//!   parallel subtasks on OS threads connected by bounded crossbeam channels
+//!   (bounded = natural backpressure, Flink's pipelined transfer mode);
+//! * [`Exchange`] — the routing strategy between consecutive stages
+//!   (key-hash, round-robin, or broadcast);
+//! * [`Operator`] — the subtask logic: process one record, emit any number;
+//! * [`TimeAligner`] — the paper's §4 stream-synchronization mechanism: the
+//!   per-record *"last time"* link is chained to decide when a snapshot is
+//!   complete and may be sealed, even under out-of-order arrival;
+//! * [`PipelineMetrics`] — per-snapshot latency and throughput, the two
+//!   measures reported in every experiment of the paper.
+//!
+//! The "cluster" of the paper (1 master + 10 slaves) maps to stage
+//! parallelism: Figure 14's `N` machines become `N` subtasks per stage.
+
+pub mod aligner;
+pub mod exchange;
+pub mod metrics;
+pub mod operator;
+pub mod stream;
+
+pub use aligner::{AlignOperator, AlignerConfig, TimeAligner};
+pub use exchange::{Exchange, Routing};
+pub use metrics::{MetricsReport, PipelineMetrics};
+pub use operator::{filter_fn, flat_map_fn, map_fn, Collector, Operator};
+pub use stream::{RuntimeConfig, Stream};

@@ -1,0 +1,186 @@
+//! Per-snapshot latency and throughput measurement.
+//!
+//! The paper reports two performance measures (§7): the **average latency**
+//! per snapshot (time from a snapshot entering the pipeline to its results
+//! being emitted) and the **throughput** in snapshots processed per second
+//! (tps). `PipelineMetrics` is a thread-safe recorder shared by the ingest
+//! and sink stages.
+
+use parking_lot::Mutex;
+use std::collections::HashMap;
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+#[derive(Debug, Default)]
+struct Inner {
+    ingest: HashMap<u32, Instant>,
+    latencies: Vec<(u32, Duration)>,
+    first_done: Option<Instant>,
+    last_done: Option<Instant>,
+}
+
+/// A cloneable, thread-safe latency/throughput recorder keyed by snapshot
+/// time.
+#[derive(Debug, Clone, Default)]
+pub struct PipelineMetrics {
+    inner: Arc<Mutex<Inner>>,
+}
+
+impl PipelineMetrics {
+    /// Creates an empty recorder.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Marks snapshot `t` as having entered the pipeline.
+    pub fn mark_ingest(&self, t: u32) {
+        let mut inner = self.inner.lock();
+        inner.ingest.entry(t).or_insert_with(Instant::now);
+    }
+
+    /// Marks snapshot `t` as fully processed (results emitted).
+    pub fn mark_done(&self, t: u32) {
+        let now = Instant::now();
+        let mut inner = self.inner.lock();
+        if let Some(start) = inner.ingest.remove(&t) {
+            inner.latencies.push((t, now - start));
+        }
+        inner.first_done.get_or_insert(now);
+        inner.last_done = Some(now);
+    }
+
+    /// Summarizes what was recorded so far.
+    pub fn report(&self) -> MetricsReport {
+        let inner = self.inner.lock();
+        let mut lat: Vec<Duration> = inner.latencies.iter().map(|&(_, d)| d).collect();
+        lat.sort_unstable();
+        let count = lat.len();
+        let avg = if count == 0 {
+            Duration::ZERO
+        } else {
+            lat.iter().sum::<Duration>() / count as u32
+        };
+        let pct = |p: f64| -> Duration {
+            if lat.is_empty() {
+                Duration::ZERO
+            } else {
+                lat[((lat.len() - 1) as f64 * p) as usize]
+            }
+        };
+        let span = match (inner.first_done, inner.last_done) {
+            (Some(a), Some(b)) if b > a => b - a,
+            _ => Duration::ZERO,
+        };
+        let throughput = if span.is_zero() || count < 2 {
+            f64::NAN
+        } else {
+            // First completion starts the clock, so count-1 completions
+            // happen within `span`.
+            (count - 1) as f64 / span.as_secs_f64()
+        };
+        MetricsReport {
+            snapshots: count,
+            avg_latency: avg,
+            p50_latency: pct(0.50),
+            p95_latency: pct(0.95),
+            max_latency: lat.last().copied().unwrap_or(Duration::ZERO),
+            throughput_tps: throughput,
+        }
+    }
+}
+
+/// Summary statistics over the recorded snapshots.
+#[derive(Debug, Clone, Copy)]
+pub struct MetricsReport {
+    /// Number of snapshots with both ingest and done marks.
+    pub snapshots: usize,
+    /// Mean end-to-end latency.
+    pub avg_latency: Duration,
+    /// Median latency.
+    pub p50_latency: Duration,
+    /// 95th-percentile latency.
+    pub p95_latency: Duration,
+    /// Worst latency.
+    pub max_latency: Duration,
+    /// Snapshots per second between the first and last completion
+    /// (`NaN` when fewer than two snapshots completed).
+    pub throughput_tps: f64,
+}
+
+impl std::fmt::Display for MetricsReport {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "{} snapshots | avg {:.3} ms | p50 {:.3} ms | p95 {:.3} ms | max {:.3} ms | {:.1} tps",
+            self.snapshots,
+            self.avg_latency.as_secs_f64() * 1e3,
+            self.p50_latency.as_secs_f64() * 1e3,
+            self.p95_latency.as_secs_f64() * 1e3,
+            self.max_latency.as_secs_f64() * 1e3,
+            self.throughput_tps,
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn empty_report() {
+        let m = PipelineMetrics::new();
+        let r = m.report();
+        assert_eq!(r.snapshots, 0);
+        assert_eq!(r.avg_latency, Duration::ZERO);
+        assert!(r.throughput_tps.is_nan());
+    }
+
+    #[test]
+    fn latency_is_recorded_per_snapshot() {
+        let m = PipelineMetrics::new();
+        m.mark_ingest(1);
+        m.mark_ingest(2);
+        std::thread::sleep(Duration::from_millis(2));
+        m.mark_done(1);
+        m.mark_done(2);
+        let r = m.report();
+        assert_eq!(r.snapshots, 2);
+        assert!(r.avg_latency >= Duration::from_millis(2));
+        assert!(r.max_latency >= r.p50_latency);
+    }
+
+    #[test]
+    fn done_without_ingest_is_ignored_for_latency() {
+        let m = PipelineMetrics::new();
+        m.mark_done(9);
+        assert_eq!(m.report().snapshots, 0);
+    }
+
+    #[test]
+    fn duplicate_ingest_keeps_first_timestamp() {
+        let m = PipelineMetrics::new();
+        m.mark_ingest(1);
+        std::thread::sleep(Duration::from_millis(2));
+        m.mark_ingest(1); // ignored
+        m.mark_done(1);
+        assert!(m.report().avg_latency >= Duration::from_millis(2));
+    }
+
+    #[test]
+    fn shared_across_threads() {
+        let m = PipelineMetrics::new();
+        let m2 = m.clone();
+        for t in 0..50 {
+            m.mark_ingest(t);
+        }
+        let h = std::thread::spawn(move || {
+            for t in 0..50 {
+                m2.mark_done(t);
+            }
+        });
+        h.join().unwrap();
+        let r = m.report();
+        assert_eq!(r.snapshots, 50);
+        assert!(r.throughput_tps > 0.0);
+    }
+}

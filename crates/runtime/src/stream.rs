@@ -1,0 +1,346 @@
+//! The dataflow builder: sources, parallel stages, sinks.
+//!
+//! Stages are spawned lazily: declaring stage *i+1* fixes the routing of
+//! stage *i*'s output, at which point stage *i*'s subtask threads start.
+//! End-of-stream is signalled by channel disconnection — when every upstream
+//! sender is dropped, a subtask drains its channel, calls
+//! [`Operator::finish`], and drops its own senders, cascading shutdown
+//! through the pipeline.
+
+use crate::exchange::{Exchange, Router};
+use crate::operator::{Collector, Operator};
+use crossbeam::channel::{bounded, Receiver};
+use std::thread::JoinHandle;
+
+/// Runtime knobs shared by every stage of a dataflow.
+#[derive(Debug, Clone, Copy)]
+pub struct RuntimeConfig {
+    /// Capacity of each inter-subtask channel. Bounded channels give the
+    /// pipelined backpressure Flink's network stack provides.
+    pub channel_capacity: usize,
+}
+
+impl Default for RuntimeConfig {
+    fn default() -> Self {
+        RuntimeConfig {
+            channel_capacity: 1024,
+        }
+    }
+}
+
+/// A subtask of the most recently declared stage that has not started yet:
+/// given its output router, it spawns its thread.
+type PendingSubtask<T> = Box<dyn FnOnce(Router<T>) -> JoinHandle<()> + Send>;
+
+/// A partially built dataflow whose last stage produces records of type `T`.
+pub struct Stream<T> {
+    pending: Vec<PendingSubtask<T>>,
+    handles: Vec<JoinHandle<()>>,
+    config: RuntimeConfig,
+}
+
+impl<T: Send + Clone + 'static> Stream<T> {
+    /// Declares a source stage with `parallelism` subtasks; subtask `i`
+    /// iterates the iterator produced by `make(i)`.
+    pub fn source<I, F>(config: RuntimeConfig, parallelism: usize, make: F) -> Stream<T>
+    where
+        I: Iterator<Item = T> + Send + 'static,
+        F: Fn(usize) -> I,
+    {
+        assert!(parallelism >= 1, "source parallelism must be ≥ 1");
+        let mut pending: Vec<PendingSubtask<T>> = Vec::with_capacity(parallelism);
+        for i in 0..parallelism {
+            let iter = make(i);
+            pending.push(Box::new(move |mut router: Router<T>| {
+                std::thread::Builder::new()
+                    .name(format!("source-{i}"))
+                    .spawn(move || {
+                        for item in iter {
+                            if router.route(item).is_err() {
+                                return; // downstream gone; stop producing
+                            }
+                        }
+                    })
+                    .expect("failed to spawn source thread")
+            }));
+        }
+        Stream {
+            pending,
+            handles: Vec::new(),
+            config,
+        }
+    }
+
+    /// Declares a processing stage: `parallelism` subtasks, each running the
+    /// operator produced by `factory(subtask_index)`, fed from the previous
+    /// stage through `exchange` routing.
+    pub fn apply<O, Op, F>(
+        mut self,
+        name: &str,
+        parallelism: usize,
+        exchange: Exchange<T>,
+        factory: F,
+    ) -> Stream<O>
+    where
+        O: Send + Clone + 'static,
+        Op: Operator<T, O> + 'static,
+        F: Fn(usize) -> Op,
+    {
+        assert!(parallelism >= 1, "stage parallelism must be ≥ 1");
+        // Channels feeding this new stage.
+        let (senders, receivers): (Vec<_>, Vec<Receiver<T>>) = (0..parallelism)
+            .map(|_| bounded(self.config.channel_capacity))
+            .unzip();
+        let template = Router::new(senders, exchange);
+
+        // Fix the routing of the previous stage → spawn its subtasks now.
+        let mut handles = std::mem::take(&mut self.handles);
+        for (i, start) in self.pending.drain(..).enumerate() {
+            handles.push(start(template.clone_for_subtask(i)));
+        }
+        drop(template); // subtasks hold their own sender clones
+
+        // The new stage's subtasks start once *their* output routing is known.
+        let mut pending: Vec<PendingSubtask<O>> = Vec::with_capacity(parallelism);
+        for (i, rx) in receivers.into_iter().enumerate() {
+            let mut op = factory(i);
+            let thread_name = format!("{name}-{i}");
+            pending.push(Box::new(move |mut router: Router<O>| {
+                std::thread::Builder::new()
+                    .name(thread_name)
+                    .spawn(move || {
+                        let mut collector = Collector::new();
+                        for record in rx.iter() {
+                            op.process(record, &mut collector);
+                            for out in collector.drain() {
+                                if router.route(out).is_err() {
+                                    return;
+                                }
+                            }
+                        }
+                        op.finish(&mut collector);
+                        for out in collector.drain() {
+                            if router.route(out).is_err() {
+                                return;
+                            }
+                        }
+                    })
+                    .expect("failed to spawn stage thread")
+            }));
+        }
+        Stream {
+            pending,
+            handles,
+            config: self.config,
+        }
+    }
+
+    /// Terminal: drains the dataflow on the calling thread, invoking `sink`
+    /// for every record of the final stage, then joins all subtask threads.
+    ///
+    /// Panics if any subtask panicked.
+    pub fn for_each(mut self, mut sink: impl FnMut(T)) {
+        let (sender, receiver) = bounded(self.config.channel_capacity);
+        let template = Router::new(vec![sender], Exchange::Rebalance);
+        let mut handles = std::mem::take(&mut self.handles);
+        for (i, start) in self.pending.drain(..).enumerate() {
+            handles.push(start(template.clone_for_subtask(i)));
+        }
+        drop(template);
+        for record in receiver.iter() {
+            sink(record);
+        }
+        for h in handles {
+            if let Err(payload) = h.join() {
+                std::panic::resume_unwind(payload);
+            }
+        }
+    }
+
+    /// Terminal: collects the final stage's output into a vector
+    /// (arrival order).
+    pub fn collect_vec(self) -> Vec<T> {
+        let mut out = Vec::new();
+        self.for_each(|r| out.push(r));
+        out
+    }
+
+    /// Terminal: runs the dataflow to completion, discarding output.
+    pub fn run(self) {
+        self.for_each(|_| {});
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::operator::{flat_map_fn, map_fn};
+
+    fn cfg() -> RuntimeConfig {
+        RuntimeConfig {
+            channel_capacity: 16,
+        }
+    }
+
+    #[test]
+    fn source_to_sink_round_trip() {
+        let out = Stream::source(cfg(), 1, |_| 0..100u64).collect_vec();
+        let mut sorted = out.clone();
+        sorted.sort_unstable();
+        assert_eq!(sorted, (0..100).collect::<Vec<_>>());
+        // Single source, single sink channel → order preserved.
+        assert_eq!(out, (0..100).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn parallel_source_produces_all_partitions() {
+        let out = Stream::source(cfg(), 4, |i| {
+            let base = i as u64 * 100;
+            base..base + 100
+        })
+        .collect_vec();
+        assert_eq!(out.len(), 400);
+        let mut sorted = out;
+        sorted.sort_unstable();
+        assert_eq!(sorted, (0..400).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn map_stage_transforms_in_parallel() {
+        let out = Stream::source(cfg(), 2, |i| (0..50u64).map(move |x| x + i as u64 * 50))
+            .apply("double", 3, Exchange::Rebalance, |_| map_fn(|x: u64| x * 2))
+            .collect_vec();
+        let mut sorted = out;
+        sorted.sort_unstable();
+        assert_eq!(sorted, (0..100).map(|x| x * 2).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn key_by_keeps_keys_on_one_subtask() {
+        // Tag each record with the subtask that processed it; verify each key
+        // lands on exactly one subtask.
+        let out = Stream::source(cfg(), 2, |i| (0..200u64).map(move |x| x + i as u64 * 200))
+            .apply(
+                "tag",
+                4,
+                Exchange::key_by(|x: &u64| x % 10),
+                |subtask| map_fn(move |x: u64| (x % 10, subtask)),
+            )
+            .collect_vec();
+        assert_eq!(out.len(), 400);
+        let mut owner: std::collections::HashMap<u64, usize> = std::collections::HashMap::new();
+        for (key, subtask) in out {
+            let prev = owner.insert(key, subtask);
+            if let Some(p) = prev {
+                assert_eq!(p, subtask, "key {key} visited two subtasks");
+            }
+        }
+    }
+
+    #[test]
+    fn per_key_fifo_order_is_preserved_through_key_by() {
+        // One source subtask, keyed exchange: records of the same key must
+        // arrive in emission order at the (single) owning subtask.
+        let out = Stream::source(cfg(), 1, |_| (0..300u64).map(|x| (x % 3, x)))
+            .apply(
+                "observe",
+                3,
+                Exchange::key_by(|(k, _): &(u64, u64)| *k),
+                |_| map_fn(|rec: (u64, u64)| rec),
+            )
+            .collect_vec();
+        let mut last_seen: std::collections::HashMap<u64, u64> = std::collections::HashMap::new();
+        for (k, v) in out {
+            if let Some(prev) = last_seen.insert(k, v) {
+                assert!(v > prev, "key {k}: {v} arrived after {prev}");
+            }
+        }
+    }
+
+    #[test]
+    fn flat_map_and_stateful_finish() {
+        struct Count(u64);
+        impl Operator<u64, u64> for Count {
+            fn process(&mut self, _input: u64, _out: &mut Collector<u64>) {
+                self.0 += 1;
+            }
+            fn finish(&mut self, out: &mut Collector<u64>) {
+                out.emit(self.0);
+            }
+        }
+        let out = Stream::source(cfg(), 1, |_| 0..100u64)
+            .apply("expand", 2, Exchange::Rebalance, |_| {
+                flat_map_fn(|x: u64| vec![x, x])
+            })
+            .apply("count", 2, Exchange::Rebalance, |_| Count(0))
+            .collect_vec();
+        // Two counters, together they saw 200 records.
+        assert_eq!(out.iter().sum::<u64>(), 200);
+        assert_eq!(out.len(), 2);
+    }
+
+    #[test]
+    fn broadcast_reaches_every_subtask() {
+        struct Count(u64);
+        impl Operator<u64, u64> for Count {
+            fn process(&mut self, _input: u64, _out: &mut Collector<u64>) {
+                self.0 += 1;
+            }
+            fn finish(&mut self, out: &mut Collector<u64>) {
+                out.emit(self.0);
+            }
+        }
+        let out = Stream::source(cfg(), 1, |_| 0..50u64)
+            .apply("count", 3, Exchange::Broadcast, |_| Count(0))
+            .collect_vec();
+        assert_eq!(out, vec![50, 50, 50]);
+    }
+
+    #[test]
+    fn backpressure_does_not_deadlock() {
+        // Tiny channels, fast producer, slow consumer.
+        let config = RuntimeConfig {
+            channel_capacity: 2,
+        };
+        let out = Stream::source(config, 1, |_| 0..2000u64)
+            .apply("slow", 1, Exchange::Rebalance, |_| {
+                map_fn(|x: u64| {
+                    if x.is_multiple_of(512) {
+                        std::thread::sleep(std::time::Duration::from_millis(1));
+                    }
+                    x
+                })
+            })
+            .collect_vec();
+        assert_eq!(out.len(), 2000);
+    }
+
+    #[test]
+    #[should_panic(expected = "boom")]
+    fn subtask_panic_propagates_to_driver() {
+        Stream::source(cfg(), 1, |_| 0..10u64)
+            .apply("bomb", 1, Exchange::Rebalance, |_| {
+                map_fn(|x: u64| {
+                    if x == 5 {
+                        panic!("boom");
+                    }
+                    x
+                })
+            })
+            .run();
+    }
+
+    #[test]
+    fn three_stage_pipeline_end_to_end() {
+        let out = Stream::source(cfg(), 2, |i| (0..100u64).map(move |x| x * 2 + i as u64))
+            .apply("inc", 3, Exchange::Rebalance, |_| map_fn(|x: u64| x + 1))
+            .apply("key-square", 2, Exchange::key_by(|x: &u64| *x), |_| {
+                map_fn(|x: u64| x * x)
+            })
+            .collect_vec();
+        assert_eq!(out.len(), 200);
+        let sum: u64 = out.iter().sum();
+        let want: u64 = (0..200u64).map(|x| (x + 1) * (x + 1)).sum();
+        assert_eq!(sum, want);
+    }
+}

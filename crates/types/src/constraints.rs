@@ -1,0 +1,277 @@
+//! The `CP(M, K, L, G)` pattern constraints and DBSCAN parameters.
+
+use crate::TypeError;
+use serde::{Deserialize, Serialize};
+
+/// The four constraints of a general co-movement pattern (Definition 4):
+///
+/// * `m` — **significance**: minimum number of objects, `|O| ≥ M`;
+/// * `k` — **duration**: minimum number of times, `|T| ≥ K`;
+/// * `l` — **consecutiveness**: minimum maximal-segment length;
+/// * `g` — **connection**: maximum gap between neighboring times.
+///
+/// Invariants enforced at construction: `M ≥ 2` (a "group" of one object is
+/// meaningless and breaks id-based partitioning), `1 ≤ L ≤ K`, `G ≥ 1`
+/// (a gap of 1 means strictly consecutive).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct Constraints {
+    m: usize,
+    k: usize,
+    l: usize,
+    g: u32,
+}
+
+impl Constraints {
+    /// Validates and creates a constraint set.
+    pub fn new(m: usize, k: usize, l: usize, g: u32) -> Result<Self, TypeError> {
+        if m < 2 {
+            return Err(TypeError::InvalidConstraints(format!(
+                "significance M must be ≥ 2, got {m}"
+            )));
+        }
+        if l == 0 {
+            return Err(TypeError::InvalidConstraints(
+                "consecutiveness L must be ≥ 1".into(),
+            ));
+        }
+        if k < l {
+            return Err(TypeError::InvalidConstraints(format!(
+                "duration K ({k}) must be ≥ consecutiveness L ({l})"
+            )));
+        }
+        if g == 0 {
+            return Err(TypeError::InvalidConstraints(
+                "connection G must be ≥ 1 (G = 1 means strictly consecutive)".into(),
+            ));
+        }
+        Ok(Constraints { m, k, l, g })
+    }
+
+    /// Significance: minimum group size `M`.
+    #[inline]
+    pub fn m(&self) -> usize {
+        self.m
+    }
+
+    /// Duration: minimum total times `K`.
+    #[inline]
+    pub fn k(&self) -> usize {
+        self.k
+    }
+
+    /// Consecutiveness: minimum segment length `L`.
+    #[inline]
+    pub fn l(&self) -> usize {
+        self.l
+    }
+
+    /// Connection: maximum gap `G`.
+    #[inline]
+    pub fn g(&self) -> u32 {
+        self.g
+    }
+
+    /// Lemma 4: the verification window length
+    /// `η = (⌈K/L⌉ − 1) × (G − 1) + K + L − 1`.
+    ///
+    /// Checking η consecutive snapshots starting at a pattern's first time is
+    /// guaranteed not to miss any valid pattern.
+    pub fn eta(&self) -> usize {
+        let ceil_k_over_l = self.k.div_ceil(self.l);
+        (ceil_k_over_l - 1) * (self.g as usize - 1) + self.k + self.l - 1
+    }
+
+    // ---- classic pattern variants as instances of CP(M, K, L, G) ---------
+    //
+    // Fan et al.'s unified definition (which this paper adopts) subsumes the
+    // earlier co-movement pattern families; these constructors spell out the
+    // reductions of its Table 1.
+
+    /// **Convoy** (Jeung et al., PVLDB'08): `m` objects density-clustered
+    /// for `k` *strictly consecutive* timestamps — `CP(m, k, k, 1)`.
+    pub fn convoy(m: usize, k: usize) -> Result<Self, TypeError> {
+        Constraints::new(m, k, k, 1)
+    }
+
+    /// **Flock-shaped** constraints (Gudmundsson & van Kreveld, GIS'06):
+    /// temporally identical to a convoy — `CP(m, k, k, 1)`. (True flock also
+    /// swaps density clustering for fixed-diameter disks; the closeness
+    /// choice is orthogonal to the temporal constraints.)
+    pub fn flock(m: usize, k: usize) -> Result<Self, TypeError> {
+        Constraints::new(m, k, k, 1)
+    }
+
+    /// **Swarm** (Li et al., PVLDB'10): `m` objects together for `k`
+    /// possibly non-consecutive timestamps with unbounded gaps —
+    /// `CP(m, k, 1, horizon)`. Streams are unbounded, so the caller supplies
+    /// the `horizon` standing in for ∞ (e.g. the analysis window: gaps
+    /// longer than it are never bridged).
+    pub fn swarm(m: usize, k: usize, horizon: u32) -> Result<Self, TypeError> {
+        Constraints::new(m, k, 1, horizon.max(1))
+    }
+
+    /// **Group** (Wang et al., '06): like swarm but with consecutiveness at
+    /// least 1 — the unified definition maps it to `CP(m, k, 1, horizon)`
+    /// as well (its distinguishing trait, closed reporting, is a
+    /// post-processing concern; see `icpe-pattern`'s `maximal_patterns`).
+    pub fn group(m: usize, k: usize, horizon: u32) -> Result<Self, TypeError> {
+        Self::swarm(m, k, horizon)
+    }
+
+    /// **Platoon** (Li et al., DKE'15): swarm with a local consecutiveness
+    /// requirement — `CP(m, k, l, horizon)`.
+    pub fn platoon(m: usize, k: usize, l: usize, horizon: u32) -> Result<Self, TypeError> {
+        Constraints::new(m, k, l, horizon.max(1))
+    }
+}
+
+/// Density parameters of DBSCAN (Definition 8): the distance threshold `ε`
+/// and the core-point threshold `minPts`.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct DbscanParams {
+    /// Distance threshold ε.
+    pub eps: f64,
+    /// Minimum number of ε-neighbors for a core point.
+    pub min_pts: usize,
+    /// Whether a point counts as its own neighbor (the classic DBSCAN
+    /// convention). The paper's Definition 8 is ambiguous on this; both
+    /// conventions are supported and this one is the default.
+    pub count_self: bool,
+}
+
+impl DbscanParams {
+    /// Validates and creates DBSCAN parameters with the classic
+    /// self-counting convention.
+    pub fn new(eps: f64, min_pts: usize) -> Result<Self, TypeError> {
+        if eps <= 0.0 || !eps.is_finite() {
+            return Err(TypeError::InvalidDbscanParams(format!(
+                "eps must be positive and finite, got {eps}"
+            )));
+        }
+        if min_pts == 0 {
+            return Err(TypeError::InvalidDbscanParams("minPts must be ≥ 1".into()));
+        }
+        Ok(DbscanParams {
+            eps,
+            min_pts,
+            count_self: true,
+        })
+    }
+
+    /// Switches the neighbor-counting convention.
+    pub fn with_count_self(mut self, count_self: bool) -> Self {
+        self.count_self = count_self;
+        self
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn constraint_validation() {
+        assert!(Constraints::new(2, 1, 1, 1).is_ok());
+        assert!(Constraints::new(1, 4, 2, 2).is_err()); // M < 2
+        assert!(Constraints::new(3, 0, 0, 2).is_err()); // L = 0
+        assert!(Constraints::new(3, 2, 4, 2).is_err()); // K < L
+        assert!(Constraints::new(3, 4, 2, 0).is_err()); // G = 0
+    }
+
+    #[test]
+    fn eta_matches_the_papers_example() {
+        // Paper §6.1: K = 4, L = G = 2 → η = 6.
+        let c = Constraints::new(3, 4, 2, 2).unwrap();
+        assert_eq!(c.eta(), 6);
+    }
+
+    #[test]
+    fn eta_reduces_to_k_when_strictly_consecutive() {
+        // G = 1 → no gaps allowed → η = K + L − 1.
+        let c = Constraints::new(2, 10, 5, 1).unwrap();
+        assert_eq!(c.eta(), 10 + 5 - 1);
+    }
+
+    #[test]
+    fn eta_grows_with_g_and_shrinks_with_l() {
+        let base = Constraints::new(5, 120, 30, 20).unwrap().eta();
+        let more_g = Constraints::new(5, 120, 30, 40).unwrap().eta();
+        let more_l = Constraints::new(5, 120, 60, 20).unwrap().eta();
+        assert!(more_g > base);
+        assert!(more_l < base);
+    }
+
+    #[test]
+    fn eta_with_k_equal_l() {
+        // ⌈K/L⌉ = 1 → η = K + L − 1 regardless of G.
+        let c = Constraints::new(2, 8, 8, 50).unwrap();
+        assert_eq!(c.eta(), 15);
+    }
+
+    #[test]
+    fn accessors_round_trip() {
+        let c = Constraints::new(5, 120, 30, 20).unwrap();
+        assert_eq!((c.m(), c.k(), c.l(), c.g()), (5, 120, 30, 20));
+    }
+
+    #[test]
+    fn convoy_is_strictly_consecutive() {
+        let c = Constraints::convoy(3, 5).unwrap();
+        assert_eq!((c.m(), c.k(), c.l(), c.g()), (3, 5, 5, 1));
+        // G = 1 and L = K: only one unbroken segment of length ≥ K works.
+        assert_eq!(c.eta(), 5 + 5 - 1);
+        assert_eq!(
+            Constraints::flock(3, 5).unwrap(),
+            Constraints::convoy(3, 5).unwrap()
+        );
+    }
+
+    #[test]
+    fn swarm_allows_arbitrary_gaps_within_horizon() {
+        let c = Constraints::swarm(4, 6, 100).unwrap();
+        assert_eq!((c.m(), c.k(), c.l(), c.g()), (4, 6, 1, 100));
+        // horizon 0 is clamped to the minimum legal gap.
+        assert_eq!(Constraints::swarm(2, 2, 0).unwrap().g(), 1);
+        assert_eq!(
+            Constraints::group(4, 6, 100).unwrap(),
+            Constraints::swarm(4, 6, 100).unwrap()
+        );
+    }
+
+    #[test]
+    fn platoon_keeps_local_consecutiveness() {
+        let c = Constraints::platoon(5, 8, 3, 50).unwrap();
+        assert_eq!((c.m(), c.k(), c.l(), c.g()), (5, 8, 3, 50));
+        assert!(Constraints::platoon(5, 2, 3, 50).is_err()); // K < L
+    }
+
+    #[test]
+    fn variant_temporal_semantics() {
+        use crate::TimeSequence;
+        let gap_seq = TimeSequence::from_raw([1, 2, 3, 7, 8, 9]).unwrap();
+        // A convoy of duration 6 rejects the gap...
+        let convoy = Constraints::convoy(2, 6).unwrap();
+        assert!(!gap_seq.satisfies_klg(convoy.k(), convoy.l(), convoy.g()));
+        // ...a swarm accepts it...
+        let swarm = Constraints::swarm(2, 6, 10).unwrap();
+        assert!(gap_seq.satisfies_klg(swarm.k(), swarm.l(), swarm.g()));
+        // ...and a platoon with L = 3 accepts it too (segments of 3).
+        let platoon = Constraints::platoon(2, 6, 3, 10).unwrap();
+        assert!(gap_seq.satisfies_klg(platoon.k(), platoon.l(), platoon.g()));
+        // But a platoon rejects fragmented singletons.
+        let frag = TimeSequence::from_raw([1, 3, 5, 7, 9, 11]).unwrap();
+        assert!(!frag.satisfies_klg(platoon.k(), platoon.l(), platoon.g()));
+        assert!(frag.satisfies_klg(swarm.k(), swarm.l(), swarm.g()));
+    }
+
+    #[test]
+    fn dbscan_param_validation() {
+        assert!(DbscanParams::new(0.5, 10).is_ok());
+        assert!(DbscanParams::new(0.0, 10).is_err());
+        assert!(DbscanParams::new(-1.0, 10).is_err());
+        assert!(DbscanParams::new(f64::NAN, 10).is_err());
+        assert!(DbscanParams::new(1.0, 0).is_err());
+        let p = DbscanParams::new(1.0, 3).unwrap().with_count_self(false);
+        assert!(!p.count_self);
+    }
+}

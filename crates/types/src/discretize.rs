@@ -1,0 +1,143 @@
+//! Time discretization (Definition 1 of the paper).
+//!
+//! Maps real clock times to indices of fixed-duration intervals. The interval
+//! duration must be chosen with the dataset's sampling rate in mind (the
+//! paper uses 1 s for Brinkhoff and 5 s for GeoLife/Taxi): too small and
+//! trajectories look gappy; too large and distinct reports collapse into one
+//! snapshot.
+
+use crate::{GpsRecord, ObjectId, RawRecord, Timestamp, TypeError};
+use std::collections::HashMap;
+
+/// Maps raw clock times to discretized [`Timestamp`]s and annotates records
+/// with their trajectory's *last time* (see [`GpsRecord::last_time`]).
+///
+/// The discretizer is a stateful streaming operator: it remembers, per
+/// trajectory, the last discretized time it emitted. If several raw records
+/// of one trajectory collapse into the same interval, only the first is kept
+/// (the paper flags double-reports within one interval as an artifact to
+/// avoid).
+#[derive(Debug, Clone)]
+pub struct Discretizer {
+    epoch: f64,
+    interval: f64,
+    last_seen: HashMap<ObjectId, Timestamp>,
+}
+
+impl Discretizer {
+    /// Creates a discretizer with the given stream epoch (the clock time that
+    /// maps to interval 0) and interval duration in seconds.
+    pub fn new(epoch: f64, interval: f64) -> Result<Self, TypeError> {
+        if interval <= 0.0 || !interval.is_finite() {
+            return Err(TypeError::InvalidInterval(interval));
+        }
+        Ok(Discretizer {
+            epoch,
+            interval,
+            last_seen: HashMap::new(),
+        })
+    }
+
+    /// The interval duration in seconds.
+    pub fn interval(&self) -> f64 {
+        self.interval
+    }
+
+    /// Maps a raw clock time to its interval index. Times before the epoch
+    /// clamp to interval 0.
+    pub fn discretize_time(&self, time: f64) -> Timestamp {
+        let idx = ((time - self.epoch) / self.interval).floor();
+        Timestamp(if idx < 0.0 { 0 } else { idx as u32 })
+    }
+
+    /// Discretizes one raw record.
+    ///
+    /// Returns `None` when the record falls into the same interval as (or an
+    /// earlier interval than) the trajectory's previous record — i.e. it is a
+    /// duplicate or out-of-order report that the discretizer drops.
+    pub fn push(&mut self, raw: &RawRecord) -> Option<GpsRecord> {
+        let t = self.discretize_time(raw.time);
+        let last = self.last_seen.get(&raw.id).copied();
+        if let Some(prev) = last {
+            if t <= prev {
+                return None;
+            }
+        }
+        self.last_seen.insert(raw.id, t);
+        Some(GpsRecord::new(raw.id, raw.location, t, last))
+    }
+
+    /// Number of distinct trajectories seen so far.
+    pub fn trajectories_seen(&self) -> usize {
+        self.last_seen.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::Point;
+
+    fn raw(id: u32, t: f64) -> RawRecord {
+        RawRecord::new(ObjectId(id), Point::new(0.0, 0.0), t)
+    }
+
+    #[test]
+    fn rejects_bad_interval() {
+        assert!(Discretizer::new(0.0, 0.0).is_err());
+        assert!(Discretizer::new(0.0, -5.0).is_err());
+        assert!(Discretizer::new(0.0, f64::NAN).is_err());
+        assert!(Discretizer::new(0.0, f64::INFINITY).is_err());
+    }
+
+    #[test]
+    fn paper_example_discretization() {
+        // Paper §3.1: epoch 13:00:20, 5 s intervals; times 21,24,28,32,42 s
+        // after 13:00:00 discretize to 0,0,1,2,4.
+        let d = Discretizer::new(20.0, 5.0).unwrap();
+        assert_eq!(d.discretize_time(21.0), Timestamp(0));
+        assert_eq!(d.discretize_time(24.0), Timestamp(0));
+        assert_eq!(d.discretize_time(28.0), Timestamp(1));
+        assert_eq!(d.discretize_time(32.0), Timestamp(2));
+        assert_eq!(d.discretize_time(42.0), Timestamp(4));
+    }
+
+    #[test]
+    fn duplicate_interval_reports_are_dropped() {
+        let mut d = Discretizer::new(0.0, 5.0).unwrap();
+        assert!(d.push(&raw(1, 1.0)).is_some()); // interval 0
+        assert!(d.push(&raw(1, 4.0)).is_none()); // still interval 0 → dropped
+        assert!(d.push(&raw(1, 6.0)).is_some()); // interval 1
+        assert_eq!(d.trajectories_seen(), 1);
+    }
+
+    #[test]
+    fn last_time_chains_per_trajectory() {
+        let mut d = Discretizer::new(0.0, 1.0).unwrap();
+        let r1 = d.push(&raw(1, 0.5)).unwrap();
+        assert_eq!(r1.time, Timestamp(0));
+        assert_eq!(r1.last_time, None);
+
+        let r2 = d.push(&raw(1, 2.5)).unwrap(); // skips interval 1
+        assert_eq!(r2.time, Timestamp(2));
+        assert_eq!(r2.last_time, Some(Timestamp(0)));
+
+        // Second trajectory has its own chain.
+        let s1 = d.push(&raw(2, 3.0)).unwrap();
+        assert_eq!(s1.last_time, None);
+        assert_eq!(d.trajectories_seen(), 2);
+    }
+
+    #[test]
+    fn out_of_order_raw_records_are_dropped() {
+        let mut d = Discretizer::new(0.0, 1.0).unwrap();
+        assert!(d.push(&raw(1, 5.0)).is_some());
+        assert!(d.push(&raw(1, 3.0)).is_none());
+    }
+
+    #[test]
+    fn pre_epoch_times_clamp_to_zero() {
+        let d = Discretizer::new(100.0, 5.0).unwrap();
+        assert_eq!(d.discretize_time(3.0), Timestamp(0));
+    }
+}

@@ -1,0 +1,105 @@
+//! Identifier newtypes: trajectory/object ids and discretized timestamps.
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// Identifier of a moving object (equivalently, of its streaming trajectory).
+///
+/// The paper keys the pattern-enumeration subtasks by trajectory id (the
+/// *id-based partitioning* of §6.1), so the id doubles as a partition key.
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize,
+)]
+pub struct ObjectId(pub u32);
+
+impl ObjectId {
+    /// The raw integer id.
+    #[inline]
+    pub fn raw(self) -> u32 {
+        self.0
+    }
+}
+
+impl fmt::Display for ObjectId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "o{}", self.0)
+    }
+}
+
+impl From<u32> for ObjectId {
+    fn from(v: u32) -> Self {
+        ObjectId(v)
+    }
+}
+
+/// A discretized timestamp: the index of the time interval a real clock time
+/// fell into (Definition 1 of the paper).
+///
+/// Snapshots, time sequences and bit strings are all expressed in this
+/// discretized domain.
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize,
+)]
+pub struct Timestamp(pub u32);
+
+impl Timestamp {
+    /// The raw interval index.
+    #[inline]
+    pub fn raw(self) -> u32 {
+        self.0
+    }
+
+    /// The next timestamp.
+    #[inline]
+    pub fn next(self) -> Timestamp {
+        Timestamp(self.0 + 1)
+    }
+
+    /// Absolute gap between two timestamps.
+    #[inline]
+    pub fn gap(self, other: Timestamp) -> u32 {
+        self.0.abs_diff(other.0)
+    }
+
+    /// Saturating addition of a number of intervals.
+    #[inline]
+    pub fn saturating_add(self, delta: u32) -> Timestamp {
+        Timestamp(self.0.saturating_add(delta))
+    }
+}
+
+impl fmt::Display for Timestamp {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.0)
+    }
+}
+
+impl From<u32> for Timestamp {
+    fn from(v: u32) -> Self {
+        Timestamp(v)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn object_id_ordering_matches_raw() {
+        assert!(ObjectId(1) < ObjectId(2));
+        assert_eq!(ObjectId(7).raw(), 7);
+        assert_eq!(ObjectId::from(3), ObjectId(3));
+        assert_eq!(ObjectId(12).to_string(), "o12");
+    }
+
+    #[test]
+    fn timestamp_arithmetic() {
+        let t = Timestamp(10);
+        assert_eq!(t.next(), Timestamp(11));
+        assert_eq!(t.gap(Timestamp(4)), 6);
+        assert_eq!(Timestamp(4).gap(t), 6);
+        assert_eq!(t.saturating_add(5), Timestamp(15));
+        assert_eq!(Timestamp(u32::MAX).saturating_add(5), Timestamp(u32::MAX));
+        assert_eq!(t.to_string(), "10");
+    }
+}

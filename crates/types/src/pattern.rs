@@ -1,0 +1,136 @@
+//! Discovered co-movement patterns.
+
+use crate::{Constraints, ObjectId, TimeSequence};
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// A discovered co-movement pattern: the object set `O` and a witnessing
+/// time sequence `T` (Definition 4).
+#[derive(Debug, Clone, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct Pattern {
+    /// The co-moving objects, sorted ascending.
+    pub objects: Vec<ObjectId>,
+    /// The witnessing time sequence.
+    pub times: TimeSequence,
+}
+
+impl Pattern {
+    /// Creates a pattern, sorting and deduplicating the object set.
+    pub fn new(mut objects: Vec<ObjectId>, times: TimeSequence) -> Self {
+        objects.sort_unstable();
+        objects.dedup();
+        Pattern { objects, times }
+    }
+
+    /// Verifies all five constraints *except closeness* (which is a property
+    /// of the cluster stream, not of the pattern object itself).
+    pub fn satisfies(&self, c: &Constraints) -> bool {
+        self.objects.len() >= c.m() && self.times.satisfies_klg(c.k(), c.l(), c.g())
+    }
+
+    /// True if `other`'s objects are a subset of ours and `other`'s times are
+    /// a subset of ours — i.e. `self` subsumes `other`.
+    pub fn subsumes(&self, other: &Pattern) -> bool {
+        is_subset(&other.objects, &self.objects)
+            && is_subset_ts(other.times.times(), self.times.times())
+    }
+}
+
+fn is_subset<T: Ord>(small: &[T], big: &[T]) -> bool {
+    // Both sorted; classic merge scan.
+    let mut i = 0;
+    for item in small {
+        while i < big.len() && big[i] < *item {
+            i += 1;
+        }
+        if i >= big.len() || big[i] != *item {
+            return false;
+        }
+        i += 1;
+    }
+    true
+}
+
+fn is_subset_ts(small: &[crate::Timestamp], big: &[crate::Timestamp]) -> bool {
+    is_subset(small, big)
+}
+
+impl fmt::Display for Pattern {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{{")?;
+        for (i, o) in self.objects.iter().enumerate() {
+            if i > 0 {
+                write!(f, ", ")?;
+            }
+            write!(f, "{o}")?;
+        }
+        write!(f, "}} @ {}", self.times)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn oid(v: u32) -> ObjectId {
+        ObjectId(v)
+    }
+
+    #[test]
+    fn pattern_sorts_objects() {
+        let p = Pattern::new(
+            vec![oid(4), oid(2), oid(4)],
+            TimeSequence::from_raw([1, 2]).unwrap(),
+        );
+        assert_eq!(p.objects, vec![oid(2), oid(4)]);
+    }
+
+    #[test]
+    fn satisfies_checks_m_and_klg() {
+        let c = Constraints::new(3, 4, 2, 2).unwrap();
+        let good = Pattern::new(
+            vec![oid(4), oid(5), oid(6)],
+            TimeSequence::from_raw([3, 4, 6, 7]).unwrap(),
+        );
+        assert!(good.satisfies(&c));
+
+        let too_few_objects = Pattern::new(
+            vec![oid(4), oid(5)],
+            TimeSequence::from_raw([3, 4, 6, 7]).unwrap(),
+        );
+        assert!(!too_few_objects.satisfies(&c));
+
+        let bad_times = Pattern::new(
+            vec![oid(4), oid(5), oid(6)],
+            TimeSequence::from_raw([3, 4, 6]).unwrap(),
+        );
+        assert!(!bad_times.satisfies(&c));
+    }
+
+    #[test]
+    fn subsumption() {
+        let big = Pattern::new(
+            vec![oid(1), oid(2), oid(3)],
+            TimeSequence::from_raw([1, 2, 3, 4]).unwrap(),
+        );
+        let small = Pattern::new(
+            vec![oid(1), oid(3)],
+            TimeSequence::from_raw([2, 3]).unwrap(),
+        );
+        assert!(big.subsumes(&small));
+        assert!(!small.subsumes(&big));
+        assert!(big.subsumes(&big));
+
+        let disjoint = Pattern::new(vec![oid(9)], TimeSequence::from_raw([1]).unwrap());
+        assert!(!big.subsumes(&disjoint));
+    }
+
+    #[test]
+    fn display_reads_naturally() {
+        let p = Pattern::new(
+            vec![oid(5), oid(6)],
+            TimeSequence::from_raw([2, 3]).unwrap(),
+        );
+        assert_eq!(p.to_string(), "{o5, o6} @ ⟨2, 3⟩");
+    }
+}

@@ -1,0 +1,358 @@
+//! Planar locations, axis-aligned rectangles, and distance metrics.
+
+use serde::{Deserialize, Serialize};
+
+/// A planar location `(x, y)`.
+///
+/// GPS coordinates are assumed to be projected into a planar coordinate
+/// system before entering the pipeline (the paper's experiments express both
+/// the grid cell width `lg` and the distance threshold `ε` as a percentage of
+/// the dataset's maximal extent, which presumes a planar space).
+#[derive(Debug, Clone, Copy, PartialEq, Default, Serialize, Deserialize)]
+pub struct Point {
+    /// Horizontal coordinate.
+    pub x: f64,
+    /// Vertical coordinate.
+    pub y: f64,
+}
+
+impl Point {
+    /// Creates a point.
+    #[inline]
+    pub fn new(x: f64, y: f64) -> Self {
+        Point { x, y }
+    }
+
+    /// Manhattan (L1) distance.
+    #[inline]
+    pub fn l1(&self, other: &Point) -> f64 {
+        (self.x - other.x).abs() + (self.y - other.y).abs()
+    }
+
+    /// Euclidean (L2) distance.
+    #[inline]
+    pub fn l2(&self, other: &Point) -> f64 {
+        self.l2_sq(other).sqrt()
+    }
+
+    /// Squared Euclidean distance (avoids the `sqrt` when comparing).
+    #[inline]
+    pub fn l2_sq(&self, other: &Point) -> f64 {
+        let dx = self.x - other.x;
+        let dy = self.y - other.y;
+        dx * dx + dy * dy
+    }
+
+    /// Chebyshev (L∞) distance.
+    #[inline]
+    pub fn chebyshev(&self, other: &Point) -> f64 {
+        (self.x - other.x).abs().max((self.y - other.y).abs())
+    }
+
+    /// Distance under the given metric.
+    #[inline]
+    pub fn distance(&self, other: &Point, metric: DistanceMetric) -> f64 {
+        match metric {
+            DistanceMetric::L1 => self.l1(other),
+            DistanceMetric::L2 => self.l2(other),
+            DistanceMetric::Chebyshev => self.chebyshev(other),
+        }
+    }
+}
+
+/// The distance function used by the range join and DBSCAN.
+///
+/// The paper states it uses the L1-norm but defines the range region of
+/// `RQ(u, ε)` as the axis-aligned square `[u.x−ε, u.x+ε] × [u.y−ε, u.y+ε]` —
+/// which is exactly the Chebyshev (L∞) ball. We therefore default to
+/// [`DistanceMetric::Chebyshev`], for which the square region is *exact*, and
+/// also support L1 and L2, for which the square region is a superset that is
+/// refined by a per-pair distance check.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default, Serialize, Deserialize)]
+pub enum DistanceMetric {
+    /// Manhattan distance (diamond-shaped ε-ball).
+    L1,
+    /// Euclidean distance (disc-shaped ε-ball).
+    L2,
+    /// Chebyshev distance (square ε-ball — the paper's range region).
+    #[default]
+    Chebyshev,
+}
+
+impl DistanceMetric {
+    /// True if `a` and `b` are within `eps` under this metric.
+    ///
+    /// Uses squared distances for L2 to avoid the square root.
+    #[inline]
+    pub fn within(&self, a: &Point, b: &Point, eps: f64) -> bool {
+        match self {
+            DistanceMetric::L1 => a.l1(b) <= eps,
+            DistanceMetric::L2 => a.l2_sq(b) <= eps * eps,
+            DistanceMetric::Chebyshev => a.chebyshev(b) <= eps,
+        }
+    }
+}
+
+/// An axis-aligned rectangle `[min_x, max_x] × [min_y, max_y]` (closed).
+///
+/// Used as the bounding geometry of R-tree nodes and as range-query regions.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct Rect {
+    /// Smallest x covered.
+    pub min_x: f64,
+    /// Smallest y covered.
+    pub min_y: f64,
+    /// Largest x covered.
+    pub max_x: f64,
+    /// Largest y covered.
+    pub max_y: f64,
+}
+
+impl Rect {
+    /// Creates a rectangle from its bounds; callers must keep `min ≤ max`.
+    #[inline]
+    pub fn new(min_x: f64, min_y: f64, max_x: f64, max_y: f64) -> Self {
+        debug_assert!(min_x <= max_x && min_y <= max_y, "degenerate rect");
+        Rect {
+            min_x,
+            min_y,
+            max_x,
+            max_y,
+        }
+    }
+
+    /// The degenerate rectangle covering exactly one point.
+    #[inline]
+    pub fn from_point(p: Point) -> Self {
+        Rect::new(p.x, p.y, p.x, p.y)
+    }
+
+    /// The square of half-width `eps` centered at `p` — the paper's range
+    /// region for `RQ(p, ε)`.
+    #[inline]
+    pub fn range_region(p: Point, eps: f64) -> Self {
+        Rect::new(p.x - eps, p.y - eps, p.x + eps, p.y + eps)
+    }
+
+    /// The *upper half* of the range region, `[x−ε, x+ε] × [y, y+ε]`,
+    /// as used by Lemma 1 to avoid duplicate join results.
+    #[inline]
+    pub fn upper_range_region(p: Point, eps: f64) -> Self {
+        Rect::new(p.x - eps, p.y, p.x + eps, p.y + eps)
+    }
+
+    /// The rounding slack used by the padded range regions: large enough to
+    /// absorb the error of computing `x ± ε` in floating point, small enough
+    /// (≈10⁻¹² relative) never to admit a spurious grid cell in practice.
+    #[inline]
+    pub fn range_pad(p: Point, eps: f64) -> f64 {
+        (p.x.abs() + p.y.abs() + eps) * 1e-12
+    }
+
+    /// [`Rect::range_region`] padded by [`Rect::range_pad`].
+    ///
+    /// `d(u, v) ≤ ε` is decided by the distance metric; the rectangle is only
+    /// a pre-filter. Computing `x − ε` rounds, so an unpadded rectangle could
+    /// exclude a point whose metric distance still compares `≤ ε` — the pad
+    /// keeps the pre-filter a strict superset of every metric ball.
+    #[inline]
+    pub fn padded_range_region(p: Point, eps: f64) -> Self {
+        Rect::range_region(p, eps + Self::range_pad(p, eps))
+    }
+
+    /// [`Rect::upper_range_region`] with the same rounding pad applied to the
+    /// three ε-derived edges (the lower edge stays exactly `y`: Lemma 1's
+    /// case split is on the stored coordinates, which compare exactly).
+    #[inline]
+    pub fn padded_upper_range_region(p: Point, eps: f64) -> Self {
+        let e = eps + Self::range_pad(p, eps);
+        Rect::new(p.x - e, p.y, p.x + e, p.y + e)
+    }
+
+    /// An "empty" rectangle that is the identity for [`Rect::union`].
+    #[inline]
+    pub fn empty() -> Self {
+        Rect {
+            min_x: f64::INFINITY,
+            min_y: f64::INFINITY,
+            max_x: f64::NEG_INFINITY,
+            max_y: f64::NEG_INFINITY,
+        }
+    }
+
+    /// True if no point was ever unioned in.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.min_x > self.max_x
+    }
+
+    /// True if `p` lies inside (boundary inclusive).
+    #[inline]
+    pub fn contains_point(&self, p: &Point) -> bool {
+        p.x >= self.min_x && p.x <= self.max_x && p.y >= self.min_y && p.y <= self.max_y
+    }
+
+    /// True if `other` lies entirely inside `self`.
+    #[inline]
+    pub fn contains_rect(&self, other: &Rect) -> bool {
+        other.min_x >= self.min_x
+            && other.max_x <= self.max_x
+            && other.min_y >= self.min_y
+            && other.max_y <= self.max_y
+    }
+
+    /// True if the rectangles share at least one point.
+    #[inline]
+    pub fn intersects(&self, other: &Rect) -> bool {
+        self.min_x <= other.max_x
+            && other.min_x <= self.max_x
+            && self.min_y <= other.max_y
+            && other.min_y <= self.max_y
+    }
+
+    /// The smallest rectangle covering both inputs.
+    #[inline]
+    pub fn union(&self, other: &Rect) -> Rect {
+        Rect {
+            min_x: self.min_x.min(other.min_x),
+            min_y: self.min_y.min(other.min_y),
+            max_x: self.max_x.max(other.max_x),
+            max_y: self.max_y.max(other.max_y),
+        }
+    }
+
+    /// Grows the rectangle to cover `p`.
+    #[inline]
+    pub fn expand_to(&mut self, p: &Point) {
+        self.min_x = self.min_x.min(p.x);
+        self.min_y = self.min_y.min(p.y);
+        self.max_x = self.max_x.max(p.x);
+        self.max_y = self.max_y.max(p.y);
+    }
+
+    /// Area (zero for degenerate rectangles; zero for empty).
+    #[inline]
+    pub fn area(&self) -> f64 {
+        if self.is_empty() {
+            0.0
+        } else {
+            (self.max_x - self.min_x) * (self.max_y - self.min_y)
+        }
+    }
+
+    /// Half-perimeter; the classic R-tree "margin" measure.
+    #[inline]
+    pub fn margin(&self) -> f64 {
+        if self.is_empty() {
+            0.0
+        } else {
+            (self.max_x - self.min_x) + (self.max_y - self.min_y)
+        }
+    }
+
+    /// The increase of area needed to cover `other`.
+    #[inline]
+    pub fn enlargement(&self, other: &Rect) -> f64 {
+        self.union(other).area() - self.area()
+    }
+
+    /// The geometric center.
+    #[inline]
+    pub fn center(&self) -> Point {
+        Point::new(
+            (self.min_x + self.max_x) / 2.0,
+            (self.min_y + self.max_y) / 2.0,
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn distances_agree_with_hand_computed_values() {
+        let a = Point::new(0.0, 0.0);
+        let b = Point::new(3.0, 4.0);
+        assert_eq!(a.l1(&b), 7.0);
+        assert_eq!(a.l2(&b), 5.0);
+        assert_eq!(a.l2_sq(&b), 25.0);
+        assert_eq!(a.chebyshev(&b), 4.0);
+        assert_eq!(a.distance(&b, DistanceMetric::L1), 7.0);
+        assert_eq!(a.distance(&b, DistanceMetric::L2), 5.0);
+        assert_eq!(a.distance(&b, DistanceMetric::Chebyshev), 4.0);
+    }
+
+    #[test]
+    fn within_uses_inclusive_threshold() {
+        let a = Point::new(0.0, 0.0);
+        let b = Point::new(1.0, 1.0);
+        assert!(DistanceMetric::Chebyshev.within(&a, &b, 1.0));
+        assert!(!DistanceMetric::Chebyshev.within(&a, &b, 0.999));
+        assert!(DistanceMetric::L1.within(&a, &b, 2.0));
+        assert!(!DistanceMetric::L1.within(&a, &b, 1.999));
+        assert!(DistanceMetric::L2.within(&a, &b, std::f64::consts::SQRT_2 + 1e-12));
+        assert!(!DistanceMetric::L2.within(&a, &b, 1.0));
+    }
+
+    #[test]
+    fn metric_balls_nest_as_expected() {
+        // Chebyshev ball ⊇ L2 ball ⊇ L1 ball for the same eps.
+        let a = Point::new(0.0, 0.0);
+        let b = Point::new(0.9, 0.9);
+        assert!(DistanceMetric::Chebyshev.within(&a, &b, 1.0));
+        assert!(!DistanceMetric::L2.within(&a, &b, 1.0));
+        assert!(!DistanceMetric::L1.within(&a, &b, 1.0));
+    }
+
+    #[test]
+    fn rect_contains_and_intersects() {
+        let r = Rect::new(0.0, 0.0, 10.0, 5.0);
+        assert!(r.contains_point(&Point::new(0.0, 0.0)));
+        assert!(r.contains_point(&Point::new(10.0, 5.0)));
+        assert!(!r.contains_point(&Point::new(10.01, 5.0)));
+
+        let s = Rect::new(10.0, 5.0, 12.0, 6.0); // touches at a corner
+        assert!(r.intersects(&s));
+        let t = Rect::new(10.5, 5.5, 12.0, 6.0);
+        assert!(!r.intersects(&t));
+        assert!(r.contains_rect(&Rect::new(1.0, 1.0, 2.0, 2.0)));
+        assert!(!r.contains_rect(&s));
+    }
+
+    #[test]
+    fn rect_union_and_enlargement() {
+        let r = Rect::new(0.0, 0.0, 1.0, 1.0);
+        let s = Rect::new(2.0, 2.0, 3.0, 3.0);
+        let u = r.union(&s);
+        assert_eq!(u, Rect::new(0.0, 0.0, 3.0, 3.0));
+        assert_eq!(u.area(), 9.0);
+        assert_eq!(r.enlargement(&s), 8.0);
+        assert_eq!(u.margin(), 6.0);
+        assert_eq!(u.center(), Point::new(1.5, 1.5));
+    }
+
+    #[test]
+    fn empty_rect_behaves_as_union_identity() {
+        let mut e = Rect::empty();
+        assert!(e.is_empty());
+        assert_eq!(e.area(), 0.0);
+        assert_eq!(e.margin(), 0.0);
+        let r = Rect::new(1.0, 2.0, 3.0, 4.0);
+        assert_eq!(e.union(&r), r);
+        e.expand_to(&Point::new(1.0, 2.0));
+        assert!(!e.is_empty());
+        assert_eq!(e, Rect::from_point(Point::new(1.0, 2.0)));
+    }
+
+    #[test]
+    fn range_regions_match_paper_definitions() {
+        let p = Point::new(5.0, 5.0);
+        assert_eq!(Rect::range_region(p, 2.0), Rect::new(3.0, 3.0, 7.0, 7.0));
+        // Lemma 1: only the upper half, [x−ε, x+ε] × [y, y+ε].
+        assert_eq!(
+            Rect::upper_range_region(p, 2.0),
+            Rect::new(3.0, 5.0, 7.0, 7.0)
+        );
+    }
+}

@@ -1,0 +1,83 @@
+//! GPS records: the raw wire format and its discretized form.
+
+use crate::{ObjectId, Point, Timestamp};
+use serde::{Deserialize, Serialize};
+
+/// A raw GPS record as produced by a device: `(id, location, clock time)`.
+///
+/// `time` is a real clock time in seconds (fractional seconds allowed);
+/// [`crate::Discretizer`] maps it to a [`Timestamp`].
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct RawRecord {
+    /// The reporting object.
+    pub id: ObjectId,
+    /// Reported location.
+    pub location: Point,
+    /// Seconds since the stream epoch.
+    pub time: f64,
+}
+
+impl RawRecord {
+    /// Creates a raw record.
+    pub fn new(id: ObjectId, location: Point, time: f64) -> Self {
+        RawRecord { id, location, time }
+    }
+}
+
+/// A discretized GPS record: the unit that flows through the pipeline.
+///
+/// `last_time` carries the paper's *"last time"* stream-synchronization
+/// information (§4): the discretized time of the most recent earlier snapshot
+/// in which this trajectory reported a location, or `None` if this is the
+/// trajectory's first record. The time-aligner uses it to decide whether the
+/// system must keep waiting for a late record of this trajectory or may seal
+/// a snapshot.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct GpsRecord {
+    /// The reporting object.
+    pub id: ObjectId,
+    /// Reported location.
+    pub location: Point,
+    /// Discretized time of this record.
+    pub time: Timestamp,
+    /// Discretized time of this trajectory's previous record, if any.
+    pub last_time: Option<Timestamp>,
+}
+
+impl GpsRecord {
+    /// Creates a discretized record.
+    pub fn new(
+        id: ObjectId,
+        location: Point,
+        time: Timestamp,
+        last_time: Option<Timestamp>,
+    ) -> Self {
+        GpsRecord {
+            id,
+            location,
+            time,
+            last_time,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn record_construction_round_trips() {
+        let r = RawRecord::new(ObjectId(3), Point::new(1.0, 2.0), 13.5);
+        assert_eq!(r.id, ObjectId(3));
+        assert_eq!(r.time, 13.5);
+
+        let g = GpsRecord::new(
+            ObjectId(3),
+            Point::new(1.0, 2.0),
+            Timestamp(4),
+            Some(Timestamp(2)),
+        );
+        assert_eq!(g.time, Timestamp(4));
+        assert_eq!(g.last_time, Some(Timestamp(2)));
+    }
+}

@@ -1,0 +1,231 @@
+//! Snapshots (Definition 6) and cluster snapshots.
+
+use crate::{ObjectId, Point, Timestamp};
+use serde::{Deserialize, Serialize};
+
+/// One object's appearance in a snapshot.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct SnapshotEntry {
+    /// The reporting object.
+    pub id: ObjectId,
+    /// Its location at the snapshot time.
+    pub location: Point,
+    /// Discretized time of this trajectory's previous report (stream
+    /// synchronization information, see §4 of the paper).
+    pub last_time: Option<Timestamp>,
+}
+
+/// A snapshot `S_t`: all object locations reported for discretized time `t`
+/// (Definition 6).
+#[derive(Debug, Clone, PartialEq, Default, Serialize, Deserialize)]
+pub struct Snapshot {
+    /// The discretized time of this snapshot.
+    pub time: Timestamp,
+    /// The participating objects. No id appears twice.
+    pub entries: Vec<SnapshotEntry>,
+}
+
+impl Snapshot {
+    /// An empty snapshot at `time`.
+    pub fn new(time: Timestamp) -> Self {
+        Snapshot {
+            time,
+            entries: Vec::new(),
+        }
+    }
+
+    /// Builds a snapshot from `(id, location)` pairs (no last-time info).
+    pub fn from_pairs(time: Timestamp, pairs: impl IntoIterator<Item = (ObjectId, Point)>) -> Self {
+        let entries = pairs
+            .into_iter()
+            .map(|(id, location)| SnapshotEntry {
+                id,
+                location,
+                last_time: None,
+            })
+            .collect();
+        Snapshot { time, entries }
+    }
+
+    /// Adds one object report.
+    pub fn push(&mut self, id: ObjectId, location: Point, last_time: Option<Timestamp>) {
+        debug_assert!(
+            !self.entries.iter().any(|e| e.id == id),
+            "object {id} reported twice in snapshot {}",
+            self.time
+        );
+        self.entries.push(SnapshotEntry {
+            id,
+            location,
+            last_time,
+        });
+    }
+
+    /// Number of objects in the snapshot.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// True if no objects reported.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// Looks up an object's location.
+    pub fn location_of(&self, id: ObjectId) -> Option<Point> {
+        self.entries
+            .iter()
+            .find(|e| e.id == id)
+            .map(|e| e.location)
+    }
+}
+
+/// A cluster: the ids of the objects that are density-connected at one
+/// snapshot, sorted ascending.
+#[derive(Debug, Clone, PartialEq, Eq, Hash, Default, Serialize, Deserialize)]
+pub struct Cluster(Vec<ObjectId>);
+
+impl Cluster {
+    /// Builds a cluster, sorting and deduplicating the member ids.
+    pub fn new(mut members: Vec<ObjectId>) -> Self {
+        members.sort_unstable();
+        members.dedup();
+        Cluster(members)
+    }
+
+    /// The member ids in ascending order.
+    pub fn members(&self) -> &[ObjectId] {
+        &self.0
+    }
+
+    /// Number of members.
+    pub fn len(&self) -> usize {
+        self.0.len()
+    }
+
+    /// True if the cluster has no members.
+    pub fn is_empty(&self) -> bool {
+        self.0.is_empty()
+    }
+
+    /// Membership test (binary search — members are sorted).
+    pub fn contains(&self, id: ObjectId) -> bool {
+        self.0.binary_search(&id).is_ok()
+    }
+}
+
+impl From<Vec<ObjectId>> for Cluster {
+    fn from(v: Vec<ObjectId>) -> Self {
+        Cluster::new(v)
+    }
+}
+
+/// The clustering result for one snapshot: the paper's *cluster snapshot*.
+///
+/// Noise points (objects in no cluster) are not listed.
+#[derive(Debug, Clone, PartialEq, Default, Serialize, Deserialize)]
+pub struct ClusterSnapshot {
+    /// The discretized time being clustered.
+    pub time: Timestamp,
+    /// The clusters found at this time.
+    pub clusters: Vec<Cluster>,
+}
+
+impl ClusterSnapshot {
+    /// An empty cluster snapshot.
+    pub fn new(time: Timestamp) -> Self {
+        ClusterSnapshot {
+            time,
+            clusters: Vec::new(),
+        }
+    }
+
+    /// Builds a cluster snapshot from raw id groups.
+    pub fn from_groups(time: Timestamp, groups: impl IntoIterator<Item = Vec<ObjectId>>) -> Self {
+        ClusterSnapshot {
+            time,
+            clusters: groups.into_iter().map(Cluster::new).collect(),
+        }
+    }
+
+    /// Average cluster size (objects per cluster); 0.0 when empty.
+    ///
+    /// This is the "average cluster size" series plotted in Figures 12–13 of
+    /// the paper.
+    pub fn avg_cluster_size(&self) -> f64 {
+        if self.clusters.is_empty() {
+            return 0.0;
+        }
+        let total: usize = self.clusters.iter().map(Cluster::len).sum();
+        total as f64 / self.clusters.len() as f64
+    }
+
+    /// Canonicalizes for comparisons: sorts clusters lexicographically.
+    pub fn normalize(&mut self) {
+        self.clusters.sort_unstable_by(|a, b| {
+            a.members()
+                .first()
+                .cmp(&b.members().first())
+                .then_with(|| a.members().cmp(b.members()))
+        });
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn oid(v: u32) -> ObjectId {
+        ObjectId(v)
+    }
+
+    #[test]
+    fn snapshot_push_and_lookup() {
+        let mut s = Snapshot::new(Timestamp(3));
+        assert!(s.is_empty());
+        s.push(oid(1), Point::new(1.0, 2.0), None);
+        s.push(oid(2), Point::new(3.0, 4.0), Some(Timestamp(2)));
+        assert_eq!(s.len(), 2);
+        assert_eq!(s.location_of(oid(2)), Some(Point::new(3.0, 4.0)));
+        assert_eq!(s.location_of(oid(9)), None);
+    }
+
+    #[test]
+    fn snapshot_from_pairs() {
+        let s = Snapshot::from_pairs(
+            Timestamp(0),
+            [(oid(1), Point::new(0.0, 0.0)), (oid(2), Point::new(1.0, 1.0))],
+        );
+        assert_eq!(s.len(), 2);
+        assert!(s.entries.iter().all(|e| e.last_time.is_none()));
+    }
+
+    #[test]
+    fn cluster_sorts_and_dedups() {
+        let c = Cluster::new(vec![oid(3), oid(1), oid(3), oid(2)]);
+        assert_eq!(c.members(), &[oid(1), oid(2), oid(3)]);
+        assert_eq!(c.len(), 3);
+        assert!(c.contains(oid(2)));
+        assert!(!c.contains(oid(4)));
+    }
+
+    #[test]
+    fn avg_cluster_size() {
+        let cs = ClusterSnapshot::from_groups(
+            Timestamp(1),
+            [vec![oid(1), oid(2)], vec![oid(3), oid(4), oid(5), oid(6)]],
+        );
+        assert_eq!(cs.avg_cluster_size(), 3.0);
+        assert_eq!(ClusterSnapshot::new(Timestamp(0)).avg_cluster_size(), 0.0);
+    }
+
+    #[test]
+    fn normalize_orders_clusters() {
+        let mut cs = ClusterSnapshot::from_groups(
+            Timestamp(1),
+            [vec![oid(5), oid(6)], vec![oid(1), oid(2)]],
+        );
+        cs.normalize();
+        assert_eq!(cs.clusters[0].members()[0], oid(1));
+    }
+}

@@ -1,0 +1,132 @@
+//! Property-based tests for the core data model.
+
+use icpe_types::{Constraints, DistanceMetric, Point, Rect, TimeSequence, Timestamp};
+use proptest::prelude::*;
+
+fn arb_point() -> impl Strategy<Value = Point> {
+    (-1e4f64..1e4, -1e4f64..1e4).prop_map(|(x, y)| Point::new(x, y))
+}
+
+/// Strictly increasing time vectors built from positive gaps.
+fn arb_times() -> impl Strategy<Value = Vec<u32>> {
+    prop::collection::vec(1u32..6, 0..40).prop_map(|gaps| {
+        let mut t = 0u32;
+        let mut out = Vec::with_capacity(gaps.len());
+        for g in gaps {
+            t += g;
+            out.push(t);
+        }
+        out
+    })
+}
+
+proptest! {
+    #[test]
+    fn metric_balls_nest(a in arb_point(), b in arb_point(), eps in 0.0f64..100.0) {
+        // L1 ball ⊆ L2 ball ⊆ Chebyshev ball.
+        if DistanceMetric::L1.within(&a, &b, eps) {
+            prop_assert!(DistanceMetric::L2.within(&a, &b, eps + 1e-9));
+        }
+        if DistanceMetric::L2.within(&a, &b, eps) {
+            prop_assert!(DistanceMetric::Chebyshev.within(&a, &b, eps + 1e-9));
+        }
+    }
+
+    #[test]
+    fn distance_symmetry(a in arb_point(), b in arb_point()) {
+        prop_assert_eq!(a.l1(&b), b.l1(&a));
+        prop_assert_eq!(a.l2_sq(&b), b.l2_sq(&a));
+        prop_assert_eq!(a.chebyshev(&b), b.chebyshev(&a));
+    }
+
+    #[test]
+    fn chebyshev_matches_range_region(a in arb_point(), b in arb_point(), eps in 0.001f64..100.0) {
+        // The square range region is exactly the Chebyshev ball.
+        let region = Rect::range_region(a, eps);
+        prop_assert_eq!(region.contains_point(&b), DistanceMetric::Chebyshev.within(&a, &b, eps));
+    }
+
+    #[test]
+    fn rect_union_is_commutative_and_covering(a in arb_point(), b in arb_point()) {
+        let ra = Rect::from_point(a);
+        let rb = Rect::from_point(b);
+        let u = ra.union(&rb);
+        prop_assert_eq!(u, rb.union(&ra));
+        prop_assert!(u.contains_point(&a) && u.contains_point(&b));
+        prop_assert!(u.contains_rect(&ra) && u.contains_rect(&rb));
+    }
+
+    #[test]
+    fn segments_partition_the_sequence(times in arb_times()) {
+        let seq = TimeSequence::from_raw(times.clone()).unwrap();
+        let segs = seq.segments();
+        // Segment lengths sum to |T|.
+        let total: usize = segs.iter().map(|&(_, len)| len).sum();
+        prop_assert_eq!(total, times.len());
+        // Segments reconstruct the original sequence.
+        let mut rebuilt = Vec::new();
+        for (start, len) in &segs {
+            for i in 0..*len {
+                rebuilt.push(start.0 + i as u32);
+            }
+        }
+        prop_assert_eq!(rebuilt, times);
+        // last_segment_len agrees with the last segment.
+        if let Some(&(_, len)) = segs.last() {
+            prop_assert_eq!(seq.last_segment_len(), len);
+        }
+    }
+
+    #[test]
+    fn l_consecutive_definition(times in arb_times(), l in 1usize..5) {
+        let seq = TimeSequence::from_raw(times).unwrap();
+        let by_method = seq.is_l_consecutive(l);
+        let by_definition = seq.segments().iter().all(|&(_, len)| len >= l);
+        prop_assert_eq!(by_method, by_definition);
+    }
+
+    #[test]
+    fn g_connected_definition(times in arb_times(), g in 1u32..6) {
+        let seq = TimeSequence::from_raw(times.clone()).unwrap();
+        let by_method = seq.is_g_connected(g);
+        let by_definition = times.windows(2).all(|w| w[1] - w[0] <= g);
+        prop_assert_eq!(by_method, by_definition);
+    }
+
+    #[test]
+    fn eta_is_at_least_k(m in 2usize..10, k in 1usize..300, l_idx in 0usize..5, g in 1u32..60) {
+        let l = (l_idx % k.max(1)) + 1; // 1 ≤ L ≤ K
+        if let Ok(c) = Constraints::new(m, k, l, g) {
+            // η must cover at least K snapshots, and be finite/sane.
+            prop_assert!(c.eta() >= k);
+            prop_assert!(c.eta() <= (k / l + 1) * (g as usize) + k + l);
+        }
+    }
+
+    #[test]
+    fn eta_window_suffices_for_any_valid_sequence(gaps in prop::collection::vec(1u32..4, 1..20)) {
+        // Any (K,L,G)-valid sequence starting at t spans at most η snapshots.
+        // Build a sequence, find constraints it satisfies, check the span.
+        let mut t = 5u32;
+        let mut times = vec![t];
+        for g in gaps {
+            t += g;
+            times.push(t);
+        }
+        let seq = TimeSequence::from_raw(times.clone()).unwrap();
+        let k = seq.len();
+        let l = seq.segments().iter().map(|&(_, len)| len).min().unwrap();
+        let g = times.windows(2).map(|w| w[1] - w[0]).max().unwrap_or(1);
+        let c = Constraints::new(2, k, l, g).unwrap();
+        prop_assert!(seq.satisfies_klg(k, l, g));
+        let span = (seq.max().unwrap().0 - seq.min().unwrap().0 + 1) as usize;
+        prop_assert!(span <= c.eta(),
+            "span {} exceeds eta {} for K={} L={} G={}", span, c.eta(), k, l, g);
+    }
+
+    #[test]
+    fn timestamp_gap_triangle(a in 0u32..1000, b in 0u32..1000, c in 0u32..1000) {
+        let (ta, tb, tc) = (Timestamp(a), Timestamp(b), Timestamp(c));
+        prop_assert!(ta.gap(tc) <= ta.gap(tb) + tb.gap(tc));
+    }
+}

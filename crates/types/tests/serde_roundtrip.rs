@@ -1,0 +1,57 @@
+//! Serde round-trips for the wire-facing types (records cross process
+//! boundaries in a real deployment; the formats must be stable).
+
+use icpe_types::{
+    Cluster, ClusterSnapshot, Constraints, GpsRecord, ObjectId, Pattern, Point, RawRecord,
+    Snapshot, TimeSequence, Timestamp,
+};
+
+fn roundtrip<T: serde::Serialize + for<'de> serde::Deserialize<'de> + PartialEq + std::fmt::Debug>(
+    value: &T,
+) {
+    let json = serde_json::to_string(value).expect("serialize");
+    let back: T = serde_json::from_str(&json).expect("deserialize");
+    assert_eq!(&back, value);
+}
+
+#[test]
+fn records_round_trip() {
+    roundtrip(&RawRecord::new(ObjectId(3), Point::new(1.5, -2.5), 13.25));
+    roundtrip(&GpsRecord::new(
+        ObjectId(7),
+        Point::new(0.0, 9.0),
+        Timestamp(4),
+        Some(Timestamp(2)),
+    ));
+    roundtrip(&GpsRecord::new(
+        ObjectId(7),
+        Point::new(0.0, 9.0),
+        Timestamp(0),
+        None,
+    ));
+}
+
+#[test]
+fn snapshots_round_trip() {
+    let mut s = Snapshot::new(Timestamp(9));
+    s.push(ObjectId(1), Point::new(1.0, 2.0), None);
+    s.push(ObjectId(2), Point::new(3.0, 4.0), Some(Timestamp(8)));
+    roundtrip(&s);
+
+    let cs = ClusterSnapshot::from_groups(
+        Timestamp(9),
+        [vec![ObjectId(1), ObjectId(2)], vec![ObjectId(5), ObjectId(6)]],
+    );
+    roundtrip(&cs);
+    roundtrip(&Cluster::new(vec![ObjectId(4), ObjectId(1)]));
+}
+
+#[test]
+fn patterns_and_constraints_round_trip() {
+    let p = Pattern::new(
+        vec![ObjectId(4), ObjectId(5), ObjectId(6)],
+        TimeSequence::from_raw([3, 4, 6, 7]).expect("valid"),
+    );
+    roundtrip(&p);
+    roundtrip(&Constraints::new(3, 4, 2, 2).expect("valid"));
+}

@@ -1,0 +1,58 @@
+//! CSV workflow: the adoption path for real datasets.
+//!
+//! Most trajectory corpora ship as delimited text. This example exports a
+//! generated workload to `id,tick,x,y` CSV (stand-in for your own data),
+//! reads it back, and runs detection on the imported traces — the exact
+//! loop a user with their own GPS logs would follow.
+//!
+//! ```text
+//! cargo run --release --example csv_workflow
+//! ```
+
+use icpe::core::{IcpeConfig, IcpeEngine};
+use icpe::gen::io::{read_traces, write_traces};
+use icpe::gen::{dataset_stats, GroupWalkConfig, GroupWalkGenerator};
+use icpe::pattern::PatternSummary;
+use icpe::types::Constraints;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    // 1. Pretend this CSV came from your fleet's logging system.
+    let generator = GroupWalkGenerator::new(GroupWalkConfig {
+        num_objects: 50,
+        num_groups: 3,
+        group_size: 6,
+        num_snapshots: 50,
+        seed: 7,
+        ..GroupWalkConfig::default()
+    });
+    let path = std::env::temp_dir().join("icpe_example_trajectories.csv");
+    write_traces(&generator.traces(), std::fs::File::create(&path)?)?;
+    println!("wrote {}", path.display());
+
+    // 2. Load it back — this is where your own file would enter.
+    let traces = read_traces(std::fs::File::open(&path)?)?;
+    let stats = dataset_stats(&traces);
+    println!(
+        "loaded {} trajectories, {} locations, {} snapshots",
+        stats.trajectories, stats.locations, stats.snapshots
+    );
+
+    // 3. Detect.
+    let config = IcpeConfig::builder()
+        .constraints(Constraints::new(4, 15, 8, 2)?)
+        .epsilon(2.0)
+        .min_pts(4)
+        .build()?;
+    let mut engine = IcpeEngine::new(config);
+    let mut patterns = Vec::new();
+    for snapshot in traces.to_snapshots() {
+        patterns.extend(engine.push_snapshot(snapshot));
+    }
+    patterns.extend(engine.finish());
+
+    let summary = PatternSummary::from_reports(&patterns);
+    print!("{summary}");
+    assert!(!summary.maximal.is_empty());
+    let _ = std::fs::remove_file(&path);
+    Ok(())
+}

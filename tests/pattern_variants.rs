@@ -1,0 +1,95 @@
+//! The classic co-movement variants (convoy, swarm, platoon) as instances
+//! of the unified `CP(M, K, L, G)` definition, detected end-to-end.
+
+use icpe::core::{IcpeConfig, IcpeEngine};
+use icpe::pattern::unique_object_sets;
+use icpe::types::{Constraints, ObjectId, Point, Snapshot, Timestamp};
+
+/// Two objects co-located at the given ticks (apart otherwise), plus a
+/// lone wanderer.
+fn stream(co_ticks: &[u32], horizon: u32) -> Vec<Snapshot> {
+    (0..horizon)
+        .map(|t| {
+            let together = co_ticks.contains(&t);
+            let b = if together {
+                Point::new(0.4, 0.0)
+            } else {
+                Point::new(300.0, 300.0)
+            };
+            Snapshot::from_pairs(
+                Timestamp(t),
+                [
+                    (ObjectId(1), Point::new(0.0, 0.0)),
+                    (ObjectId(2), b),
+                    (ObjectId(9), Point::new(-300.0, t as f64)),
+                ],
+            )
+        })
+        .collect()
+}
+
+fn detect(constraints: Constraints, snaps: &[Snapshot]) -> Vec<Vec<ObjectId>> {
+    let cfg = IcpeConfig::builder()
+        .constraints(constraints)
+        .epsilon(1.0)
+        .min_pts(2)
+        .build()
+        .expect("valid config");
+    let mut engine = IcpeEngine::new(cfg);
+    let mut out = Vec::new();
+    for s in snaps {
+        out.extend(engine.push_snapshot(s.clone()));
+    }
+    out.extend(engine.finish());
+    unique_object_sets(&out)
+}
+
+const PAIR: [u32; 2] = [1, 2];
+
+fn pair() -> Vec<ObjectId> {
+    PAIR.map(ObjectId).to_vec()
+}
+
+#[test]
+fn convoy_requires_unbroken_presence() {
+    // Together 5 consecutive ticks → convoy(2, 5) fires.
+    let solid = stream(&[3, 4, 5, 6, 7], 15);
+    assert!(detect(Constraints::convoy(2, 5).unwrap(), &solid).contains(&pair()));
+
+    // One missing tick breaks it.
+    let broken = stream(&[3, 4, 6, 7, 8], 15);
+    assert!(!detect(Constraints::convoy(2, 5).unwrap(), &broken).contains(&pair()));
+}
+
+#[test]
+fn swarm_tolerates_scattered_presence() {
+    // Six co-locations scattered with gaps up to 4.
+    let scattered = stream(&[0, 4, 7, 11, 13, 17], 22);
+    assert!(detect(Constraints::swarm(2, 6, 22).unwrap(), &scattered).contains(&pair()));
+    // A convoy of the same duration sees nothing.
+    assert!(!detect(Constraints::convoy(2, 6).unwrap(), &scattered).contains(&pair()));
+}
+
+#[test]
+fn platoon_needs_local_runs() {
+    // Two runs of 3 with a gap: platoon(2, 6, 3) fires…
+    let runs = stream(&[2, 3, 4, 9, 10, 11], 18);
+    assert!(detect(Constraints::platoon(2, 6, 3, 18).unwrap(), &runs).contains(&pair()));
+    // …but fragmented singletons only satisfy the swarm.
+    let frag = stream(&[1, 3, 5, 7, 9, 11], 18);
+    assert!(!detect(Constraints::platoon(2, 6, 3, 18).unwrap(), &frag).contains(&pair()));
+    assert!(detect(Constraints::swarm(2, 6, 18).unwrap(), &frag).contains(&pair()));
+}
+
+#[test]
+fn the_wanderer_never_joins() {
+    let snaps = stream(&[0, 1, 2, 3, 4, 5, 6, 7], 12);
+    for c in [
+        Constraints::convoy(2, 4).unwrap(),
+        Constraints::swarm(2, 4, 12).unwrap(),
+        Constraints::platoon(2, 4, 2, 12).unwrap(),
+    ] {
+        let sets = detect(c, &snaps);
+        assert!(sets.iter().all(|s| !s.contains(&ObjectId(9))));
+    }
+}
