@@ -4,9 +4,7 @@
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use icpe_bench::pattern_workload;
 use icpe_cluster::{RjcClusterer, SnapshotClusterer};
-use icpe_pattern::{
-    BaselineEngine, EngineConfig, FbaEngine, PatternEngine, VbaEngine,
-};
+use icpe_pattern::{BaselineEngine, EngineConfig, FbaEngine, PatternEngine, VbaEngine};
 use icpe_types::{ClusterSnapshot, Constraints, DbscanParams, DistanceMetric};
 use std::hint::black_box;
 

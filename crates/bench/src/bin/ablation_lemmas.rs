@@ -68,8 +68,10 @@ fn main() {
             dups as f64 / n as f64,
         );
     }
-    println!("\nall four configurations produced the identical {} join pairs ✓",
-             reference.unwrap_or(0));
+    println!(
+        "\nall four configurations produced the identical {} join pairs ✓",
+        reference.unwrap_or(0)
+    );
 }
 
 /// Runs one configurable range join; returns the pairs and

@@ -20,7 +20,12 @@ fn main() {
         let ext = extent(&traces);
         let lg = params.lg_default * ext;
 
-        println!("\n--- {} (extent {:.0}, lg {:.2}) ---", dataset.name(), ext, lg);
+        println!(
+            "\n--- {} (extent {:.0}, lg {:.2}) ---",
+            dataset.name(),
+            ext,
+            lg
+        );
         println!(
             "{:>8} | {:>10} {:>10} {:>10} | {:>10} {:>10} {:>10}",
             "eps", "RJC ms", "SRJ ms", "GDC ms", "RJC tps", "SRJ tps", "GDC tps"

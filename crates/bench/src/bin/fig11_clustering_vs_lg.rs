@@ -25,7 +25,12 @@ fn main() {
         let gdc = GdcClusterer::new(dbscan, metric);
         let gdc_row = measure_clustering(&gdc, &snapshots);
 
-        println!("\n--- {} (extent {:.0}, eps {:.3}) ---", dataset.name(), ext, eps);
+        println!(
+            "\n--- {} (extent {:.0}, eps {:.3}) ---",
+            dataset.name(),
+            ext,
+            eps
+        );
         println!(
             "{:>8} | {:>10} {:>10} {:>10} | {:>10} {:>10} {:>10}",
             "lg", "RJC ms", "SRJ ms", "GDC ms", "RJC tps", "SRJ tps", "GDC tps"

@@ -16,14 +16,13 @@ fn main() {
     // A heavier workload than the other figures: the keyed stages must
     // dominate for parallelism to show (the paper's cluster has real
     // per-snapshot work; at toy scale the exchange overhead wins).
-    let (_, traces) = icpe_bench::workloads::pattern_workload_sized(
-        params.objects * 3,
-        params.ticks,
-        10,
-        0xF18,
-    );
+    let (_, traces) =
+        icpe_bench::workloads::pattern_workload_sized(params.objects * 3, params.ticks, 10, 0xF18);
     let records = traces.to_gps_records();
-    println!("streaming {} records through the distributed pipeline\n", records.len());
+    println!(
+        "streaming {} records through the distributed pipeline\n",
+        records.len()
+    );
 
     println!(
         "{:>3} | {:>10} {:>10} | {:>10} {:>10}",

@@ -112,10 +112,7 @@ mod tests {
                     (0..20).map(|i| {
                         (
                             ObjectId(i),
-                            Point::new(
-                                (i % 5) as f64 * 0.3 + (i / 5) as f64 * 100.0,
-                                t as f64,
-                            ),
+                            Point::new((i % 5) as f64 * 0.3 + (i / 5) as f64 * 100.0, t as f64),
                         )
                     }),
                 )

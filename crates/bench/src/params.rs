@@ -99,7 +99,10 @@ impl BenchParams {
         println!("================================================================");
         println!("{title}");
         println!("================================================================");
-        println!("scaled workload: {} objects × {} ticks per dataset", self.objects, self.ticks);
+        println!(
+            "scaled workload: {} objects × {} ticks per dataset",
+            self.objects, self.ticks
+        );
         println!(
             "defaults: eps = {:.3}% of extent (paper 0.06%), lg = {:.1}% (paper 1.6%), minPts = {} (paper 10)",
             self.eps_default * 100.0,

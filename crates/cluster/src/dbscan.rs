@@ -173,11 +173,7 @@ mod tests {
     fn chain_of_cores_forms_one_cluster() {
         // 1-2-3-4 path; minPts=2 with count_self → degree ≥ 1 makes core.
         let objects = ids(&[1, 2, 3, 4]);
-        let pairs = vec![
-            (oid(1), oid(2)),
-            (oid(2), oid(3)),
-            (oid(3), oid(4)),
-        ];
+        let pairs = vec![(oid(1), oid(2)), (oid(2), oid(3)), (oid(3), oid(4))];
         let out = dbscan_from_pairs(Timestamp(0), &objects, &pairs, &params(2));
         assert_eq!(out.snapshot.clusters.len(), 1);
         assert_eq!(out.snapshot.clusters[0].members(), ids(&[1, 2, 3, 4]));
@@ -190,11 +186,7 @@ mod tests {
         // Star: center 1 adjacent to 2,3,4 (degree 3); leaves degree 1.
         // minPts = 4 (count_self): center core (3+1 ≥ 4), leaves border.
         let objects = ids(&[1, 2, 3, 4]);
-        let pairs = vec![
-            (oid(1), oid(2)),
-            (oid(1), oid(3)),
-            (oid(1), oid(4)),
-        ];
+        let pairs = vec![(oid(1), oid(2)), (oid(1), oid(3)), (oid(1), oid(4))];
         let out = dbscan_from_pairs(Timestamp(0), &objects, &pairs, &params(4));
         assert_eq!(out.cores, ids(&[1]));
         assert_eq!(out.borders, ids(&[2, 3, 4]));

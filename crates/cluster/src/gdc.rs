@@ -146,13 +146,22 @@ mod tests {
     #[test]
     fn handles_negative_coordinates() {
         let s = snap(&[(1, -0.4, -0.4), (2, 0.4, 0.4), (3, -5.0, 3.0)]);
-        let gdc = GdcClusterer::new(DbscanParams::new(1.0, 2).unwrap(), DistanceMetric::Chebyshev);
+        let gdc = GdcClusterer::new(
+            DbscanParams::new(1.0, 2).unwrap(),
+            DistanceMetric::Chebyshev,
+        );
         assert_eq!(gdc.range_join(&s), vec![(ObjectId(1), ObjectId(2))]);
     }
 
     #[test]
     fn empty_snapshot() {
-        let gdc = GdcClusterer::new(DbscanParams::new(1.0, 2).unwrap(), DistanceMetric::Chebyshev);
-        assert!(gdc.cluster(&Snapshot::new(Timestamp(0))).clusters.is_empty());
+        let gdc = GdcClusterer::new(
+            DbscanParams::new(1.0, 2).unwrap(),
+            DistanceMetric::Chebyshev,
+        );
+        assert!(gdc
+            .cluster(&Snapshot::new(Timestamp(0)))
+            .clusters
+            .is_empty());
     }
 }

@@ -70,7 +70,8 @@ impl CellQueryEngine {
 
     fn probe(&mut self, id: ObjectId, location: Point, out: &mut Vec<NeighborPair>) {
         let mut hits = Vec::new();
-        self.tree.query_within(&location, self.eps, self.metric, &mut hits);
+        self.tree
+            .query_within(&location, self.eps, self.metric, &mut hits);
         self.scratch.clear();
         for (_, &other) in hits {
             if other != id {

@@ -142,6 +142,9 @@ mod tests {
             DbscanParams::new(0.5, 2).unwrap(),
             DistanceMetric::Chebyshev,
         );
-        assert!(srj.cluster(&Snapshot::new(Timestamp(0))).clusters.is_empty());
+        assert!(srj
+            .cluster(&Snapshot::new(Timestamp(0)))
+            .clusters
+            .is_empty());
     }
 }

@@ -66,16 +66,12 @@ impl IcpeEngine {
     /// Builds the engine from a configuration.
     pub fn new(config: IcpeConfig) -> Self {
         let clusterer: Box<dyn SnapshotClusterer + Send> = match config.clusterer {
-            ClustererKind::Rjc => Box::new(RjcClusterer::new(
-                config.lg,
-                config.dbscan,
-                config.metric,
-            )),
-            ClustererKind::Srj => Box::new(SrjClusterer::new(
-                config.lg,
-                config.dbscan,
-                config.metric,
-            )),
+            ClustererKind::Rjc => {
+                Box::new(RjcClusterer::new(config.lg, config.dbscan, config.metric))
+            }
+            ClustererKind::Srj => {
+                Box::new(SrjClusterer::new(config.lg, config.dbscan, config.metric))
+            }
             ClustererKind::Gdc => Box::new(GdcClusterer::new(config.dbscan, config.metric)),
         };
         let engine_config = config.engine_config();
@@ -140,6 +136,57 @@ impl IcpeEngine {
     /// FBA/VBA). Non-zero means the pattern result is incomplete.
     pub fn overflowed_partitions(&self) -> usize {
         self.enumerator.overflowed_partitions()
+    }
+}
+
+/// Push-based façade over [`IcpeEngine`]: accepts raw, possibly
+/// out-of-order GPS records and runs the §4 time-alignment inline, so a
+/// single-threaded deployment consumes the same wire input as the
+/// distributed pipeline. Patterns come back from each push as their
+/// snapshots seal.
+pub struct StreamingEngine {
+    aligner: icpe_runtime::TimeAligner,
+    engine: IcpeEngine,
+}
+
+impl StreamingEngine {
+    /// Builds the engine; `config.aligner` controls sealing behavior.
+    pub fn new(config: IcpeConfig) -> Self {
+        StreamingEngine {
+            aligner: icpe_runtime::TimeAligner::new(config.aligner),
+            engine: IcpeEngine::new(config),
+        }
+    }
+
+    /// Ingests one record; processes any snapshots that became sealable and
+    /// returns the patterns that became reportable.
+    pub fn push(&mut self, record: icpe_types::GpsRecord) -> Vec<Pattern> {
+        let mut patterns = Vec::new();
+        for snapshot in self.aligner.push(record) {
+            patterns.extend(self.engine.push_snapshot(snapshot));
+        }
+        patterns
+    }
+
+    /// Ends the stream: seals everything buffered and flushes the
+    /// enumeration engine.
+    pub fn finish(&mut self) -> Vec<Pattern> {
+        let mut patterns = Vec::new();
+        for snapshot in self.aligner.flush() {
+            patterns.extend(self.engine.push_snapshot(snapshot));
+        }
+        patterns.extend(self.engine.finish());
+        patterns
+    }
+
+    /// Records dropped for arriving after their snapshot sealed.
+    pub fn late_dropped(&self) -> u64 {
+        self.aligner.late_dropped()
+    }
+
+    /// The wrapped synchronous engine (timings, method names).
+    pub fn engine(&self) -> &IcpeEngine {
+        &self.engine
     }
 }
 
@@ -242,5 +289,45 @@ mod tests {
     fn method_names_are_exposed() {
         let engine = IcpeEngine::new(config(EnumeratorKind::Vba));
         assert_eq!(engine.method_names(), ("RJC", "VBA"));
+    }
+
+    #[test]
+    fn streaming_engine_matches_snapshot_engine_under_disorder() {
+        // Same workload via push_snapshot (ordered) and via raw records in
+        // scrambled arrival order: the aligner must make them identical.
+        let mut reference = IcpeEngine::new(config(EnumeratorKind::Fba));
+        let mut want = Vec::new();
+        for s in walking_snapshots(10) {
+            want.extend(reference.push_snapshot(s));
+        }
+        want.extend(reference.finish());
+
+        let mut records = Vec::new();
+        for s in walking_snapshots(10) {
+            let last = if s.time.0 == 0 {
+                None
+            } else {
+                Some(Timestamp(s.time.0 - 1))
+            };
+            for e in &s.entries {
+                records.push(icpe_types::GpsRecord::new(e.id, e.location, s.time, last));
+            }
+        }
+        // Bounded scramble: disjoint swaps displacing records by exactly one
+        // tick (5 records per tick), within the aligner's lateness allowance.
+        let n = records.len();
+        for i in (0..n.saturating_sub(5)).step_by(10) {
+            records.swap(i, i + 5);
+        }
+
+        let mut streaming = StreamingEngine::new(config(EnumeratorKind::Fba));
+        let mut got = Vec::new();
+        for r in records {
+            got.extend(streaming.push(r));
+        }
+        got.extend(streaming.finish());
+        assert_eq!(streaming.late_dropped(), 0);
+        assert_eq!(unique_object_sets(&got), unique_object_sets(&want));
+        assert_eq!(streaming.engine().timings().snapshots, 10);
     }
 }

@@ -20,12 +20,16 @@
 //! * [`pipeline::IcpePipeline`] — the distributed streaming deployment on
 //!   `icpe-runtime`: parallel keyed GridQuery subtasks, parallel keyed
 //!   enumeration subtasks, broadcast snapshot-boundary ticks, and
-//!   latency/throughput metrics — the paper's Flink job, in-process.
+//!   latency/throughput metrics — the paper's Flink job, in-process. Runs
+//!   either batch ([`IcpePipeline::run`]) or live
+//!   ([`IcpePipeline::launch`]): records pushed through a bounded channel,
+//!   results delivered to a sink callback — the form the `icpe-serve`
+//!   network layer deploys.
 
 pub mod config;
 pub mod engine;
 pub mod pipeline;
 
 pub use config::{ClustererKind, EnumeratorKind, IcpeConfig, IcpeConfigBuilder};
-pub use engine::IcpeEngine;
-pub use pipeline::{IcpePipeline, PipelineOutput};
+pub use engine::{IcpeEngine, StreamingEngine};
+pub use pipeline::{IcpePipeline, LivePipeline, PipelineEvent, PipelineOutput, RecordSender};

@@ -14,6 +14,18 @@
 //! its upstream producers. Latency is measured from a snapshot entering
 //! GridAllocate until all enumeration subtasks have reported its tick done;
 //! throughput is completed snapshots per second — the two measures of §7.
+//!
+//! Two entry points are provided:
+//!
+//! * [`IcpePipeline::run`] — batch: feed a pre-built record vector, block
+//!   until completion, collect everything (the evaluation-harness form);
+//! * [`IcpePipeline::launch`] — live: the dataflow runs on background
+//!   threads, records are **pushed** through a bounded channel as they
+//!   arrive ([`LivePipeline::push`]), and results are **delivered to a sink
+//!   callback** ([`PipelineEvent`]) the moment they are produced. This is
+//!   the deployment form the `icpe-serve` network layer builds on; the
+//!   channel bound gives end-to-end backpressure from clustering all the
+//!   way back to the TCP socket.
 
 use crate::config::{ClustererKind, EnumeratorKind, IcpeConfig};
 use icpe_cluster::allocate::allocate_one;
@@ -24,7 +36,8 @@ use icpe_index::{Grid, GridKey, RTree};
 use icpe_pattern::partition::Partition;
 use icpe_pattern::{id_partitions, BaselineEngine, FbaEngine, PatternEngine, VbaEngine};
 use icpe_runtime::{
-    AlignOperator, Collector, Exchange, MetricsReport, Operator, PipelineMetrics, Routing, Stream,
+    ingest_channel, AlignOperator, Collector, Disconnected, Exchange, MetricsReport, Operator,
+    PipelineMetrics, Routing, Stream, StreamProgress,
 };
 use icpe_types::{
     ClusterSnapshot, DbscanParams, DistanceMetric, GpsRecord, ObjectId, Pattern, Snapshot,
@@ -33,6 +46,8 @@ use icpe_types::{
 use std::collections::hash_map::DefaultHasher;
 use std::collections::{BTreeMap, HashMap};
 use std::hash::{Hash, Hasher};
+use std::sync::{Arc, Mutex};
+use std::thread::JoinHandle;
 
 /// What a pipeline run produces.
 #[derive(Debug)]
@@ -44,51 +59,187 @@ pub struct PipelineOutput {
     pub metrics: MetricsReport,
 }
 
+/// An output of the live pipeline, delivered to the sink callback the
+/// moment the dataflow produces it.
+#[derive(Debug, Clone)]
+pub enum PipelineEvent {
+    /// A co-movement pattern became reportable.
+    Pattern(Pattern),
+    /// Every enumeration subtask finished snapshot `time`. Patterns whose
+    /// enumeration window closed by `time` have been delivered; windows
+    /// still open (and the end-of-stream flush) may deliver further
+    /// patterns later, including some whose witnessing sequence ends at or
+    /// before `time`.
+    SnapshotSealed {
+        /// The completed snapshot's discretized time.
+        time: u32,
+    },
+}
+
+/// A cloneable handle for pushing records into a running [`LivePipeline`]
+/// (one per producer; many producers may feed one pipeline).
+#[derive(Debug, Clone)]
+pub struct RecordSender {
+    inner: crossbeam::channel::Sender<GpsRecord>,
+}
+
+impl RecordSender {
+    /// Pushes one record, blocking while the pipeline's ingest buffer is
+    /// full (backpressure). Fails once the pipeline has shut down.
+    pub fn push(&self, record: GpsRecord) -> Result<(), Disconnected> {
+        self.inner.send(record).map_err(|_| Disconnected)
+    }
+}
+
+/// A running streaming deployment (see [`IcpePipeline::launch`]).
+///
+/// Dropping the handle without calling [`LivePipeline::finish`] detaches
+/// the dataflow: it keeps draining already-pushed records on its background
+/// threads and winds down at end of stream.
+#[derive(Debug)]
+pub struct LivePipeline {
+    input: Option<RecordSender>,
+    driver: Option<JoinHandle<()>>,
+    metrics: PipelineMetrics,
+}
+
+impl LivePipeline {
+    /// A fresh producer handle. The stream ends only when *every* producer
+    /// handle (and the pipeline's own, released by
+    /// [`LivePipeline::finish`]) has been dropped.
+    pub fn sender(&self) -> RecordSender {
+        self.input
+            .clone()
+            .expect("LivePipeline::sender called after finish")
+    }
+
+    /// Pushes one record through the pipeline's own producer handle.
+    pub fn push(&self, record: GpsRecord) -> Result<(), Disconnected> {
+        self.input
+            .as_ref()
+            .expect("LivePipeline::push called after finish")
+            .push(record)
+    }
+
+    /// The shared latency/throughput recorder — readable while the
+    /// pipeline runs (the serving layer's status endpoint polls this).
+    pub fn metrics(&self) -> &PipelineMetrics {
+        &self.metrics
+    }
+
+    /// Live stream-position gauges (ingested vs. sealed frontier, lag,
+    /// late-record count).
+    pub fn progress(&self) -> StreamProgress {
+        self.metrics.progress()
+    }
+
+    /// Ends the stream (drops this handle's sender) and blocks until the
+    /// dataflow drains; returns the final metrics. Producer handles from
+    /// [`LivePipeline::sender`] keep the stream open until they drop too.
+    ///
+    /// Panics if a dataflow subtask panicked.
+    pub fn finish(mut self) -> MetricsReport {
+        self.input = None;
+        if let Some(driver) = self.driver.take() {
+            if let Err(payload) = driver.join() {
+                std::panic::resume_unwind(payload);
+            }
+        }
+        self.metrics.report()
+    }
+}
+
 /// The distributed ICPE deployment.
 pub struct IcpePipeline;
 
 impl IcpePipeline {
-    /// Runs the full dataflow over a (possibly out-of-order) stream of
-    /// discretized GPS records, blocking until completion.
-    pub fn run(config: &IcpeConfig, records: Vec<GpsRecord>) -> PipelineOutput {
+    /// Launches the dataflow in live (push-based) mode: records enter
+    /// through [`LivePipeline::push`] / [`RecordSender::push`] and every
+    /// result is handed to `on_event` as soon as it exists. `on_event` runs
+    /// on the pipeline's driver thread; keep it cheap or hand off to a
+    /// queue (as `icpe-serve`'s fan-out hub does).
+    pub fn launch(
+        config: &IcpeConfig,
+        on_event: impl FnMut(PipelineEvent) + Send + 'static,
+    ) -> LivePipeline {
         let metrics = PipelineMetrics::new();
-        let n = config.parallelism;
-        let aligner_config = config.aligner;
-
-        let source = Stream::source(config.runtime, 1, move |_| records.clone().into_iter());
-        let snapshots = source.apply("align", 1, Exchange::Rebalance, |_| {
-            AlignOperator::new(aligner_config)
-        });
-        let partitions = cluster_stages(snapshots, config, &metrics);
-        let engine_config = config.engine_config();
-        let enumerator_kind = config.enumerator;
-        let outputs = partitions.apply(
-            "enumerate",
-            n,
-            Exchange::per_record(|msg: &PartMsg| match msg {
-                PartMsg::Part { partition, .. } => Routing::Key(hash_id(partition.owner)),
-                PartMsg::Tick(_) => Routing::Broadcast,
-            }),
-            move |_| EnumerateOp::new(enumerator_kind, engine_config),
-        );
-
-        let mut patterns = Vec::new();
-        let mut done_counts: HashMap<u32, usize> = HashMap::new();
-        outputs.for_each(|msg| match msg {
-            OutMsg::Pattern(p) => patterns.push(p),
-            OutMsg::Done(t) => {
-                let c = done_counts.entry(t).or_insert(0);
-                *c += 1;
-                if *c == n {
-                    metrics.mark_done(t);
-                }
-            }
-        });
-        PipelineOutput {
-            patterns,
-            metrics: metrics.report(),
+        let (input, records) = ingest_channel::<GpsRecord>(config.runtime.channel_capacity);
+        let driver_config = config.clone();
+        let driver_metrics = metrics.clone();
+        let driver = std::thread::Builder::new()
+            .name("icpe-driver".into())
+            .spawn(move || drive(driver_config, records, driver_metrics, on_event))
+            .expect("failed to spawn pipeline driver thread");
+        LivePipeline {
+            input: Some(RecordSender { inner: input }),
+            driver: Some(driver),
+            metrics,
         }
     }
+
+    /// Runs the full dataflow over a (possibly out-of-order) stream of
+    /// discretized GPS records, blocking until completion. Batch façade
+    /// over [`IcpePipeline::launch`].
+    pub fn run(config: &IcpeConfig, records: Vec<GpsRecord>) -> PipelineOutput {
+        let collected: Arc<Mutex<Vec<Pattern>>> = Arc::new(Mutex::new(Vec::new()));
+        let sink = Arc::clone(&collected);
+        let live = IcpePipeline::launch(config, move |event| {
+            if let PipelineEvent::Pattern(p) = event {
+                sink.lock().expect("pattern sink poisoned").push(p);
+            }
+        });
+        for record in records {
+            if live.push(record).is_err() {
+                break; // pipeline died; finish() will propagate the panic
+            }
+        }
+        let metrics = live.finish();
+        let patterns = std::mem::take(&mut *collected.lock().expect("pattern sink poisoned"));
+        PipelineOutput { patterns, metrics }
+    }
+}
+
+/// Driver-thread body of a launched pipeline: builds the dataflow with a
+/// channel source and drains it into the event callback.
+fn drive(
+    config: IcpeConfig,
+    records: crossbeam::channel::Receiver<GpsRecord>,
+    metrics: PipelineMetrics,
+    mut on_event: impl FnMut(PipelineEvent) + Send + 'static,
+) {
+    let n = config.parallelism;
+    let aligner_config = config.aligner;
+    let aligner_metrics = metrics.clone();
+
+    let source = Stream::from_channel(config.runtime, records);
+    let snapshots = source.apply("align", 1, Exchange::Rebalance, move |_| {
+        AlignOperator::with_metrics(aligner_config, aligner_metrics.clone())
+    });
+    let partitions = cluster_stages(snapshots, &config, &metrics);
+    let engine_config = config.engine_config();
+    let enumerator_kind = config.enumerator;
+    let outputs = partitions.apply(
+        "enumerate",
+        n,
+        Exchange::per_record(|msg: &PartMsg| match msg {
+            PartMsg::Part { partition, .. } => Routing::Key(hash_id(partition.owner)),
+            PartMsg::Tick(_) => Routing::Broadcast,
+        }),
+        move |_| EnumerateOp::new(enumerator_kind, engine_config),
+    );
+
+    let mut done_counts: HashMap<u32, usize> = HashMap::new();
+    outputs.for_each(|msg| match msg {
+        OutMsg::Pattern(p) => on_event(PipelineEvent::Pattern(p)),
+        OutMsg::Done(t) => {
+            let c = done_counts.entry(t).or_insert(0);
+            *c += 1;
+            if *c == n {
+                metrics.mark_done(t);
+                on_event(PipelineEvent::SnapshotSealed { time: t });
+            }
+        }
+    });
 }
 
 fn hash_id(id: ObjectId) -> u64 {
@@ -120,14 +271,13 @@ fn cluster_stages(
             let full_replication = config.clusterer == ClustererKind::Srj;
             let build_then_query = full_replication;
             let m0 = metrics.clone();
-            let grid_objects = snapshots.apply("allocate", 1, Exchange::Rebalance, move |_| {
-                AllocateOp {
+            let grid_objects =
+                snapshots.apply("allocate", 1, Exchange::Rebalance, move |_| AllocateOp {
                     grid: Grid::new(lg),
                     eps: dbscan.eps,
                     full_replication,
                     metrics: m0.clone(),
-                }
-            });
+                });
             let pairs = grid_objects.apply(
                 "grid-query",
                 n,
@@ -137,11 +287,13 @@ fn cluster_stages(
                 }),
                 move |_| QueryOp::new(dbscan.eps, metric, build_then_query),
             );
-            pairs.apply("sync-dbscan", 1, Exchange::Rebalance, move |_| SyncDbscanOp {
-                upstream: n,
-                m,
-                dbscan,
-                pending: BTreeMap::new(),
+            pairs.apply("sync-dbscan", 1, Exchange::Rebalance, move |_| {
+                SyncDbscanOp {
+                    upstream: n,
+                    m,
+                    dbscan,
+                    pending: BTreeMap::new(),
+                }
             })
         }
         ClustererKind::Gdc => {
@@ -321,8 +473,7 @@ impl Operator<PairMsg, PartMsg> for SyncDbscanOp {
                         pairs.iter().flat_map(|&(a, b)| [a, b]).collect();
                     objects.sort_unstable();
                     objects.dedup();
-                    let outcome =
-                        dbscan_from_pairs(Timestamp(t), &objects, &pairs, &self.dbscan);
+                    let outcome = dbscan_from_pairs(Timestamp(t), &objects, &pairs, &self.dbscan);
                     for partition in id_partitions(&outcome.snapshot, self.m) {
                         out.emit(PartMsg::Part { time: t, partition });
                     }
@@ -432,7 +583,11 @@ mod tests {
 
     #[test]
     fn pipeline_detects_the_walking_group() {
-        for kind in [EnumeratorKind::Fba, EnumeratorKind::Vba, EnumeratorKind::Baseline] {
+        for kind in [
+            EnumeratorKind::Fba,
+            EnumeratorKind::Vba,
+            EnumeratorKind::Baseline,
+        ] {
             let out = IcpePipeline::run(&config(3, kind), walking_records(10));
             let sets = unique_object_sets(&out.patterns);
             assert!(
@@ -517,5 +672,79 @@ mod tests {
         let out = IcpePipeline::run(&config(2, EnumeratorKind::Fba), Vec::new());
         assert!(out.patterns.is_empty());
         assert_eq!(out.metrics.snapshots, 0);
+    }
+
+    #[test]
+    fn live_launch_delivers_patterns_and_seal_events() {
+        let events: Arc<Mutex<Vec<PipelineEvent>>> = Arc::new(Mutex::new(Vec::new()));
+        let sink = Arc::clone(&events);
+        let live = IcpePipeline::launch(&config(3, EnumeratorKind::Fba), move |e| {
+            sink.lock().unwrap().push(e);
+        });
+        for r in walking_records(10) {
+            live.push(r).unwrap();
+        }
+        let report = live.finish();
+        assert_eq!(report.snapshots, 10);
+
+        let events = events.lock().unwrap();
+        let sealed: Vec<u32> = events
+            .iter()
+            .filter_map(|e| match e {
+                PipelineEvent::SnapshotSealed { time } => Some(*time),
+                _ => None,
+            })
+            .collect();
+        assert_eq!(sealed, (0..10).collect::<Vec<_>>(), "sealed in order");
+        let patterns: Vec<Pattern> = events
+            .iter()
+            .filter_map(|e| match e {
+                PipelineEvent::Pattern(p) => Some(p.clone()),
+                _ => None,
+            })
+            .collect();
+        let sets = unique_object_sets(&patterns);
+        assert!(sets.contains(&vec![ObjectId(1), ObjectId(2), ObjectId(3)]));
+    }
+
+    #[test]
+    fn live_launch_supports_many_producers() {
+        let live = IcpePipeline::launch(&config(2, EnumeratorKind::Fba), |_| {});
+        let records = walking_records(12);
+        // Interleave the stream across four concurrent producers, keyed so
+        // each object's records stay with one producer (preserving per-id
+        // order, as TCP connections do).
+        let mut handles = Vec::new();
+        for p in 0..4u32 {
+            let sender = live.sender();
+            let my_records: Vec<GpsRecord> = records
+                .iter()
+                .filter(|r| r.id.0 % 4 == p)
+                .copied()
+                .collect();
+            handles.push(std::thread::spawn(move || {
+                for r in my_records {
+                    sender.push(r).unwrap();
+                }
+            }));
+        }
+        for h in handles {
+            h.join().unwrap();
+        }
+        let report = live.finish();
+        assert_eq!(report.snapshots, 12);
+    }
+
+    #[test]
+    fn live_progress_gauges_advance() {
+        let live = IcpePipeline::launch(&config(1, EnumeratorKind::Fba), |_| {});
+        for r in walking_records(8) {
+            live.push(r).unwrap();
+        }
+        let before = live.progress();
+        let report = live.finish();
+        assert_eq!(report.snapshots, 8);
+        // After finish, everything ingested has sealed.
+        assert!(before.max_ingested.unwrap_or(0) <= 7);
     }
 }

@@ -129,7 +129,9 @@ impl BrinkhoffGenerator {
             }
         }
         // Advance by the current edge's speed, possibly across several legs.
-        let mut budget = self.network.edge_speed(tr.path[tr.leg], tr.path[tr.leg + 1]);
+        let mut budget = self
+            .network
+            .edge_speed(tr.path[tr.leg], tr.path[tr.leg + 1]);
         loop {
             let a = tr.path[tr.leg];
             let b = tr.path[tr.leg + 1];
@@ -193,10 +195,7 @@ mod tests {
                 let d = w[0].1.l2(&w[1].1);
                 // One tick of travel plus numeric slack; jumps would mean a
                 // teleporting bug.
-                assert!(
-                    d <= max_speed * 1.5 + 1e-6,
-                    "object moved {d} in one tick"
-                );
+                assert!(d <= max_speed * 1.5 + 1e-6, "object moved {d} in one tick");
             }
         }
     }
@@ -217,10 +216,7 @@ mod tests {
     fn deterministic_under_seed() {
         let a = BrinkhoffGenerator::new(small()).traces();
         let b = BrinkhoffGenerator::new(small()).traces();
-        assert_eq!(
-            a.trace(ObjectId(3)).unwrap(),
-            b.trace(ObjectId(3)).unwrap()
-        );
+        assert_eq!(a.trace(ObjectId(3)).unwrap(), b.trace(ObjectId(3)).unwrap());
     }
 
     #[test]

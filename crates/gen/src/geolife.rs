@@ -88,8 +88,8 @@ impl GeoLifeGenerator {
             })
             .collect();
 
-        let num_grouped = ((c.num_objects as f64 * c.group_fraction) as usize / c.group_size)
-            * c.group_size;
+        let num_grouped =
+            ((c.num_objects as f64 * c.group_fraction) as usize / c.group_size) * c.group_size;
         let mut people: Vec<Person> = Vec::with_capacity(c.num_objects);
         for i in 0..c.num_objects {
             let knot = if i < num_grouped {
@@ -124,8 +124,7 @@ impl GeoLifeGenerator {
         for tick in 0..c.num_ticks {
             // Move heads and solos; followers copy their head with jitter.
             for i in 0..people.len() {
-                let is_follower =
-                    people[i].knot != usize::MAX && i % c.group_size != 0;
+                let is_follower = people[i].knot != usize::MAX && i % c.group_size != 0;
                 if is_follower {
                     continue;
                 }
@@ -147,8 +146,7 @@ impl GeoLifeGenerator {
                 }
             }
             for i in 0..people.len() {
-                let is_follower =
-                    people[i].knot != usize::MAX && i % c.group_size != 0;
+                let is_follower = people[i].knot != usize::MAX && i % c.group_size != 0;
                 if is_follower {
                     let head = (i / c.group_size) * c.group_size;
                     let head_pos = people[head].position;

@@ -80,7 +80,14 @@ pub fn write_raw_records(records: &[RawRecord], out: impl Write) -> Result<(), C
     let mut w = BufWriter::new(out);
     writeln!(w, "id,time,x,y")?;
     for r in records {
-        writeln!(w, "{},{},{},{}", r.id.raw(), r.time, r.location.x, r.location.y)?;
+        writeln!(
+            w,
+            "{},{},{},{}",
+            r.id.raw(),
+            r.time,
+            r.location.x,
+            r.location.y
+        )?;
     }
     w.flush()?;
     Ok(())

@@ -57,21 +57,21 @@ impl RoadNetwork {
         }
         let idx = |x: usize, y: usize| y * nx + x;
         let mut adjacency: Vec<Vec<Edge>> = vec![Vec::new(); nodes.len()];
-        let connect = |a: usize, b: usize, rng: &mut StdRng, adj: &mut Vec<Vec<Edge>>,
-                           nodes: &[Node]| {
-            let length = nodes[a].position.l2(&nodes[b].position);
-            let speed = SPEED_CLASSES[rng.random_range(0..SPEED_CLASSES.len())];
-            adj[a].push(Edge {
-                to: b,
-                length,
-                speed,
-            });
-            adj[b].push(Edge {
-                to: a,
-                length,
-                speed,
-            });
-        };
+        let connect =
+            |a: usize, b: usize, rng: &mut StdRng, adj: &mut Vec<Vec<Edge>>, nodes: &[Node]| {
+                let length = nodes[a].position.l2(&nodes[b].position);
+                let speed = SPEED_CLASSES[rng.random_range(0..SPEED_CLASSES.len())];
+                adj[a].push(Edge {
+                    to: b,
+                    length,
+                    speed,
+                });
+                adj[b].push(Edge {
+                    to: a,
+                    length,
+                    speed,
+                });
+            };
         for y in 0..ny {
             for x in 0..nx {
                 if x + 1 < nx {
@@ -81,7 +81,13 @@ impl RoadNetwork {
                     connect(idx(x, y), idx(x, y + 1), &mut rng, &mut adjacency, &nodes);
                 }
                 if x + 1 < nx && y + 1 < ny && rng.random_bool(diagonal_prob) {
-                    connect(idx(x, y), idx(x + 1, y + 1), &mut rng, &mut adjacency, &nodes);
+                    connect(
+                        idx(x, y),
+                        idx(x + 1, y + 1),
+                        &mut rng,
+                        &mut adjacency,
+                        &nodes,
+                    );
                 }
             }
         }

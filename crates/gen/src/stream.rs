@@ -58,7 +58,9 @@ impl TraceSet {
         let Some(max_tick) = max_tick else {
             return Vec::new();
         };
-        let mut snaps: Vec<Snapshot> = (0..=max_tick).map(|t| Snapshot::new(Timestamp(t))).collect();
+        let mut snaps: Vec<Snapshot> = (0..=max_tick)
+            .map(|t| Snapshot::new(Timestamp(t)))
+            .collect();
         for (&id, trace) in &self.traces {
             let mut last: Option<u32> = None;
             for &(tick, loc) in trace {
@@ -131,7 +133,11 @@ impl Default for DisorderConfig {
 /// Produces the raw record stream with bounded out-of-order arrival — the
 /// adversarial input for the §4 time-alignment mechanism. Per-object order
 /// is preserved only in *time*, not in arrival position.
-pub fn to_raw_records(traces: &TraceSet, interval: f64, disorder: DisorderConfig) -> Vec<RawRecord> {
+pub fn to_raw_records(
+    traces: &TraceSet,
+    interval: f64,
+    disorder: DisorderConfig,
+) -> Vec<RawRecord> {
     let mut records = traces.to_records(interval);
     let mut rng = StdRng::seed_from_u64(disorder.seed);
     // Fisher–Yates-style bounded displacement: walk backwards, occasionally

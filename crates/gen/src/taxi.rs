@@ -60,13 +60,8 @@ pub struct TaxiGenerator {
 impl TaxiGenerator {
     /// Builds the generator, its network, and its hot-spot nodes.
     pub fn new(config: TaxiConfig) -> Self {
-        let network = RoadNetwork::grid(
-            config.net_nx,
-            config.net_ny,
-            config.block,
-            0.1,
-            config.seed,
-        );
+        let network =
+            RoadNetwork::grid(config.net_nx, config.net_ny, config.block, 0.1, config.seed);
         let mut rng = StdRng::seed_from_u64(config.seed.wrapping_add(7));
         let hotspots: Vec<usize> = (0..config.num_hotspots)
             .map(|_| rng.random_range(0..network.num_nodes()))
@@ -134,8 +129,10 @@ impl TaxiGenerator {
                 }
                 // Advance one tick (5 s: ×5 the per-second edge speed).
                 if taxi.leg + 1 < taxi.path.len() {
-                    let mut budget =
-                        5.0 * self.network.edge_speed(taxi.path[taxi.leg], taxi.path[taxi.leg + 1]);
+                    let mut budget = 5.0
+                        * self
+                            .network
+                            .edge_speed(taxi.path[taxi.leg], taxi.path[taxi.leg + 1]);
                     while taxi.leg + 1 < taxi.path.len() && budget > 0.0 {
                         let pa = self.network.position(taxi.path[taxi.leg]);
                         let pb = self.network.position(taxi.path[taxi.leg + 1]);

@@ -21,10 +21,7 @@ pub struct GrIndex {
 impl GrIndex {
     /// Builds the index over a snapshot with grid cell width `lg`.
     pub fn build(snapshot: &Snapshot, lg: f64) -> Self {
-        Self::build_from_pairs(
-            snapshot.entries.iter().map(|e| (e.id, e.location)),
-            lg,
-        )
+        Self::build_from_pairs(snapshot.entries.iter().map(|e| (e.id, e.location)), lg)
     }
 
     /// Builds the index from raw `(id, location)` pairs.
@@ -41,7 +38,10 @@ impl GrIndex {
             .map(|(k, mut items)| {
                 (
                     k,
-                    RTree::bulk_load_with_max_entries(crate::rtree::DEFAULT_MAX_ENTRIES, &mut items),
+                    RTree::bulk_load_with_max_entries(
+                        crate::rtree::DEFAULT_MAX_ENTRIES,
+                        &mut items,
+                    ),
                 )
             })
             .collect();

@@ -667,9 +667,7 @@ mod tests {
         let hits = t.query_rect_vec(&Rect::new(4.0, 4.0, 6.0, 6.0));
         assert_eq!(hits.len(), 1);
         assert_eq!(*hits[0].1, 42);
-        assert!(t
-            .query_rect_vec(&Rect::new(6.0, 6.0, 7.0, 7.0))
-            .is_empty());
+        assert!(t.query_rect_vec(&Rect::new(6.0, 6.0, 7.0, 7.0)).is_empty());
     }
 
     #[test]
@@ -800,8 +798,7 @@ mod tests {
                     .iter()
                     .map(|(_, _, d)| *d)
                     .collect();
-                let mut want: Vec<f64> =
-                    items.iter().map(|(p, _)| p.distance(q, metric)).collect();
+                let mut want: Vec<f64> = items.iter().map(|(p, _)| p.distance(q, metric)).collect();
                 want.sort_by(f64::total_cmp);
                 want.truncate(k);
                 assert_eq!(got.len(), want.len());

@@ -1,6 +1,6 @@
 //! Property-based tests: R-tree ≡ brute force, grid coverage lemmas.
 
-use icpe_index::{Grid, GrIndex, RTree};
+use icpe_index::{GrIndex, Grid, RTree};
 use icpe_types::{DistanceMetric, ObjectId, Point, Rect};
 use proptest::prelude::*;
 

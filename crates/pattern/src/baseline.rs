@@ -151,8 +151,7 @@ mod tests {
         // {1,2,3} together for 4 consecutive times; CP(3,4,2,2).
         let c = Constraints::new(3, 4, 2, 2).unwrap();
         let mut engine = BaselineEngine::new(EngineConfig::new(c));
-        let stream: Vec<ClusterSnapshot> =
-            (0..8).map(|t| cs(t, &[&[1, 2, 3]])).collect();
+        let stream: Vec<ClusterSnapshot> = (0..8).map(|t| cs(t, &[&[1, 2, 3]])).collect();
         let patterns = run_stream(&mut engine, &stream);
         let sets = unique_object_sets(&patterns);
         assert!(sets.contains(&vec![oid(1), oid(2), oid(3)]));

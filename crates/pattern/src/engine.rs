@@ -115,7 +115,11 @@ impl WindowState {
     }
 
     /// Ingests pre-computed partitions for one time tick.
-    pub fn push_partitions(&mut self, time: Timestamp, partitions: Vec<Partition>) -> Vec<WindowTask> {
+    pub fn push_partitions(
+        &mut self,
+        time: Timestamp,
+        partitions: Vec<Partition>,
+    ) -> Vec<WindowTask> {
         let t = time.0;
         if let Some(prev) = self.last_time {
             assert!(t > prev, "cluster snapshots must arrive in time order");
@@ -181,10 +185,7 @@ impl WindowState {
         debug_assert_eq!(popped, start, "window starts must release in order");
         let window = self.window_slice(owner, start, start + self.eta - 1);
         // Prune history no future window of this owner can reference.
-        let keep_from = self
-            .starts
-            .get(&owner)
-            .and_then(|q| q.front().copied());
+        let keep_from = self.starts.get(&owner).and_then(|q| q.front().copied());
         match keep_from {
             Some(f) => {
                 let hist = self.histories.get_mut(&owner).unwrap();
@@ -205,11 +206,7 @@ impl WindowState {
     fn window_slice(&self, owner: ObjectId, start: u32, end: u32) -> Vec<Vec<ObjectId>> {
         let hist = self.histories.get(&owner);
         (start..=end)
-            .map(|j| {
-                hist.and_then(|h| h.get(&j))
-                    .cloned()
-                    .unwrap_or_default()
-            })
+            .map(|j| hist.and_then(|h| h.get(&j)).cloned().unwrap_or_default())
             .collect()
     }
 }

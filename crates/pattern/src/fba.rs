@@ -306,8 +306,7 @@ mod tests {
         let c = Constraints::new(2, 4, 2, 2).unwrap();
         let mut engine = FbaEngine::new(EngineConfig::new(c));
         // {1,2} and {3,4} never share a cluster.
-        let stream: Vec<ClusterSnapshot> =
-            (0..8).map(|t| cs(t, &[&[1, 2], &[3, 4]])).collect();
+        let stream: Vec<ClusterSnapshot> = (0..8).map(|t| cs(t, &[&[1, 2], &[3, 4]])).collect();
         let sets = unique_object_sets(&run_stream(&mut engine, &stream));
         for s in &sets {
             assert!(

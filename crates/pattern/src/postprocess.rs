@@ -37,7 +37,10 @@ pub fn merge_patterns(patterns: &[Pattern]) -> Vec<Pattern> {
             for t in times {
                 seq.push(t).expect("BTreeSet iterates in increasing order");
             }
-            Pattern { objects, times: seq }
+            Pattern {
+                objects,
+                times: seq,
+            }
         })
         .collect()
 }
@@ -105,7 +108,9 @@ impl std::fmt::Display for PatternSummary {
         writeln!(
             f,
             "{} reports, {} distinct sets, {} maximal:",
-            self.reports, self.distinct_sets, self.maximal.len()
+            self.reports,
+            self.distinct_sets,
+            self.maximal.len()
         )?;
         for p in &self.maximal {
             writeln!(f, "  {p}")?;
@@ -154,10 +159,7 @@ mod tests {
         let sets: Vec<Vec<ObjectId>> = maximal.into_iter().map(|p| p.objects).collect();
         assert_eq!(
             sets,
-            vec![
-                vec![oid(1), oid(2), oid(3)],
-                vec![oid(7), oid(8)],
-            ]
+            vec![vec![oid(1), oid(2), oid(3)], vec![oid(7), oid(8)],]
         );
     }
 

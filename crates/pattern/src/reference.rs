@@ -80,9 +80,13 @@ impl ExhaustiveMiner {
         let mut out = Vec::new();
         for (cand, times) in co_times {
             let runs = runs_from_times(&times);
-            if let Some(witness) =
-                runs_witness(&runs, constraints.k(), constraints.l(), constraints.g(), semantics)
-            {
+            if let Some(witness) = runs_witness(
+                &runs,
+                constraints.k(),
+                constraints.l(),
+                constraints.g(),
+                semantics,
+            ) {
                 let seq = TimeSequence::from_raw(witness).expect("witness is increasing");
                 out.push(Pattern::new(cand.clone(), seq));
             }

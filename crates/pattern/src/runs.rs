@@ -73,7 +73,9 @@ pub fn runs_witness(
 ) -> Option<Vec<u32>> {
     match semantics {
         Semantics::Subsequence => subsequence_witness(runs, k, l, g),
-        Semantics::PaperGreedy => (0..runs.len()).find_map(|i| greedy_witness_from(runs, i, k, l, g)),
+        Semantics::PaperGreedy => {
+            (0..runs.len()).find_map(|i| greedy_witness_from(runs, i, k, l, g))
+        }
     }
 }
 
@@ -191,7 +193,10 @@ pub fn exhaustive_subsequence_valid(times: &[u32], k: usize, l: usize, g: u32) -
     assert!(times.len() <= 20, "exhaustive oracle limited to 20 times");
     let n = times.len();
     'mask: for mask in 1u32..(1 << n) {
-        let chosen: Vec<u32> = (0..n).filter(|&i| mask & (1 << i) != 0).map(|i| times[i]).collect();
+        let chosen: Vec<u32> = (0..n)
+            .filter(|&i| mask & (1 << i) != 0)
+            .map(|i| times[i])
+            .collect();
         if chosen.len() < k {
             continue;
         }

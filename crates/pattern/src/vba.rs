@@ -139,10 +139,7 @@ impl VbaEngine {
             let due: Vec<u32> = state.closures.range(..=t).map(|(&d, _)| d).collect();
             for d in due {
                 for member in state.closures.remove(&d).unwrap() {
-                    let still_stale = state
-                        .open
-                        .get(&member)
-                        .is_some_and(|o| o.last_one + g < t);
+                    let still_stale = state.open.get(&member).is_some_and(|o| o.last_one + g < t);
                     if still_stale {
                         let closed = state.open.remove(&member).unwrap();
                         Self::close_string(member, closed, &self.config, state, &mut out, owner);
@@ -150,9 +147,7 @@ impl VbaEngine {
                 }
             }
             if let Some(r) = self.retention {
-                state
-                    .candidates
-                    .retain(|c| c.et.saturating_add(r) >= t);
+                state.candidates.retain(|c| c.et.saturating_add(r) >= t);
             }
         }
         out
@@ -220,8 +215,7 @@ impl VbaEngine {
             .candidates
             .iter()
             .filter(|o| {
-                o.member != cand.member
-                    && overlap_len(o.st, o.et, cand.st, cand.et) >= k as u32
+                o.member != cand.member && overlap_len(o.st, o.et, cand.st, cand.et) >= k as u32
             })
             .collect();
 
@@ -246,8 +240,7 @@ impl VbaEngine {
                 let Some(witness) = bits.witness(k, c.l(), c.g(), config.semantics) else {
                     continue;
                 };
-                let mut objects: Vec<ObjectId> =
-                    set.iter().map(|&i| pool[i].member).collect();
+                let mut objects: Vec<ObjectId> = set.iter().map(|&i| pool[i].member).collect();
                 objects.push(cand.member);
                 objects.push(owner);
                 let times = TimeSequence::from_raw(witness.into_iter().map(|j| st + j))

@@ -74,6 +74,8 @@ pub struct TimeAligner {
     sealed_up_to: Option<u32>,
     /// Largest record time seen.
     max_seen: u32,
+    /// Records dropped for arriving after their snapshot sealed.
+    late_dropped: u64,
 }
 
 impl TimeAligner {
@@ -85,6 +87,7 @@ impl TimeAligner {
             chains: HashMap::new(),
             sealed_up_to: None,
             max_seen: 0,
+            late_dropped: 0,
         }
     }
 
@@ -94,7 +97,14 @@ impl TimeAligner {
         let t = rec.time.0;
         if let Some(s) = self.sealed_up_to {
             if t < s {
-                // Arrived after its snapshot was sealed (lag exceeded); drop.
+                // Arrived after its snapshot was sealed (lag exceeded):
+                // dropped, deterministically, and counted for observability.
+                // The record's *synchronization information* stays valid —
+                // advancing the chain prevents the trajectory's later
+                // records from waiting forever on a link that will never
+                // connect (which would stall sealing until retirement).
+                self.late_dropped += 1;
+                self.advance_chain(&rec);
                 return Vec::new();
             }
         }
@@ -103,8 +113,14 @@ impl TimeAligner {
             .entry(t)
             .or_insert_with(|| Snapshot::new(Timestamp(t)))
             .push(rec.id, rec.location, rec.last_time);
+        self.advance_chain(&rec);
+        self.drain_sealable()
+    }
 
-        // Advance this trajectory's clarification chain.
+    /// Advances a trajectory's clarification chain with one record's
+    /// last-time link.
+    fn advance_chain(&mut self, rec: &GpsRecord) {
+        let t = rec.time.0;
         let chain = self.chains.entry(rec.id).or_default();
         match rec.last_time {
             // First report of the trajectory: the chain starts here.
@@ -128,8 +144,6 @@ impl TimeAligner {
                 None => break,
             }
         }
-
-        self.drain_sealable()
     }
 
     /// Seals everything still buffered (end of stream).
@@ -153,6 +167,13 @@ impl TimeAligner {
     /// Number of buffered (unsealed) snapshots.
     pub fn pending(&self) -> usize {
         self.buffers.len()
+    }
+
+    /// How many records were dropped for arriving after their snapshot
+    /// sealed. Dropping is deterministic: a record is late iff its time is
+    /// below the sealed frontier at arrival, regardless of thread timing.
+    pub fn late_dropped(&self) -> u64 {
+        self.late_dropped
     }
 
     fn drain_sealable(&mut self) -> Vec<Snapshot> {
@@ -212,6 +233,11 @@ impl TimeAligner {
 /// [`TimeAligner`] as a pipeline [`Operator`].
 pub struct AlignOperator {
     aligner: TimeAligner,
+    /// Shared recorder the late-drop counter is mirrored into (the operator
+    /// itself is owned by its subtask thread, so drivers observe the count
+    /// through this instead).
+    metrics: Option<crate::metrics::PipelineMetrics>,
+    reported_late: u64,
 }
 
 impl AlignOperator {
@@ -220,6 +246,28 @@ impl AlignOperator {
     pub fn new(config: AlignerConfig) -> Self {
         AlignOperator {
             aligner: TimeAligner::new(config),
+            metrics: None,
+            reported_late: 0,
+        }
+    }
+
+    /// Like [`AlignOperator::new`], additionally mirroring the late-record
+    /// counter into a shared [`PipelineMetrics`](crate::PipelineMetrics).
+    pub fn with_metrics(config: AlignerConfig, metrics: crate::metrics::PipelineMetrics) -> Self {
+        AlignOperator {
+            aligner: TimeAligner::new(config),
+            metrics: Some(metrics),
+            reported_late: 0,
+        }
+    }
+
+    fn sync_late_counter(&mut self) {
+        if let Some(metrics) = &self.metrics {
+            let total = self.aligner.late_dropped();
+            if total > self.reported_late {
+                metrics.mark_late(total - self.reported_late);
+                self.reported_late = total;
+            }
         }
     }
 }
@@ -227,10 +275,12 @@ impl AlignOperator {
 impl Operator<GpsRecord, Snapshot> for AlignOperator {
     fn process(&mut self, input: GpsRecord, out: &mut Collector<Snapshot>) {
         out.emit_all(self.aligner.push(input));
+        self.sync_late_counter();
     }
 
     fn finish(&mut self, out: &mut Collector<Snapshot>) {
         out.emit_all(self.aligner.flush());
+        self.sync_late_counter();
     }
 }
 

@@ -28,7 +28,7 @@ pub mod operator;
 pub mod stream;
 
 pub use aligner::{AlignOperator, AlignerConfig, TimeAligner};
-pub use exchange::{Exchange, Routing};
-pub use metrics::{MetricsReport, PipelineMetrics};
+pub use exchange::{Disconnected, Exchange, Routing};
+pub use metrics::{MetricsReport, PipelineMetrics, StreamProgress};
 pub use operator::{filter_fn, flat_map_fn, map_fn, Collector, Operator};
-pub use stream::{RuntimeConfig, Stream};
+pub use stream::{ingest_channel, RuntimeConfig, Stream, StreamHandle};

@@ -11,12 +11,25 @@ use std::collections::HashMap;
 use std::sync::Arc;
 use std::time::{Duration, Instant};
 
+/// Latency samples retained for percentile reporting. Long-lived servers
+/// seal snapshots indefinitely, so the sample history is a bounded sliding
+/// window (the counters stay cumulative).
+const LATENCY_WINDOW: usize = 8192;
+
 #[derive(Debug, Default)]
 struct Inner {
     ingest: HashMap<u32, Instant>,
     latencies: Vec<(u32, Duration)>,
+    /// Total snapshots completed (ingest + done), across the whole run.
+    completed: usize,
     first_done: Option<Instant>,
     last_done: Option<Instant>,
+    /// Records that arrived after their snapshot sealed and were dropped.
+    late_records: u64,
+    /// Largest snapshot time that entered the pipeline.
+    max_ingested: Option<u32>,
+    /// Largest snapshot time fully processed.
+    max_sealed: Option<u32>,
 }
 
 /// A cloneable, thread-safe latency/throughput recorder keyed by snapshot
@@ -36,6 +49,7 @@ impl PipelineMetrics {
     pub fn mark_ingest(&self, t: u32) {
         let mut inner = self.inner.lock();
         inner.ingest.entry(t).or_insert_with(Instant::now);
+        inner.max_ingested = Some(inner.max_ingested.map_or(t, |m| m.max(t)));
     }
 
     /// Marks snapshot `t` as fully processed (results emitted).
@@ -43,10 +57,34 @@ impl PipelineMetrics {
         let now = Instant::now();
         let mut inner = self.inner.lock();
         if let Some(start) = inner.ingest.remove(&t) {
+            inner.completed += 1;
+            if inner.latencies.len() >= LATENCY_WINDOW {
+                // Amortized O(1): drop the older half of the window.
+                inner.latencies.drain(..LATENCY_WINDOW / 2);
+            }
             inner.latencies.push((t, now - start));
         }
         inner.first_done.get_or_insert(now);
         inner.last_done = Some(now);
+        inner.max_sealed = Some(inner.max_sealed.map_or(t, |m| m.max(t)));
+    }
+
+    /// Counts records dropped for arriving after their snapshot sealed.
+    pub fn mark_late(&self, n: u64) {
+        self.inner.lock().late_records += n;
+    }
+
+    /// Live position of the stream: how far ingestion has advanced, how far
+    /// processing has caught up, and the resulting per-stage lag — the
+    /// serving layer's health gauges.
+    pub fn progress(&self) -> StreamProgress {
+        let inner = self.inner.lock();
+        StreamProgress {
+            max_ingested: inner.max_ingested,
+            max_sealed: inner.max_sealed,
+            in_flight: inner.ingest.len(),
+            late_records: inner.late_records,
+        }
     }
 
     /// Summarizes what was recorded so far.
@@ -71,25 +109,52 @@ impl PipelineMetrics {
             (Some(a), Some(b)) if b > a => b - a,
             _ => Duration::ZERO,
         };
-        let throughput = if span.is_zero() || count < 2 {
+        let throughput = if span.is_zero() || inner.completed < 2 {
             f64::NAN
         } else {
-            // First completion starts the clock, so count-1 completions
+            // First completion starts the clock, so completed-1 completions
             // happen within `span`.
-            (count - 1) as f64 / span.as_secs_f64()
+            (inner.completed - 1) as f64 / span.as_secs_f64()
         };
         MetricsReport {
-            snapshots: count,
+            snapshots: inner.completed,
             avg_latency: avg,
             p50_latency: pct(0.50),
             p95_latency: pct(0.95),
             max_latency: lat.last().copied().unwrap_or(Duration::ZERO),
             throughput_tps: throughput,
+            late_records: inner.late_records,
         }
     }
 }
 
-/// Summary statistics over the recorded snapshots.
+/// Live stream-position gauges (see [`PipelineMetrics::progress`]).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct StreamProgress {
+    /// Largest snapshot time that entered the pipeline, if any.
+    pub max_ingested: Option<u32>,
+    /// Largest snapshot time fully processed, if any.
+    pub max_sealed: Option<u32>,
+    /// Snapshots currently between ingest and completion.
+    pub in_flight: usize,
+    /// Records dropped for arriving after their snapshot sealed.
+    pub late_records: u64,
+}
+
+impl StreamProgress {
+    /// Snapshots of lag between ingestion and completed processing.
+    pub fn lag(&self) -> u32 {
+        match (self.max_ingested, self.max_sealed) {
+            (Some(i), Some(s)) => i.saturating_sub(s),
+            (Some(i), None) => i.saturating_add(1),
+            _ => 0,
+        }
+    }
+}
+
+/// Summary statistics over the recorded snapshots. The count is cumulative
+/// over the whole run; latency statistics cover the most recent bounded
+/// sample window (identical until a run outgrows it).
 #[derive(Debug, Clone, Copy)]
 pub struct MetricsReport {
     /// Number of snapshots with both ingest and done marks.
@@ -105,6 +170,8 @@ pub struct MetricsReport {
     /// Snapshots per second between the first and last completion
     /// (`NaN` when fewer than two snapshots completed).
     pub throughput_tps: f64,
+    /// Records dropped for arriving after their snapshot sealed.
+    pub late_records: u64,
 }
 
 impl std::fmt::Display for MetricsReport {
@@ -118,7 +185,11 @@ impl std::fmt::Display for MetricsReport {
             self.p95_latency.as_secs_f64() * 1e3,
             self.max_latency.as_secs_f64() * 1e3,
             self.throughput_tps,
-        )
+        )?;
+        if self.late_records > 0 {
+            write!(f, " | {} late dropped", self.late_records)?;
+        }
+        Ok(())
     }
 }
 
@@ -164,6 +235,24 @@ mod tests {
         m.mark_ingest(1); // ignored
         m.mark_done(1);
         assert!(m.report().avg_latency >= Duration::from_millis(2));
+    }
+
+    #[test]
+    fn latency_window_is_bounded_but_count_is_cumulative() {
+        let m = PipelineMetrics::new();
+        let n = (super::LATENCY_WINDOW + 100) as u32;
+        for t in 0..n {
+            m.mark_ingest(t);
+            m.mark_done(t);
+        }
+        let r = m.report();
+        assert_eq!(r.snapshots, n as usize, "count stays cumulative");
+        let inner = m.inner.lock();
+        assert!(
+            inner.latencies.len() <= super::LATENCY_WINDOW,
+            "sample window kept bounded, got {}",
+            inner.latencies.len()
+        );
     }
 
     #[test]

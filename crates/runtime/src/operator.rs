@@ -7,8 +7,16 @@ pub struct Collector<O> {
     buf: Vec<O>,
 }
 
+impl<O> Default for Collector<O> {
+    fn default() -> Self {
+        Collector::new()
+    }
+}
+
 impl<O> Collector<O> {
-    pub(crate) fn new() -> Self {
+    /// An empty collector. Public so operators can be driven directly in
+    /// tests; inside a dataflow the runtime owns the collector.
+    pub fn new() -> Self {
         Collector { buf: Vec::new() }
     }
 

@@ -9,7 +9,7 @@
 
 use crate::exchange::{Exchange, Router};
 use crate::operator::{Collector, Operator};
-use crossbeam::channel::{bounded, Receiver};
+use crossbeam::channel::{bounded, Receiver, Sender};
 use std::thread::JoinHandle;
 
 /// Runtime knobs shared by every stage of a dataflow.
@@ -64,6 +64,33 @@ impl<T: Send + Clone + 'static> Stream<T> {
                     .expect("failed to spawn source thread")
             }));
         }
+        Stream {
+            pending,
+            handles: Vec::new(),
+            config,
+        }
+    }
+
+    /// Declares a push-based source stage fed from an external channel: the
+    /// dataflow's input arrives through the returned [`Sender`]-side of
+    /// `receiver`'s channel rather than from a pre-built iterator. This is
+    /// the live-ingestion hook: a network front-end (or any producer thread)
+    /// pushes records while the dataflow runs, with the channel's bound
+    /// providing end-to-end backpressure. The stream ends when every sender
+    /// for `receiver`'s channel has been dropped.
+    pub fn from_channel(config: RuntimeConfig, receiver: Receiver<T>) -> Stream<T> {
+        let pending: Vec<PendingSubtask<T>> = vec![Box::new(move |mut router: Router<T>| {
+            std::thread::Builder::new()
+                .name("source-channel".into())
+                .spawn(move || {
+                    for item in receiver.iter() {
+                        if router.route(item).is_err() {
+                            return; // downstream gone; stop forwarding
+                        }
+                    }
+                })
+                .expect("failed to spawn channel-source thread")
+        })];
         Stream {
             pending,
             handles: Vec::new(),
@@ -157,6 +184,24 @@ impl<T: Send + Clone + 'static> Stream<T> {
         }
     }
 
+    /// Terminal: finalizes the dataflow and hands back a [`Receiver`] of the
+    /// final stage's output plus a [`StreamHandle`] for joining the subtask
+    /// threads. The pull-based dual of [`Stream::from_channel`]: a consumer
+    /// (e.g. a network fan-out) drains results at its own pace, and
+    /// **dropping the receiver early tears the whole dataflow down
+    /// cleanly** — every upstream subtask observes the disconnect on its
+    /// next send and exits without panicking.
+    pub fn into_receiver(mut self) -> (Receiver<T>, StreamHandle) {
+        let (sender, receiver) = bounded(self.config.channel_capacity);
+        let template = Router::new(vec![sender], Exchange::Rebalance);
+        let mut handles = std::mem::take(&mut self.handles);
+        for (i, start) in self.pending.drain(..).enumerate() {
+            handles.push(start(template.clone_for_subtask(i)));
+        }
+        drop(template);
+        (receiver, StreamHandle { handles })
+    }
+
     /// Terminal: collects the final stage's output into a vector
     /// (arrival order).
     pub fn collect_vec(self) -> Vec<T> {
@@ -169,6 +214,35 @@ impl<T: Send + Clone + 'static> Stream<T> {
     pub fn run(self) {
         self.for_each(|_| {});
     }
+}
+
+/// Join handle for a dataflow finalized with [`Stream::into_receiver`].
+pub struct StreamHandle {
+    handles: Vec<JoinHandle<()>>,
+}
+
+impl StreamHandle {
+    /// Waits for every subtask thread to exit. Panics if any subtask
+    /// panicked (propagating the payload), mirroring [`Stream::for_each`].
+    pub fn join(self) {
+        for h in self.handles {
+            if let Err(payload) = h.join() {
+                std::panic::resume_unwind(payload);
+            }
+        }
+    }
+
+    /// True once every subtask thread has exited (non-blocking).
+    pub fn is_finished(&self) -> bool {
+        self.handles.iter().all(JoinHandle::is_finished)
+    }
+}
+
+/// Re-exported channel constructor so dataflow drivers can build the
+/// ingestion channel for [`Stream::from_channel`] without depending on the
+/// channel crate directly.
+pub fn ingest_channel<T>(capacity: usize) -> (Sender<T>, Receiver<T>) {
+    bounded(capacity)
 }
 
 #[cfg(test)]
@@ -220,12 +294,9 @@ mod tests {
         // Tag each record with the subtask that processed it; verify each key
         // lands on exactly one subtask.
         let out = Stream::source(cfg(), 2, |i| (0..200u64).map(move |x| x + i as u64 * 200))
-            .apply(
-                "tag",
-                4,
-                Exchange::key_by(|x: &u64| x % 10),
-                |subtask| map_fn(move |x: u64| (x % 10, subtask)),
-            )
+            .apply("tag", 4, Exchange::key_by(|x: &u64| x % 10), |subtask| {
+                map_fn(move |x: u64| (x % 10, subtask))
+            })
             .collect_vec();
         assert_eq!(out.len(), 400);
         let mut owner: std::collections::HashMap<u64, usize> = std::collections::HashMap::new();

@@ -1,0 +1,81 @@
+//! Standalone `icpe-serve` server.
+//!
+//! ```text
+//! icpe-serve [ADDR]
+//!
+//! ADDR  bind address, default 127.0.0.1:7200 (port 0 = ephemeral)
+//!
+//! Environment overrides (workload units):
+//!   ICPE_EPS       DBSCAN ε                  (default 2.5)
+//!   ICPE_MINPTS    DBSCAN minPts             (default 4)
+//!   ICPE_M/K/L/G   CP(M,K,L,G) constraints   (default 4,8,4,2)
+//!   ICPE_N         keyed-stage parallelism   (default 4)
+//!   ICPE_INTERVAL  seconds per tick          (default 1.0)
+//! ```
+//!
+//! Feed it with `icpe_serve::loadgen` (see `examples/streaming_live.rs`),
+//! or any TCP producer speaking the line protocol; watch it with
+//! `printf 'STATUS\n' | nc <addr>`.
+
+use icpe_core::IcpeConfig;
+use icpe_serve::{ServeConfig, Server};
+use icpe_types::Constraints;
+
+fn env_parse<T: std::str::FromStr>(key: &str, default: T) -> T {
+    std::env::var(key)
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(default)
+}
+
+fn main() {
+    let addr = std::env::args()
+        .nth(1)
+        .unwrap_or_else(|| "127.0.0.1:7200".to_string());
+
+    let constraints = Constraints::new(
+        env_parse("ICPE_M", 4),
+        env_parse("ICPE_K", 8),
+        env_parse("ICPE_L", 4),
+        env_parse("ICPE_G", 2),
+    )
+    .expect("valid CP(M,K,L,G) constraints");
+    let engine = IcpeConfig::builder()
+        .constraints(constraints)
+        .epsilon(env_parse("ICPE_EPS", 2.5))
+        .min_pts(env_parse("ICPE_MINPTS", 4))
+        .parallelism(env_parse("ICPE_N", 4))
+        .build()
+        .expect("valid engine configuration");
+
+    let mut config = ServeConfig::new(engine);
+    config.addr = addr;
+    config.interval = env_parse("ICPE_INTERVAL", 1.0);
+
+    let server = Server::start(config).expect("bind and start server");
+    println!("icpe-serve listening on {}", server.local_addr());
+    println!("  producers:    connect and send `obj_id,time,x,y` lines");
+    println!("  subscribers:  send `SUBSCRIBE patterns` (or snapshots | all)");
+    println!("  status:       send `STATUS`");
+
+    // Serve until killed; print a status line every 10 s.
+    loop {
+        std::thread::sleep(std::time::Duration::from_secs(10));
+        let status = server.status_text();
+        let pick = |key: &str| {
+            status
+                .lines()
+                .find_map(|l| l.strip_prefix(&format!("{key}=")).map(str::to_string))
+                .unwrap_or_else(|| "?".into())
+        };
+        println!(
+            "[status] records_in={} records_per_s={} snapshots_sealed={} patterns={} subscribers={} shed={}",
+            pick("records_in"),
+            pick("records_per_s"),
+            pick("snapshots_sealed"),
+            pick("patterns_emitted"),
+            pick("subscribers"),
+            pick("subscribers_shed"),
+        );
+    }
+}

@@ -1,0 +1,128 @@
+//! Blocking client helpers: subscribe to events, fetch status, send
+//! records. Used by the integration tests and the `streaming_live` example;
+//! also a reference implementation of the wire protocol for real consumers.
+
+use crate::protocol::{Event, Topic, WireRecord};
+use std::io::{BufRead, BufReader, BufWriter, Write};
+use std::net::TcpStream;
+
+/// A live subscription: iterate to receive events until the server ends
+/// the stream (or sheds this subscriber).
+pub struct Subscription {
+    reader: BufReader<TcpStream>,
+}
+
+impl Subscription {
+    /// Connects and subscribes to `topic`.
+    pub fn connect(addr: &str, topic: Topic) -> std::io::Result<Subscription> {
+        let stream = TcpStream::connect(addr)?;
+        stream.set_nodelay(true).ok();
+        let topic_name = match topic {
+            Topic::Patterns => "patterns",
+            Topic::Snapshots => "snapshots",
+            Topic::All => "all",
+        };
+        let mut writer = stream.try_clone()?;
+        writeln!(writer, "SUBSCRIBE {topic_name}")?;
+        writer.flush()?;
+        Ok(Subscription {
+            reader: BufReader::new(stream),
+        })
+    }
+
+    /// Reads the next event; `Ok(None)` at end of stream.
+    pub fn next_event(&mut self) -> std::io::Result<Option<Event>> {
+        let mut line = String::new();
+        loop {
+            line.clear();
+            if self.reader.read_line(&mut line)? == 0 {
+                return Ok(None);
+            }
+            if line.trim().is_empty() {
+                continue;
+            }
+            return Event::parse(&line)
+                .map(Some)
+                .map_err(|e| std::io::Error::new(std::io::ErrorKind::InvalidData, e.to_string()));
+        }
+    }
+
+    /// Drains the subscription to end of stream, collecting every event.
+    pub fn collect_events(mut self) -> std::io::Result<Vec<Event>> {
+        let mut events = Vec::new();
+        while let Some(event) = self.next_event()? {
+            events.push(event);
+        }
+        Ok(events)
+    }
+
+    /// Drains the subscription to end of stream, collecting raw NDJSON
+    /// lines without parsing them. The fast path for high-volume
+    /// consumers: reading must outpace the publisher to avoid being shed,
+    /// so defer parsing (`Event::parse`) until after the drain.
+    pub fn collect_lines(mut self) -> std::io::Result<Vec<String>> {
+        let mut lines = Vec::new();
+        let mut line = String::new();
+        loop {
+            line.clear();
+            if self.reader.read_line(&mut line)? == 0 {
+                return Ok(lines);
+            }
+            let trimmed = line.trim();
+            if !trimmed.is_empty() {
+                lines.push(trimmed.to_string());
+            }
+        }
+    }
+}
+
+/// Fetches and parses the `STATUS` block as `(key, value)` pairs.
+pub fn fetch_status(addr: &str) -> std::io::Result<Vec<(String, String)>> {
+    let stream = TcpStream::connect(addr)?;
+    let mut writer = stream.try_clone()?;
+    writeln!(writer, "STATUS")?;
+    writer.flush()?;
+    let mut text = String::new();
+    let mut reader = BufReader::new(stream);
+    loop {
+        let mut line = String::new();
+        if reader.read_line(&mut line)? == 0 {
+            break;
+        }
+        text.push_str(&line);
+    }
+    Ok(crate::stats::parse_status(&text))
+}
+
+/// Opens one producer connection and streams `records` (CSV or NDJSON);
+/// returns how many were written.
+pub fn send_records<I: IntoIterator<Item = WireRecord>>(
+    addr: &str,
+    records: I,
+    json: bool,
+) -> std::io::Result<u64> {
+    let stream = TcpStream::connect(addr)?;
+    let mut writer = BufWriter::new(stream);
+    let mut sent = 0u64;
+    for record in records {
+        if json {
+            writeln!(writer, "{}", record.to_json())?;
+        } else {
+            writeln!(writer, "{}", record.to_csv())?;
+        }
+        sent += 1;
+    }
+    writer.flush()?;
+    Ok(sent)
+}
+
+/// Opens a raw producer connection and writes arbitrary lines (for tests
+/// exercising the malformed-input path).
+pub fn send_lines<I: IntoIterator<Item = String>>(addr: &str, lines: I) -> std::io::Result<()> {
+    let stream = TcpStream::connect(addr)?;
+    let mut writer = BufWriter::new(stream);
+    for line in lines {
+        writeln!(writer, "{line}")?;
+    }
+    writer.flush()
+}

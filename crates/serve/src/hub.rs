@@ -1,0 +1,201 @@
+//! The pub/sub fan-out: one publisher (the pipeline's event callback), many
+//! subscribers, bounded queues, slow-consumer shedding.
+//!
+//! Every subscriber owns a bounded channel of pre-rendered event lines. The
+//! publisher never blocks on a subscriber: [`Hub::publish`] uses `try_send`,
+//! and a subscriber whose queue is full is **shed** — removed from the hub
+//! and its channel closed, which makes its writer loop drain the backlog
+//! and close the socket. Ingestion latency is therefore isolated from the
+//! slowest reader, at the cost of that reader's subscription (it can
+//! reconnect and resubscribe).
+
+use crate::protocol::{EventKind, Topic};
+use crossbeam::channel::{bounded, Receiver, Sender, TrySendError};
+use parking_lot::Mutex;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+/// One registered subscriber.
+struct Subscriber {
+    id: u64,
+    topic: Topic,
+    queue: Sender<Arc<str>>,
+}
+
+/// The fan-out registry.
+pub struct Hub {
+    subscribers: Mutex<Vec<Subscriber>>,
+    next_id: AtomicU64,
+    shed: AtomicU64,
+    queue_capacity: usize,
+}
+
+/// A subscription handle: drain [`SubscriberHandle::lines`] and write them
+/// to the peer. The stream ends (after draining) when the subscriber is
+/// shed or the hub closes.
+pub struct SubscriberHandle {
+    /// Hub-assigned subscriber id.
+    pub id: u64,
+    lines: Receiver<Arc<str>>,
+}
+
+impl SubscriberHandle {
+    /// The subscriber's event-line stream.
+    pub fn lines(&self) -> &Receiver<Arc<str>> {
+        &self.lines
+    }
+}
+
+impl Hub {
+    /// A hub whose subscribers each buffer at most `queue_capacity` lines.
+    pub fn new(queue_capacity: usize) -> Self {
+        Hub {
+            subscribers: Mutex::new(Vec::new()),
+            next_id: AtomicU64::new(1),
+            shed: AtomicU64::new(0),
+            queue_capacity: queue_capacity.max(1),
+        }
+    }
+
+    /// Registers a subscriber for `topic`.
+    pub fn subscribe(&self, topic: Topic) -> SubscriberHandle {
+        let (tx, rx) = bounded(self.queue_capacity);
+        let id = self.next_id.fetch_add(1, Ordering::Relaxed);
+        self.subscribers.lock().push(Subscriber {
+            id,
+            topic,
+            queue: tx,
+        });
+        SubscriberHandle { id, lines: rx }
+    }
+
+    /// Removes a subscriber (normal disconnect). No-op if already shed.
+    pub fn unsubscribe(&self, id: u64) {
+        self.subscribers.lock().retain(|s| s.id != id);
+    }
+
+    /// Publishes one event line to every subscriber whose topic accepts
+    /// `kind`. Never blocks: subscribers that cannot take the line are shed
+    /// on the spot (subscribers that simply hung up are reaped without
+    /// counting as shed). Returns how many subscribers were shed.
+    pub fn publish(&self, kind: EventKind, line: &Arc<str>) -> usize {
+        let mut subscribers = self.subscribers.lock();
+        let mut shed = 0usize;
+        subscribers.retain(|s| {
+            if !s.topic.accepts(kind) {
+                return true;
+            }
+            match s.queue.try_send(Arc::clone(line)) {
+                Ok(()) => true,
+                // Queue full: the consumer is too slow — shed it. Dropping
+                // the sender ends its line stream after the backlog drains.
+                Err(TrySendError::Full(_)) => {
+                    shed += 1;
+                    false
+                }
+                // Consumer already hung up; reap the entry silently.
+                Err(TrySendError::Disconnected(_)) => false,
+            }
+        });
+        if shed > 0 {
+            self.shed.fetch_add(shed as u64, Ordering::Relaxed);
+        }
+        shed
+    }
+
+    /// True if any current subscriber accepts events of `kind` — the
+    /// publisher's fast path to skip rendering events nobody will receive.
+    pub fn accepts_any(&self, kind: EventKind) -> bool {
+        self.subscribers
+            .lock()
+            .iter()
+            .any(|s| s.topic.accepts(kind))
+    }
+
+    /// Number of currently registered subscribers.
+    pub fn len(&self) -> usize {
+        self.subscribers.lock().len()
+    }
+
+    /// True when no subscriber is registered.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Total subscribers shed since the hub was created.
+    pub fn shed_count(&self) -> u64 {
+        self.shed.load(Ordering::Relaxed)
+    }
+
+    /// Closes every subscription (end of stream): each subscriber's line
+    /// stream ends once it drains its backlog.
+    pub fn close(&self) {
+        self.subscribers.lock().clear();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn line(s: &str) -> Arc<str> {
+        Arc::from(s)
+    }
+
+    #[test]
+    fn publish_reaches_matching_topics() {
+        let hub = Hub::new(8);
+        let patterns = hub.subscribe(Topic::Patterns);
+        let all = hub.subscribe(Topic::All);
+        hub.publish(EventKind::Pattern, &line("p"));
+        hub.publish(EventKind::Snapshot, &line("s"));
+        hub.close();
+        let got: Vec<Arc<str>> = patterns.lines().iter().collect();
+        assert_eq!(got, vec![line("p")]);
+        let got: Vec<Arc<str>> = all.lines().iter().collect();
+        assert_eq!(got, vec![line("p"), line("s")]);
+    }
+
+    #[test]
+    fn slow_subscriber_is_shed_fast_one_survives() {
+        let hub = Hub::new(2);
+        let _slow = hub.subscribe(Topic::All); // never drained
+        let fast = hub.subscribe(Topic::All);
+        let mut shed_total = 0;
+        for i in 0..10 {
+            shed_total += hub.publish(EventKind::Pattern, &line(&i.to_string()));
+            // Keep the fast subscriber drained.
+            while fast.lines().try_recv().is_ok() {}
+        }
+        assert_eq!(shed_total, 1, "exactly the slow subscriber is shed");
+        assert_eq!(hub.shed_count(), 1);
+        assert_eq!(hub.len(), 1, "fast subscriber still registered");
+    }
+
+    #[test]
+    fn shed_subscriber_still_drains_its_backlog() {
+        let hub = Hub::new(2);
+        let sub = hub.subscribe(Topic::All);
+        hub.publish(EventKind::Pattern, &line("a"));
+        hub.publish(EventKind::Pattern, &line("b"));
+        hub.publish(EventKind::Pattern, &line("c")); // full → shed
+        assert_eq!(hub.len(), 0);
+        // The backlog (a, b) is still deliverable; the stream then ends.
+        let got: Vec<Arc<str>> = sub.lines().iter().collect();
+        assert_eq!(got, vec![line("a"), line("b")]);
+    }
+
+    #[test]
+    fn unsubscribe_and_disconnected_reaping() {
+        let hub = Hub::new(4);
+        let a = hub.subscribe(Topic::All);
+        let b = hub.subscribe(Topic::All);
+        hub.unsubscribe(a.id);
+        assert_eq!(hub.len(), 1);
+        drop(b);
+        hub.publish(EventKind::Pattern, &line("x"));
+        assert_eq!(hub.len(), 0, "disconnected subscriber reaped");
+        // Dropping a subscriber is not "shedding" — no false positives.
+        assert_eq!(hub.shed_count(), 0);
+    }
+}

@@ -1,0 +1,597 @@
+//! The TCP server: accept loop, per-connection threads, pipeline wiring.
+//!
+//! Deployment shape (thread-per-connection, `std::net` only):
+//!
+//! ```text
+//! producers ──TCP──▶ ingest handlers ──bounded channel──▶ IcpePipeline
+//!                      (parse, stamp,    (backpressure)      (launch)
+//!                       validate)                               │ events
+//!                                                               ▼
+//! subscribers ◀─TCP── writer loops ◀─bounded queues── Hub ◀─ callback
+//!                                      (shed slow)
+//! ```
+//!
+//! Backpressure story: the ingest channel is bounded, so when clustering
+//! falls behind, ingest handlers block on `push`, the kernel's TCP receive
+//! buffers fill, and producers throttle — end-to-end flow control with no
+//! unbounded queue anywhere. Subscribers are the opposite: they must never
+//! slow ingestion, so their queues are bounded and *non-blocking*; a
+//! subscriber that cannot keep up is shed (disconnected) rather than obeyed.
+
+use crate::hub::Hub;
+use crate::protocol::{EventKind, PatternEvent, SnapshotEvent, Topic, WireRecord};
+use crate::stats::ServerStats;
+use icpe_core::{IcpeConfig, IcpePipeline, LivePipeline, PipelineEvent, RecordSender};
+use icpe_runtime::{MetricsReport, PipelineMetrics};
+use icpe_types::{Discretizer, RawRecord};
+use parking_lot::Mutex;
+use std::collections::HashMap;
+use std::io::{BufRead, BufReader, BufWriter, Write};
+use std::net::{Shutdown, SocketAddr, TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::Arc;
+use std::thread::JoinHandle;
+
+/// Configuration of an [`Server`].
+#[derive(Debug, Clone)]
+pub struct ServeConfig {
+    /// Bind address; use port 0 for an ephemeral port.
+    pub addr: String,
+    /// The detection configuration the embedded pipeline runs.
+    pub engine: IcpeConfig,
+    /// Seconds per discretized snapshot interval (Definition 1); producers'
+    /// `time` fields are divided by this to obtain ticks.
+    pub interval: f64,
+    /// Per-subscriber event-queue bound; a subscriber lagging this many
+    /// events behind is shed. Size it to the burst tolerance wanted: the
+    /// publisher never waits, so bursts larger than the queue shed even an
+    /// otherwise-healthy consumer.
+    pub subscriber_queue: usize,
+    /// A producer connection is dropped after this many *consecutive*
+    /// malformed lines (defense against non-protocol peers).
+    pub max_consecutive_parse_errors: usize,
+    /// Maximum ticks a producer may run ahead of the slowest connected
+    /// producer before its pushes block (ingestion-edge skew control).
+    /// Independent producers race arbitrarily — without this bound, a fast
+    /// producer's stream makes every slower producer's records arrive
+    /// "late" and be dropped. The server also raises the engine's aligner
+    /// lateness to cover this skew.
+    pub max_producer_skew: u32,
+    /// Startup grace: for this long after the first producer registers, no
+    /// producer may advance past tick `max_producer_skew`. Closes the
+    /// fleet-connection race — skew control can only see producers that
+    /// have already said something, and without the grace a producer
+    /// connecting a few milliseconds late finds the stream sealed past its
+    /// data.
+    pub startup_grace: std::time::Duration,
+}
+
+impl ServeConfig {
+    /// Defaults: ephemeral localhost port, 1 s intervals, 1024-line
+    /// subscriber queues.
+    pub fn new(engine: IcpeConfig) -> Self {
+        ServeConfig {
+            addr: "127.0.0.1:0".to_string(),
+            engine,
+            interval: 1.0,
+            subscriber_queue: 1024,
+            max_consecutive_parse_errors: 64,
+            max_producer_skew: 8,
+            startup_grace: std::time::Duration::from_millis(250),
+        }
+    }
+}
+
+/// Ingestion-edge stream synchronization: tracks each connected producer's
+/// newest pushed tick and blocks a producer that would run more than
+/// `max_skew` ticks ahead of the slowest other producer. This bounds the
+/// cross-producer disorder the aligner must absorb, turning "fast producer
+/// causes slow producer's records to be dropped as late" into plain
+/// backpressure on the fast producer's socket.
+struct SkewLimiter {
+    /// Producer conn id → newest tick pushed (`None` until a first record
+    /// is admitted — a producer that has said nothing valid yet must not
+    /// hold the fleet back), plus the instant the first producer
+    /// registered (starts the grace window).
+    #[allow(clippy::type_complexity)]
+    state: std::sync::Mutex<(HashMap<u64, Option<u32>>, Option<std::time::Instant>)>,
+    cond: std::sync::Condvar,
+    max_skew: u32,
+    grace: std::time::Duration,
+}
+
+impl SkewLimiter {
+    fn new(max_skew: u32, grace: std::time::Duration) -> Self {
+        SkewLimiter {
+            state: std::sync::Mutex::new((HashMap::new(), None)),
+            cond: std::sync::Condvar::new(),
+            max_skew,
+            grace,
+        }
+    }
+
+    fn register(&self, id: u64) {
+        let mut state = self.state.lock().expect("skew lock");
+        state.0.insert(id, None);
+        state.1.get_or_insert_with(std::time::Instant::now);
+        drop(state);
+        self.cond.notify_all();
+    }
+
+    fn deregister(&self, id: u64) {
+        self.state.lock().expect("skew lock").0.remove(&id);
+        self.cond.notify_all();
+    }
+
+    /// Blocks until `tick` is within `max_skew` of the slowest *other*
+    /// registered producer — and, during the startup grace, until the
+    /// fleet has had time to connect — then records `tick` as this
+    /// producer's frontier. A 2 s cap bounds pathological cases (e.g. a
+    /// producer whose stream legitimately starts far in the future): after
+    /// it, the record is admitted anyway and the aligner's lateness policy
+    /// decides.
+    fn admit(&self, id: u64, tick: u32) {
+        let deadline = std::time::Instant::now() + std::time::Duration::from_secs(2);
+        let mut state = self.state.lock().expect("skew lock");
+        loop {
+            let in_grace = state
+                .1
+                .is_some_and(|started| started.elapsed() < self.grace);
+            // Only producers with at least one admitted record count: a
+            // connection that has produced nothing valid (all lines
+            // malformed or stale) must not hold the fleet back.
+            let min_other = state
+                .0
+                .iter()
+                .filter(|(&other, _)| other != id)
+                .filter_map(|(_, &t)| t)
+                .min();
+            let within_skew = match min_other {
+                None => true, // no other active producer to synchronize with
+                Some(m) => tick <= m.saturating_add(self.max_skew),
+            };
+            let admitted = within_skew && !(in_grace && tick > self.max_skew);
+            if admitted || std::time::Instant::now() >= deadline {
+                break;
+            }
+            let (guard, _) = self
+                .cond
+                .wait_timeout(state, std::time::Duration::from_millis(20))
+                .expect("skew lock");
+            state = guard;
+        }
+        let entry = state.0.entry(id).or_insert(None);
+        *entry = Some(entry.map_or(tick, |t| t.max(tick)));
+        drop(state);
+        self.cond.notify_all();
+    }
+}
+
+/// State shared by the accept loop and every connection handler.
+struct Shared {
+    stats: ServerStats,
+    hub: Hub,
+    /// Stamping state: discretization + per-trajectory last-time links.
+    discretizer: Mutex<Discretizer>,
+    /// Producer handle into the pipeline; `None` once draining started.
+    ingest: Mutex<Option<RecordSender>>,
+    /// The pipeline's shared recorder (for `STATUS`).
+    pipeline_metrics: Mutex<Option<PipelineMetrics>>,
+    /// Cross-producer skew control.
+    skew: SkewLimiter,
+    shutting_down: AtomicBool,
+    /// Open connections, for forced shutdown at drain time. Subscribers
+    /// are marked so a clean shutdown can cut producers off while letting
+    /// subscriber writers flush their backlog.
+    conns: Mutex<HashMap<u64, ConnEntry>>,
+    next_conn_id: AtomicU64,
+    max_consecutive_parse_errors: usize,
+}
+
+struct ConnEntry {
+    stream: TcpStream,
+    is_subscriber: bool,
+}
+
+impl Shared {
+    fn register_conn(&self, stream: &TcpStream) -> u64 {
+        let id = self.next_conn_id.fetch_add(1, Ordering::Relaxed);
+        if let Ok(clone) = stream.try_clone() {
+            self.conns.lock().insert(
+                id,
+                ConnEntry {
+                    stream: clone,
+                    is_subscriber: false,
+                },
+            );
+        }
+        id
+    }
+
+    fn mark_subscriber(&self, id: u64) {
+        if let Some(entry) = self.conns.lock().get_mut(&id) {
+            entry.is_subscriber = true;
+        }
+    }
+
+    fn unregister_conn(&self, id: u64) {
+        self.conns.lock().remove(&id);
+    }
+
+    /// Force-closes connections; `subscribers_too` keeps or cuts the
+    /// delivery side.
+    fn close_conns(&self, subscribers_too: bool) {
+        let mut conns = self.conns.lock();
+        conns.retain(|_, entry| {
+            if entry.is_subscriber && !subscribers_too {
+                return true;
+            }
+            let _ = entry.stream.shutdown(Shutdown::Both);
+            false
+        });
+    }
+}
+
+/// A running `icpe-serve` instance (see the crate docs for the protocol).
+pub struct Server {
+    addr: SocketAddr,
+    shared: Arc<Shared>,
+    pipeline: Option<LivePipeline>,
+    accept: Option<JoinHandle<()>>,
+    clean_shutdown: bool,
+}
+
+impl Server {
+    /// Binds, launches the embedded pipeline, and starts accepting
+    /// connections.
+    pub fn start(mut config: ServeConfig) -> std::io::Result<Server> {
+        let listener = TcpListener::bind(&config.addr)?;
+        let addr = listener.local_addr()?;
+        let discretizer = Discretizer::new(0.0, config.interval)
+            .map_err(|e| std::io::Error::new(std::io::ErrorKind::InvalidInput, e.to_string()))?;
+
+        // The aligner must tolerate at least the cross-producer skew the
+        // edge admits, or records from slower producers seal away.
+        config.engine.aligner.lateness = config
+            .engine
+            .aligner
+            .lateness
+            .max(config.max_producer_skew + 2);
+
+        let shared = Arc::new(Shared {
+            stats: ServerStats::new(),
+            hub: Hub::new(config.subscriber_queue),
+            discretizer: Mutex::new(discretizer),
+            ingest: Mutex::new(None),
+            pipeline_metrics: Mutex::new(None),
+            skew: SkewLimiter::new(config.max_producer_skew, config.startup_grace),
+            shutting_down: AtomicBool::new(false),
+            conns: Mutex::new(HashMap::new()),
+            next_conn_id: AtomicU64::new(1),
+            max_consecutive_parse_errors: config.max_consecutive_parse_errors.max(1),
+        });
+
+        // Pipeline → hub bridge. Runs on the pipeline driver thread; only
+        // non-blocking work happens here (render + try_send fan-out), and
+        // rendering is skipped entirely when no subscriber wants the kind.
+        let bridge = Arc::clone(&shared);
+        let mut patterns_per_time: HashMap<u32, u32> = HashMap::new();
+        let pipeline = IcpePipeline::launch(&config.engine, move |event| match event {
+            PipelineEvent::Pattern(p) => {
+                bridge.stats.patterns_out.fetch_add(1, Ordering::Relaxed);
+                if let Some(t) = p.times.max() {
+                    *patterns_per_time.entry(t.0).or_insert(0) += 1;
+                }
+                if bridge.hub.accepts_any(EventKind::Pattern) {
+                    let line: Arc<str> = Arc::from(
+                        serde_json::to_string(&PatternEvent::from_pattern(&p))
+                            .expect("pattern event serializes")
+                            .as_str(),
+                    );
+                    let shed = bridge.hub.publish(EventKind::Pattern, &line);
+                    if shed > 0 {
+                        bridge
+                            .stats
+                            .subscribers_shed
+                            .fetch_add(shed as u64, Ordering::Relaxed);
+                    }
+                }
+            }
+            PipelineEvent::SnapshotSealed { time } => {
+                bridge
+                    .stats
+                    .snapshots_sealed
+                    .fetch_add(1, Ordering::Relaxed);
+                let count = patterns_per_time.remove(&time).unwrap_or(0);
+                // Windows closing after this seal (and the end-of-stream
+                // flush) may still add patterns for earlier times; those
+                // entries would otherwise accumulate forever. Anything at or
+                // below the seal frontier can no longer be reported in a
+                // seal notice, so drop it.
+                patterns_per_time.retain(|&t, _| t > time);
+                if bridge.hub.accepts_any(EventKind::Snapshot) {
+                    let event = SnapshotEvent {
+                        event: "snapshot".to_string(),
+                        time,
+                        patterns: count,
+                    };
+                    let line: Arc<str> = Arc::from(
+                        serde_json::to_string(&event)
+                            .expect("snapshot event serializes")
+                            .as_str(),
+                    );
+                    let shed = bridge.hub.publish(EventKind::Snapshot, &line);
+                    if shed > 0 {
+                        bridge
+                            .stats
+                            .subscribers_shed
+                            .fetch_add(shed as u64, Ordering::Relaxed);
+                    }
+                }
+            }
+        });
+        *shared.ingest.lock() = Some(pipeline.sender());
+        *shared.pipeline_metrics.lock() = Some(pipeline.metrics().clone());
+
+        let accept_shared = Arc::clone(&shared);
+        let accept = std::thread::Builder::new()
+            .name("serve-accept".into())
+            .spawn(move || accept_loop(listener, accept_shared))
+            .expect("failed to spawn accept thread");
+
+        Ok(Server {
+            addr,
+            shared,
+            pipeline: Some(pipeline),
+            accept: Some(accept),
+            clean_shutdown: false,
+        })
+    }
+
+    /// The bound address (with the real port when 0 was requested).
+    pub fn local_addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// The current status block, as served by the `STATUS` endpoint.
+    pub fn status_text(&self) -> String {
+        let metrics = self
+            .shared
+            .pipeline_metrics
+            .lock()
+            .clone()
+            .unwrap_or_default();
+        self.shared.stats.render(&metrics)
+    }
+
+    /// Network-edge counters (shared with the handlers; live).
+    pub fn stats(&self) -> &ServerStats {
+        &self.shared.stats
+    }
+
+    /// Total subscribers shed since start.
+    pub fn shed_count(&self) -> u64 {
+        self.shared.hub.shed_count()
+    }
+
+    /// Drains and shuts down: stops accepting, grants departed producers a
+    /// grace period to be fully consumed, closes every remaining
+    /// connection, ends the record stream, waits for the pipeline to seal
+    /// what was ingested, and closes all subscriptions (each drains its
+    /// backlog to its socket first). Returns the pipeline's final metrics.
+    ///
+    /// Panics if a pipeline subtask panicked.
+    pub fn finish(mut self) -> MetricsReport {
+        self.shared.shutting_down.store(true, Ordering::SeqCst);
+        // Wake the accept loop so it observes the flag.
+        let _ = TcpStream::connect(self.addr);
+        if let Some(accept) = self.accept.take() {
+            let _ = accept.join();
+        }
+        // Grace: a producer that closed its side may still have records in
+        // kernel buffers; its handler exits once it drains to EOF. Only
+        // producers that stay open past the deadline are cut off.
+        let deadline = std::time::Instant::now() + std::time::Duration::from_secs(5);
+        while self.shared.stats.producers.load(Ordering::Relaxed) > 0
+            && std::time::Instant::now() < deadline
+        {
+            std::thread::sleep(std::time::Duration::from_millis(2));
+        }
+        // Cut the ingest side only: subscriber sockets must stay open so
+        // the events produced while draining still reach them.
+        *self.shared.ingest.lock() = None;
+        self.shared.close_conns(false);
+        let report = self
+            .pipeline
+            .take()
+            .expect("pipeline present until finish")
+            .finish();
+        // End every subscription; each writer flushes its backlog to its
+        // socket and closes it (EOF to the consumer).
+        self.shared.hub.close();
+        self.clean_shutdown = true;
+        report
+    }
+}
+
+impl Drop for Server {
+    fn drop(&mut self) {
+        if self.clean_shutdown {
+            // finish() ran: subscriber writers are flushing their final
+            // backlogs — leave their sockets to close naturally.
+            return;
+        }
+        // Finish not called: detach. Stop accepting and close sockets, but
+        // do not block on the pipeline.
+        self.shared.shutting_down.store(true, Ordering::SeqCst);
+        let _ = TcpStream::connect(self.addr);
+        *self.shared.ingest.lock() = None;
+        self.shared.close_conns(true);
+        self.shared.hub.close();
+    }
+}
+
+fn accept_loop(listener: TcpListener, shared: Arc<Shared>) {
+    for stream in listener.incoming() {
+        if shared.shutting_down.load(Ordering::SeqCst) {
+            return;
+        }
+        let Ok(stream) = stream else { continue };
+        let conn_shared = Arc::clone(&shared);
+        let _ = std::thread::Builder::new()
+            .name("serve-conn".into())
+            .spawn(move || {
+                let _ = handle_connection(conn_shared, stream);
+            });
+    }
+}
+
+fn handle_connection(shared: Arc<Shared>, stream: TcpStream) -> std::io::Result<()> {
+    stream.set_nodelay(true).ok();
+    let conn_id = shared.register_conn(&stream);
+    let result = dispatch(&shared, stream, conn_id);
+    shared.unregister_conn(conn_id);
+    result
+}
+
+fn dispatch(shared: &Arc<Shared>, stream: TcpStream, conn_id: u64) -> std::io::Result<()> {
+    let mut reader = BufReader::new(stream.try_clone()?);
+    let mut first = String::new();
+    if reader.read_line(&mut first)? == 0 {
+        return Ok(());
+    }
+    let trimmed = first.trim();
+    if let Some(topic) = trimmed.strip_prefix("SUBSCRIBE") {
+        shared.mark_subscriber(conn_id);
+        serve_subscriber(shared, stream, topic)
+    } else if trimmed == "STATUS" {
+        serve_status(shared, stream)
+    } else {
+        serve_producer(shared, reader, first, conn_id)
+    }
+}
+
+/// Producer connection: every line is one record; parse → stamp → push.
+fn serve_producer(
+    shared: &Arc<Shared>,
+    mut reader: BufReader<TcpStream>,
+    first_line: String,
+    conn_id: u64,
+) -> std::io::Result<()> {
+    let Some(sender) = shared.ingest.lock().clone() else {
+        return Ok(()); // draining: refuse new records
+    };
+    shared.stats.producers.fetch_add(1, Ordering::Relaxed);
+    shared.skew.register(conn_id);
+    let result = producer_loop(shared, &mut reader, first_line, sender, conn_id);
+    shared.skew.deregister(conn_id);
+    shared.stats.producers.fetch_sub(1, Ordering::Relaxed);
+    result
+}
+
+fn producer_loop(
+    shared: &Arc<Shared>,
+    reader: &mut BufReader<TcpStream>,
+    first_line: String,
+    sender: RecordSender,
+    conn_id: u64,
+) -> std::io::Result<()> {
+    let mut line = first_line;
+    let mut consecutive_errors = 0usize;
+    loop {
+        shared
+            .stats
+            .bytes_in
+            .fetch_add(line.len() as u64, Ordering::Relaxed);
+        if !line.trim().is_empty() {
+            match WireRecord::parse(&line) {
+                Ok(wire) => {
+                    consecutive_errors = 0;
+                    // Stamp: discretize the clock time and attach the
+                    // per-trajectory last-time link. Stale/duplicate ticks
+                    // come back as `None` and are counted as rejected.
+                    let raw = RawRecord::new(
+                        icpe_types::ObjectId(wire.id),
+                        icpe_types::Point::new(wire.x, wire.y),
+                        wire.time,
+                    );
+                    let stamped = shared.discretizer.lock().push(&raw);
+                    match stamped {
+                        Some(record) => {
+                            // Hold this producer to the cross-producer skew
+                            // window before the record enters the pipeline.
+                            shared.skew.admit(conn_id, record.time.0);
+                            if sender.push(record).is_err() {
+                                return Ok(()); // pipeline gone
+                            }
+                            shared.stats.records_in.fetch_add(1, Ordering::Relaxed);
+                            shared.stats.note_ingested_tick(record.time.0);
+                        }
+                        None => {
+                            shared
+                                .stats
+                                .records_rejected
+                                .fetch_add(1, Ordering::Relaxed);
+                        }
+                    }
+                }
+                Err(_) => {
+                    shared
+                        .stats
+                        .records_rejected
+                        .fetch_add(1, Ordering::Relaxed);
+                    consecutive_errors += 1;
+                    if consecutive_errors >= shared.max_consecutive_parse_errors {
+                        return Ok(());
+                    }
+                }
+            }
+        }
+        // No shutdown-flag check here: during drain, a departed producer's
+        // buffered records must still be consumed (until EOF); producers
+        // that stay open are cut off by `finish` closing their socket.
+        line.clear();
+        if reader.read_line(&mut line)? == 0 {
+            return Ok(());
+        }
+    }
+}
+
+/// Subscriber connection: register with the hub, then become the writer
+/// loop. Ends when the peer disconnects, the hub sheds us, or the stream
+/// ends — the backlog is always flushed first.
+fn serve_subscriber(
+    shared: &Arc<Shared>,
+    stream: TcpStream,
+    topic_arg: &str,
+) -> std::io::Result<()> {
+    let Some(topic) = Topic::parse(topic_arg) else {
+        let mut w = BufWriter::new(stream);
+        writeln!(w, "ERR unknown topic (use: patterns | snapshots | all)")?;
+        return w.flush();
+    };
+    let subscription = shared.hub.subscribe(topic);
+    shared.stats.subscribers.fetch_add(1, Ordering::Relaxed);
+    let mut writer = BufWriter::new(stream);
+    let mut result = Ok(());
+    for line in subscription.lines().iter() {
+        if let Err(e) = writer.write_all(line.as_bytes()).and_then(|()| {
+            writer.write_all(b"\n")?;
+            writer.flush()
+        }) {
+            result = Err(e);
+            break; // peer gone
+        }
+    }
+    shared.hub.unsubscribe(subscription.id);
+    shared.stats.subscribers.fetch_sub(1, Ordering::Relaxed);
+    result
+}
+
+/// `STATUS` connection: one text block, then close.
+fn serve_status(shared: &Arc<Shared>, stream: TcpStream) -> std::io::Result<()> {
+    let metrics = shared.pipeline_metrics.lock().clone().unwrap_or_default();
+    let mut w = BufWriter::new(stream);
+    w.write_all(shared.stats.render(&metrics).as_bytes())?;
+    w.flush()
+}

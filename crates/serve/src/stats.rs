@@ -1,0 +1,198 @@
+//! Server-side counters behind the `STATUS` endpoint.
+
+use icpe_runtime::PipelineMetrics;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::time::Instant;
+
+/// Lock-free counters shared by every connection handler. Pipeline-side
+/// numbers (latency, sealing frontier, late drops) live in
+/// [`PipelineMetrics`]; this struct holds the network-edge view.
+#[derive(Debug)]
+pub struct ServerStats {
+    started: Instant,
+    /// Producer connections currently open.
+    pub producers: AtomicU64,
+    /// Subscriber connections currently open.
+    pub subscribers: AtomicU64,
+    /// Valid records accepted into the pipeline.
+    pub records_in: AtomicU64,
+    /// Lines refused (malformed, non-finite, stale/duplicate tick).
+    pub records_rejected: AtomicU64,
+    /// Bytes read from producer sockets.
+    pub bytes_in: AtomicU64,
+    /// Pattern events published.
+    pub patterns_out: AtomicU64,
+    /// Snapshot-sealed events published.
+    pub snapshots_sealed: AtomicU64,
+    /// Subscribers disconnected for not keeping up.
+    pub subscribers_shed: AtomicU64,
+    /// Newest discretized tick accepted at the edge, stored as `tick + 1`
+    /// (0 = nothing ingested yet).
+    ingested_tick: AtomicU64,
+}
+
+impl ServerStats {
+    /// Fresh counters; the uptime clock starts now.
+    pub fn new() -> Self {
+        ServerStats {
+            started: Instant::now(),
+            producers: AtomicU64::new(0),
+            subscribers: AtomicU64::new(0),
+            records_in: AtomicU64::new(0),
+            records_rejected: AtomicU64::new(0),
+            bytes_in: AtomicU64::new(0),
+            patterns_out: AtomicU64::new(0),
+            snapshots_sealed: AtomicU64::new(0),
+            subscribers_shed: AtomicU64::new(0),
+            ingested_tick: AtomicU64::new(0),
+        }
+    }
+
+    /// Advances the edge's newest-accepted-tick gauge.
+    pub fn note_ingested_tick(&self, tick: u32) {
+        self.ingested_tick
+            .fetch_max(tick as u64 + 1, Ordering::Relaxed);
+    }
+
+    /// Newest discretized tick accepted at the edge, if any.
+    pub fn ingested_tick(&self) -> Option<u32> {
+        match self.ingested_tick.load(Ordering::Relaxed) {
+            0 => None,
+            t => Some((t - 1) as u32),
+        }
+    }
+
+    /// Seconds since the server started.
+    pub fn uptime(&self) -> f64 {
+        self.started.elapsed().as_secs_f64()
+    }
+
+    /// Renders the `STATUS` response: one `key=value` per line, stable keys,
+    /// merging the network-edge counters with the pipeline's live metrics.
+    pub fn render(&self, pipeline: &PipelineMetrics) -> String {
+        let uptime = self.uptime();
+        let records_in = self.records_in.load(Ordering::Relaxed);
+        let progress = pipeline.progress();
+        let report = pipeline.report();
+        let mut out = String::with_capacity(512);
+        let mut line = |k: &str, v: String| {
+            out.push_str(k);
+            out.push('=');
+            out.push_str(&v);
+            out.push('\n');
+        };
+        line("service", "icpe-serve".into());
+        line("uptime_s", format!("{uptime:.3}"));
+        line(
+            "producers",
+            self.producers.load(Ordering::Relaxed).to_string(),
+        );
+        line(
+            "subscribers",
+            self.subscribers.load(Ordering::Relaxed).to_string(),
+        );
+        line("records_in", records_in.to_string());
+        line(
+            "records_rejected",
+            self.records_rejected.load(Ordering::Relaxed).to_string(),
+        );
+        line("records_late", progress.late_records.to_string());
+        line(
+            "records_per_s",
+            format!("{:.1}", records_in as f64 / uptime.max(1e-9)),
+        );
+        line(
+            "bytes_in",
+            self.bytes_in.load(Ordering::Relaxed).to_string(),
+        );
+        line(
+            "snapshots_sealed",
+            self.snapshots_sealed.load(Ordering::Relaxed).to_string(),
+        );
+        line(
+            "patterns_emitted",
+            self.patterns_out.load(Ordering::Relaxed).to_string(),
+        );
+        line(
+            "subscribers_shed",
+            self.subscribers_shed.load(Ordering::Relaxed).to_string(),
+        );
+        // Per-stage frontiers: what the edge accepted, what the aligner
+        // released into clustering, what enumeration completed. The gap
+        // between neighbors is each stage's lag in snapshots.
+        let edge = self.ingested_tick();
+        let fmt_frontier = |t: Option<u32>| t.map_or_else(|| "none".into(), |t| t.to_string());
+        line("ingest_frontier", fmt_frontier(edge));
+        line("aligned_frontier", fmt_frontier(progress.max_ingested));
+        line("sealed_frontier", fmt_frontier(progress.max_sealed));
+        line(
+            "align_lag_snapshots",
+            match (edge, progress.max_ingested) {
+                (Some(e), Some(a)) => e.saturating_sub(a).to_string(),
+                (Some(e), None) => (e + 1).to_string(),
+                _ => "0".into(),
+            },
+        );
+        line("detect_lag_snapshots", progress.lag().to_string());
+        line("in_flight_snapshots", progress.in_flight.to_string());
+        line(
+            "avg_latency_ms",
+            format!("{:.3}", report.avg_latency.as_secs_f64() * 1e3),
+        );
+        line(
+            "p95_latency_ms",
+            format!("{:.3}", report.p95_latency.as_secs_f64() * 1e3),
+        );
+        line("throughput_tps", format!("{:.1}", report.throughput_tps));
+        out
+    }
+}
+
+impl Default for ServerStats {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+/// Parses a rendered status block back into `(key, value)` pairs — the
+/// client-side half of the `STATUS` exchange.
+pub fn parse_status(text: &str) -> Vec<(String, String)> {
+    text.lines()
+        .filter_map(|l| l.split_once('='))
+        .map(|(k, v)| (k.to_string(), v.to_string()))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn render_contains_stable_keys() {
+        let stats = ServerStats::new();
+        stats.records_in.store(42, Ordering::Relaxed);
+        let pipeline = PipelineMetrics::new();
+        let text = stats.render(&pipeline);
+        let kv = parse_status(&text);
+        let get = |k: &str| {
+            kv.iter()
+                .find(|(key, _)| key == k)
+                .map(|(_, v)| v.clone())
+                .unwrap_or_else(|| panic!("missing key {k}"))
+        };
+        assert_eq!(get("service"), "icpe-serve");
+        assert_eq!(get("records_in"), "42");
+        assert_eq!(get("ingest_frontier"), "none");
+        assert_eq!(get("detect_lag_snapshots"), "0");
+        assert!(get("records_per_s").parse::<f64>().unwrap() > 0.0);
+
+        stats.note_ingested_tick(6);
+        stats.note_ingested_tick(3);
+        assert_eq!(stats.ingested_tick(), Some(6));
+        let kv = parse_status(&stats.render(&pipeline));
+        let frontier = kv.iter().find(|(k, _)| k == "ingest_frontier").unwrap();
+        assert_eq!(frontier.1, "6");
+        let lag = kv.iter().find(|(k, _)| k == "align_lag_snapshots").unwrap();
+        assert_eq!(lag.1, "7", "7 snapshots admitted, none aligned yet");
+    }
+}

@@ -1,0 +1,396 @@
+//! End-to-end tests of the serve subsystem over real TCP on an ephemeral
+//! port: producer → server → pipeline → subscriber, with planted
+//! ground-truth groups so the expected patterns are known exactly.
+
+use icpe_core::{IcpeConfig, IcpePipeline};
+use icpe_gen::{DisorderConfig, GroupWalkConfig, GroupWalkGenerator};
+use icpe_runtime::AlignerConfig;
+use icpe_serve::loadgen::{self, LoadConfig};
+use icpe_serve::{client, Event, ServeConfig, Server, Subscription, Topic};
+use icpe_types::Constraints;
+use std::collections::{BTreeSet, HashMap};
+use std::io::Write;
+use std::net::TcpStream;
+
+fn engine_config(parallelism: usize) -> IcpeConfig {
+    IcpeConfig::builder()
+        .constraints(Constraints::new(4, 8, 4, 2).unwrap())
+        .epsilon(2.5)
+        .min_pts(4)
+        .parallelism(parallelism)
+        // Generous alignment allowances: the producers race (bounded by
+        // the server's skew window) *and* scramble their own streams, so
+        // give first records comfortable headroom before their snapshot
+        // seals.
+        .aligner(AlignerConfig {
+            max_lag: 64,
+            emit_empty: true,
+            lateness: 16,
+        })
+        .build()
+        .unwrap()
+}
+
+fn planted_generator(num_snapshots: u32) -> GroupWalkGenerator {
+    GroupWalkGenerator::new(GroupWalkConfig {
+        num_objects: 30,
+        num_groups: 3,
+        group_size: 5,
+        num_snapshots,
+        seed: 7,
+        ..GroupWalkConfig::default()
+    })
+}
+
+/// Pattern events keyed by (objects, times) — the exactly-once identity.
+fn pattern_keys(events: &[Event]) -> Vec<(Vec<u32>, Vec<u32>)> {
+    events
+        .iter()
+        .filter_map(|e| match e {
+            Event::Pattern(p) => Some((p.objects.clone(), p.times.clone())),
+            Event::Snapshot(_) => None,
+        })
+        .collect()
+}
+
+#[test]
+fn planted_patterns_reach_subscriber_exactly_once() {
+    let generator = planted_generator(30);
+    let traces = generator.traces();
+
+    // Ground truth: the same records through the in-process batch pipeline.
+    let reference = IcpePipeline::run(&engine_config(3), traces.to_gps_records());
+    let mut expected: Vec<(Vec<u32>, Vec<u32>)> = reference
+        .patterns
+        .iter()
+        .map(|p| {
+            (
+                p.objects.iter().map(|o| o.0).collect(),
+                p.times.times().iter().map(|t| t.0).collect(),
+            )
+        })
+        .collect();
+    expected.sort();
+    assert!(
+        !expected.is_empty(),
+        "workload must plant detectable groups"
+    );
+
+    let server = Server::start(ServeConfig::new(engine_config(3))).unwrap();
+    let addr = server.local_addr().to_string();
+
+    let subscriber = Subscription::connect(&addr, Topic::All).unwrap();
+    let collector = std::thread::spawn(move || subscriber.collect_events().unwrap());
+
+    // Three producers, both wire formats, cross-object disorder (per-object
+    // order preserved — the §4 stream model).
+    let report = loadgen::run(
+        &addr,
+        &traces,
+        &LoadConfig {
+            producers: 3,
+            json_fraction: 0.34,
+            disorder: Some(DisorderConfig {
+                delay_probability: 0.3,
+                max_displacement: 40,
+                seed: 11,
+            }),
+            ..LoadConfig::default()
+        },
+    )
+    .unwrap();
+    assert_eq!(report.records_sent, 30 * 30);
+
+    let metrics = server.finish();
+    let events = collector.join().unwrap();
+
+    // Stamping accepted everything: no record was late or malformed.
+    assert_eq!(metrics.late_records, 0, "disorder was within lateness");
+    assert_eq!(metrics.snapshots, 30, "every snapshot sealed");
+
+    // Every reference pattern arrives exactly once, and nothing else.
+    let mut got = pattern_keys(&events);
+    let got_len = got.len();
+    got.sort();
+    let deduped: BTreeSet<_> = got.iter().cloned().collect();
+    assert_eq!(deduped.len(), got_len, "no pattern delivered twice");
+    assert_eq!(
+        got, expected,
+        "subscriber saw exactly the reference patterns"
+    );
+
+    // The planted groups are among the delivered object sets.
+    let delivered_sets: BTreeSet<Vec<u32>> = got.iter().map(|(objs, _)| objs.clone()).collect();
+    for group in planted_generator(30).planted_groups() {
+        let ids: Vec<u32> = group.iter().map(|o| o.0).collect();
+        assert!(
+            delivered_sets.contains(&ids),
+            "planted group {ids:?} missing from {delivered_sets:?}"
+        );
+    }
+
+    // Snapshot events arrived in order and account for every pattern.
+    let sealed: Vec<u32> = events
+        .iter()
+        .filter_map(|e| match e {
+            Event::Snapshot(s) => Some(s.time),
+            Event::Pattern(_) => None,
+        })
+        .collect();
+    assert_eq!(sealed, (0..30).collect::<Vec<_>>());
+    let per_window: HashMap<u32, usize> =
+        events.iter().fold(HashMap::new(), |mut acc, e| match e {
+            Event::Pattern(p) => {
+                *acc.entry(*p.times.last().unwrap()).or_insert(0) += 1;
+                acc
+            }
+            Event::Snapshot(_) => acc,
+        });
+    // A snapshot event counts the patterns that closed at its time and
+    // were delivered before the seal notice; patterns flushed at end of
+    // stream arrive after their window's seal, so the count is a lower
+    // bound of the per-window total.
+    let mut counted = 0usize;
+    for event in &events {
+        if let Event::Snapshot(s) = event {
+            assert!(
+                s.patterns as usize <= per_window.get(&s.time).copied().unwrap_or(0),
+                "snapshot {} says {} patterns, window only had {:?}",
+                s.time,
+                s.patterns,
+                per_window.get(&s.time)
+            );
+            counted += s.patterns as usize;
+        }
+    }
+    assert!(counted <= got_len);
+}
+
+#[test]
+fn slow_subscriber_is_shed_without_stalling_ingestion() {
+    // Tiny population, many ticks: a long event stream (patterns +
+    // snapshot notices) that overflows both the slow subscriber's 4-line
+    // queue and the TCP buffers in front of it.
+    let generator = GroupWalkGenerator::new(GroupWalkConfig {
+        num_objects: 6,
+        num_groups: 1,
+        group_size: 4,
+        num_snapshots: 8_000,
+        seed: 13,
+        ..GroupWalkConfig::default()
+    });
+    let traces = generator.traces();
+
+    let engine = IcpeConfig::builder()
+        .constraints(Constraints::new(3, 8, 4, 2).unwrap())
+        .epsilon(2.5)
+        .min_pts(3)
+        .parallelism(2)
+        .build()
+        .unwrap();
+    let mut config = ServeConfig::new(engine);
+    // Must exceed the pipeline sink's burst size (one channel's worth of
+    // events can be published back-to-back after a scheduling hiccup) so
+    // the draining subscriber survives, while the wedged subscriber —
+    // whose TCP buffers absorb only a couple thousand events before its
+    // writer blocks — still overflows it well within the run.
+    config.subscriber_queue = 4096;
+    let server = Server::start(config).unwrap();
+    let addr = server.local_addr().to_string();
+
+    // The slow subscriber subscribes and then never reads.
+    let mut slow = TcpStream::connect(&addr).unwrap();
+    slow.write_all(b"SUBSCRIBE all\n").unwrap();
+    slow.flush().unwrap();
+
+    // The fast subscriber drains continuously on its own thread — raw
+    // lines, parsed after the drain, so reading outpaces the publisher.
+    let fast = Subscription::connect(&addr, Topic::All).unwrap();
+    let collector = std::thread::spawn(move || fast.collect_lines().unwrap());
+
+    let report = loadgen::run(
+        &addr,
+        &traces,
+        &LoadConfig {
+            producers: 2,
+            ..LoadConfig::default()
+        },
+    )
+    .unwrap();
+    assert_eq!(report.records_sent, 6 * 8_000);
+
+    // The wedged subscriber must be shed while the run is still going —
+    // poll the live counter (shedding happens when its queue overflows).
+    let mut shed = 0;
+    for _ in 0..2000 {
+        shed = server.shed_count();
+        if shed >= 1 {
+            break;
+        }
+        std::thread::sleep(std::time::Duration::from_millis(5));
+    }
+    assert!(shed >= 1, "wedged subscriber was never shed");
+    // The shed is visible on the STATUS wire, not just in-process.
+    let status_shed: u64 = client::fetch_status(&addr)
+        .unwrap()
+        .iter()
+        .find(|(k, _)| k == "subscribers_shed")
+        .unwrap()
+        .1
+        .parse()
+        .unwrap();
+    assert!(status_shed >= 1, "STATUS reports subscribers_shed=0");
+
+    // finish() must complete despite the wedged subscriber: ingestion and
+    // sealing never waited on it.
+    let metrics = server.finish();
+    assert_eq!(metrics.snapshots, 8_000, "every snapshot sealed");
+
+    let lines = collector.join().unwrap();
+    let events: Vec<Event> = lines.iter().map(|l| Event::parse(l).unwrap()).collect();
+    let snapshots_seen = events
+        .iter()
+        .filter(|e| matches!(e, Event::Snapshot(_)))
+        .count();
+    assert_eq!(snapshots_seen, 8_000, "fast subscriber saw every snapshot");
+    drop(slow);
+}
+
+#[test]
+fn status_endpoint_reports_counters_and_rejects() {
+    let server = Server::start(ServeConfig::new(engine_config(2))).unwrap();
+    let addr = server.local_addr().to_string();
+
+    // 3 valid records (one per tick so none is a stale duplicate), plus
+    // malformed and stale lines that must be counted as rejected.
+    client::send_lines(
+        &addr,
+        [
+            "1,0.0,1.0,2.0".to_string(),
+            "1,1.0,1.5,2.0".to_string(),
+            "not,a,record,x".to_string(),
+            "{\"id\":1,\"time\":2.0,\"x\":2.0,\"y\":2.0}".to_string(),
+            "1,0.5,9.9,9.9".to_string(), // stale: tick 0 already reported
+        ],
+    )
+    .unwrap();
+
+    // Poll until the handler has consumed the lines.
+    let mut status = Vec::new();
+    for _ in 0..500 {
+        status = client::fetch_status(&addr).unwrap();
+        let records_in = status
+            .iter()
+            .find(|(k, _)| k == "records_in")
+            .map(|(_, v)| v.clone());
+        if records_in.as_deref() == Some("3") {
+            break;
+        }
+        std::thread::sleep(std::time::Duration::from_millis(5));
+    }
+    let get = |key: &str| {
+        status
+            .iter()
+            .find(|(k, _)| k == key)
+            .map(|(_, v)| v.clone())
+            .unwrap_or_else(|| panic!("missing status key {key}"))
+    };
+    assert_eq!(get("service"), "icpe-serve");
+    assert_eq!(get("records_in"), "3");
+    assert_eq!(get("records_rejected"), "2");
+    assert_eq!(get("ingest_frontier"), "2");
+    assert!(get("uptime_s").parse::<f64>().unwrap() >= 0.0);
+    assert!(get("records_per_s").parse::<f64>().unwrap() > 0.0);
+
+    // In-process view agrees with the wire view.
+    let text = server.status_text();
+    assert!(text.contains("records_in=3"), "{text}");
+    server.finish();
+}
+
+#[test]
+fn idle_producer_with_no_valid_records_does_not_throttle_the_fleet() {
+    let server = Server::start(ServeConfig::new(engine_config(1))).unwrap();
+    let addr = server.local_addr().to_string();
+
+    // A connection that registers as a producer (its first line is a
+    // record-shaped parse failure) but never contributes a valid record.
+    // It must not count as "slowest producer" in the skew window.
+    let mut idle = TcpStream::connect(&addr).unwrap();
+    idle.write_all(b"not,a,valid,record\n").unwrap();
+    idle.flush().unwrap();
+
+    // A healthy producer streams 200 ticks; with the idle producer pinning
+    // the fleet at tick 0 this would crawl at ~2 s per admitted record.
+    let started = std::time::Instant::now();
+    client::send_records(
+        &addr,
+        (0..200).map(|t| icpe_serve::WireRecord {
+            id: 1,
+            time: t as f64,
+            x: 0.0,
+            y: 0.0,
+        }),
+        false,
+    )
+    .unwrap();
+    let mut accepted = String::new();
+    for _ in 0..2000 {
+        accepted = client::fetch_status(&addr)
+            .unwrap()
+            .iter()
+            .find(|(k, _)| k == "records_in")
+            .map(|(_, v)| v.clone())
+            .unwrap_or_default();
+        if accepted == "200" {
+            break;
+        }
+        std::thread::sleep(std::time::Duration::from_millis(5));
+    }
+    assert_eq!(accepted, "200");
+    assert!(
+        started.elapsed() < std::time::Duration::from_secs(8),
+        "ingest crawled: {:?} — idle producer throttled the fleet",
+        started.elapsed()
+    );
+    drop(idle);
+    server.finish();
+}
+
+#[test]
+fn producer_with_persistent_garbage_is_disconnected() {
+    let mut config = ServeConfig::new(engine_config(1));
+    config.max_consecutive_parse_errors = 8;
+    let server = Server::start(config).unwrap();
+    let addr = server.local_addr().to_string();
+
+    // 50 garbage lines: the connection must be dropped at the 8th, and the
+    // server must stay healthy for well-formed producers afterwards.
+    client::send_lines(&addr, (0..50).map(|i| format!("garbage line {i}"))).unwrap();
+    client::send_lines(&addr, ["7,0.0,1.0,1.0".to_string()]).unwrap();
+
+    let mut accepted = String::new();
+    for _ in 0..500 {
+        let status = client::fetch_status(&addr).unwrap();
+        accepted = status
+            .iter()
+            .find(|(k, _)| k == "records_in")
+            .map(|(_, v)| v.clone())
+            .unwrap_or_default();
+        if accepted == "1" {
+            break;
+        }
+        std::thread::sleep(std::time::Duration::from_millis(5));
+    }
+    assert_eq!(accepted, "1", "server kept serving after garbage producer");
+    let rejected: u64 = client::fetch_status(&addr)
+        .unwrap()
+        .iter()
+        .find(|(k, _)| k == "records_rejected")
+        .unwrap()
+        .1
+        .parse()
+        .unwrap();
+    assert!((8..=50).contains(&rejected), "rejected {rejected} lines");
+    server.finish();
+}

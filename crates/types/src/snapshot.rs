@@ -73,10 +73,7 @@ impl Snapshot {
 
     /// Looks up an object's location.
     pub fn location_of(&self, id: ObjectId) -> Option<Point> {
-        self.entries
-            .iter()
-            .find(|e| e.id == id)
-            .map(|e| e.location)
+        self.entries.iter().find(|e| e.id == id).map(|e| e.location)
     }
 }
 
@@ -194,7 +191,10 @@ mod tests {
     fn snapshot_from_pairs() {
         let s = Snapshot::from_pairs(
             Timestamp(0),
-            [(oid(1), Point::new(0.0, 0.0)), (oid(2), Point::new(1.0, 1.0))],
+            [
+                (oid(1), Point::new(0.0, 0.0)),
+                (oid(2), Point::new(1.0, 1.0)),
+            ],
         );
         assert_eq!(s.len(), 2);
         assert!(s.entries.iter().all(|e| e.last_time.is_none()));

@@ -6,7 +6,9 @@ use icpe_types::{
     Snapshot, TimeSequence, Timestamp,
 };
 
-fn roundtrip<T: serde::Serialize + for<'de> serde::Deserialize<'de> + PartialEq + std::fmt::Debug>(
+fn roundtrip<
+    T: serde::Serialize + for<'de> serde::Deserialize<'de> + PartialEq + std::fmt::Debug,
+>(
     value: &T,
 ) {
     let json = serde_json::to_string(value).expect("serialize");
@@ -40,7 +42,10 @@ fn snapshots_round_trip() {
 
     let cs = ClusterSnapshot::from_groups(
         Timestamp(9),
-        [vec![ObjectId(1), ObjectId(2)], vec![ObjectId(5), ObjectId(6)]],
+        [
+            vec![ObjectId(1), ObjectId(2)],
+            vec![ObjectId(5), ObjectId(6)],
+        ],
     );
     roundtrip(&cs);
     roundtrip(&Cluster::new(vec![ObjectId(4), ObjectId(1)]));

@@ -96,4 +96,3 @@ fn main() {
     );
     println!("prediction matched the co-movement group ✓");
 }
-

@@ -1,0 +1,14 @@
+//! Offline stand-in for the `crossbeam` facade crate.
+//!
+//! The build environment has no registry access, so this workspace vendors
+//! the *exact* API subset it consumes: `crossbeam::channel` bounded MPMC
+//! channels with disconnect semantics (see `shims/README.md`). Semantics
+//! follow crossbeam-channel:
+//!
+//! * `send` blocks while the channel is full and fails once every receiver
+//!   is gone (returning the record);
+//! * `recv` blocks while the channel is empty and fails once every sender
+//!   is gone *and* the queue is drained;
+//! * clones share one queue (work-stealing consumers, fan-in producers).
+
+pub mod channel;

@@ -1,0 +1,105 @@
+//! Offline stand-in for `proptest` (see `shims/README.md`).
+//!
+//! Implements the subset of the proptest surface this workspace's property
+//! tests use: the [`proptest!`] macro (with optional
+//! `#![proptest_config(...)]` header), [`strategy::Strategy`] with
+//! `prop_map`, range/tuple strategies, `prop::collection::vec`,
+//! `prop::sample::select`, `prop::bool::ANY`, and the `prop_assert*`
+//! macros.
+//!
+//! Intentional divergence from real proptest: failures are plain panics with
+//! the failing case's seed in the message — there is **no shrinking** and no
+//! persisted failure regressions. Each test function's case stream is
+//! deterministic (seeded from its module path and name, overridable with
+//! the `PROPTEST_SEED` environment variable), so failures reproduce.
+
+pub mod bool;
+pub mod collection;
+pub mod prelude;
+pub mod sample;
+pub mod strategy;
+pub mod test_runner;
+
+/// Defines property tests: each function body runs once per generated case.
+///
+/// ```ignore
+/// proptest! {
+///     #![proptest_config(ProptestConfig::with_cases(64))]
+///     #[test]
+///     fn addition_commutes(a in 0u32..100, b in 0u32..100) {
+///         prop_assert_eq!(a + b, b + a);
+///     }
+/// }
+/// ```
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($cfg:expr)] $($rest:tt)*) => {
+        $crate::__proptest_impl! { config = $cfg; $($rest)* }
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_impl! {
+            config = $crate::test_runner::ProptestConfig::default();
+            $($rest)*
+        }
+    };
+}
+
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_impl {
+    (
+        config = $cfg:expr;
+        $(
+            $(#[$meta:meta])*
+            fn $name:ident ( $( $arg:pat in $strat:expr ),* $(,)? ) $body:block
+        )*
+    ) => {
+        $(
+            $(#[$meta])*
+            fn $name() {
+                let __config: $crate::test_runner::ProptestConfig = $cfg;
+                let mut __rng = $crate::test_runner::TestRng::for_test(
+                    concat!(module_path!(), "::", stringify!($name)),
+                );
+                for __case in 0..__config.cases {
+                    let __case_seed = __rng.split_seed();
+                    let mut __case_rng = $crate::test_runner::TestRng::from_seed(__case_seed);
+                    $( let $arg = $crate::strategy::Strategy::sample(&($strat), &mut __case_rng); )*
+                    let __outcome = ::std::panic::catch_unwind(
+                        ::std::panic::AssertUnwindSafe(|| { $body }),
+                    );
+                    if let ::std::result::Result::Err(__panic) = __outcome {
+                        eprintln!(
+                            "proptest shim: case {}/{} of `{}` failed (case seed 0x{:x}; \
+                             set PROPTEST_SEED to reproduce the stream)",
+                            __case + 1,
+                            __config.cases,
+                            stringify!($name),
+                            __case_seed,
+                        );
+                        ::std::panic::resume_unwind(__panic);
+                    }
+                }
+            }
+        )*
+    };
+}
+
+/// Asserts a condition inside a property test (plain `assert!` here — the
+/// shim reports failures by panicking, not by returning `TestCaseError`).
+#[macro_export]
+macro_rules! prop_assert {
+    ($($tt:tt)*) => { assert!($($tt)*) };
+}
+
+/// Equality assertion inside a property test.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($($tt:tt)*) => { assert_eq!($($tt)*) };
+}
+
+/// Inequality assertion inside a property test.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($($tt:tt)*) => { assert_ne!($($tt)*) };
+}

@@ -1,0 +1,80 @@
+//! Test configuration and the deterministic case RNG.
+
+use rand::rngs::StdRng;
+use rand::{RngCore, SeedableRng};
+
+/// Number of cases to run per property (real proptest's `ProptestConfig`,
+/// reduced to the single knob this workspace uses).
+#[derive(Debug, Clone, Copy)]
+pub struct ProptestConfig {
+    /// How many generated cases each property runs.
+    pub cases: u32,
+}
+
+impl ProptestConfig {
+    /// A configuration running `cases` cases.
+    pub fn with_cases(cases: u32) -> Self {
+        ProptestConfig { cases }
+    }
+}
+
+impl Default for ProptestConfig {
+    fn default() -> Self {
+        // Real proptest defaults to 256; 64 keeps the no-shrinking shim's
+        // suites fast while still exploring a meaningful sample.
+        ProptestConfig { cases: 64 }
+    }
+}
+
+/// The deterministic generator strategies sample from.
+#[derive(Debug, Clone)]
+pub struct TestRng {
+    inner: StdRng,
+}
+
+impl TestRng {
+    /// A generator for one named test: seeded from the test's full path so
+    /// every test explores a distinct but reproducible stream. Set the
+    /// `PROPTEST_SEED` environment variable (decimal or `0x…` hex) to shift
+    /// every stream at once.
+    pub fn for_test(name: &str) -> Self {
+        let mut seed = match std::env::var("PROPTEST_SEED") {
+            Ok(s) => {
+                let s = s.trim().to_owned();
+                let parsed = if let Some(hex) = s.strip_prefix("0x") {
+                    u64::from_str_radix(hex, 16)
+                } else {
+                    s.parse::<u64>()
+                };
+                parsed.unwrap_or_else(|_| panic!("invalid PROPTEST_SEED `{s}`"))
+            }
+            Err(_) => 0x1C9E_5EED_BA5E_0001,
+        };
+        // FNV-1a over the test name, mixed into the base seed.
+        for b in name.bytes() {
+            seed ^= b as u64;
+            seed = seed.wrapping_mul(0x100000001b3);
+        }
+        TestRng {
+            inner: StdRng::seed_from_u64(seed),
+        }
+    }
+
+    /// A generator from an explicit seed (used to replay one case).
+    pub fn from_seed(seed: u64) -> Self {
+        TestRng {
+            inner: StdRng::seed_from_u64(seed),
+        }
+    }
+
+    /// Draws a fresh per-case seed from this stream.
+    pub fn split_seed(&mut self) -> u64 {
+        self.inner.next_u64()
+    }
+}
+
+impl RngCore for TestRng {
+    fn next_u64(&mut self) -> u64 {
+        self.inner.next_u64()
+    }
+}

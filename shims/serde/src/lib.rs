@@ -1,0 +1,276 @@
+//! Offline stand-in for `serde` (see `shims/README.md`).
+//!
+//! The registry is unreachable in this build environment, so this crate
+//! provides the minimal serialization framework the workspace needs: a
+//! self-describing [`Value`] tree, [`Serialize`]/[`Deserialize`] traits over
+//! it, and `#[derive(Serialize, Deserialize)]` macros (from the sibling
+//! `serde_derive` shim) for plain structs, newtypes and fieldless enums.
+//! `serde_json` (also shimmed) renders [`Value`] as JSON.
+//!
+//! Intentional divergence from real serde: there is no `Serializer` /
+//! `Deserializer` visitor machinery — every type round-trips through
+//! [`Value`]. The JSON produced for the workspace's types matches what real
+//! serde_json would emit (maps for structs, bare values for newtypes,
+//! strings for unit enum variants), keeping the wire format stable if the
+//! real crates are ever dropped in.
+
+use std::fmt;
+
+pub use serde_derive::{Deserialize, Serialize};
+
+/// A self-describing data tree: the interchange format between typed values
+/// and concrete encodings (JSON in this workspace).
+#[derive(Debug, Clone, PartialEq)]
+pub enum Value {
+    /// JSON `null` / Rust `None`.
+    Null,
+    /// A boolean.
+    Bool(bool),
+    /// An integer (kept exact; JSON numbers without a fraction).
+    Int(i128),
+    /// A binary float.
+    Float(f64),
+    /// A string.
+    Str(String),
+    /// An ordered sequence.
+    Seq(Vec<Value>),
+    /// An ordered string-keyed map (struct fields keep declaration order).
+    Map(Vec<(String, Value)>),
+}
+
+impl Value {
+    /// The map entries, if this is a map.
+    pub fn as_map(&self) -> Option<&[(String, Value)]> {
+        match self {
+            Value::Map(entries) => Some(entries),
+            _ => None,
+        }
+    }
+
+    /// The sequence elements, if this is a sequence.
+    pub fn as_seq(&self) -> Option<&[Value]> {
+        match self {
+            Value::Seq(items) => Some(items),
+            _ => None,
+        }
+    }
+
+    /// The string contents, if this is a string.
+    pub fn as_str(&self) -> Option<&str> {
+        match self {
+            Value::Str(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    /// Looks up a field of a map value (used by derived code).
+    pub fn field<'v>(&'v self, name: &str, ty: &str) -> Result<&'v Value, Error> {
+        let map = self.as_map().ok_or_else(|| Error::expected("map", ty))?;
+        map.iter()
+            .find(|(k, _)| k == name)
+            .map(|(_, v)| v)
+            .ok_or_else(|| Error(format!("missing field `{name}` while reading {ty}")))
+    }
+}
+
+/// Serialization/deserialization failure.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Error(pub String);
+
+impl Error {
+    /// Builds a "expected X while reading Y" error.
+    pub fn expected(what: &str, ty: &str) -> Error {
+        Error(format!("expected {what} while reading {ty}"))
+    }
+}
+
+impl fmt::Display for Error {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "serde shim error: {}", self.0)
+    }
+}
+
+impl std::error::Error for Error {}
+
+/// Conversion into the self-describing [`Value`] tree.
+pub trait Serialize {
+    /// Serializes `self`.
+    fn to_value(&self) -> Value;
+}
+
+/// Conversion back from the self-describing [`Value`] tree.
+///
+/// The lifetime parameter exists only so the real-serde bound
+/// `for<'de> Deserialize<'de>` keeps compiling; this shim never borrows
+/// from the input.
+pub trait Deserialize<'de>: Sized {
+    /// Deserializes a value of `Self`.
+    fn from_value(v: &Value) -> Result<Self, Error>;
+}
+
+// ---- primitive impls -------------------------------------------------------
+
+macro_rules! int_impls {
+    ($($ty:ty),*) => {$(
+        impl Serialize for $ty {
+            fn to_value(&self) -> Value {
+                Value::Int(*self as i128)
+            }
+        }
+        impl<'de> Deserialize<'de> for $ty {
+            fn from_value(v: &Value) -> Result<Self, Error> {
+                match v {
+                    Value::Int(i) => <$ty>::try_from(*i)
+                        .map_err(|_| Error(format!("integer {i} out of range for {}", stringify!($ty)))),
+                    _ => Err(Error::expected("integer", stringify!($ty))),
+                }
+            }
+        }
+    )*};
+}
+
+int_impls!(i8, i16, i32, i64, i128, isize, u8, u16, u32, u64, usize);
+
+macro_rules! float_impls {
+    ($($ty:ty),*) => {$(
+        impl Serialize for $ty {
+            fn to_value(&self) -> Value {
+                Value::Float(*self as f64)
+            }
+        }
+        impl<'de> Deserialize<'de> for $ty {
+            fn from_value(v: &Value) -> Result<Self, Error> {
+                match v {
+                    Value::Float(f) => Ok(*f as $ty),
+                    // Integer literals are valid floats ("3" parses as 3.0).
+                    Value::Int(i) => Ok(*i as $ty),
+                    _ => Err(Error::expected("number", stringify!($ty))),
+                }
+            }
+        }
+    )*};
+}
+
+float_impls!(f32, f64);
+
+impl Serialize for bool {
+    fn to_value(&self) -> Value {
+        Value::Bool(*self)
+    }
+}
+
+impl<'de> Deserialize<'de> for bool {
+    fn from_value(v: &Value) -> Result<Self, Error> {
+        match v {
+            Value::Bool(b) => Ok(*b),
+            _ => Err(Error::expected("bool", "bool")),
+        }
+    }
+}
+
+impl Serialize for String {
+    fn to_value(&self) -> Value {
+        Value::Str(self.clone())
+    }
+}
+
+impl<'de> Deserialize<'de> for String {
+    fn from_value(v: &Value) -> Result<Self, Error> {
+        v.as_str()
+            .map(str::to_owned)
+            .ok_or_else(|| Error::expected("string", "String"))
+    }
+}
+
+impl Serialize for str {
+    fn to_value(&self) -> Value {
+        Value::Str(self.to_owned())
+    }
+}
+
+impl<T: Serialize + ?Sized> Serialize for &T {
+    fn to_value(&self) -> Value {
+        (**self).to_value()
+    }
+}
+
+impl<T: Serialize> Serialize for Option<T> {
+    fn to_value(&self) -> Value {
+        match self {
+            Some(inner) => inner.to_value(),
+            None => Value::Null,
+        }
+    }
+}
+
+impl<'de, T: Deserialize<'de>> Deserialize<'de> for Option<T> {
+    fn from_value(v: &Value) -> Result<Self, Error> {
+        match v {
+            Value::Null => Ok(None),
+            other => T::from_value(other).map(Some),
+        }
+    }
+}
+
+impl<T: Serialize> Serialize for Vec<T> {
+    fn to_value(&self) -> Value {
+        Value::Seq(self.iter().map(Serialize::to_value).collect())
+    }
+}
+
+impl<T: Serialize> Serialize for [T] {
+    fn to_value(&self) -> Value {
+        Value::Seq(self.iter().map(Serialize::to_value).collect())
+    }
+}
+
+impl<'de, T: Deserialize<'de>> Deserialize<'de> for Vec<T> {
+    fn from_value(v: &Value) -> Result<Self, Error> {
+        v.as_seq()
+            .ok_or_else(|| Error::expected("sequence", "Vec"))?
+            .iter()
+            .map(T::from_value)
+            .collect()
+    }
+}
+
+macro_rules! tuple_impls {
+    ($(($($name:ident : $idx:tt),+))*) => {$(
+        impl<$($name: Serialize),+> Serialize for ($($name,)+) {
+            fn to_value(&self) -> Value {
+                Value::Seq(vec![$(self.$idx.to_value()),+])
+            }
+        }
+        impl<'de, $($name: Deserialize<'de>),+> Deserialize<'de> for ($($name,)+) {
+            fn from_value(v: &Value) -> Result<Self, Error> {
+                let seq = v.as_seq().ok_or_else(|| Error::expected("sequence", "tuple"))?;
+                let mut it = seq.iter();
+                let out = ($(
+                    $name::from_value(
+                        it.next().ok_or_else(|| Error::expected("longer sequence", "tuple"))?,
+                    )?,
+                )+);
+                Ok(out)
+            }
+        }
+    )*};
+}
+
+tuple_impls! {
+    (A: 0)
+    (A: 0, B: 1)
+    (A: 0, B: 1, C: 2)
+    (A: 0, B: 1, C: 2, D: 3)
+}
+
+impl Serialize for Value {
+    fn to_value(&self) -> Value {
+        self.clone()
+    }
+}
+
+impl<'de> Deserialize<'de> for Value {
+    fn from_value(v: &Value) -> Result<Self, Error> {
+        Ok(v.clone())
+    }
+}

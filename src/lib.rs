@@ -17,7 +17,20 @@
 //!   compression) and VBA (variable-length bit compression).
 //! * [`gen`] — trajectory workload generators (Brinkhoff-style network
 //!   movement, GeoLife/Taxi-like synthetics, planted co-movement groups).
-//! * [`core`] — the assembled ICPE framework with its builder-style API.
+//! * [`core`] — the assembled ICPE framework with its builder-style API:
+//!   the synchronous [`core::IcpeEngine`], the push-based
+//!   [`core::StreamingEngine`], and the distributed [`core::IcpePipeline`]
+//!   in batch ([`core::IcpePipeline::run`]) or live
+//!   ([`core::IcpePipeline::launch`]) form.
+//! * [`serve`] — the network edge: a TCP server ingesting newline-delimited
+//!   GPS records (CSV `obj_id,time,x,y` or NDJSON) from many concurrent
+//!   producers, stamping/validating them into the live pipeline, fanning
+//!   detected patterns out to `SUBSCRIBE`d consumers (bounded queues,
+//!   slow-consumer shedding), and answering `STATUS` with live counters.
+//!   Ingest backpressure is end-to-end (bounded channels all the way to
+//!   the socket); delivery never blocks on a slow reader. A `gen`-backed
+//!   load generator ([`serve::loadgen`]) soak-tests the system against
+//!   itself — see `examples/streaming_live.rs`.
 //!
 //! ## Quick start
 //!
@@ -62,4 +75,5 @@ pub use icpe_gen as gen;
 pub use icpe_index as index;
 pub use icpe_pattern as pattern;
 pub use icpe_runtime as runtime;
+pub use icpe_serve as serve;
 pub use icpe_types as types;

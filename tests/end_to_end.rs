@@ -150,7 +150,12 @@ fn pipeline_equals_sync_engine_on_generated_workloads() {
     let mut records = Vec::new();
     for s in &snaps {
         for e in &s.entries {
-            records.push(icpe::types::GpsRecord::new(e.id, e.location, s.time, e.last_time));
+            records.push(icpe::types::GpsRecord::new(
+                e.id,
+                e.location,
+                s.time,
+                e.last_time,
+            ));
         }
     }
     let out = IcpePipeline::run(&cfg, records);

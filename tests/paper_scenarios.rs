@@ -64,10 +64,7 @@ fn fig2_cp_2_4_2_2_finds_o4o5_and_o6o7() {
         EnumeratorKind::Fba,
         EnumeratorKind::Vba,
     ] {
-        let sets = unique_object_sets(&run(
-            Constraints::new(2, 4, 2, 2).expect("valid"),
-            kind,
-        ));
+        let sets = unique_object_sets(&run(Constraints::new(2, 4, 2, 2).expect("valid"), kind));
         assert!(
             sets.contains(&vec![ObjectId(4), ObjectId(5)]),
             "{kind:?}: {sets:?}"
@@ -83,16 +80,19 @@ fn fig2_cp_2_4_2_2_finds_o4o5_and_o6o7() {
 fn fig2_cp_3_4_2_2_finds_o4o5o6_with_the_papers_witness() {
     // §3.1: "no CP(3,4,2,2) pattern exists until time 7, where {o4,o5,o6}
     // qualifies with T = ⟨3,4,6,7⟩".
-    let patterns = run(Constraints::new(3, 4, 2, 2).expect("valid"), EnumeratorKind::Fba);
+    let patterns = run(
+        Constraints::new(3, 4, 2, 2).expect("valid"),
+        EnumeratorKind::Fba,
+    );
     let target: Vec<ObjectId> = vec![ObjectId(4), ObjectId(5), ObjectId(6)];
     let found: Vec<&Pattern> = patterns.iter().filter(|p| p.objects == target).collect();
     assert!(!found.is_empty(), "{patterns:?}");
     // At least one report carries exactly the paper's witness sequence.
     let witness: Vec<u32> = vec![3, 4, 6, 7];
     assert!(
-        found.iter().any(|p| {
-            p.times.times().iter().map(|t| t.0).collect::<Vec<_>>() == witness
-        }),
+        found
+            .iter()
+            .any(|p| { p.times.times().iter().map(|t| t.0).collect::<Vec<_>>() == witness }),
         "no report with T = ⟨3,4,6,7⟩: {found:?}"
     );
     // And nothing qualifies strictly before time 7.

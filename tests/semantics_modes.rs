@@ -50,9 +50,16 @@ fn divergence_case_doomed_middle_segment() {
     let stream = co_location_stream(&[1, 2, 4, 6, 7], 14);
     let pair = vec![ObjectId(1), ObjectId(2)];
 
-    for kind in [EnumeratorKind::Baseline, EnumeratorKind::Fba, EnumeratorKind::Vba] {
+    for kind in [
+        EnumeratorKind::Baseline,
+        EnumeratorKind::Fba,
+        EnumeratorKind::Vba,
+    ] {
         let sub = unique_object_sets(&run(Semantics::Subsequence, kind, &stream));
-        assert!(sub.contains(&pair), "{kind:?} subsequence missed the pattern");
+        assert!(
+            sub.contains(&pair),
+            "{kind:?} subsequence missed the pattern"
+        );
         let greedy = unique_object_sets(&run(Semantics::PaperGreedy, kind, &stream));
         assert!(
             !greedy.contains(&pair),
@@ -67,7 +74,11 @@ fn greedy_and_subsequence_agree_on_clean_sequences() {
     let stream = co_location_stream(&[3, 4, 5, 6, 7], 14);
     let pair = vec![ObjectId(1), ObjectId(2)];
     for sem in [Semantics::Subsequence, Semantics::PaperGreedy] {
-        for kind in [EnumeratorKind::Baseline, EnumeratorKind::Fba, EnumeratorKind::Vba] {
+        for kind in [
+            EnumeratorKind::Baseline,
+            EnumeratorKind::Fba,
+            EnumeratorKind::Vba,
+        ] {
             let sets = unique_object_sets(&run(sem, kind, &stream));
             assert!(sets.contains(&pair), "{kind:?}/{sem:?}");
         }
@@ -79,7 +90,11 @@ fn greedy_reports_are_a_subset_of_subsequence_reports() {
     // On a messier stream, every greedy-reported set must also be reported
     // under subsequence semantics (greedy is strictly stricter).
     let stream = co_location_stream(&[0, 1, 3, 5, 6, 9, 10, 11, 13], 20);
-    for kind in [EnumeratorKind::Baseline, EnumeratorKind::Fba, EnumeratorKind::Vba] {
+    for kind in [
+        EnumeratorKind::Baseline,
+        EnumeratorKind::Fba,
+        EnumeratorKind::Vba,
+    ] {
         let sub = unique_object_sets(&run(Semantics::Subsequence, kind, &stream));
         let greedy = unique_object_sets(&run(Semantics::PaperGreedy, kind, &stream));
         for s in &greedy {

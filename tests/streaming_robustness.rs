@@ -40,7 +40,10 @@ fn disorder_injection_does_not_change_results() {
             },
         );
         let messy = unique_object_sets(&IcpePipeline::run(&base_config(), shuffled).patterns);
-        assert_eq!(messy, clean, "disorder p={prob} disp={disp} changed results");
+        assert_eq!(
+            messy, clean,
+            "disorder p={prob} disp={disp} changed results"
+        );
     }
 }
 
@@ -79,8 +82,18 @@ fn degenerate_constraints_run() {
     let mut records = Vec::new();
     for t in 0..5u32 {
         let last = (t > 0).then(|| Timestamp(t - 1));
-        records.push(GpsRecord::new(ObjectId(1), Point::new(0.0, 0.0), Timestamp(t), last));
-        records.push(GpsRecord::new(ObjectId(2), Point::new(0.5, 0.5), Timestamp(t), last));
+        records.push(GpsRecord::new(
+            ObjectId(1),
+            Point::new(0.0, 0.0),
+            Timestamp(t),
+            last,
+        ));
+        records.push(GpsRecord::new(
+            ObjectId(2),
+            Point::new(0.5, 0.5),
+            Timestamp(t),
+            last,
+        ));
     }
     let out = IcpePipeline::run(&cfg, records);
     let sets = unique_object_sets(&out.patterns);
@@ -94,10 +107,20 @@ fn objects_appearing_and_disappearing_mid_stream() {
     // at t=25; both co-located throughout 10..=25.
     for t in 0..40u32 {
         let last1 = (t > 0).then(|| Timestamp(t - 1));
-        records.push(GpsRecord::new(ObjectId(1), Point::new(1.0, 1.0), Timestamp(t), last1));
+        records.push(GpsRecord::new(
+            ObjectId(1),
+            Point::new(1.0, 1.0),
+            Timestamp(t),
+            last1,
+        ));
         if (10..=25).contains(&t) {
             let last2 = (t > 10).then(|| Timestamp(t - 1));
-            records.push(GpsRecord::new(ObjectId(2), Point::new(1.3, 1.1), Timestamp(t), last2));
+            records.push(GpsRecord::new(
+                ObjectId(2),
+                Point::new(1.3, 1.1),
+                Timestamp(t),
+                last2,
+            ));
         }
     }
     let out = IcpePipeline::run(&base_config(), records);
