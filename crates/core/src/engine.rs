@@ -1,9 +1,13 @@
 //! The deterministic, in-process ICPE engine.
 
-use crate::config::{ClustererKind, EnumeratorKind, IcpeConfig};
+use crate::config::{ClustererKind, IcpeConfig};
+use crate::pipeline::{build_engine, engine_kind_name, restore_engine};
 use icpe_cluster::{GdcClusterer, RjcClusterer, SnapshotClusterer, SrjClusterer};
-use icpe_pattern::{BaselineEngine, FbaEngine, PatternEngine, VbaEngine};
-use icpe_types::{ClusterSnapshot, Pattern, Snapshot};
+use icpe_pattern::PatternEngine;
+use icpe_types::{
+    CheckpointError, ClusterSnapshot, EngineCheckpoint, Pattern, PipelineCheckpoint,
+    ProgressCheckpoint, Snapshot, CHECKPOINT_VERSION,
+};
 use std::time::Duration;
 
 /// Per-phase timing accumulated by [`IcpeEngine`] — the decomposition behind
@@ -74,17 +78,30 @@ impl IcpeEngine {
             }
             ClustererKind::Gdc => Box::new(GdcClusterer::new(config.dbscan, config.metric)),
         };
-        let engine_config = config.engine_config();
-        let enumerator: Box<dyn PatternEngine + Send> = match config.enumerator {
-            EnumeratorKind::Baseline => Box::new(BaselineEngine::new(engine_config)),
-            EnumeratorKind::Fba => Box::new(FbaEngine::new(engine_config)),
-            EnumeratorKind::Vba => Box::new(VbaEngine::new(engine_config)),
-        };
+        let enumerator = build_engine(config.enumerator, config.engine_config());
         IcpeEngine {
             clusterer,
             enumerator,
             timings: PhaseTimings::default(),
         }
+    }
+
+    /// Builds the engine with its enumeration state restored from a
+    /// checkpoint (the clustering phase is stateless across snapshots and
+    /// starts fresh). Phase timings are wall-clock and restart at zero.
+    pub fn from_checkpoint(
+        config: IcpeConfig,
+        ckpt: &EngineCheckpoint,
+    ) -> Result<Self, CheckpointError> {
+        let mut engine = IcpeEngine::new(config.clone());
+        engine.enumerator =
+            restore_engine(config.enumerator, config.engine_config(), ckpt, |_| true)?;
+        Ok(engine)
+    }
+
+    /// Captures the enumeration engine's streaming state in durable form.
+    pub fn checkpoint_enumerator(&self) -> Option<EngineCheckpoint> {
+        self.enumerator.checkpoint()
     }
 
     /// Clusters one snapshot and feeds the result to the enumeration engine;
@@ -147,6 +164,7 @@ impl IcpeEngine {
 pub struct StreamingEngine {
     aligner: icpe_runtime::TimeAligner,
     engine: IcpeEngine,
+    records_ingested: u64,
 }
 
 impl StreamingEngine {
@@ -155,12 +173,59 @@ impl StreamingEngine {
         StreamingEngine {
             aligner: icpe_runtime::TimeAligner::new(config.aligner),
             engine: IcpeEngine::new(config),
+            records_ingested: 0,
         }
+    }
+
+    /// Captures the engine's full streaming state — the single-threaded
+    /// analogue of [`crate::LivePipeline::checkpoint`], sharing the same
+    /// [`PipelineCheckpoint`] schema. `seq` is caller-assigned.
+    pub fn checkpoint(&self, seq: u64) -> Option<PipelineCheckpoint> {
+        let engine = self.engine.checkpoint_enumerator()?;
+        let aligner = self.aligner.checkpoint();
+        Some(PipelineCheckpoint {
+            version: CHECKPOINT_VERSION,
+            seq,
+            records_ingested: self.records_ingested,
+            progress: ProgressCheckpoint {
+                snapshots_completed: self.engine.timings.snapshots as u64,
+                late_records: aligner.late_dropped,
+                max_sealed: aligner.sealed_up_to.map(|s| s - 1),
+            },
+            aligner,
+            engine,
+        })
+    }
+
+    /// Rebuilds a streaming engine from a checkpoint; feeding it the input
+    /// stream from record `checkpoint.records_ingested` onward resumes the
+    /// run as if it never stopped.
+    pub fn from_checkpoint(
+        config: IcpeConfig,
+        ckpt: &PipelineCheckpoint,
+    ) -> Result<Self, CheckpointError> {
+        ckpt.check_version()?;
+        let expected = engine_kind_name(config.enumerator);
+        if ckpt.engine.kind != expected {
+            return Err(CheckpointError::EngineMismatch {
+                checkpoint: ckpt.engine.kind.clone(),
+                config: expected.into(),
+            });
+        }
+        let aligner = icpe_runtime::TimeAligner::from_checkpoint(config.aligner, &ckpt.aligner);
+        let mut engine = IcpeEngine::from_checkpoint(config, &ckpt.engine)?;
+        engine.timings.snapshots = ckpt.progress.snapshots_completed as usize;
+        Ok(StreamingEngine {
+            aligner,
+            engine,
+            records_ingested: ckpt.records_ingested,
+        })
     }
 
     /// Ingests one record; processes any snapshots that became sealable and
     /// returns the patterns that became reportable.
     pub fn push(&mut self, record: icpe_types::GpsRecord) -> Vec<Pattern> {
+        self.records_ingested += 1;
         let mut patterns = Vec::new();
         for snapshot in self.aligner.push(record) {
             patterns.extend(self.engine.push_snapshot(snapshot));
@@ -193,6 +258,7 @@ impl StreamingEngine {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::config::EnumeratorKind;
     use icpe_pattern::unique_object_sets;
     use icpe_types::{Constraints, ObjectId, Point, Timestamp};
 
@@ -289,6 +355,53 @@ mod tests {
     fn method_names_are_exposed() {
         let engine = IcpeEngine::new(config(EnumeratorKind::Vba));
         assert_eq!(engine.method_names(), ("RJC", "VBA"));
+    }
+
+    #[test]
+    fn streaming_engine_checkpoint_restore_is_equivalent() {
+        for kind in [
+            EnumeratorKind::Fba,
+            EnumeratorKind::Vba,
+            EnumeratorKind::Baseline,
+        ] {
+            // Reference: uninterrupted run.
+            let mut records = Vec::new();
+            for s in walking_snapshots(12) {
+                let last = (s.time.0 > 0).then(|| Timestamp(s.time.0 - 1));
+                for e in &s.entries {
+                    records.push(icpe_types::GpsRecord::new(e.id, e.location, s.time, last));
+                }
+            }
+            let mut full = StreamingEngine::new(config(kind));
+            let mut want = Vec::new();
+            for r in &records {
+                want.extend(full.push(*r));
+            }
+            want.extend(full.finish());
+
+            // Interrupted run: checkpoint mid-stream, restore, continue.
+            let mut first = StreamingEngine::new(config(kind));
+            let mut got = Vec::new();
+            let cut = records.len() / 2;
+            for r in &records[..cut] {
+                got.extend(first.push(*r));
+            }
+            let ckpt = first.checkpoint(1).unwrap();
+            assert_eq!(ckpt.records_ingested as usize, cut);
+            drop(first); // crash
+
+            let mut second = StreamingEngine::from_checkpoint(config(kind), &ckpt).unwrap();
+            for r in &records[cut..] {
+                got.extend(second.push(*r));
+            }
+            got.extend(second.finish());
+            assert_eq!(
+                unique_object_sets(&got),
+                unique_object_sets(&want),
+                "{kind:?} diverged after restore"
+            );
+            assert_eq!(second.engine().timings().snapshots, 12);
+        }
     }
 
     #[test]

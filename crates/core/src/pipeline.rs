@@ -26,6 +26,32 @@
 //!   the deployment form the `icpe-serve` network layer builds on; the
 //!   channel bound gives end-to-end backpressure from clustering all the
 //!   way back to the TCP socket.
+//!
+//! ## Checkpointing (the recovery story)
+//!
+//! The job is stateful: the aligner's chains and the enumeration engines'
+//! open windows are exactly what a crash would forget. [`LivePipeline::
+//! checkpoint`] captures them *consistently* without stopping the world,
+//! Flink/Chandy–Lamport style: a **barrier** message is enqueued on the
+//! ingest channel behind every record pushed so far and flows through the
+//! dataflow along the same FIFO channels as data —
+//!
+//! * the align subtask snapshots its [`TimeAligner`] state and forwards the
+//!   barrier;
+//! * the clustering stages forward it (their per-snapshot buffers are
+//!   provably empty at a barrier: the barrier trails the boundary tick of
+//!   every sealed snapshot, and ticks flush those buffers);
+//! * each enumeration subtask snapshots its engine at the barrier — by
+//!   which point it has processed exactly the snapshots the aligner sealed
+//!   before the barrier, nothing more — and emits the piece to the sink;
+//! * the sink merges the `N` engine pieces with the aligner state into one
+//!   deployment-independent [`PipelineCheckpoint`] and fulfils the request.
+//!
+//! The cut is exact: `records_ingested` counts the records consumed before
+//! the barrier, so replaying the input from that offset into
+//! [`IcpePipeline::launch_from`] resumes the run as if it never stopped.
+//! Restore re-shards engine state by owner hash, so the restored deployment
+//! may use a different parallelism than the one that wrote the checkpoint.
 
 use crate::config::{ClustererKind, EnumeratorKind, IcpeConfig};
 use icpe_cluster::allocate::allocate_one;
@@ -36,16 +62,18 @@ use icpe_index::{Grid, GridKey, RTree};
 use icpe_pattern::partition::Partition;
 use icpe_pattern::{id_partitions, BaselineEngine, FbaEngine, PatternEngine, VbaEngine};
 use icpe_runtime::{
-    ingest_channel, AlignOperator, Collector, Disconnected, Exchange, MetricsReport, Operator,
-    PipelineMetrics, Routing, Stream, StreamProgress,
+    ingest_channel, Collector, Disconnected, Exchange, MetricsReport, Operator, PipelineMetrics,
+    Routing, Stream, StreamProgress, TimeAligner,
 };
 use icpe_types::{
-    ClusterSnapshot, DbscanParams, DistanceMetric, GpsRecord, ObjectId, Pattern, Snapshot,
-    Timestamp,
+    AlignerCheckpoint, CheckpointError, ClusterSnapshot, DbscanParams, DistanceMetric,
+    EngineCheckpoint, GpsRecord, ObjectId, Pattern, PipelineCheckpoint, ProgressCheckpoint,
+    Snapshot, Timestamp, CHECKPOINT_VERSION,
 };
 use std::collections::hash_map::DefaultHasher;
 use std::collections::{BTreeMap, HashMap};
 use std::hash::{Hash, Hasher};
+use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, Mutex};
 use std::thread::JoinHandle;
 
@@ -76,18 +104,59 @@ pub enum PipelineEvent {
     },
 }
 
+/// What travels on the ingest channel: data, or a checkpoint barrier.
+#[derive(Debug, Clone)]
+enum InputMsg {
+    Record(GpsRecord),
+    Barrier(Arc<BarrierRequest>),
+}
+
+/// A pending checkpoint request, created by [`RecordSender::checkpoint`]
+/// and fulfilled by the sink once every engine piece has arrived.
+#[derive(Debug)]
+struct BarrierRequest {
+    seq: u64,
+    reply: crossbeam::channel::Sender<PipelineCheckpoint>,
+}
+
+/// The barrier as it travels *after* the align stage: the request plus the
+/// state captured at the cut so far.
+#[derive(Debug)]
+pub(crate) struct BarrierToken {
+    request: Arc<BarrierRequest>,
+    aligner: AlignerCheckpoint,
+    records_ingested: u64,
+}
+
 /// A cloneable handle for pushing records into a running [`LivePipeline`]
 /// (one per producer; many producers may feed one pipeline).
 #[derive(Debug, Clone)]
 pub struct RecordSender {
-    inner: crossbeam::channel::Sender<GpsRecord>,
+    inner: crossbeam::channel::Sender<InputMsg>,
+    /// Checkpoint sequence numbers, shared by every handle of one pipeline.
+    ckpt_seq: Arc<AtomicU64>,
 }
 
 impl RecordSender {
     /// Pushes one record, blocking while the pipeline's ingest buffer is
     /// full (backpressure). Fails once the pipeline has shut down.
     pub fn push(&self, record: GpsRecord) -> Result<(), Disconnected> {
-        self.inner.send(record).map_err(|_| Disconnected)
+        self.inner
+            .send(InputMsg::Record(record))
+            .map_err(|_| Disconnected)
+    }
+
+    /// Requests a consistent checkpoint and blocks until the barrier has
+    /// traversed the dataflow (behind every record pushed before this
+    /// call) and the assembled [`PipelineCheckpoint`] comes back. Fails
+    /// once the pipeline has shut down.
+    pub fn checkpoint(&self) -> Result<PipelineCheckpoint, Disconnected> {
+        let (reply, rx) = crossbeam::channel::bounded(1);
+        let seq = self.ckpt_seq.fetch_add(1, Ordering::Relaxed) + 1;
+        self.inner
+            .send(InputMsg::Barrier(Arc::new(BarrierRequest { seq, reply })))
+            .map_err(|_| Disconnected)?;
+        rx.recv().map_err(|_| Disconnected)
     }
 }
 
@@ -119,6 +188,19 @@ impl LivePipeline {
             .as_ref()
             .expect("LivePipeline::push called after finish")
             .push(record)
+    }
+
+    /// Takes a consistent checkpoint of the running pipeline (see the
+    /// module docs): blocks until the barrier has flowed through every
+    /// stage, typically well under the time the pipeline needs to drain
+    /// its in-flight snapshots. Concurrent pushes are fine — the cut lands
+    /// at whatever point the barrier enters the ingest channel, and the
+    /// returned checkpoint's `records_ingested` names that point exactly.
+    pub fn checkpoint(&self) -> Result<PipelineCheckpoint, Disconnected> {
+        self.input
+            .as_ref()
+            .expect("LivePipeline::checkpoint called after finish")
+            .checkpoint()
     }
 
     /// The shared latency/throughput recorder — readable while the
@@ -162,16 +244,49 @@ impl IcpePipeline {
         config: &IcpeConfig,
         on_event: impl FnMut(PipelineEvent) + Send + 'static,
     ) -> LivePipeline {
+        let resume = ResumeState::fresh(config);
+        Self::launch_inner(config, resume, on_event)
+    }
+
+    /// Launches the dataflow resuming from a checkpoint: the aligner, the
+    /// enumeration engines, and the progress gauges pick up exactly where
+    /// the checkpoint cut them, and the producers are expected to replay
+    /// the input stream from record `checkpoint.records_ingested` onward.
+    /// The configuration must run the same engine kind the checkpoint
+    /// holds; parallelism may differ (state re-shards by owner hash).
+    pub fn launch_from(
+        config: &IcpeConfig,
+        checkpoint: &PipelineCheckpoint,
+        on_event: impl FnMut(PipelineEvent) + Send + 'static,
+    ) -> Result<LivePipeline, CheckpointError> {
+        let resume = ResumeState::from_checkpoint(config, checkpoint)?;
+        Ok(Self::launch_inner(config, resume, on_event))
+    }
+
+    fn launch_inner(
+        config: &IcpeConfig,
+        resume: ResumeState,
+        on_event: impl FnMut(PipelineEvent) + Send + 'static,
+    ) -> LivePipeline {
         let metrics = PipelineMetrics::new();
-        let (input, records) = ingest_channel::<GpsRecord>(config.runtime.channel_capacity);
+        metrics.restore(&ProgressCheckpoint {
+            snapshots_completed: resume.completed,
+            late_records: resume.aligner.late_dropped(),
+            max_sealed: resume.max_sealed,
+        });
+        let (input, records) = ingest_channel::<InputMsg>(config.runtime.channel_capacity);
         let driver_config = config.clone();
         let driver_metrics = metrics.clone();
+        let ckpt_seq = Arc::new(AtomicU64::new(resume.next_seq.saturating_sub(1)));
         let driver = std::thread::Builder::new()
             .name("icpe-driver".into())
-            .spawn(move || drive(driver_config, records, driver_metrics, on_event))
+            .spawn(move || drive(driver_config, records, driver_metrics, resume, on_event))
             .expect("failed to spawn pipeline driver thread");
         LivePipeline {
-            input: Some(RecordSender { inner: input }),
+            input: Some(RecordSender {
+                inner: input,
+                ckpt_seq,
+            }),
             driver: Some(driver),
             metrics,
         }
@@ -199,44 +314,210 @@ impl IcpePipeline {
     }
 }
 
+// ---- restore plumbing ------------------------------------------------------
+
+/// The engine name a configuration's enumerator kind writes into (and
+/// expects back from) a checkpoint.
+pub(crate) fn engine_kind_name(kind: EnumeratorKind) -> &'static str {
+    match kind {
+        EnumeratorKind::Baseline => "BA",
+        EnumeratorKind::Fba => "FBA",
+        EnumeratorKind::Vba => "VBA",
+    }
+}
+
+/// Builds a fresh enumeration engine of the configured kind.
+pub(crate) fn build_engine(
+    kind: EnumeratorKind,
+    config: icpe_pattern::EngineConfig,
+) -> Box<dyn PatternEngine + Send> {
+    match kind {
+        EnumeratorKind::Baseline => Box::new(BaselineEngine::new(config)),
+        EnumeratorKind::Fba => Box::new(FbaEngine::new(config)),
+        EnumeratorKind::Vba => Box::new(VbaEngine::new(config)),
+    }
+}
+
+/// Restores an enumeration engine from a checkpoint, keeping only the
+/// owners `keep` selects.
+pub(crate) fn restore_engine(
+    kind: EnumeratorKind,
+    config: icpe_pattern::EngineConfig,
+    ckpt: &EngineCheckpoint,
+    keep: impl Fn(ObjectId) -> bool,
+) -> Result<Box<dyn PatternEngine + Send>, CheckpointError> {
+    Ok(match kind {
+        EnumeratorKind::Baseline => Box::new(BaselineEngine::from_checkpoint(config, ckpt, keep)?),
+        EnumeratorKind::Fba => Box::new(FbaEngine::from_checkpoint(config, ckpt, keep)?),
+        EnumeratorKind::Vba => Box::new(VbaEngine::from_checkpoint(config, ckpt, keep)?),
+    })
+}
+
+/// Everything a (re)started dataflow begins from. For a fresh launch this
+/// is empty state; for a restore it is fully validated before any thread
+/// spawns, so a bad checkpoint fails the launch instead of panicking a
+/// subtask later.
+struct ResumeState {
+    aligner: TimeAligner,
+    /// One pre-built engine per enumeration subtask.
+    engines: Vec<Box<dyn PatternEngine + Send>>,
+    records_ingested: u64,
+    completed: u64,
+    max_sealed: Option<u32>,
+    next_seq: u64,
+}
+
+impl ResumeState {
+    fn fresh(config: &IcpeConfig) -> ResumeState {
+        let engine_config = config.engine_config();
+        ResumeState {
+            aligner: TimeAligner::new(config.aligner),
+            engines: (0..config.parallelism)
+                .map(|_| build_engine(config.enumerator, engine_config))
+                .collect(),
+            records_ingested: 0,
+            completed: 0,
+            max_sealed: None,
+            next_seq: 1,
+        }
+    }
+
+    fn from_checkpoint(
+        config: &IcpeConfig,
+        ckpt: &PipelineCheckpoint,
+    ) -> Result<ResumeState, CheckpointError> {
+        ckpt.check_version()?;
+        let expected = engine_kind_name(config.enumerator);
+        if ckpt.engine.kind != expected {
+            return Err(CheckpointError::EngineMismatch {
+                checkpoint: ckpt.engine.kind.clone(),
+                config: expected.into(),
+            });
+        }
+        let n = config.parallelism;
+        let engine_config = config.engine_config();
+        // The skipped-partition counter is cumulative across the whole
+        // deployment: restore it into subtask 0 only, or the next
+        // checkpoint's merge would multiply it by the parallelism.
+        let mut tail = ckpt.engine.clone();
+        tail.skipped_partitions = 0;
+        let engines = (0..n)
+            .map(|i| {
+                let piece = if i == 0 { &ckpt.engine } else { &tail };
+                // The same owner→subtask mapping the keyed exchange uses,
+                // so each subtask loads exactly the owners routed to it.
+                restore_engine(config.enumerator, engine_config, piece, |owner| {
+                    (hash_id(owner) % n as u64) as usize == i
+                })
+            })
+            .collect::<Result<Vec<_>, _>>()?;
+        Ok(ResumeState {
+            aligner: TimeAligner::from_checkpoint(config.aligner, &ckpt.aligner),
+            engines,
+            records_ingested: ckpt.records_ingested,
+            completed: ckpt.progress.snapshots_completed,
+            max_sealed: ckpt.progress.max_sealed,
+            next_seq: ckpt.seq + 1,
+        })
+    }
+}
+
 /// Driver-thread body of a launched pipeline: builds the dataflow with a
 /// channel source and drains it into the event callback.
 fn drive(
     config: IcpeConfig,
-    records: crossbeam::channel::Receiver<GpsRecord>,
+    records: crossbeam::channel::Receiver<InputMsg>,
     metrics: PipelineMetrics,
+    resume: ResumeState,
     mut on_event: impl FnMut(PipelineEvent) + Send + 'static,
 ) {
     let n = config.parallelism;
-    let aligner_config = config.aligner;
-    let aligner_metrics = metrics.clone();
+    let ResumeState {
+        aligner,
+        engines,
+        records_ingested,
+        completed,
+        ..
+    } = resume;
+
+    let align_cell = Mutex::new(Some(AlignBarrierOp {
+        reported_late: aligner.late_dropped(),
+        aligner,
+        metrics: metrics.clone(),
+        records_ingested,
+    }));
+    let engine_cells: Vec<Mutex<Option<Box<dyn PatternEngine + Send>>>> =
+        engines.into_iter().map(|e| Mutex::new(Some(e))).collect();
 
     let source = Stream::from_channel(config.runtime, records);
     let snapshots = source.apply("align", 1, Exchange::Rebalance, move |_| {
-        AlignOperator::with_metrics(aligner_config, aligner_metrics.clone())
+        align_cell
+            .lock()
+            .expect("align cell poisoned")
+            .take()
+            .expect("align stage has parallelism 1")
     });
     let partitions = cluster_stages(snapshots, &config, &metrics);
-    let engine_config = config.engine_config();
-    let enumerator_kind = config.enumerator;
     let outputs = partitions.apply(
         "enumerate",
         n,
         Exchange::per_record(|msg: &PartMsg| match msg {
             PartMsg::Part { partition, .. } => Routing::Key(hash_id(partition.owner)),
-            PartMsg::Tick(_) => Routing::Broadcast,
+            PartMsg::Tick(_) | PartMsg::Barrier(_) => Routing::Broadcast,
         }),
-        move |_| EnumerateOp::new(enumerator_kind, engine_config),
+        move |i| EnumerateOp {
+            engine: engine_cells[i]
+                .lock()
+                .expect("engine cell poisoned")
+                .take()
+                .expect("each enumerate subtask starts once"),
+            pending: HashMap::new(),
+        },
     );
 
     let mut done_counts: HashMap<u32, usize> = HashMap::new();
+    let mut completed = completed;
+    // In-flight checkpoint assemblies: seq → collected engine pieces.
+    let mut pending_ckpts: HashMap<u64, (Arc<BarrierToken>, Vec<EngineCheckpoint>)> =
+        HashMap::new();
     outputs.for_each(|msg| match msg {
         OutMsg::Pattern(p) => on_event(PipelineEvent::Pattern(p)),
         OutMsg::Done(t) => {
             let c = done_counts.entry(t).or_insert(0);
             *c += 1;
             if *c == n {
+                done_counts.remove(&t);
+                completed += 1;
                 metrics.mark_done(t);
                 on_event(PipelineEvent::SnapshotSealed { time: t });
+            }
+        }
+        OutMsg::Checkpoint { token, engine } => {
+            let entry = pending_ckpts
+                .entry(token.request.seq)
+                .or_insert_with(|| (Arc::clone(&token), Vec::new()));
+            entry.1.push(engine);
+            if entry.1.len() == n {
+                let (token, pieces) = pending_ckpts.remove(&token.request.seq).unwrap();
+                let engine = EngineCheckpoint::merge(pieces)
+                    .expect("subtask checkpoints share one engine kind");
+                let checkpoint = PipelineCheckpoint {
+                    version: CHECKPOINT_VERSION,
+                    seq: token.request.seq,
+                    records_ingested: token.records_ingested,
+                    progress: ProgressCheckpoint {
+                        snapshots_completed: completed,
+                        late_records: token.aligner.late_dropped,
+                        // sealed_up_to is `u + 1` after sealing `u`, so it
+                        // is ≥ 1 whenever Some.
+                        max_sealed: token.aligner.sealed_up_to.map(|s| s - 1),
+                    },
+                    aligner: token.aligner.clone(),
+                    engine,
+                };
+                // The requester may have given up (timeout/shutdown);
+                // nothing to do then.
+                let _ = token.request.reply.send(checkpoint);
             }
         }
     });
@@ -257,7 +538,7 @@ fn hash_key(key: GridKey) -> u64 {
 /// Builds the clustering stages for the configured method, producing the
 /// keyed partition stream consumed by enumeration.
 fn cluster_stages(
-    snapshots: Stream<Snapshot>,
+    snapshots: Stream<AlignMsg>,
     config: &IcpeConfig,
     metrics: &PipelineMetrics,
 ) -> Stream<PartMsg> {
@@ -283,7 +564,7 @@ fn cluster_stages(
                 n,
                 Exchange::per_record(|msg: &ClusterMsg| match msg {
                     ClusterMsg::Obj(o) => Routing::Key(hash_key(o.key)),
-                    ClusterMsg::Tick(_) => Routing::Broadcast,
+                    ClusterMsg::Tick(_) | ClusterMsg::Barrier(_) => Routing::Broadcast,
                 }),
                 move |_| QueryOp::new(dbscan.eps, metric, build_then_query),
             );
@@ -293,6 +574,7 @@ fn cluster_stages(
                     m,
                     dbscan,
                     pending: BTreeMap::new(),
+                    barriers: HashMap::new(),
                 }
             })
         }
@@ -309,12 +591,21 @@ fn cluster_stages(
 
 // ---- messages --------------------------------------------------------------
 
+/// Align → clustering.
+#[derive(Debug, Clone)]
+enum AlignMsg {
+    Snapshot(Snapshot),
+    /// Checkpoint barrier: trails every snapshot sealed before the cut.
+    Barrier(Arc<BarrierToken>),
+}
+
 /// GridAllocate → GridQuery.
 #[derive(Debug, Clone)]
 enum ClusterMsg {
     Obj(icpe_cluster::GridObject),
     /// Snapshot boundary: all objects of this time have been emitted.
     Tick(u32),
+    Barrier(Arc<BarrierToken>),
 }
 
 /// GridQuery → GridSync.
@@ -322,6 +613,7 @@ enum ClusterMsg {
 enum PairMsg {
     Pairs(u32, Vec<NeighborPair>),
     Tick(u32),
+    Barrier(Arc<BarrierToken>),
 }
 
 /// GridSync/DBSCAN → Enumerate.
@@ -329,6 +621,7 @@ enum PairMsg {
 pub(crate) enum PartMsg {
     Part { time: u32, partition: Partition },
     Tick(u32),
+    Barrier(Arc<BarrierToken>),
 }
 
 /// Enumerate → Sink.
@@ -336,9 +629,62 @@ pub(crate) enum PartMsg {
 enum OutMsg {
     Pattern(Pattern),
     Done(u32),
+    /// One subtask's engine state at the barrier.
+    Checkpoint {
+        token: Arc<BarrierToken>,
+        engine: EngineCheckpoint,
+    },
 }
 
 // ---- operators -------------------------------------------------------------
+
+/// The align stage: §4 time alignment plus the checkpoint cut. Owns the
+/// authoritative record count and the late-drop mirror.
+struct AlignBarrierOp {
+    aligner: TimeAligner,
+    metrics: PipelineMetrics,
+    reported_late: u64,
+    records_ingested: u64,
+}
+
+impl AlignBarrierOp {
+    fn sync_late_counter(&mut self) {
+        let total = self.aligner.late_dropped();
+        if total > self.reported_late {
+            self.metrics.mark_late(total - self.reported_late);
+            self.reported_late = total;
+        }
+    }
+}
+
+impl Operator<InputMsg, AlignMsg> for AlignBarrierOp {
+    fn process(&mut self, input: InputMsg, out: &mut Collector<AlignMsg>) {
+        match input {
+            InputMsg::Record(record) => {
+                self.records_ingested += 1;
+                out.emit_all(
+                    self.aligner
+                        .push(record)
+                        .into_iter()
+                        .map(AlignMsg::Snapshot),
+                );
+                self.sync_late_counter();
+            }
+            InputMsg::Barrier(request) => {
+                out.emit(AlignMsg::Barrier(Arc::new(BarrierToken {
+                    request,
+                    aligner: self.aligner.checkpoint(),
+                    records_ingested: self.records_ingested,
+                })));
+            }
+        }
+    }
+
+    fn finish(&mut self, out: &mut Collector<AlignMsg>) {
+        out.emit_all(self.aligner.flush().into_iter().map(AlignMsg::Snapshot));
+        self.sync_late_counter();
+    }
+}
 
 /// GridAllocate (Algorithm 1) as a pipeline operator; also the latency
 /// ingest point.
@@ -349,8 +695,17 @@ struct AllocateOp {
     metrics: PipelineMetrics,
 }
 
-impl Operator<Snapshot, ClusterMsg> for AllocateOp {
-    fn process(&mut self, snapshot: Snapshot, out: &mut Collector<ClusterMsg>) {
+impl Operator<AlignMsg, ClusterMsg> for AllocateOp {
+    fn process(&mut self, msg: AlignMsg, out: &mut Collector<ClusterMsg>) {
+        let snapshot = match msg {
+            AlignMsg::Snapshot(s) => s,
+            // Stateless across snapshots: nothing to capture, just pass
+            // the barrier along (behind the ticks of every sealed time).
+            AlignMsg::Barrier(token) => {
+                out.emit(ClusterMsg::Barrier(token));
+                return;
+            }
+        };
         self.metrics.mark_ingest(snapshot.time.0);
         let mut buf = Vec::new();
         for e in &snapshot.entries {
@@ -436,6 +791,10 @@ impl Operator<ClusterMsg, PairMsg> for QueryOp {
                     .push(o);
             }
             ClusterMsg::Tick(t) => self.flush_time(t, out),
+            // The barrier trails every sealed snapshot's tick, and ticks
+            // flush the per-time buffers — so at this point the subtask
+            // holds no state belonging to the cut. Forward.
+            ClusterMsg::Barrier(token) => out.emit(PairMsg::Barrier(token)),
         }
     }
 
@@ -454,6 +813,8 @@ struct SyncDbscanOp {
     m: usize,
     dbscan: DbscanParams,
     pending: BTreeMap<u32, (PairCollector, usize)>,
+    /// Barrier alignment: seq → barriers received from upstream subtasks.
+    barriers: HashMap<u64, usize>,
 }
 
 impl Operator<PairMsg, PartMsg> for SyncDbscanOp {
@@ -480,6 +841,17 @@ impl Operator<PairMsg, PartMsg> for SyncDbscanOp {
                     out.emit(PartMsg::Tick(t));
                 }
             }
+            PairMsg::Barrier(token) => {
+                // Classic barrier alignment: forward only once every
+                // upstream query subtask's barrier copy arrived — by then
+                // all pre-cut pairs have been collected and flushed.
+                let count = self.barriers.entry(token.request.seq).or_insert(0);
+                *count += 1;
+                if *count == self.upstream {
+                    self.barriers.remove(&token.request.seq);
+                    out.emit(PartMsg::Barrier(token));
+                }
+            }
         }
     }
 }
@@ -491,8 +863,15 @@ struct GdcOp {
     metrics: PipelineMetrics,
 }
 
-impl Operator<Snapshot, PartMsg> for GdcOp {
-    fn process(&mut self, snapshot: Snapshot, out: &mut Collector<PartMsg>) {
+impl Operator<AlignMsg, PartMsg> for GdcOp {
+    fn process(&mut self, msg: AlignMsg, out: &mut Collector<PartMsg>) {
+        let snapshot = match msg {
+            AlignMsg::Snapshot(s) => s,
+            AlignMsg::Barrier(token) => {
+                out.emit(PartMsg::Barrier(token));
+                return;
+            }
+        };
         self.metrics.mark_ingest(snapshot.time.0);
         let t = snapshot.time.0;
         let clusters: ClusterSnapshot = self.clusterer.cluster(&snapshot);
@@ -510,20 +889,6 @@ struct EnumerateOp {
     pending: HashMap<u32, Vec<Partition>>,
 }
 
-impl EnumerateOp {
-    fn new(kind: EnumeratorKind, config: icpe_pattern::EngineConfig) -> Self {
-        let engine: Box<dyn PatternEngine + Send> = match kind {
-            EnumeratorKind::Baseline => Box::new(BaselineEngine::new(config)),
-            EnumeratorKind::Fba => Box::new(FbaEngine::new(config)),
-            EnumeratorKind::Vba => Box::new(VbaEngine::new(config)),
-        };
-        EnumerateOp {
-            engine,
-            pending: HashMap::new(),
-        }
-    }
-}
-
 impl Operator<PartMsg, OutMsg> for EnumerateOp {
     fn process(&mut self, msg: PartMsg, out: &mut Collector<OutMsg>) {
         match msg {
@@ -535,6 +900,16 @@ impl Operator<PartMsg, OutMsg> for EnumerateOp {
                 let patterns = self.engine.push_partitions(Timestamp(t), parts);
                 out.emit_all(patterns.into_iter().map(OutMsg::Pattern));
                 out.emit(OutMsg::Done(t));
+            }
+            PartMsg::Barrier(token) => {
+                // At the barrier this subtask has ticked through exactly
+                // the snapshots sealed before the cut; its engine state is
+                // the consistent one to capture.
+                let engine = self
+                    .engine
+                    .checkpoint()
+                    .expect("pipeline engines support checkpointing");
+                out.emit(OutMsg::Checkpoint { token, engine });
             }
         }
     }
@@ -746,5 +1121,134 @@ mod tests {
         assert_eq!(report.snapshots, 8);
         // After finish, everything ingested has sealed.
         assert!(before.max_ingested.unwrap_or(0) <= 7);
+    }
+
+    #[test]
+    fn live_checkpoint_names_the_exact_cut() {
+        let live = IcpePipeline::launch(&config(2, EnumeratorKind::Fba), |_| {});
+        let records = walking_records(10);
+        for r in &records[..25] {
+            live.push(*r).unwrap();
+        }
+        let ckpt = live.checkpoint().unwrap();
+        assert_eq!(ckpt.version, CHECKPOINT_VERSION);
+        assert_eq!(ckpt.seq, 1);
+        assert_eq!(
+            ckpt.records_ingested, 25,
+            "the barrier trails exactly the pushed records"
+        );
+        assert_eq!(ckpt.engine.kind, "FBA");
+        // A second checkpoint advances the sequence.
+        for r in &records[25..30] {
+            live.push(*r).unwrap();
+        }
+        let ckpt2 = live.checkpoint().unwrap();
+        assert_eq!(ckpt2.seq, 2);
+        assert_eq!(ckpt2.records_ingested, 30);
+        for r in &records[30..] {
+            live.push(*r).unwrap();
+        }
+        let report = live.finish();
+        assert_eq!(report.snapshots, 10);
+    }
+
+    #[test]
+    fn checkpoint_restore_resumes_the_live_run() {
+        // Push half the stream, checkpoint, "crash" (drop), restore into a
+        // new pipeline, push the rest: pattern sets must match an
+        // uninterrupted run.
+        let cfg = config(3, EnumeratorKind::Fba);
+        let records = walking_records(12);
+        let full = IcpePipeline::run(&cfg, records.clone());
+        let want = unique_object_sets(&full.patterns);
+
+        let pre: Arc<Mutex<Vec<Pattern>>> = Arc::new(Mutex::new(Vec::new()));
+        let sink = Arc::clone(&pre);
+        let live = IcpePipeline::launch(&cfg, move |e| {
+            if let PipelineEvent::Pattern(p) = e {
+                sink.lock().unwrap().push(p);
+            }
+        });
+        let cut = 5 * 7; // 7 full ticks of 5 records
+        for r in &records[..cut] {
+            live.push(*r).unwrap();
+        }
+        let ckpt = live.checkpoint().unwrap();
+        assert_eq!(ckpt.records_ingested as usize, cut);
+        let delivered_before = pre.lock().unwrap().clone();
+        drop(live); // crash: never finished, flush events discarded
+
+        let post: Arc<Mutex<Vec<Pattern>>> = Arc::new(Mutex::new(Vec::new()));
+        let sink = Arc::clone(&post);
+        let resumed = IcpePipeline::launch_from(&cfg, &ckpt, move |e| {
+            if let PipelineEvent::Pattern(p) = e {
+                sink.lock().unwrap().push(p);
+            }
+        })
+        .unwrap();
+        for r in &records[cut..] {
+            resumed.push(*r).unwrap();
+        }
+        let report = resumed.finish();
+        assert_eq!(report.snapshots, 12, "restored gauges stayed cumulative");
+
+        let mut got = delivered_before;
+        got.extend(post.lock().unwrap().clone());
+        assert_eq!(unique_object_sets(&got), want);
+    }
+
+    #[test]
+    fn restore_reshards_across_different_parallelism() {
+        let records = walking_records(12);
+        let want = unique_object_sets(
+            &IcpePipeline::run(&config(2, EnumeratorKind::Vba), records.clone()).patterns,
+        );
+
+        let live = IcpePipeline::launch(&config(2, EnumeratorKind::Vba), |_| {});
+        let cut = 5 * 6;
+        for r in &records[..cut] {
+            live.push(*r).unwrap();
+        }
+        let ckpt = live.checkpoint().unwrap();
+        let pre: Vec<Pattern> = Vec::new(); // VBA reports at closure; none closed yet
+        drop(live);
+
+        // Resume with parallelism 5 — state re-shards by owner hash.
+        let post: Arc<Mutex<Vec<Pattern>>> = Arc::new(Mutex::new(Vec::new()));
+        let sink = Arc::clone(&post);
+        let resumed = IcpePipeline::launch_from(&config(5, EnumeratorKind::Vba), &ckpt, move |e| {
+            if let PipelineEvent::Pattern(p) = e {
+                sink.lock().unwrap().push(p);
+            }
+        })
+        .unwrap();
+        for r in &records[cut..] {
+            resumed.push(*r).unwrap();
+        }
+        resumed.finish();
+        let mut got = pre;
+        got.extend(post.lock().unwrap().clone());
+        assert_eq!(unique_object_sets(&got), want);
+    }
+
+    #[test]
+    fn launch_from_rejects_mismatched_checkpoints() {
+        let live = IcpePipeline::launch(&config(2, EnumeratorKind::Fba), |_| {});
+        live.push(walking_records(1)[0]).unwrap();
+        let mut ckpt = live.checkpoint().unwrap();
+        live.finish();
+
+        // Wrong engine kind.
+        let err = IcpePipeline::launch_from(&config(2, EnumeratorKind::Vba), &ckpt, |_| {})
+            .err()
+            .unwrap();
+        assert!(matches!(err, CheckpointError::EngineMismatch { .. }));
+
+        // Wrong schema version.
+        ckpt.version += 1;
+        let err = IcpePipeline::launch_from(&config(2, EnumeratorKind::Fba), &ckpt, |_| {})
+            .err()
+            .unwrap();
+        assert!(matches!(err, CheckpointError::UnsupportedVersion { .. }));
     }
 }

@@ -3,7 +3,10 @@
 
 use crate::partition::{id_partitions, Partition};
 use crate::runs::Semantics;
-use icpe_types::{ClusterSnapshot, Constraints, ObjectId, Pattern, Timestamp};
+use icpe_types::{
+    ClusterSnapshot, Constraints, EngineCheckpoint, HistoryRowCheckpoint, ObjectId, Pattern,
+    Timestamp, WindowOwnerCheckpoint,
+};
 use std::collections::{BTreeMap, HashMap, VecDeque};
 
 /// Configuration shared by all three enumeration engines.
@@ -67,6 +70,14 @@ pub trait PatternEngine {
     /// result is incomplete — the paper's "B cannot run on large datasets".
     fn overflowed_partitions(&self) -> usize {
         0
+    }
+
+    /// Captures the engine's full streaming state in durable form, or
+    /// `None` for engines that do not support checkpointing (the default).
+    /// Restore is per-engine ([`FbaEngine::from_checkpoint`] etc.) because
+    /// it needs the concrete type back.
+    fn checkpoint(&self) -> Option<EngineCheckpoint> {
+        None
     }
 }
 
@@ -174,6 +185,74 @@ impl WindowState {
         self.starts.clear();
         self.deadlines.clear();
         tasks
+    }
+
+    /// Captures the open-window state in durable, canonical form (owners
+    /// ascend by id; starts and history rows ascend by time).
+    pub(crate) fn checkpoint(&self) -> (Option<u32>, Vec<WindowOwnerCheckpoint>) {
+        let mut owners: Vec<WindowOwnerCheckpoint> = self
+            .starts
+            .iter()
+            .map(|(&owner, starts)| WindowOwnerCheckpoint {
+                owner,
+                starts: starts.iter().copied().collect(),
+                history: self
+                    .histories
+                    .get(&owner)
+                    .map(|h| {
+                        h.iter()
+                            .map(|(&time, members)| HistoryRowCheckpoint {
+                                time,
+                                members: members.clone(),
+                            })
+                            .collect()
+                    })
+                    .unwrap_or_default(),
+            })
+            .collect();
+        owners.sort_by_key(|o| o.owner);
+        (self.last_time, owners)
+    }
+
+    /// Rebuilds the window state from a checkpoint, keeping only owners for
+    /// which `keep` returns true (the restore-time resharding hook: a
+    /// restored deployment may run a different parallelism, and each
+    /// subtask loads only the owners routed to it). Window release
+    /// deadlines are derived from the pending starts, exactly as the
+    /// original pushes scheduled them.
+    pub(crate) fn restore(
+        constraints: &Constraints,
+        last_time: Option<u32>,
+        owners: &[WindowOwnerCheckpoint],
+        keep: impl Fn(ObjectId) -> bool,
+    ) -> Self {
+        let mut ws = WindowState::new(constraints);
+        ws.last_time = last_time;
+        for o in owners {
+            if !keep(o.owner) {
+                continue;
+            }
+            if !o.starts.is_empty() {
+                ws.starts
+                    .insert(o.owner, o.starts.iter().copied().collect());
+                for &s in &o.starts {
+                    ws.deadlines
+                        .entry(s + ws.eta - 1)
+                        .or_default()
+                        .push(o.owner);
+                }
+            }
+            if !o.history.is_empty() {
+                ws.histories.insert(
+                    o.owner,
+                    o.history
+                        .iter()
+                        .map(|row| (row.time, row.members.clone()))
+                        .collect(),
+                );
+            }
+        }
+        ws
     }
 
     fn release(&mut self, owner: ObjectId, start: u32) -> WindowTask {

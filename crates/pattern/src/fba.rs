@@ -10,7 +10,7 @@
 use crate::bitstring::BitString;
 use crate::engine::{EngineConfig, PatternEngine, WindowState, WindowTask};
 use crate::runs::Semantics;
-use icpe_types::{Constraints, ObjectId, Pattern, TimeSequence};
+use icpe_types::{CheckpointError, Constraints, EngineCheckpoint, ObjectId, Pattern, TimeSequence};
 
 /// The FBA pattern-enumeration engine.
 #[derive(Debug)]
@@ -74,6 +74,30 @@ impl FbaEngine {
     /// literal rule and is knowingly lossy; see the crate docs.)
     fn validity_semantics(&self) -> Semantics {
         self.config.semantics
+    }
+
+    /// Rebuilds an FBA engine from a checkpoint, loading only owners for
+    /// which `keep` returns true (restore-time resharding).
+    pub fn from_checkpoint(
+        config: EngineConfig,
+        ckpt: &EngineCheckpoint,
+        keep: impl Fn(ObjectId) -> bool,
+    ) -> Result<Self, CheckpointError> {
+        if ckpt.kind != "FBA" {
+            return Err(CheckpointError::EngineMismatch {
+                checkpoint: ckpt.kind.clone(),
+                config: "FBA".into(),
+            });
+        }
+        Ok(FbaEngine {
+            windows: WindowState::restore(
+                &config.constraints,
+                ckpt.last_time,
+                &ckpt.window_owners,
+                keep,
+            ),
+            config,
+        })
     }
 }
 
@@ -177,6 +201,17 @@ impl PatternEngine for FbaEngine {
     fn finish(&mut self) -> Vec<Pattern> {
         let tasks = self.windows.finish();
         tasks.into_iter().flat_map(|t| self.process(t)).collect()
+    }
+
+    fn checkpoint(&self) -> Option<EngineCheckpoint> {
+        let (last_time, window_owners) = self.windows.checkpoint();
+        Some(EngineCheckpoint {
+            kind: "FBA".into(),
+            last_time,
+            skipped_partitions: 0,
+            window_owners,
+            vba_owners: Vec::new(),
+        })
     }
 }
 

@@ -18,7 +18,7 @@
 //! [`AlignerConfig::max_lag`]).
 
 use crate::operator::{Collector, Operator};
-use icpe_types::{GpsRecord, ObjectId, Snapshot, Timestamp};
+use icpe_types::{AlignerCheckpoint, ChainCheckpoint, GpsRecord, ObjectId, Snapshot, Timestamp};
 use std::collections::{BTreeMap, HashMap};
 
 /// Configuration of the [`TimeAligner`].
@@ -174,6 +174,61 @@ impl TimeAligner {
     /// below the sealed frontier at arrival, regardless of thread timing.
     pub fn late_dropped(&self) -> u64 {
         self.late_dropped
+    }
+
+    /// Captures the aligner's full state in durable, canonical form:
+    /// buffered snapshots ascend by time, chains by trajectory id, waiting
+    /// links by `last_time` — so the checkpoint bytes are a pure function
+    /// of the logical state (serialize → restore → serialize is
+    /// byte-identical).
+    pub fn checkpoint(&self) -> AlignerCheckpoint {
+        let buffers: Vec<Snapshot> = self.buffers.values().cloned().collect();
+        let mut chains: Vec<ChainCheckpoint> = self
+            .chains
+            .iter()
+            .map(|(&id, chain)| ChainCheckpoint {
+                id,
+                clarified: chain.clarified,
+                waiting: chain.waiting.iter().map(|(&lt, &t)| (lt, t)).collect(),
+            })
+            .collect();
+        chains.sort_by_key(|c| c.id);
+        AlignerCheckpoint {
+            buffers,
+            chains,
+            sealed_up_to: self.sealed_up_to,
+            max_seen: self.max_seen,
+            late_dropped: self.late_dropped,
+        }
+    }
+
+    /// Rebuilds an aligner from a checkpoint; behaviour on subsequent
+    /// records is identical to the aligner the checkpoint was taken from
+    /// (including the late-drop counter, which must not reset to zero).
+    pub fn from_checkpoint(config: AlignerConfig, ckpt: &AlignerCheckpoint) -> Self {
+        let buffers: BTreeMap<u32, Snapshot> =
+            ckpt.buffers.iter().map(|s| (s.time.0, s.clone())).collect();
+        let chains: HashMap<ObjectId, Chain> = ckpt
+            .chains
+            .iter()
+            .map(|c| {
+                (
+                    c.id,
+                    Chain {
+                        clarified: c.clarified,
+                        waiting: c.waiting.iter().copied().collect(),
+                    },
+                )
+            })
+            .collect();
+        TimeAligner {
+            config,
+            buffers,
+            chains,
+            sealed_up_to: ckpt.sealed_up_to,
+            max_seen: ckpt.max_seen,
+            late_dropped: ckpt.late_dropped,
+        }
     }
 
     fn drain_sealable(&mut self) -> Vec<Snapshot> {
@@ -505,6 +560,73 @@ mod tests {
         assert_eq!(rest.len(), 2);
         assert_eq!(rest[0].time, Timestamp(0));
         assert_eq!(rest[1].time, Timestamp(1));
+    }
+
+    #[test]
+    fn checkpoint_restore_resumes_identically() {
+        // Build a mid-stream aligner with buffered snapshots, a waiting
+        // link, and a late drop; checkpoint it; feed the same suffix to the
+        // original and the restored aligner and compare everything.
+        let config = AlignerConfig {
+            max_lag: 4,
+            emit_empty: true,
+            lateness: 1,
+        };
+        let mut a = TimeAligner::new(config);
+        a.push(rec(1, 0, None));
+        a.push(rec(2, 0, None));
+        for t in 1..6 {
+            a.push(rec(1, t, Some(t - 1)));
+        }
+        // Object 2's ancient record is now late (dropped + counted).
+        a.push(rec(2, 1, Some(0)));
+        // A waiting link: record at time 7 before its predecessor at 6.
+        a.push(rec(1, 7, Some(6)));
+
+        let ckpt = a.checkpoint();
+        assert!(ckpt.late_dropped >= 1, "late drop was recorded");
+        let mut b = TimeAligner::from_checkpoint(config, &ckpt);
+        assert_eq!(b.checkpoint(), ckpt, "checkpoint round-trips exactly");
+
+        let suffix: Vec<GpsRecord> = vec![
+            rec(1, 6, Some(5)),
+            rec(1, 8, Some(7)),
+            rec(1, 9, Some(8)),
+            rec(2, 9, None),
+        ];
+        let mut out_a = Vec::new();
+        let mut out_b = Vec::new();
+        for r in suffix {
+            out_a.extend(a.push(r));
+            out_b.extend(b.push(r));
+        }
+        out_a.extend(a.flush());
+        out_b.extend(b.flush());
+        assert_eq!(out_a, out_b, "restored aligner diverged");
+        assert_eq!(a.late_dropped(), b.late_dropped());
+    }
+
+    #[test]
+    fn restored_aligner_keeps_counting_late_records_from_its_base() {
+        // The restore path (core's align stage) must rehydrate the counter
+        // rather than reset observability to zero.
+        let config = AlignerConfig {
+            max_lag: 2,
+            emit_empty: true,
+            lateness: 0,
+        };
+        let mut a = TimeAligner::new(config);
+        a.push(rec(1, 0, None));
+        for t in 1..8 {
+            a.push(rec(1, t, Some(t - 1)));
+        }
+        a.push(rec(2, 0, None)); // late → dropped
+        let ckpt = a.checkpoint();
+        assert_eq!(ckpt.late_dropped, 1);
+
+        let mut restored = TimeAligner::from_checkpoint(config, &ckpt);
+        restored.push(rec(2, 1, Some(0))); // another late record
+        assert_eq!(restored.late_dropped(), 2, "one rehydrated + one new");
     }
 
     #[test]

@@ -74,6 +74,20 @@ impl PipelineMetrics {
         self.inner.lock().late_records += n;
     }
 
+    /// Rehydrates the cumulative gauges from a checkpoint so a restored
+    /// pipeline's observability continues where the old one stopped instead
+    /// of resetting to zero. Latency samples are wall-clock and cannot
+    /// meaningfully survive a process boundary; they restart empty.
+    pub fn restore(&self, progress: &icpe_types::ProgressCheckpoint) {
+        let mut inner = self.inner.lock();
+        inner.completed = progress.snapshots_completed as usize;
+        inner.late_records = progress.late_records;
+        // At a consistent cut nothing is in flight: everything ingested has
+        // sealed, so both frontiers resume at the sealed frontier.
+        inner.max_ingested = progress.max_sealed;
+        inner.max_sealed = progress.max_sealed;
+    }
+
     /// Live position of the stream: how far ingestion has advanced, how far
     /// processing has caught up, and the resulting per-stage lag — the
     /// serving layer's health gauges.
@@ -253,6 +267,27 @@ mod tests {
             "sample window kept bounded, got {}",
             inner.latencies.len()
         );
+    }
+
+    #[test]
+    fn restore_rehydrates_cumulative_gauges() {
+        let m = PipelineMetrics::new();
+        m.restore(&icpe_types::ProgressCheckpoint {
+            snapshots_completed: 40,
+            late_records: 3,
+            max_sealed: Some(39),
+        });
+        let p = m.progress();
+        assert_eq!(p.late_records, 3);
+        assert_eq!(p.max_sealed, Some(39));
+        assert_eq!(p.max_ingested, Some(39));
+        assert_eq!(p.lag(), 0, "nothing in flight at a consistent cut");
+        assert_eq!(m.report().snapshots, 40);
+        // New work keeps accumulating on top of the restored base.
+        m.mark_ingest(40);
+        m.mark_done(40);
+        assert_eq!(m.report().snapshots, 41);
+        assert_eq!(m.progress().max_sealed, Some(40));
     }
 
     #[test]

@@ -1,0 +1,91 @@
+//! Property tests for aligner checkpoint/restore: byte-identical
+//! re-serialization and behavioural equivalence on arbitrary streams.
+
+use icpe_runtime::{AlignerConfig, TimeAligner};
+use icpe_types::{AlignerCheckpoint, GpsRecord, ObjectId, Point, Timestamp};
+use proptest::prelude::*;
+use std::collections::HashMap;
+
+/// Builds a per-trajectory-monotone record stream from raw (id, time)
+/// pairs, chaining *last time* links the way the discretizer would (pairs
+/// that would go backwards for their trajectory are skipped).
+fn build_records(raw: &[(u32, u32)]) -> Vec<GpsRecord> {
+    let mut last: HashMap<u32, u32> = HashMap::new();
+    let mut out = Vec::new();
+    for &(id, t) in raw {
+        match last.get(&id) {
+            Some(&prev) if t <= prev => continue,
+            prev => {
+                let link = prev.copied().map(Timestamp);
+                out.push(GpsRecord::new(
+                    ObjectId(id),
+                    Point::new(t as f64, id as f64),
+                    Timestamp(t),
+                    link,
+                ));
+            }
+        }
+        last.insert(id, t);
+    }
+    out
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// checkpoint → JSON → parse → restore → checkpoint is byte-identical,
+    /// for any reachable aligner state.
+    #[test]
+    fn aligner_checkpoint_roundtrip_is_byte_identical(
+        raw in prop::collection::vec((0u32..6, 0u32..60), 0..150),
+        cut_frac in 0usize..100,
+        max_lag in 2u32..20,
+        lateness in 0u32..6,
+    ) {
+        let config = AlignerConfig { max_lag, emit_empty: true, lateness };
+        let records = build_records(&raw);
+        let cut = records.len() * cut_frac / 100;
+        let mut aligner = TimeAligner::new(config);
+        for r in &records[..cut] {
+            aligner.push(*r);
+        }
+        let ckpt = aligner.checkpoint();
+        let json = serde_json::to_string(&ckpt).unwrap();
+        let parsed: AlignerCheckpoint = serde_json::from_str(&json).unwrap();
+        prop_assert_eq!(&parsed, &ckpt);
+        let restored = TimeAligner::from_checkpoint(config, &parsed);
+        let json2 = serde_json::to_string(&restored.checkpoint()).unwrap();
+        prop_assert_eq!(json2, json, "re-serialization is not canonical");
+    }
+
+    /// A restored aligner behaves identically to the original on any
+    /// suffix: same sealed snapshots, same late-drop accounting.
+    #[test]
+    fn restored_aligner_is_behaviourally_equivalent(
+        raw in prop::collection::vec((0u32..6, 0u32..60), 1..150),
+        cut_frac in 0usize..100,
+        max_lag in 2u32..20,
+        lateness in 0u32..6,
+    ) {
+        let config = AlignerConfig { max_lag, emit_empty: true, lateness };
+        let records = build_records(&raw);
+        let cut = records.len() * cut_frac / 100;
+
+        let mut original = TimeAligner::new(config);
+        for r in &records[..cut] {
+            original.push(*r);
+        }
+        let mut restored = TimeAligner::from_checkpoint(config, &original.checkpoint());
+
+        let mut out_original = Vec::new();
+        let mut out_restored = Vec::new();
+        for r in &records[cut..] {
+            out_original.extend(original.push(*r));
+            out_restored.extend(restored.push(*r));
+        }
+        out_original.extend(original.flush());
+        out_restored.extend(restored.flush());
+        prop_assert_eq!(out_original, out_restored);
+        prop_assert_eq!(original.late_dropped(), restored.late_dropped());
+    }
+}

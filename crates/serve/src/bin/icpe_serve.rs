@@ -11,6 +11,12 @@
 //!   ICPE_M/K/L/G   CP(M,K,L,G) constraints   (default 4,8,4,2)
 //!   ICPE_N         keyed-stage parallelism   (default 4)
 //!   ICPE_INTERVAL  seconds per tick          (default 1.0)
+//!
+//! Durability (off unless a directory is given):
+//!   ICPE_CHECKPOINT_DIR     checkpoint directory; the server resumes from
+//!                           the newest readable checkpoint in it at start
+//!   ICPE_CHECKPOINT_SECS    periodic checkpoint interval   (default 30)
+//!   ICPE_CHECKPOINT_RETAIN  checkpoints kept               (default 3)
 //! ```
 //!
 //! Feed it with `icpe_serve::loadgen` (see `examples/streaming_live.rs`),
@@ -18,7 +24,7 @@
 //! `printf 'STATUS\n' | nc <addr>`.
 
 use icpe_core::IcpeConfig;
-use icpe_serve::{ServeConfig, Server};
+use icpe_serve::{CheckpointPolicy, ServeConfig, Server};
 use icpe_types::Constraints;
 
 fn env_parse<T: std::str::FromStr>(key: &str, default: T) -> T {
@@ -51,9 +57,22 @@ fn main() {
     let mut config = ServeConfig::new(engine);
     config.addr = addr;
     config.interval = env_parse("ICPE_INTERVAL", 1.0);
+    if let Ok(dir) = std::env::var("ICPE_CHECKPOINT_DIR") {
+        config = config.with_checkpoints(
+            CheckpointPolicy::new(dir)
+                .every(std::time::Duration::from_secs_f64(env_parse(
+                    "ICPE_CHECKPOINT_SECS",
+                    30.0,
+                )))
+                .retain(env_parse("ICPE_CHECKPOINT_RETAIN", 3)),
+        );
+    }
 
     let server = Server::start(config).expect("bind and start server");
     println!("icpe-serve listening on {}", server.local_addr());
+    if let Some(seq) = server.stats().last_checkpoint_seq() {
+        println!("  resumed from checkpoint seq {seq}");
+    }
     println!("  producers:    connect and send `obj_id,time,x,y` lines");
     println!("  subscribers:  send `SUBSCRIBE patterns` (or snapshots | all)");
     println!("  status:       send `STATUS`");

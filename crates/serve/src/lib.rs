@@ -46,10 +46,12 @@ pub mod client;
 pub mod hub;
 pub mod loadgen;
 pub mod protocol;
+pub mod recovery;
 pub mod server;
 pub mod stats;
 
 pub use client::{fetch_status, Subscription};
 pub use protocol::{Event, PatternEvent, SnapshotEvent, Topic, WireRecord};
+pub use recovery::{CheckpointPolicy, ServeCheckpoint};
 pub use server::{ServeConfig, Server};
 pub use stats::ServerStats;

@@ -1,0 +1,113 @@
+//! Serve-side durability: the checkpoint policy, the on-disk serve
+//! checkpoint (pipeline state + edge state), and edge-counter rehydration.
+//!
+//! The pipeline's own checkpoint ([`PipelineCheckpoint`]) is necessary but
+//! not sufficient for a server restart: the ingestion edge also stamps
+//! records (the [`Discretizer`](icpe_types::Discretizer)'s per-trajectory
+//! last-tick map drives both duplicate rejection and the §4 *last time*
+//! links) and owns cumulative `STATUS` counters. A [`ServeCheckpoint`]
+//! bundles all three into one atomic file so a restarted server resumes
+//! with exactly the state the stopped one had.
+
+use crate::stats::ServerStats;
+use icpe_types::{DiscretizerCheckpoint, PipelineCheckpoint};
+use serde::{Deserialize, Serialize};
+use std::path::PathBuf;
+use std::sync::atomic::Ordering;
+use std::time::Duration;
+
+/// When and where a server writes checkpoints.
+#[derive(Debug, Clone)]
+pub struct CheckpointPolicy {
+    /// Directory the checkpoint files live in (created if absent).
+    pub dir: PathBuf,
+    /// Interval between periodic checkpoints.
+    pub every: Duration,
+    /// How many checkpoints to retain (minimum 1).
+    pub retain: usize,
+}
+
+impl CheckpointPolicy {
+    /// A policy checkpointing into `dir` every 30 s, keeping the last 3.
+    pub fn new(dir: impl Into<PathBuf>) -> CheckpointPolicy {
+        CheckpointPolicy {
+            dir: dir.into(),
+            every: Duration::from_secs(30),
+            retain: 3,
+        }
+    }
+
+    /// Overrides the checkpoint interval.
+    pub fn every(mut self, every: Duration) -> CheckpointPolicy {
+        self.every = every;
+        self
+    }
+
+    /// Overrides the retention count.
+    pub fn retain(mut self, retain: usize) -> CheckpointPolicy {
+        self.retain = retain.max(1);
+        self
+    }
+}
+
+/// Cumulative network-edge counters that must survive a restart (a server
+/// that forgets how many records it served is lying to its operators).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct EdgeStatsCheckpoint {
+    /// Valid records accepted into the pipeline.
+    pub records_in: u64,
+    /// Lines refused (malformed, non-finite, stale/duplicate tick).
+    pub records_rejected: u64,
+    /// Bytes read from producer sockets.
+    pub bytes_in: u64,
+    /// Pattern events published.
+    pub patterns_out: u64,
+    /// Snapshot-sealed events published.
+    pub snapshots_sealed: u64,
+    /// Newest discretized tick accepted at the edge, as `tick + 1`
+    /// (0 = none).
+    pub ingested_tick: u64,
+}
+
+impl EdgeStatsCheckpoint {
+    /// Captures the current edge counters.
+    pub fn capture(stats: &ServerStats) -> EdgeStatsCheckpoint {
+        EdgeStatsCheckpoint {
+            records_in: stats.records_in.load(Ordering::Relaxed),
+            records_rejected: stats.records_rejected.load(Ordering::Relaxed),
+            bytes_in: stats.bytes_in.load(Ordering::Relaxed),
+            patterns_out: stats.patterns_out.load(Ordering::Relaxed),
+            snapshots_sealed: stats.snapshots_sealed.load(Ordering::Relaxed),
+            ingested_tick: stats.raw_ingested_tick(),
+        }
+    }
+
+    /// Rehydrates the counters into a fresh stats block.
+    pub fn restore(&self, stats: &ServerStats) {
+        stats.records_in.store(self.records_in, Ordering::Relaxed);
+        stats
+            .records_rejected
+            .store(self.records_rejected, Ordering::Relaxed);
+        stats.bytes_in.store(self.bytes_in, Ordering::Relaxed);
+        stats
+            .patterns_out
+            .store(self.patterns_out, Ordering::Relaxed);
+        stats
+            .snapshots_sealed
+            .store(self.snapshots_sealed, Ordering::Relaxed);
+        stats.restore_ingested_tick(self.ingested_tick);
+    }
+}
+
+/// Everything a serve instance needs to restart as if it never stopped:
+/// the pipeline's consistent cut, the stamping state at that cut, and the
+/// cumulative edge counters.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ServeCheckpoint {
+    /// The embedded pipeline's checkpoint.
+    pub pipeline: PipelineCheckpoint,
+    /// Server-side stamping state (discretization + last-time links).
+    pub discretizer: DiscretizerCheckpoint,
+    /// Cumulative `STATUS` counters.
+    pub stats: EdgeStatsCheckpoint,
+}

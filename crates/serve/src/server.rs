@@ -20,8 +20,10 @@
 
 use crate::hub::Hub;
 use crate::protocol::{EventKind, PatternEvent, SnapshotEvent, Topic, WireRecord};
+use crate::recovery::{CheckpointPolicy, EdgeStatsCheckpoint, ServeCheckpoint};
 use crate::stats::ServerStats;
 use icpe_core::{IcpeConfig, IcpePipeline, LivePipeline, PipelineEvent, RecordSender};
+use icpe_persist::CheckpointStore;
 use icpe_runtime::{MetricsReport, PipelineMetrics};
 use icpe_types::{Discretizer, RawRecord};
 use parking_lot::Mutex;
@@ -29,7 +31,7 @@ use std::collections::HashMap;
 use std::io::{BufRead, BufReader, BufWriter, Write};
 use std::net::{Shutdown, SocketAddr, TcpListener, TcpStream};
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
-use std::sync::Arc;
+use std::sync::{Arc, Condvar, Mutex as StdMutex};
 use std::thread::JoinHandle;
 
 /// Configuration of an [`Server`].
@@ -64,6 +66,12 @@ pub struct ServeConfig {
     /// connecting a few milliseconds late finds the stream sealed past its
     /// data.
     pub startup_grace: std::time::Duration,
+    /// Durability policy. When set, the server (a) resumes from the newest
+    /// readable checkpoint in the policy's directory at startup, (b) writes
+    /// periodic checkpoints while running, and (c) supports
+    /// [`Server::suspend`] (final checkpoint + restartable shutdown).
+    /// `None` (the default) keeps the server fully in-memory.
+    pub checkpoint: Option<CheckpointPolicy>,
 }
 
 impl ServeConfig {
@@ -78,7 +86,14 @@ impl ServeConfig {
             max_consecutive_parse_errors: 64,
             max_producer_skew: 8,
             startup_grace: std::time::Duration::from_millis(250),
+            checkpoint: None,
         }
+    }
+
+    /// Enables durability under `policy`.
+    pub fn with_checkpoints(mut self, policy: CheckpointPolicy) -> Self {
+        self.checkpoint = Some(policy);
+        self
     }
 }
 
@@ -180,6 +195,11 @@ struct Shared {
     /// Cross-producer skew control.
     skew: SkewLimiter,
     shutting_down: AtomicBool,
+    /// Set by [`Server::suspend`] after its final checkpoint: events
+    /// produced by the teardown flush are covered by the checkpoint and
+    /// will be re-delivered by the resumed instance — publishing them here
+    /// too would break exactly-once across the restart.
+    suppress_events: AtomicBool,
     /// Open connections, for forced shutdown at drain time. Subscribers
     /// are marked so a clean shutdown can cut producers off while letting
     /// subscriber writers flush their backlog.
@@ -232,23 +252,75 @@ impl Shared {
     }
 }
 
+/// The periodic checkpoint worker: a thread plus its stop signal.
+struct CheckpointWorker {
+    handle: JoinHandle<()>,
+    stop: Arc<(StdMutex<bool>, Condvar)>,
+}
+
+impl CheckpointWorker {
+    fn stop_and_join(self) {
+        let (lock, cvar) = &*self.stop;
+        *lock.lock().unwrap_or_else(|e| e.into_inner()) = true;
+        cvar.notify_all();
+        let _ = self.handle.join();
+    }
+}
+
 /// A running `icpe-serve` instance (see the crate docs for the protocol).
 pub struct Server {
     addr: SocketAddr,
     shared: Arc<Shared>,
     pipeline: Option<LivePipeline>,
     accept: Option<JoinHandle<()>>,
+    store: Option<CheckpointStore>,
+    ckpt_worker: Option<CheckpointWorker>,
     clean_shutdown: bool,
 }
 
 impl Server {
     /// Binds, launches the embedded pipeline, and starts accepting
-    /// connections.
+    /// connections. With a checkpoint policy configured, the server first
+    /// looks for the newest readable checkpoint in the policy's directory
+    /// and — if one exists — resumes from it: aligner chains, open pattern
+    /// windows, stamping state, and cumulative counters all pick up where
+    /// the previous instance stopped.
     pub fn start(mut config: ServeConfig) -> std::io::Result<Server> {
         let listener = TcpListener::bind(&config.addr)?;
         let addr = listener.local_addr()?;
-        let discretizer = Discretizer::new(0.0, config.interval)
-            .map_err(|e| std::io::Error::new(std::io::ErrorKind::InvalidInput, e.to_string()))?;
+
+        // Durability: open the store and load the resume point up front so
+        // a broken checkpoint directory fails the start, not a later write.
+        let store = match &config.checkpoint {
+            Some(policy) => Some(
+                CheckpointStore::open(&policy.dir, policy.retain)
+                    .map_err(|e| std::io::Error::other(e.to_string()))?,
+            ),
+            None => None,
+        };
+        let resume: Option<(u64, ServeCheckpoint)> = match &store {
+            Some(store) => store
+                .load_latest()
+                .map_err(|e| std::io::Error::other(e.to_string()))?,
+            None => None,
+        };
+
+        let discretizer = match &resume {
+            Some((_, ckpt)) => {
+                if ckpt.discretizer.interval != config.interval {
+                    return Err(std::io::Error::new(
+                        std::io::ErrorKind::InvalidInput,
+                        format!(
+                            "checkpoint was written with interval {} but the config asks for {}",
+                            ckpt.discretizer.interval, config.interval
+                        ),
+                    ));
+                }
+                Discretizer::from_checkpoint(&ckpt.discretizer)
+            }
+            None => Discretizer::new(0.0, config.interval),
+        }
+        .map_err(|e| std::io::Error::new(std::io::ErrorKind::InvalidInput, e.to_string()))?;
 
         // The aligner must tolerate at least the cross-producer skew the
         // edge admits, or records from slower producers seal away.
@@ -266,72 +338,103 @@ impl Server {
             pipeline_metrics: Mutex::new(None),
             skew: SkewLimiter::new(config.max_producer_skew, config.startup_grace),
             shutting_down: AtomicBool::new(false),
+            suppress_events: AtomicBool::new(false),
             conns: Mutex::new(HashMap::new()),
             next_conn_id: AtomicU64::new(1),
             max_consecutive_parse_errors: config.max_consecutive_parse_errors.max(1),
         });
+        if let Some((seq, ckpt)) = &resume {
+            ckpt.stats.restore(&shared.stats);
+            shared.stats.restore_checkpoint_seq(*seq);
+        }
 
         // Pipeline → hub bridge. Runs on the pipeline driver thread; only
         // non-blocking work happens here (render + try_send fan-out), and
         // rendering is skipped entirely when no subscriber wants the kind.
         let bridge = Arc::clone(&shared);
         let mut patterns_per_time: HashMap<u32, u32> = HashMap::new();
-        let pipeline = IcpePipeline::launch(&config.engine, move |event| match event {
-            PipelineEvent::Pattern(p) => {
-                bridge.stats.patterns_out.fetch_add(1, Ordering::Relaxed);
-                if let Some(t) = p.times.max() {
-                    *patterns_per_time.entry(t.0).or_insert(0) += 1;
+        let on_event = move |event| {
+            if bridge.suppress_events.load(Ordering::SeqCst) {
+                // Suspending: everything from here on is covered by the
+                // final checkpoint and re-delivered after the restart.
+                return;
+            }
+            match event {
+                PipelineEvent::Pattern(p) => {
+                    bridge.stats.patterns_out.fetch_add(1, Ordering::Relaxed);
+                    if let Some(t) = p.times.max() {
+                        *patterns_per_time.entry(t.0).or_insert(0) += 1;
+                    }
+                    if bridge.hub.accepts_any(EventKind::Pattern) {
+                        let line: Arc<str> = Arc::from(
+                            serde_json::to_string(&PatternEvent::from_pattern(&p))
+                                .expect("pattern event serializes")
+                                .as_str(),
+                        );
+                        let shed = bridge.hub.publish(EventKind::Pattern, &line);
+                        if shed > 0 {
+                            bridge
+                                .stats
+                                .subscribers_shed
+                                .fetch_add(shed as u64, Ordering::Relaxed);
+                        }
+                    }
                 }
-                if bridge.hub.accepts_any(EventKind::Pattern) {
-                    let line: Arc<str> = Arc::from(
-                        serde_json::to_string(&PatternEvent::from_pattern(&p))
-                            .expect("pattern event serializes")
-                            .as_str(),
-                    );
-                    let shed = bridge.hub.publish(EventKind::Pattern, &line);
-                    if shed > 0 {
-                        bridge
-                            .stats
-                            .subscribers_shed
-                            .fetch_add(shed as u64, Ordering::Relaxed);
+                PipelineEvent::SnapshotSealed { time } => {
+                    bridge
+                        .stats
+                        .snapshots_sealed
+                        .fetch_add(1, Ordering::Relaxed);
+                    let count = patterns_per_time.remove(&time).unwrap_or(0);
+                    // Windows closing after this seal (and the end-of-stream
+                    // flush) may still add patterns for earlier times; those
+                    // entries would otherwise accumulate forever. Anything at or
+                    // below the seal frontier can no longer be reported in a
+                    // seal notice, so drop it.
+                    patterns_per_time.retain(|&t, _| t > time);
+                    if bridge.hub.accepts_any(EventKind::Snapshot) {
+                        let event = SnapshotEvent {
+                            event: "snapshot".to_string(),
+                            time,
+                            patterns: count,
+                        };
+                        let line: Arc<str> = Arc::from(
+                            serde_json::to_string(&event)
+                                .expect("snapshot event serializes")
+                                .as_str(),
+                        );
+                        let shed = bridge.hub.publish(EventKind::Snapshot, &line);
+                        if shed > 0 {
+                            bridge
+                                .stats
+                                .subscribers_shed
+                                .fetch_add(shed as u64, Ordering::Relaxed);
+                        }
                     }
                 }
             }
-            PipelineEvent::SnapshotSealed { time } => {
-                bridge
-                    .stats
-                    .snapshots_sealed
-                    .fetch_add(1, Ordering::Relaxed);
-                let count = patterns_per_time.remove(&time).unwrap_or(0);
-                // Windows closing after this seal (and the end-of-stream
-                // flush) may still add patterns for earlier times; those
-                // entries would otherwise accumulate forever. Anything at or
-                // below the seal frontier can no longer be reported in a
-                // seal notice, so drop it.
-                patterns_per_time.retain(|&t, _| t > time);
-                if bridge.hub.accepts_any(EventKind::Snapshot) {
-                    let event = SnapshotEvent {
-                        event: "snapshot".to_string(),
-                        time,
-                        patterns: count,
-                    };
-                    let line: Arc<str> = Arc::from(
-                        serde_json::to_string(&event)
-                            .expect("snapshot event serializes")
-                            .as_str(),
-                    );
-                    let shed = bridge.hub.publish(EventKind::Snapshot, &line);
-                    if shed > 0 {
-                        bridge
-                            .stats
-                            .subscribers_shed
-                            .fetch_add(shed as u64, Ordering::Relaxed);
-                    }
-                }
-            }
-        });
+        };
+        let pipeline = match &resume {
+            Some((_, ckpt)) => IcpePipeline::launch_from(&config.engine, &ckpt.pipeline, on_event)
+                .map_err(|e| {
+                    std::io::Error::new(std::io::ErrorKind::InvalidInput, e.to_string())
+                })?,
+            None => IcpePipeline::launch(&config.engine, on_event),
+        };
         *shared.ingest.lock() = Some(pipeline.sender());
         *shared.pipeline_metrics.lock() = Some(pipeline.metrics().clone());
+
+        // Periodic checkpointing: barrier through the live pipeline, then
+        // one atomic file with the edge state captured at the same cut.
+        let ckpt_worker = match (&store, &config.checkpoint) {
+            (Some(store), Some(policy)) => Some(spawn_checkpoint_worker(
+                Arc::clone(&shared),
+                pipeline.sender(),
+                store.clone(),
+                policy.every,
+            )),
+            _ => None,
+        };
 
         let accept_shared = Arc::clone(&shared);
         let accept = std::thread::Builder::new()
@@ -344,6 +447,8 @@ impl Server {
             shared,
             pipeline: Some(pipeline),
             accept: Some(accept),
+            store,
+            ckpt_worker,
             clean_shutdown: false,
         })
     }
@@ -380,8 +485,71 @@ impl Server {
     /// what was ingested, and closes all subscriptions (each drains its
     /// backlog to its socket first). Returns the pipeline's final metrics.
     ///
+    /// This is the **end of the stream**: the enumeration engines flush
+    /// their open windows and those final patterns are delivered — and any
+    /// periodic checkpoints are deleted, because resuming a *finished*
+    /// stream from one would resurrect flushed windows and re-deliver
+    /// their patterns. To stop mid-stream and continue later, use
+    /// [`Server::suspend`] instead (its final checkpoint is kept).
+    ///
     /// Panics if a pipeline subtask panicked.
     pub fn finish(mut self) -> MetricsReport {
+        self.drain_ingest_edge();
+        // Cut the ingest side only: subscriber sockets must stay open so
+        // the events produced while draining still reach them.
+        *self.shared.ingest.lock() = None;
+        self.shared.close_conns(false);
+        let report = self
+            .pipeline
+            .take()
+            .expect("pipeline present until finish")
+            .finish();
+        // End every subscription; each writer flushes its backlog to its
+        // socket and closes it (EOF to the consumer).
+        self.shared.hub.close();
+        if let Some(store) = &self.store {
+            let _ = store.clear();
+        }
+        self.clean_shutdown = true;
+        report
+    }
+
+    /// Suspends the server mid-stream (the SIGTERM path): drains connected
+    /// producers, writes one final checkpoint covering **every** ingested
+    /// record, then tears the pipeline down with its end-of-stream flush
+    /// *suppressed* — those flush patterns come from windows still open at
+    /// the cut, which the checkpoint preserves, so the resumed instance
+    /// delivers them (exactly once) when the windows genuinely close.
+    /// A subsequent [`Server::start`] with the same policy resumes from
+    /// this checkpoint.
+    ///
+    /// Fails when no checkpoint policy is configured or the final
+    /// checkpoint cannot be taken/written; the server is shut down (without
+    /// the checkpoint) either way.
+    pub fn suspend(mut self) -> std::io::Result<MetricsReport> {
+        self.drain_ingest_edge();
+        let result = self.final_checkpoint();
+        if result.is_ok() {
+            // Everything after the checkpoint barrier is teardown flush:
+            // covered by the checkpoint, re-delivered after restart.
+            self.shared.suppress_events.store(true, Ordering::SeqCst);
+        }
+        *self.shared.ingest.lock() = None;
+        self.shared.close_conns(false);
+        let report = self
+            .pipeline
+            .take()
+            .expect("pipeline present until finish")
+            .finish();
+        self.shared.hub.close();
+        self.clean_shutdown = true;
+        result.map(|()| report)
+    }
+
+    /// Shared shutdown prologue: stop accepting, let departed producers be
+    /// fully consumed, stop the periodic checkpoint worker (it holds a
+    /// producer handle that would otherwise keep the stream open forever).
+    fn drain_ingest_edge(&mut self) {
         self.shared.shutting_down.store(true, Ordering::SeqCst);
         // Wake the accept loop so it observes the flag.
         let _ = TcpStream::connect(self.addr);
@@ -397,20 +565,22 @@ impl Server {
         {
             std::thread::sleep(std::time::Duration::from_millis(2));
         }
-        // Cut the ingest side only: subscriber sockets must stay open so
-        // the events produced while draining still reach them.
-        *self.shared.ingest.lock() = None;
-        self.shared.close_conns(false);
-        let report = self
-            .pipeline
-            .take()
-            .expect("pipeline present until finish")
-            .finish();
-        // End every subscription; each writer flushes its backlog to its
-        // socket and closes it (EOF to the consumer).
-        self.shared.hub.close();
-        self.clean_shutdown = true;
-        report
+        if let Some(worker) = self.ckpt_worker.take() {
+            worker.stop_and_join();
+        }
+    }
+
+    /// Takes and persists the suspend-time checkpoint.
+    fn final_checkpoint(&self) -> std::io::Result<()> {
+        let store = self.store.as_ref().ok_or_else(|| {
+            std::io::Error::new(
+                std::io::ErrorKind::InvalidInput,
+                "suspend requires a checkpoint policy (ServeConfig::with_checkpoints)",
+            )
+        })?;
+        let pipeline = self.pipeline.as_ref().expect("pipeline present");
+        write_checkpoint(&self.shared, &pipeline.sender(), store).map_err(std::io::Error::other)?;
+        Ok(())
     }
 }
 
@@ -422,13 +592,90 @@ impl Drop for Server {
             return;
         }
         // Finish not called: detach. Stop accepting and close sockets, but
-        // do not block on the pipeline.
+        // do not block on the pipeline (beyond stopping the checkpoint
+        // worker, whose producer handle would keep the stream open).
         self.shared.shutting_down.store(true, Ordering::SeqCst);
         let _ = TcpStream::connect(self.addr);
+        if let Some(worker) = self.ckpt_worker.take() {
+            worker.stop_and_join();
+        }
         *self.shared.ingest.lock() = None;
         self.shared.close_conns(true);
         self.shared.hub.close();
     }
+}
+
+/// Takes one consistent serve checkpoint — pipeline barrier plus the edge
+/// state captured at the same cut — and persists it atomically.
+///
+/// The discretizer lock is held across the barrier enqueue so no producer
+/// can stamp a record between the pipeline cut and the stamping snapshot:
+/// the pair is a single consistent cut. Producers block on stamping for
+/// the barrier's traversal time; the pipeline itself (which drains the
+/// ingest channel) needs no lock, so the pause is bounded and deadlock-free.
+fn write_checkpoint(
+    shared: &Shared,
+    sender: &RecordSender,
+    store: &CheckpointStore,
+) -> Result<u64, String> {
+    let discretizer = shared.discretizer.lock();
+    let pipeline = sender.checkpoint().map_err(|e| e.to_string())?;
+    let discretizer_ckpt = discretizer.checkpoint();
+    // Producers stamp, push AND count under this lock (see
+    // `producer_loop`), so while it is held the record counters are frozen
+    // at exactly the cut: capture them before releasing it. (`bytes_in` /
+    // `records_rejected` tick outside the lock and stay approximate.)
+    let stats = EdgeStatsCheckpoint::capture(&shared.stats);
+    drop(discretizer);
+    let seq = pipeline.seq;
+    let checkpoint = ServeCheckpoint {
+        pipeline,
+        discretizer: discretizer_ckpt,
+        stats,
+    };
+    store.save(seq, &checkpoint).map_err(|e| e.to_string())?;
+    shared.stats.note_checkpoint(seq);
+    Ok(seq)
+}
+
+/// Spawns the periodic checkpoint thread. The worker owns a producer
+/// handle into the pipeline; it must be stopped before the stream can end
+/// (see [`Server::finish`]).
+fn spawn_checkpoint_worker(
+    shared: Arc<Shared>,
+    sender: RecordSender,
+    store: CheckpointStore,
+    every: std::time::Duration,
+) -> CheckpointWorker {
+    let stop = Arc::new((StdMutex::new(false), Condvar::new()));
+    let thread_stop = Arc::clone(&stop);
+    let handle = std::thread::Builder::new()
+        .name("serve-checkpoint".into())
+        .spawn(move || {
+            let (lock, cvar) = &*thread_stop;
+            loop {
+                let guard = lock.lock().unwrap_or_else(|e| e.into_inner());
+                if *guard {
+                    return;
+                }
+                let (guard, _) = cvar
+                    .wait_timeout(guard, every)
+                    .unwrap_or_else(|e| e.into_inner());
+                if *guard {
+                    return;
+                }
+                drop(guard);
+                if write_checkpoint(&shared, &sender, &store).is_err() {
+                    // Pipeline gone (shutdown race) or disk failure; the
+                    // next tick retries, and shutdown stops the loop.
+                    if shared.shutting_down.load(Ordering::SeqCst) {
+                        return;
+                    }
+                }
+            }
+        })
+        .expect("failed to spawn checkpoint thread");
+    CheckpointWorker { handle, stop }
 }
 
 fn accept_loop(listener: TcpListener, shared: Arc<Shared>) {
@@ -515,19 +762,32 @@ fn producer_loop(
                         icpe_types::Point::new(wire.x, wire.y),
                         wire.time,
                     );
-                    let stamped = shared.discretizer.lock().push(&raw);
-                    match stamped {
+                    // Hold this producer to the cross-producer skew window
+                    // first (a read-only tick projection): the admit wait
+                    // can stretch to seconds and must not hold the
+                    // stamping lock.
+                    let tick = shared.discretizer.lock().discretize_time(raw.time);
+                    shared.skew.admit(conn_id, tick.0);
+                    // Stamp → push → count under ONE lock hold: the
+                    // checkpoint worker enqueues its barrier while holding
+                    // this lock, so "in the discretizer's stamping state"
+                    // and "entered the pipeline before the cut" coincide —
+                    // a record can never straddle the two sides of a
+                    // checkpoint. Push may block under backpressure while
+                    // holding the lock; the pipeline drains independently
+                    // of it, so the stall is bounded and deadlock-free.
+                    let mut discretizer = shared.discretizer.lock();
+                    match discretizer.push(&raw) {
                         Some(record) => {
-                            // Hold this producer to the cross-producer skew
-                            // window before the record enters the pipeline.
-                            shared.skew.admit(conn_id, record.time.0);
                             if sender.push(record).is_err() {
                                 return Ok(()); // pipeline gone
                             }
                             shared.stats.records_in.fetch_add(1, Ordering::Relaxed);
                             shared.stats.note_ingested_tick(record.time.0);
+                            drop(discretizer);
                         }
                         None => {
+                            drop(discretizer);
                             shared
                                 .stats
                                 .records_rejected

@@ -29,6 +29,11 @@ pub struct ServerStats {
     /// Newest discretized tick accepted at the edge, stored as `tick + 1`
     /// (0 = nothing ingested yet).
     ingested_tick: AtomicU64,
+    /// Checkpoints written since start (periodic + final).
+    pub checkpoints_written: AtomicU64,
+    /// Last written checkpoint's sequence number, stored as `seq + 1`
+    /// (0 = none yet).
+    last_checkpoint_seq: AtomicU64,
 }
 
 impl ServerStats {
@@ -45,7 +50,41 @@ impl ServerStats {
             snapshots_sealed: AtomicU64::new(0),
             subscribers_shed: AtomicU64::new(0),
             ingested_tick: AtomicU64::new(0),
+            checkpoints_written: AtomicU64::new(0),
+            last_checkpoint_seq: AtomicU64::new(0),
         }
+    }
+
+    /// Records a successfully written checkpoint for the `STATUS` block.
+    pub fn note_checkpoint(&self, seq: u64) {
+        self.checkpoints_written.fetch_add(1, Ordering::Relaxed);
+        self.last_checkpoint_seq
+            .fetch_max(seq + 1, Ordering::Relaxed);
+    }
+
+    /// Marks the checkpoint this instance resumed from (without counting it
+    /// as written by this instance).
+    pub fn restore_checkpoint_seq(&self, seq: u64) {
+        self.last_checkpoint_seq
+            .fetch_max(seq + 1, Ordering::Relaxed);
+    }
+
+    /// Last written checkpoint's sequence number, if any.
+    pub fn last_checkpoint_seq(&self) -> Option<u64> {
+        match self.last_checkpoint_seq.load(Ordering::Relaxed) {
+            0 => None,
+            s => Some(s - 1),
+        }
+    }
+
+    /// The raw `tick + 1` edge-frontier encoding (checkpoint capture).
+    pub fn raw_ingested_tick(&self) -> u64 {
+        self.ingested_tick.load(Ordering::Relaxed)
+    }
+
+    /// Rehydrates the edge frontier from its raw `tick + 1` encoding.
+    pub fn restore_ingested_tick(&self, raw: u64) {
+        self.ingested_tick.fetch_max(raw, Ordering::Relaxed);
     }
 
     /// Advances the edge's newest-accepted-tick gauge.
@@ -135,6 +174,17 @@ impl ServerStats {
         );
         line("detect_lag_snapshots", progress.lag().to_string());
         line("in_flight_snapshots", progress.in_flight.to_string());
+        // Durability: how far recovery could rewind to, and how often
+        // checkpoints land.
+        line(
+            "checkpoint_seq",
+            self.last_checkpoint_seq()
+                .map_or_else(|| "none".into(), |s| s.to_string()),
+        );
+        line(
+            "checkpoints_written",
+            self.checkpoints_written.load(Ordering::Relaxed).to_string(),
+        );
         line(
             "avg_latency_ms",
             format!("{:.3}", report.avg_latency.as_secs_f64() * 1e3),

@@ -1,0 +1,284 @@
+//! Serve-tier restart: ingest half the stream, suspend with a final
+//! checkpoint (the SIGTERM path), restart from disk, finish the stream —
+//! the subscribers across both incarnations together see exactly the
+//! pattern set an uninterrupted server delivers: no duplicate, no missing
+//! planted group, and cumulative counters that survive the restart.
+
+use icpe_core::IcpeConfig;
+use icpe_runtime::AlignerConfig;
+use icpe_serve::recovery::CheckpointPolicy;
+use icpe_serve::{client, Event, ServeConfig, Server, Subscription, Topic, WireRecord};
+use icpe_types::Constraints;
+use std::collections::BTreeSet;
+use std::path::PathBuf;
+
+fn engine_config() -> IcpeConfig {
+    IcpeConfig::builder()
+        .constraints(Constraints::new(4, 8, 4, 2).unwrap())
+        .epsilon(2.5)
+        .min_pts(4)
+        .parallelism(3)
+        .aligner(AlignerConfig {
+            max_lag: 64,
+            emit_empty: true,
+            lateness: 8,
+        })
+        .build()
+        .unwrap()
+}
+
+fn serve_config() -> ServeConfig {
+    let mut config = ServeConfig::new(engine_config());
+    // Single in-order producer per phase: no fleet to wait for.
+    config.startup_grace = std::time::Duration::ZERO;
+    // This test asserts exactly-once delivery, so the subscriber must
+    // never be shed even when the whole test suite contends for CPU and
+    // the end-of-stream flush bursts patterns faster than the collector
+    // thread gets scheduled.
+    config
+}
+
+/// Collects a subscription on a thread, draining raw lines (fast path)
+/// and parsing afterwards.
+fn collect(subscriber: Subscription) -> std::thread::JoinHandle<Vec<Event>> {
+    std::thread::spawn(move || {
+        subscriber
+            .collect_lines()
+            .unwrap()
+            .iter()
+            .map(|l| Event::parse(l).unwrap())
+            .collect()
+    })
+}
+
+fn generator() -> icpe_gen::GroupWalkGenerator {
+    icpe_gen::GroupWalkGenerator::new(icpe_gen::GroupWalkConfig {
+        num_objects: 30,
+        num_groups: 3,
+        group_size: 5,
+        num_snapshots: 30,
+        seed: 7,
+        ..icpe_gen::GroupWalkConfig::default()
+    })
+}
+
+/// The workload as wire records (interval 1.0 → time equals the tick).
+fn wire_records() -> Vec<WireRecord> {
+    generator()
+        .traces()
+        .to_gps_records()
+        .iter()
+        .map(|r| WireRecord {
+            id: r.id.0,
+            time: r.time.0 as f64,
+            x: r.location.x,
+            y: r.location.y,
+        })
+        .collect()
+}
+
+fn pattern_keys(events: &[Event]) -> Vec<(Vec<u32>, Vec<u32>)> {
+    events
+        .iter()
+        .filter_map(|e| match e {
+            Event::Pattern(p) => Some((p.objects.clone(), p.times.clone())),
+            Event::Snapshot(_) => None,
+        })
+        .collect()
+}
+
+/// Blocks until the server has registered `n` live subscribers. The
+/// SUBSCRIBE line travels on the subscriber's own connection; producing
+/// before it is processed races the server's shutdown path (which may
+/// close not-yet-marked connections).
+fn wait_for_subscribers(addr: &str, n: u64) {
+    for _ in 0..2000 {
+        if status_value(addr, "subscribers")
+            .parse::<u64>()
+            .unwrap_or(0)
+            >= n
+        {
+            return;
+        }
+        std::thread::sleep(std::time::Duration::from_millis(2));
+    }
+    panic!("subscriber was never registered");
+}
+
+/// Blocks until the edge has accepted `n` records. `send_records` returns
+/// once the bytes hit the kernel; the handler thread may not even have
+/// registered yet — shutting down before ingestion quiesces would race the
+/// records still in flight (exactly what a deliberate SIGTERM must not do).
+fn wait_for_records(addr: &str, n: usize) {
+    for _ in 0..4000 {
+        if status_value(addr, "records_in") == n.to_string() {
+            return;
+        }
+        std::thread::sleep(std::time::Duration::from_millis(2));
+    }
+    panic!(
+        "ingestion never quiesced at {n} records (records_in={}, rejected={})",
+        status_value(addr, "records_in"),
+        status_value(addr, "records_rejected"),
+    );
+}
+
+fn status_value(addr: &str, key: &str) -> String {
+    client::fetch_status(addr)
+        .unwrap()
+        .iter()
+        .find(|(k, _)| k == key)
+        .map(|(_, v)| v.clone())
+        .unwrap_or_else(|| panic!("missing status key {key}"))
+}
+
+#[test]
+fn suspended_server_resumes_with_exactly_once_delivery() {
+    let records = wire_records();
+    let half = records.len() / 2;
+
+    // Reference: one uninterrupted server over the full stream.
+    let reference = {
+        let server = Server::start(serve_config()).unwrap();
+        let addr = server.local_addr().to_string();
+        let subscriber = Subscription::connect(&addr, Topic::Patterns).unwrap();
+        let collector = collect(subscriber);
+        wait_for_subscribers(&addr, 1);
+        client::send_records(&addr, records.iter().copied(), false).unwrap();
+        wait_for_records(&addr, records.len());
+        server.finish();
+        let mut keys = pattern_keys(&collector.join().unwrap());
+        keys.sort();
+        keys
+    };
+    assert!(
+        !reference.is_empty(),
+        "workload must plant detectable groups"
+    );
+
+    let dir: PathBuf = std::env::temp_dir().join(format!(
+        "icpe-serve-restart-{}-{:?}",
+        std::process::id(),
+        std::thread::current().id()
+    ));
+    let _ = std::fs::remove_dir_all(&dir);
+    let policy = CheckpointPolicy::new(&dir)
+        // Periodic checkpoints stay out of the way; suspend() writes the
+        // final one this test restarts from.
+        .every(std::time::Duration::from_secs(3600))
+        .retain(2);
+
+    // Incarnation A: first half of the stream, then SIGTERM-equivalent.
+    let events_a = {
+        let server = Server::start(serve_config().with_checkpoints(policy.clone())).unwrap();
+        let addr = server.local_addr().to_string();
+        let subscriber = Subscription::connect(&addr, Topic::Patterns).unwrap();
+        let collector = collect(subscriber);
+        wait_for_subscribers(&addr, 1);
+        client::send_records(&addr, records[..half].iter().copied(), false).unwrap();
+        wait_for_records(&addr, half);
+        server.suspend().unwrap();
+        collector.join().unwrap()
+    };
+    assert!(
+        std::fs::read_dir(&dir).unwrap().count() > 0,
+        "suspend wrote a checkpoint file"
+    );
+
+    // Incarnation B: restarts from disk, finishes the stream.
+    let (events_b, records_in_after_restart) = {
+        let server = Server::start(serve_config().with_checkpoints(policy)).unwrap();
+        let addr = server.local_addr().to_string();
+        assert_ne!(
+            status_value(&addr, "checkpoint_seq"),
+            "none",
+            "restarted server reports the checkpoint it resumed from"
+        );
+        let subscriber = Subscription::connect(&addr, Topic::Patterns).unwrap();
+        let collector = collect(subscriber);
+        wait_for_subscribers(&addr, 1);
+        client::send_records(&addr, records[half..].iter().copied(), false).unwrap();
+        // Counters are cumulative across the restart (observability must
+        // not reset to zero) — poll until the second half is consumed.
+        wait_for_records(&addr, records.len());
+        let records_in = status_value(&addr, "records_in");
+        server.finish();
+        (collector.join().unwrap(), records_in)
+    };
+    assert_eq!(
+        records_in_after_restart,
+        records.len().to_string(),
+        "records_in resumed from the checkpointed value"
+    );
+
+    // Across both incarnations: exactly the reference patterns, once each.
+    let mut got = pattern_keys(&events_a);
+    got.extend(pattern_keys(&events_b));
+    let got_len = got.len();
+    got.sort();
+    let deduped: BTreeSet<_> = got.iter().cloned().collect();
+    assert_eq!(deduped.len(), got_len, "a pattern was delivered twice");
+    assert_eq!(
+        got, reference,
+        "restarted pair diverged from the uninterrupted server"
+    );
+
+    // Every planted group made it through the restart.
+    let delivered_sets: BTreeSet<Vec<u32>> = got.iter().map(|(objs, _)| objs.clone()).collect();
+    for group in generator().planted_groups() {
+        let ids: Vec<u32> = group.iter().map(|o| o.0).collect();
+        assert!(
+            delivered_sets.contains(&ids),
+            "planted group {ids:?} missing after restart"
+        );
+    }
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn periodic_checkpoints_appear_in_status_and_on_disk() {
+    let dir: PathBuf = std::env::temp_dir().join(format!(
+        "icpe-serve-periodic-{}-{:?}",
+        std::process::id(),
+        std::thread::current().id()
+    ));
+    let _ = std::fs::remove_dir_all(&dir);
+    let policy = CheckpointPolicy::new(&dir)
+        .every(std::time::Duration::from_millis(25))
+        .retain(2);
+    let server = Server::start(serve_config().with_checkpoints(policy)).unwrap();
+    let addr = server.local_addr().to_string();
+
+    // A little traffic, then wait for the periodic worker to land a few.
+    client::send_records(
+        &addr,
+        (0..40u32).map(|t| WireRecord {
+            id: 1 + t % 4,
+            time: (t / 4) as f64,
+            x: 0.1 * t as f64,
+            y: 0.0,
+        }),
+        false,
+    )
+    .unwrap();
+    let mut written = 0u64;
+    for _ in 0..400 {
+        written = status_value(&addr, "checkpoints_written").parse().unwrap();
+        if written >= 3 {
+            break;
+        }
+        std::thread::sleep(std::time::Duration::from_millis(5));
+    }
+    assert!(written >= 3, "periodic checkpoints never landed: {written}");
+    assert_ne!(status_value(&addr, "checkpoint_seq"), "none");
+
+    // Retention: at most `retain` files (plus no stray tmp files).
+    let files: Vec<String> = std::fs::read_dir(&dir)
+        .unwrap()
+        .map(|e| e.unwrap().file_name().to_string_lossy().into_owned())
+        .collect();
+    let live = files.iter().filter(|f| f.ends_with(".icpe")).count();
+    assert!((1..=2).contains(&live), "retention violated: {files:?}");
+    server.finish();
+    let _ = std::fs::remove_dir_all(&dir);
+}

@@ -1,0 +1,406 @@
+//! The checkpoint data model: versioned, serde-backed snapshots of every
+//! piece of long-lived detection state.
+//!
+//! The paper's job is stateful — open enumeration windows, per-member bit
+//! strings, and the §4 time-alignment chains all live in operator memory —
+//! so a crash forgets every candidate the stream has accumulated. These
+//! types are the durable form of that state. They live in `icpe-types`
+//! (rather than next to the live structures they mirror) so every layer of
+//! the stack — `icpe-runtime`, `icpe-pattern`, `icpe-core`, `icpe-serve`,
+//! `icpe-persist` — can speak the same schema without dependency cycles.
+//!
+//! ## Canonical form
+//!
+//! Producers of these types MUST emit canonical order: collections that are
+//! hash maps in live state are sorted by their key (owner id, member id,
+//! trajectory id) before serialization, and times ascend. This makes the
+//! byte stream a pure function of the logical state: serialize → deserialize
+//! → re-serialize is byte-identical, which the recovery property tests pin
+//! down and the on-disk CRC relies on.
+//!
+//! ## Versioning
+//!
+//! [`CHECKPOINT_VERSION`] names the schema of [`PipelineCheckpoint`]. Any
+//! change to these structs (field added/removed/renamed/reordered — field
+//! order is part of the JSON byte format) must bump it; a golden-fixture
+//! test in this crate fails otherwise, and restore refuses checkpoints whose
+//! embedded version differs from the binary's.
+
+use crate::ids::ObjectId;
+use crate::snapshot::Snapshot;
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// Schema version embedded in every [`PipelineCheckpoint`]. Bump on ANY
+/// change to the checkpoint structs (the golden-fixture schema test
+/// enforces this).
+pub const CHECKPOINT_VERSION: u32 = 1;
+
+/// Errors raised when restoring state from a checkpoint.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum CheckpointError {
+    /// The checkpoint was written by a different schema version.
+    UnsupportedVersion {
+        /// Version found in the checkpoint.
+        found: u32,
+        /// Version this binary supports.
+        supported: u32,
+    },
+    /// The checkpoint's engine kind does not match the configured engine.
+    EngineMismatch {
+        /// Engine name recorded in the checkpoint ("BA", "FBA", "VBA").
+        checkpoint: String,
+        /// Engine name the configuration asks for.
+        config: String,
+    },
+    /// The checkpoint is structurally valid JSON but semantically broken
+    /// (e.g. a bit string whose length disagrees with its episode span).
+    Invalid(String),
+}
+
+impl fmt::Display for CheckpointError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CheckpointError::UnsupportedVersion { found, supported } => write!(
+                f,
+                "checkpoint schema version {found} is not supported (this binary speaks {supported})"
+            ),
+            CheckpointError::EngineMismatch { checkpoint, config } => write!(
+                f,
+                "checkpoint holds {checkpoint} engine state but the configuration runs {config}"
+            ),
+            CheckpointError::Invalid(msg) => write!(f, "invalid checkpoint: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for CheckpointError {}
+
+/// One trajectory's §4 *last time* chaining state.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ChainCheckpoint {
+    /// The trajectory.
+    pub id: ObjectId,
+    /// Largest time through which this trajectory's reports are fully
+    /// known.
+    pub clarified: Option<u32>,
+    /// Received records whose `last_time` link has not connected yet, as
+    /// `(last_time, own_time)` pairs in ascending `last_time` order.
+    pub waiting: Vec<(u32, u32)>,
+}
+
+/// Durable form of the [`TimeAligner`](crate::Snapshot)-owning runtime
+/// state: buffered (unsealed) snapshots, per-trajectory chains, the sealed
+/// frontier, and the observability counters that must survive a restore.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct AlignerCheckpoint {
+    /// Buffered, not-yet-sealed snapshots in ascending time order.
+    pub buffers: Vec<Snapshot>,
+    /// Per-trajectory chaining state, ascending by trajectory id.
+    pub chains: Vec<ChainCheckpoint>,
+    /// All times `< sealed_up_to` are sealed; `None` until the first seal.
+    pub sealed_up_to: Option<u32>,
+    /// Largest record time seen.
+    pub max_seen: u32,
+    /// Records dropped for arriving after their snapshot sealed
+    /// (cumulative; rehydrated on restore so observability does not reset).
+    pub late_dropped: u64,
+}
+
+/// One buffered partition row of an owner's η-window history.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct HistoryRowCheckpoint {
+    /// The discretized time of this row.
+    pub time: u32,
+    /// The owner's partition members at that time, ascending.
+    pub members: Vec<ObjectId>,
+}
+
+/// Open η-window state for one partition owner (BA/FBA engines).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct WindowOwnerCheckpoint {
+    /// The partition owner.
+    pub owner: ObjectId,
+    /// Pending window start times, ascending (the release queue).
+    pub starts: Vec<u32>,
+    /// Buffered partition history rows, ascending by time.
+    pub history: Vec<HistoryRowCheckpoint>,
+}
+
+/// One (owner, member) co-clustering episode of the VBA engine — either an
+/// open string or a closed candidate; the bits cover `[st, et]` inclusive.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct EpisodeCheckpoint {
+    /// The co-clustered member.
+    pub member: ObjectId,
+    /// Episode start time (time of the first 1).
+    pub st: u32,
+    /// Episode end time (time of the last 1 so far).
+    pub et: u32,
+    /// The bits over `[st, et]` as an ASCII `0`/`1` string (first and last
+    /// characters are always `1`).
+    pub bits: String,
+}
+
+/// Per-owner VBA engine state.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct VbaOwnerCheckpoint {
+    /// The partition owner.
+    pub owner: ObjectId,
+    /// Open (still extendable) episodes, ascending by member id.
+    pub open: Vec<EpisodeCheckpoint>,
+    /// Closed candidates with maximal time sequences, in insertion order
+    /// (the order affects enumeration sequencing, not the pattern set, and
+    /// is deterministic — so it is preserved rather than sorted).
+    pub candidates: Vec<EpisodeCheckpoint>,
+}
+
+/// Durable form of one enumeration engine's state. A single schema covers
+/// all three engines: `kind` discriminates, and only the matching owner
+/// list is populated (the serde shim has no data-carrying enum derive, and
+/// a flat struct keeps the wire format trivial to audit).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct EngineCheckpoint {
+    /// Engine name: `"BA"`, `"FBA"`, or `"VBA"`.
+    pub kind: String,
+    /// Last cluster-snapshot time the engine ticked through.
+    pub last_time: Option<u32>,
+    /// Partitions the Baseline refused to enumerate (blow-up guard); the
+    /// counter must survive restore. Always 0 for FBA/VBA.
+    pub skipped_partitions: u64,
+    /// Open η-window state per owner (BA/FBA), ascending by owner id.
+    pub window_owners: Vec<WindowOwnerCheckpoint>,
+    /// Per-owner episode state (VBA), ascending by owner id.
+    pub vba_owners: Vec<VbaOwnerCheckpoint>,
+}
+
+impl EngineCheckpoint {
+    /// An empty checkpoint for an engine that has seen nothing.
+    pub fn empty(kind: &str) -> EngineCheckpoint {
+        EngineCheckpoint {
+            kind: kind.to_string(),
+            last_time: None,
+            skipped_partitions: 0,
+            window_owners: Vec::new(),
+            vba_owners: Vec::new(),
+        }
+    }
+
+    /// Merges per-subtask engine checkpoints (disjoint owner sets, shared
+    /// clock) into one deployment-independent checkpoint. Owners are
+    /// re-sorted so the merged form is canonical regardless of the
+    /// parallelism that produced the pieces.
+    pub fn merge(pieces: Vec<EngineCheckpoint>) -> Result<EngineCheckpoint, CheckpointError> {
+        let Some(first) = pieces.first() else {
+            return Err(CheckpointError::Invalid(
+                "cannot merge zero engine checkpoints".into(),
+            ));
+        };
+        let kind = first.kind.clone();
+        let mut merged = EngineCheckpoint::empty(&kind);
+        for piece in pieces {
+            if piece.kind != kind {
+                return Err(CheckpointError::EngineMismatch {
+                    checkpoint: piece.kind,
+                    config: kind,
+                });
+            }
+            // Every subtask sees every broadcast tick, so the clocks agree;
+            // take the max to be safe against empty subtasks.
+            merged.last_time = merged.last_time.max(piece.last_time);
+            merged.skipped_partitions += piece.skipped_partitions;
+            merged.window_owners.extend(piece.window_owners);
+            merged.vba_owners.extend(piece.vba_owners);
+        }
+        merged.window_owners.sort_by_key(|o| o.owner);
+        merged.vba_owners.sort_by_key(|o| o.owner);
+        Ok(merged)
+    }
+}
+
+/// Pipeline progress gauges frozen at the checkpoint cut; rehydrated into
+/// the metrics recorder on restore so counters do not reset to zero.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ProgressCheckpoint {
+    /// Snapshots fully processed (sealed through enumeration) before the
+    /// cut.
+    pub snapshots_completed: u64,
+    /// Records dropped as late before the cut.
+    pub late_records: u64,
+    /// Largest snapshot time fully processed before the cut, if any.
+    pub max_sealed: Option<u32>,
+}
+
+/// A complete, consistent snapshot of a detection pipeline: everything
+/// needed to resume the job as if it had never stopped, provided the input
+/// stream is replayed from `records_ingested`.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct PipelineCheckpoint {
+    /// Schema version ([`CHECKPOINT_VERSION`] at write time).
+    pub version: u32,
+    /// Monotone checkpoint sequence number within one pipeline run.
+    pub seq: u64,
+    /// Records the aligner consumed before the checkpoint barrier — the
+    /// replay offset: feed the restored pipeline the input stream starting
+    /// at this record index and the run is equivalent to an uninterrupted
+    /// one.
+    pub records_ingested: u64,
+    /// Time-alignment state.
+    pub aligner: AlignerCheckpoint,
+    /// Merged enumeration-engine state (deployment-independent: restore
+    /// may use a different parallelism).
+    pub engine: EngineCheckpoint,
+    /// Observability counters at the cut.
+    pub progress: ProgressCheckpoint,
+}
+
+impl PipelineCheckpoint {
+    /// Validates the embedded schema version.
+    pub fn check_version(&self) -> Result<(), CheckpointError> {
+        if self.version != CHECKPOINT_VERSION {
+            return Err(CheckpointError::UnsupportedVersion {
+                found: self.version,
+                supported: CHECKPOINT_VERSION,
+            });
+        }
+        Ok(())
+    }
+}
+
+/// One trajectory's server-side stamping state (see
+/// [`Discretizer`](crate::Discretizer)).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct TrajectoryStamp {
+    /// The trajectory.
+    pub id: ObjectId,
+    /// Last discretized tick emitted for it.
+    pub last_tick: u32,
+}
+
+/// Durable form of the server-side [`Discretizer`](crate::Discretizer):
+/// without it, a restarted server would re-admit duplicate ticks and break
+/// every trajectory's *last time* chain across the restart.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct DiscretizerCheckpoint {
+    /// Clock time mapping to interval 0.
+    pub epoch: f64,
+    /// Interval duration in seconds.
+    pub interval: f64,
+    /// Per-trajectory last emitted tick, ascending by trajectory id.
+    pub last_seen: Vec<TrajectoryStamp>,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::Timestamp;
+
+    fn sample_engine() -> EngineCheckpoint {
+        EngineCheckpoint {
+            kind: "FBA".into(),
+            last_time: Some(7),
+            skipped_partitions: 0,
+            window_owners: vec![WindowOwnerCheckpoint {
+                owner: ObjectId(3),
+                starts: vec![5, 7],
+                history: vec![HistoryRowCheckpoint {
+                    time: 5,
+                    members: vec![ObjectId(4), ObjectId(9)],
+                }],
+            }],
+            vba_owners: Vec::new(),
+        }
+    }
+
+    #[test]
+    fn version_check() {
+        let mut ckpt = PipelineCheckpoint {
+            version: CHECKPOINT_VERSION,
+            seq: 1,
+            records_ingested: 10,
+            aligner: AlignerCheckpoint {
+                buffers: vec![Snapshot::new(Timestamp(3))],
+                chains: Vec::new(),
+                sealed_up_to: Some(3),
+                max_seen: 4,
+                late_dropped: 2,
+            },
+            engine: sample_engine(),
+            progress: ProgressCheckpoint {
+                snapshots_completed: 3,
+                late_records: 2,
+                max_sealed: Some(2),
+            },
+        };
+        assert!(ckpt.check_version().is_ok());
+        ckpt.version = CHECKPOINT_VERSION + 1;
+        assert_eq!(
+            ckpt.check_version(),
+            Err(CheckpointError::UnsupportedVersion {
+                found: CHECKPOINT_VERSION + 1,
+                supported: CHECKPOINT_VERSION
+            })
+        );
+    }
+
+    #[test]
+    fn merge_sums_and_sorts() {
+        let mut a = sample_engine();
+        a.skipped_partitions = 2;
+        let mut b = EngineCheckpoint::empty("FBA");
+        b.last_time = Some(7);
+        b.skipped_partitions = 1;
+        b.window_owners.push(WindowOwnerCheckpoint {
+            owner: ObjectId(1),
+            starts: vec![7],
+            history: Vec::new(),
+        });
+        let merged = EngineCheckpoint::merge(vec![a, b]).unwrap();
+        assert_eq!(merged.skipped_partitions, 3);
+        assert_eq!(merged.last_time, Some(7));
+        let owners: Vec<u32> = merged.window_owners.iter().map(|o| o.owner.0).collect();
+        assert_eq!(owners, vec![1, 3], "owners re-sorted canonically");
+    }
+
+    #[test]
+    fn merge_rejects_mixed_kinds() {
+        let a = EngineCheckpoint::empty("FBA");
+        let b = EngineCheckpoint::empty("VBA");
+        assert!(matches!(
+            EngineCheckpoint::merge(vec![a, b]),
+            Err(CheckpointError::EngineMismatch { .. })
+        ));
+        assert!(EngineCheckpoint::merge(Vec::new()).is_err());
+    }
+
+    #[test]
+    fn json_round_trip_is_byte_identical() {
+        let ckpt = AlignerCheckpoint {
+            buffers: vec![Snapshot::new(Timestamp(9))],
+            chains: vec![ChainCheckpoint {
+                id: ObjectId(1),
+                clarified: Some(8),
+                waiting: vec![(10, 12)],
+            }],
+            sealed_up_to: Some(9),
+            max_seen: 12,
+            late_dropped: 4,
+        };
+        let json = serde_json::to_string(&ckpt).unwrap();
+        let back: AlignerCheckpoint = serde_json::from_str(&json).unwrap();
+        assert_eq!(back, ckpt);
+        assert_eq!(serde_json::to_string(&back).unwrap(), json);
+    }
+
+    #[test]
+    fn errors_display() {
+        let e = CheckpointError::EngineMismatch {
+            checkpoint: "VBA".into(),
+            config: "FBA".into(),
+        };
+        assert!(e.to_string().contains("VBA") && e.to_string().contains("FBA"));
+        assert!(CheckpointError::Invalid("x".into())
+            .to_string()
+            .contains('x'));
+    }
+}

@@ -6,6 +6,7 @@
 //! trajectories look gappy; too large and distinct reports collapse into one
 //! snapshot.
 
+use crate::checkpoint::{DiscretizerCheckpoint, TrajectoryStamp};
 use crate::{GpsRecord, ObjectId, RawRecord, Timestamp, TypeError};
 use std::collections::HashMap;
 
@@ -71,6 +72,35 @@ impl Discretizer {
     pub fn trajectories_seen(&self) -> usize {
         self.last_seen.len()
     }
+
+    /// Captures the stamping state in durable form (canonical order:
+    /// ascending trajectory id).
+    pub fn checkpoint(&self) -> DiscretizerCheckpoint {
+        let mut last_seen: Vec<TrajectoryStamp> = self
+            .last_seen
+            .iter()
+            .map(|(&id, &t)| TrajectoryStamp { id, last_tick: t.0 })
+            .collect();
+        last_seen.sort_by_key(|s| s.id);
+        DiscretizerCheckpoint {
+            epoch: self.epoch,
+            interval: self.interval,
+            last_seen,
+        }
+    }
+
+    /// Rebuilds a discretizer from a checkpoint, so a restarted server
+    /// keeps rejecting duplicate ticks and keeps every trajectory's *last
+    /// time* chain intact across the restart.
+    pub fn from_checkpoint(ckpt: &DiscretizerCheckpoint) -> Result<Self, TypeError> {
+        let mut d = Discretizer::new(ckpt.epoch, ckpt.interval)?;
+        d.last_seen = ckpt
+            .last_seen
+            .iter()
+            .map(|s| (s.id, Timestamp(s.last_tick)))
+            .collect();
+        Ok(d)
+    }
 }
 
 #[cfg(test)]
@@ -133,6 +163,34 @@ mod tests {
         let mut d = Discretizer::new(0.0, 1.0).unwrap();
         assert!(d.push(&raw(1, 5.0)).is_some());
         assert!(d.push(&raw(1, 3.0)).is_none());
+    }
+
+    #[test]
+    fn checkpoint_round_trip_preserves_stamping() {
+        let mut d = Discretizer::new(0.0, 1.0).unwrap();
+        d.push(&raw(2, 5.0)).unwrap();
+        d.push(&raw(1, 3.0)).unwrap();
+        let ckpt = d.checkpoint();
+        assert_eq!(ckpt.last_seen.len(), 2);
+        assert!(
+            ckpt.last_seen[0].id < ckpt.last_seen[1].id,
+            "canonical order"
+        );
+
+        let mut restored = Discretizer::from_checkpoint(&ckpt).unwrap();
+        // Duplicate tick still rejected after the restore.
+        assert!(restored.push(&raw(1, 3.5)).is_none());
+        // The cross-restart record keeps its last-time link.
+        let r = restored.push(&raw(1, 7.0)).unwrap();
+        assert_eq!(r.last_time, Some(Timestamp(3)));
+        assert_eq!(restored.checkpoint(), ckpt_after(&d, 1, 7.0));
+    }
+
+    /// The original discretizer fed the same record, for comparison.
+    fn ckpt_after(d: &Discretizer, id: u32, t: f64) -> crate::checkpoint::DiscretizerCheckpoint {
+        let mut d = d.clone();
+        d.push(&raw(id, t));
+        d.checkpoint()
     }
 
     #[test]

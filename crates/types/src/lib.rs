@@ -7,6 +7,7 @@
 //! Everything downstream — the GR-index, the range-join clustering, and the
 //! three pattern-enumeration engines — is written against these types.
 
+pub mod checkpoint;
 pub mod constraints;
 pub mod discretize;
 pub mod error;
@@ -17,6 +18,11 @@ pub mod record;
 pub mod snapshot;
 pub mod timeseq;
 
+pub use checkpoint::{
+    AlignerCheckpoint, ChainCheckpoint, CheckpointError, DiscretizerCheckpoint, EngineCheckpoint,
+    EpisodeCheckpoint, HistoryRowCheckpoint, PipelineCheckpoint, ProgressCheckpoint,
+    TrajectoryStamp, VbaOwnerCheckpoint, WindowOwnerCheckpoint, CHECKPOINT_VERSION,
+};
 pub use constraints::{Constraints, DbscanParams};
 pub use discretize::Discretizer;
 pub use error::TypeError;

@@ -1,0 +1,119 @@
+//! Golden-fixture guard for the checkpoint schema.
+//!
+//! The on-disk checkpoint format is a promise to every running deployment:
+//! any change to the checkpoint structs (fields added/removed/renamed/
+//! reordered — field order is part of the JSON bytes) must bump
+//! [`CHECKPOINT_VERSION`] so restore can refuse incompatible files instead
+//! of silently misreading them. This test pins the serialized bytes of a
+//! canonical sample against `tests/fixtures/checkpoint_v<N>.json` and
+//! fails when the schema drifts without a version bump.
+//!
+//! After an intentional schema change: bump `CHECKPOINT_VERSION`, then
+//! regenerate the fixture with
+//! `ICPE_REGEN_FIXTURE=1 cargo test -p icpe-types --test checkpoint_schema`.
+
+use icpe_types::{
+    AlignerCheckpoint, ChainCheckpoint, EngineCheckpoint, EpisodeCheckpoint, HistoryRowCheckpoint,
+    ObjectId, PipelineCheckpoint, Point, ProgressCheckpoint, Snapshot, Timestamp,
+    VbaOwnerCheckpoint, WindowOwnerCheckpoint, CHECKPOINT_VERSION,
+};
+
+/// A canonical sample exercising every field of every checkpoint struct.
+fn sample() -> PipelineCheckpoint {
+    let mut buffered = Snapshot::new(Timestamp(41));
+    buffered.push(ObjectId(3), Point::new(1.5, -2.0), Some(Timestamp(40)));
+    buffered.push(ObjectId(9), Point::new(0.0, 7.25), None);
+    PipelineCheckpoint {
+        version: CHECKPOINT_VERSION,
+        seq: 12,
+        records_ingested: 4096,
+        aligner: AlignerCheckpoint {
+            buffers: vec![buffered],
+            chains: vec![
+                ChainCheckpoint {
+                    id: ObjectId(3),
+                    clarified: Some(40),
+                    waiting: vec![(42, 44)],
+                },
+                ChainCheckpoint {
+                    id: ObjectId(9),
+                    clarified: None,
+                    waiting: vec![],
+                },
+            ],
+            sealed_up_to: Some(41),
+            max_seen: 44,
+            late_dropped: 5,
+        },
+        engine: EngineCheckpoint {
+            kind: "FBA".into(),
+            last_time: Some(40),
+            skipped_partitions: 2,
+            window_owners: vec![WindowOwnerCheckpoint {
+                owner: ObjectId(3),
+                starts: vec![38, 40],
+                history: vec![HistoryRowCheckpoint {
+                    time: 38,
+                    members: vec![ObjectId(5), ObjectId(9)],
+                }],
+            }],
+            vba_owners: vec![VbaOwnerCheckpoint {
+                owner: ObjectId(5),
+                open: vec![EpisodeCheckpoint {
+                    member: ObjectId(6),
+                    st: 37,
+                    et: 40,
+                    bits: "1011".into(),
+                }],
+                candidates: vec![EpisodeCheckpoint {
+                    member: ObjectId(7),
+                    st: 30,
+                    et: 34,
+                    bits: "11011".into(),
+                }],
+            }],
+        },
+        progress: ProgressCheckpoint {
+            snapshots_completed: 40,
+            late_records: 5,
+            max_sealed: Some(40),
+        },
+    }
+}
+
+fn fixture_path() -> String {
+    format!(
+        "{}/tests/fixtures/checkpoint_v{}.json",
+        env!("CARGO_MANIFEST_DIR"),
+        CHECKPOINT_VERSION
+    )
+}
+
+#[test]
+fn schema_change_requires_version_bump() {
+    let json = serde_json::to_string(&sample()).unwrap();
+    let path = fixture_path();
+    if std::env::var("ICPE_REGEN_FIXTURE").is_ok() {
+        std::fs::create_dir_all(std::path::Path::new(&path).parent().unwrap()).unwrap();
+        std::fs::write(&path, format!("{json}\n")).unwrap();
+        return;
+    }
+    let fixture = std::fs::read_to_string(&path).unwrap_or_else(|_| {
+        panic!(
+            "missing fixture for checkpoint schema v{CHECKPOINT_VERSION} at {path}; \
+             after bumping CHECKPOINT_VERSION, regenerate it with \
+             ICPE_REGEN_FIXTURE=1 cargo test -p icpe-types --test checkpoint_schema"
+        )
+    });
+    assert_eq!(
+        json,
+        fixture.trim_end(),
+        "checkpoint schema bytes changed without a CHECKPOINT_VERSION bump \
+         (or the fixture is stale): bump the version in \
+         crates/types/src/checkpoint.rs and regenerate the fixture with \
+         ICPE_REGEN_FIXTURE=1 cargo test -p icpe-types --test checkpoint_schema"
+    );
+    // And the pinned bytes restore losslessly.
+    let parsed: PipelineCheckpoint = serde_json::from_str(fixture.trim_end()).unwrap();
+    assert_eq!(parsed, sample());
+}

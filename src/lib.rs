@@ -22,6 +22,11 @@
 //!   [`core::StreamingEngine`], and the distributed [`core::IcpePipeline`]
 //!   in batch ([`core::IcpePipeline::run`]) or live
 //!   ([`core::IcpePipeline::launch`]) form.
+//! * [`persist`] — durable checkpoints: atomic, CRC-verified,
+//!   retention-bounded files holding the consistent pipeline snapshots
+//!   taken by [`core::LivePipeline::checkpoint`], so a crashed or
+//!   suspended deployment resumes via [`core::IcpePipeline::launch_from`]
+//!   without losing open pattern windows.
 //! * [`serve`] — the network edge: a TCP server ingesting newline-delimited
 //!   GPS records (CSV `obj_id,time,x,y` or NDJSON) from many concurrent
 //!   producers, stamping/validating them into the live pipeline, fanning
@@ -74,6 +79,7 @@ pub use icpe_core as core;
 pub use icpe_gen as gen;
 pub use icpe_index as index;
 pub use icpe_pattern as pattern;
+pub use icpe_persist as persist;
 pub use icpe_runtime as runtime;
 pub use icpe_serve as serve;
 pub use icpe_types as types;
