@@ -14,9 +14,12 @@
 //! * [`rjc`] — the assembled RJC clustering method (ours);
 //! * [`srj`] — the SRJ baseline: full-region replication, build-then-query;
 //! * [`gdc`] — the GDC baseline: ε-width grid DBSCAN without R-trees;
-//! * [`naive`] — O(n²) reference implementations used as test oracles.
+//! * [`naive`] — O(n²) reference implementations used as test oracles;
+//! * [`balance`] — hotspot-aware load accounting and the cell→subtask
+//!   rebalancing controller behind the pipeline's adaptive routing.
 
 pub mod allocate;
+pub mod balance;
 pub mod dbscan;
 pub mod gdc;
 pub mod gridobject;
@@ -27,6 +30,7 @@ pub mod srj;
 pub mod sync;
 
 pub use allocate::{grid_allocate, grid_allocate_full};
+pub use balance::{BalanceOutcome, BalancerConfig, CellLoad, LoadBalancer, LoadTracker};
 pub use dbscan::{dbscan_from_pairs, DbscanOutcome};
 pub use gdc::GdcClusterer;
 pub use gridobject::GridObject;

@@ -1,5 +1,6 @@
 //! ICPE configuration: every knob of Table 3 plus deployment options.
 
+use icpe_cluster::BalancerConfig;
 use icpe_pattern::Semantics;
 use icpe_runtime::{AlignerConfig, RuntimeConfig};
 use icpe_types::{Constraints, DbscanParams, DistanceMetric, TypeError};
@@ -78,6 +79,12 @@ pub struct IcpeConfig {
     pub aligner: AlignerConfig,
     /// Baseline guard (see `icpe-pattern`).
     pub max_baseline_partition: usize,
+    /// Hotspot-aware adaptive cell routing for the keyed GridQuery stage:
+    /// `Some` runs the load balancer (see `icpe_cluster::balance`) and
+    /// swaps cell→subtask routes at window boundaries; `None` (default)
+    /// keeps the paper's static `hash(cell) % N` exchange. Ignored by the
+    /// GDC clusterer, which has no keyed grid stage.
+    pub rebalance: Option<BalancerConfig>,
 }
 
 impl IcpeConfig {
@@ -112,6 +119,7 @@ pub struct IcpeConfigBuilder {
     runtime: RuntimeConfig,
     aligner: AlignerConfig,
     max_baseline_partition: usize,
+    rebalance: Option<BalancerConfig>,
 }
 
 impl Default for IcpeConfigBuilder {
@@ -129,6 +137,7 @@ impl Default for IcpeConfigBuilder {
             runtime: RuntimeConfig::default(),
             aligner: AlignerConfig::default(),
             max_baseline_partition: 22,
+            rebalance: None,
         }
     }
 }
@@ -207,6 +216,14 @@ impl IcpeConfigBuilder {
         self
     }
 
+    /// Enables hotspot-aware adaptive cell routing with the given
+    /// balancer settings ([`BalancerConfig::default`] for the stock
+    /// thresholds).
+    pub fn rebalance(mut self, config: BalancerConfig) -> Self {
+        self.rebalance = Some(config);
+        self
+    }
+
     /// Validates and builds the configuration.
     pub fn build(self) -> Result<IcpeConfig, TypeError> {
         let constraints = self.constraints.ok_or_else(|| {
@@ -231,6 +248,7 @@ impl IcpeConfigBuilder {
             runtime: self.runtime,
             aligner: self.aligner,
             max_baseline_partition: self.max_baseline_partition,
+            rebalance: self.rebalance,
         })
     }
 }

@@ -194,6 +194,8 @@ impl StreamingEngine {
             },
             aligner,
             engine,
+            // Single-threaded: no keyed exchange, nothing to route.
+            routing: None,
         })
     }
 

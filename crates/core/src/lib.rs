@@ -32,4 +32,8 @@ pub mod pipeline;
 
 pub use config::{ClustererKind, EnumeratorKind, IcpeConfig, IcpeConfigBuilder};
 pub use engine::{IcpeEngine, StreamingEngine};
-pub use pipeline::{IcpePipeline, LivePipeline, PipelineEvent, PipelineOutput, RecordSender};
+pub use icpe_cluster::BalancerConfig;
+pub use icpe_runtime::RoutingStatus;
+pub use pipeline::{
+    IcpePipeline, LivePipeline, PipelineEvent, PipelineOutput, RecordSender, RoutingHandle,
+};

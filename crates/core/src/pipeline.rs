@@ -52,9 +52,35 @@
 //! [`IcpePipeline::launch_from`] resumes the run as if it never stopped.
 //! Restore re-shards engine state by owner hash, so the restored deployment
 //! may use a different parallelism than the one that wrote the checkpoint.
+//!
+//! ## Adaptive cell routing (hotspot-aware repartitioning)
+//!
+//! With [`rebalance`](crate::IcpeConfigBuilder::rebalance) set, the
+//! GridQuery exchange routes through a shared, epoch-versioned
+//! [`RoutingTable`] instead of a fixed `hash(cell) % N`:
+//!
+//! * every GridQuery subtask accounts its per-cell load (buffered objects
+//!   plus produced pairs) into a shared [`LoadTracker`] as it flushes
+//!   each window;
+//! * the (single) GridAllocate subtask runs the [`LoadBalancer`] at each
+//!   snapshot boundary — **before** emitting the snapshot's objects — and,
+//!   when a hot placement is detected, installs a new routing epoch into
+//!   the table;
+//! * because the swap happens strictly between the boundary tick of
+//!   window `t−1` and the first object of window `t`, and ticks flush
+//!   every per-cell buffer, a window's cell group is always routed under
+//!   exactly one epoch: migrations can never split an in-flight window
+//!   across subtasks, which is why adaptive and static routing provably
+//!   seal identical pattern multisets.
+//!
+//! The learned placement (epoch, explicit assignments, decayed cell
+//! loads) rides in the checkpoint's `routing` section, so a restored
+//! deployment resumes on the checkpointed epoch instead of re-learning
+//! every hotspot.
 
 use crate::config::{ClustererKind, EnumeratorKind, IcpeConfig};
 use icpe_cluster::allocate::allocate_one;
+use icpe_cluster::balance::{imbalance, CellLoad, LoadBalancer, LoadTracker};
 use icpe_cluster::query::NeighborPair;
 use icpe_cluster::sync::PairCollector;
 use icpe_cluster::{dbscan_from_pairs, CellQueryEngine, GdcClusterer, SnapshotClusterer};
@@ -63,16 +89,15 @@ use icpe_pattern::partition::Partition;
 use icpe_pattern::{id_partitions, BaselineEngine, FbaEngine, PatternEngine, VbaEngine};
 use icpe_runtime::{
     ingest_channel, Collector, Disconnected, Exchange, MetricsReport, Operator, PipelineMetrics,
-    Routing, Stream, StreamProgress, TimeAligner,
+    Routing, RoutingStatus, RoutingTable, Stream, StreamProgress, TimeAligner,
 };
+use icpe_types::shard::{hash_id, stable_hash, subtask_for};
 use icpe_types::{
     AlignerCheckpoint, CheckpointError, ClusterSnapshot, DbscanParams, DistanceMetric,
     EngineCheckpoint, GpsRecord, ObjectId, Pattern, PipelineCheckpoint, ProgressCheckpoint,
-    Snapshot, Timestamp, CHECKPOINT_VERSION,
+    RoutingCheckpoint, Snapshot, Timestamp, CHECKPOINT_VERSION,
 };
-use std::collections::hash_map::DefaultHasher;
 use std::collections::{BTreeMap, HashMap};
-use std::hash::{Hash, Hasher};
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, Mutex};
 use std::thread::JoinHandle;
@@ -126,6 +151,10 @@ pub(crate) struct BarrierToken {
     request: Arc<BarrierRequest>,
     aligner: AlignerCheckpoint,
     records_ingested: u64,
+    /// Filled by the (single) allocate subtask as the barrier passes it:
+    /// the adaptive-routing state at the cut. Stays `None` under static
+    /// routing or the GDC clusterer.
+    routing: Mutex<Option<RoutingCheckpoint>>,
 }
 
 /// A cloneable handle for pushing records into a running [`LivePipeline`]
@@ -160,6 +189,52 @@ impl RecordSender {
     }
 }
 
+/// A live view of the grid stage's routing layer: the swappable
+/// cell→subtask table plus the shared load accounting. Cloneable and
+/// independent of the [`LivePipeline`]'s lifetime, so status endpoints and
+/// benches can keep reading after [`LivePipeline::finish`].
+#[derive(Debug, Clone)]
+pub struct RoutingHandle {
+    table: Arc<RoutingTable>,
+    tracker: Arc<LoadTracker>,
+}
+
+impl RoutingHandle {
+    /// The current routing status: epoch, table size, cumulative
+    /// migrations, and the per-subtask load split of the most recently
+    /// completed window.
+    pub fn status(&self) -> RoutingStatus {
+        let mut status = self.table.status();
+        if let Some((_, loads)) = self.tracker.last_sealed() {
+            let total: u64 = loads.iter().sum();
+            status.mean_subtask_load = total as f64 / loads.len().max(1) as f64;
+            status.max_subtask_load = loads.iter().copied().max().unwrap_or(0) as f64;
+        }
+        status
+    }
+
+    /// Per-window, per-subtask GridQuery loads, ascending by window time —
+    /// the series the skew bench computes p95 imbalance from.
+    pub fn window_loads(&self) -> Vec<(u32, Vec<u64>)> {
+        self.tracker.sealed_windows()
+    }
+
+    /// Per-window per-cell loads of sealed windows (hindsight analyses;
+    /// see [`LoadTracker::sealed_cell_windows`]).
+    pub fn sealed_cell_windows(&self) -> Vec<(u32, Vec<(GridKey, u64)>)> {
+        self.tracker.sealed_cell_windows()
+    }
+
+    /// `max/mean` subtask load per completed window.
+    pub fn imbalance_series(&self) -> Vec<(u32, f64)> {
+        self.tracker
+            .sealed_windows()
+            .into_iter()
+            .map(|(t, loads)| (t, imbalance(&loads)))
+            .collect()
+    }
+}
+
 /// A running streaming deployment (see [`IcpePipeline::launch`]).
 ///
 /// Dropping the handle without calling [`LivePipeline::finish`] detaches
@@ -170,6 +245,7 @@ pub struct LivePipeline {
     input: Option<RecordSender>,
     driver: Option<JoinHandle<()>>,
     metrics: PipelineMetrics,
+    routing: Option<RoutingHandle>,
 }
 
 impl LivePipeline {
@@ -213,6 +289,18 @@ impl LivePipeline {
     /// late-record count).
     pub fn progress(&self) -> StreamProgress {
         self.metrics.progress()
+    }
+
+    /// The grid stage's routing view (`None` for clusterers without a
+    /// keyed grid stage, i.e. GDC). Clone it to keep reading load and
+    /// epoch gauges after [`LivePipeline::finish`].
+    pub fn routing(&self) -> Option<&RoutingHandle> {
+        self.routing.as_ref()
+    }
+
+    /// Convenience: the current [`RoutingStatus`], when a grid stage runs.
+    pub fn routing_status(&self) -> Option<RoutingStatus> {
+        self.routing.as_ref().map(RoutingHandle::status)
     }
 
     /// Ends the stream (drops this handle's sender) and blocks until the
@@ -274,13 +362,42 @@ impl IcpePipeline {
             late_records: resume.aligner.late_dropped(),
             max_sealed: resume.max_sealed,
         });
+        // The routing layer exists whenever a keyed grid stage runs (load
+        // accounting is wanted even under static routing); the table only
+        // leaves epoch 0 when a balancer is configured. A restored
+        // balancer's learned placement is installed before any record
+        // flows, so the deployment resumes on the checkpointed epoch.
+        let routing = (config.clusterer != ClustererKind::Gdc).then(|| {
+            let table = Arc::new(RoutingTable::new());
+            if let Some(balancer) = &resume.balancer {
+                table.install(
+                    balancer.epoch(),
+                    balancer.table_assignments(),
+                    balancer.cells_migrated(),
+                );
+            }
+            RoutingHandle {
+                table,
+                tracker: Arc::new(LoadTracker::new(config.parallelism)),
+            }
+        });
         let (input, records) = ingest_channel::<InputMsg>(config.runtime.channel_capacity);
         let driver_config = config.clone();
         let driver_metrics = metrics.clone();
+        let driver_routing = routing.clone();
         let ckpt_seq = Arc::new(AtomicU64::new(resume.next_seq.saturating_sub(1)));
         let driver = std::thread::Builder::new()
             .name("icpe-driver".into())
-            .spawn(move || drive(driver_config, records, driver_metrics, resume, on_event))
+            .spawn(move || {
+                drive(
+                    driver_config,
+                    records,
+                    driver_metrics,
+                    resume,
+                    driver_routing,
+                    on_event,
+                )
+            })
             .expect("failed to spawn pipeline driver thread");
         LivePipeline {
             input: Some(RecordSender {
@@ -289,6 +406,7 @@ impl IcpePipeline {
             }),
             driver: Some(driver),
             metrics,
+            routing,
         }
     }
 
@@ -361,6 +479,9 @@ struct ResumeState {
     aligner: TimeAligner,
     /// One pre-built engine per enumeration subtask.
     engines: Vec<Box<dyn PatternEngine + Send>>,
+    /// The adaptive-routing controller (`None` under static routing),
+    /// pre-seeded from the checkpoint's routing section on restore.
+    balancer: Option<LoadBalancer>,
     records_ingested: u64,
     completed: u64,
     max_sealed: Option<u32>,
@@ -375,6 +496,9 @@ impl ResumeState {
             engines: (0..config.parallelism)
                 .map(|_| build_engine(config.enumerator, engine_config))
                 .collect(),
+            balancer: config
+                .rebalance
+                .map(|bc| LoadBalancer::new(bc, config.parallelism)),
             records_ingested: 0,
             completed: 0,
             max_sealed: None,
@@ -407,13 +531,22 @@ impl ResumeState {
                 // The same owner→subtask mapping the keyed exchange uses,
                 // so each subtask loads exactly the owners routed to it.
                 restore_engine(config.enumerator, engine_config, piece, |owner| {
-                    (hash_id(owner) % n as u64) as usize == i
+                    subtask_for(hash_id(owner), n) == i
                 })
             })
             .collect::<Result<Vec<_>, _>>()?;
+        // Resume the learned cell placement when both the checkpoint
+        // carries one and the configuration still wants adaptive routing;
+        // a static restore of an adaptive checkpoint simply ignores it
+        // (the table is a performance hint, never correctness state).
+        let balancer = config.rebalance.map(|bc| match &ckpt.routing {
+            Some(routing) => LoadBalancer::from_checkpoint(bc, n, routing),
+            None => LoadBalancer::new(bc, n),
+        });
         Ok(ResumeState {
             aligner: TimeAligner::from_checkpoint(config.aligner, &ckpt.aligner),
             engines,
+            balancer,
             records_ingested: ckpt.records_ingested,
             completed: ckpt.progress.snapshots_completed,
             max_sealed: ckpt.progress.max_sealed,
@@ -429,12 +562,14 @@ fn drive(
     records: crossbeam::channel::Receiver<InputMsg>,
     metrics: PipelineMetrics,
     resume: ResumeState,
+    routing: Option<RoutingHandle>,
     mut on_event: impl FnMut(PipelineEvent) + Send + 'static,
 ) {
     let n = config.parallelism;
     let ResumeState {
         aligner,
         engines,
+        balancer,
         records_ingested,
         completed,
         ..
@@ -457,7 +592,7 @@ fn drive(
             .take()
             .expect("align stage has parallelism 1")
     });
-    let partitions = cluster_stages(snapshots, &config, &metrics);
+    let partitions = cluster_stages(snapshots, &config, &metrics, routing, balancer);
     let outputs = partitions.apply(
         "enumerate",
         n,
@@ -514,6 +649,9 @@ fn drive(
                     },
                     aligner: token.aligner.clone(),
                     engine,
+                    // Deposited by the allocate subtask as the barrier
+                    // passed it; `None` under static routing / GDC.
+                    routing: token.routing.lock().expect("routing slot poisoned").clone(),
                 };
                 // The requester may have given up (timeout/shutdown);
                 // nothing to do then.
@@ -523,24 +661,14 @@ fn drive(
     });
 }
 
-fn hash_id(id: ObjectId) -> u64 {
-    let mut h = DefaultHasher::new();
-    id.hash(&mut h);
-    h.finish()
-}
-
-fn hash_key(key: GridKey) -> u64 {
-    let mut h = DefaultHasher::new();
-    key.hash(&mut h);
-    h.finish()
-}
-
 /// Builds the clustering stages for the configured method, producing the
 /// keyed partition stream consumed by enumeration.
 fn cluster_stages(
     snapshots: Stream<AlignMsg>,
     config: &IcpeConfig,
     metrics: &PipelineMetrics,
+    routing: Option<RoutingHandle>,
+    balancer: Option<LoadBalancer>,
 ) -> Stream<PartMsg> {
     let n = config.parallelism;
     let m = config.constraints.m();
@@ -552,22 +680,44 @@ fn cluster_stages(
             let full_replication = config.clusterer == ClustererKind::Srj;
             let build_then_query = full_replication;
             let m0 = metrics.clone();
+            let routing = routing.expect("grid clusterers run with a routing layer");
+            let table = Arc::clone(&routing.table);
+            let tracker = Arc::clone(&routing.tracker);
+            let allocate_table = Arc::clone(&table);
+            let allocate_tracker = Arc::clone(&tracker);
+            let balancer_cell = Mutex::new(balancer);
             let grid_objects =
                 snapshots.apply("allocate", 1, Exchange::Rebalance, move |_| AllocateOp {
                     grid: Grid::new(lg),
                     eps: dbscan.eps,
                     full_replication,
                     metrics: m0.clone(),
+                    balancer: balancer_cell.lock().expect("balancer cell poisoned").take(),
+                    table: Arc::clone(&allocate_table),
+                    tracker: Arc::clone(&allocate_tracker),
+                    cell_records: HashMap::new(),
                 });
-            let pairs = grid_objects.apply(
-                "grid-query",
-                n,
-                Exchange::per_record(|msg: &ClusterMsg| match msg {
-                    ClusterMsg::Obj(o) => Routing::Key(hash_key(o.key)),
-                    ClusterMsg::Tick(_) | ClusterMsg::Barrier(_) => Routing::Broadcast,
-                }),
-                move |_| QueryOp::new(dbscan.eps, metric, build_then_query),
-            );
+            // Keyed on the grid cell either statically (`hash % N`) or
+            // through the swappable routing table; ticks and barriers
+            // broadcast either way.
+            let route = |msg: &ClusterMsg| match msg {
+                ClusterMsg::Obj(o) => Routing::Key(stable_hash(&o.key)),
+                ClusterMsg::Tick(_) | ClusterMsg::Barrier(_) => Routing::Broadcast,
+            };
+            let exchange = if config.rebalance.is_some() {
+                Exchange::dynamic(table, route)
+            } else {
+                Exchange::per_record(route)
+            };
+            let pairs = grid_objects.apply("grid-query", n, exchange, move |subtask| {
+                QueryOp::new(
+                    dbscan.eps,
+                    metric,
+                    build_then_query,
+                    subtask,
+                    Arc::clone(&tracker),
+                )
+            });
             pairs.apply("sync-dbscan", 1, Exchange::Rebalance, move |_| {
                 SyncDbscanOp {
                     upstream: n,
@@ -675,6 +825,7 @@ impl Operator<InputMsg, AlignMsg> for AlignBarrierOp {
                     request,
                     aligner: self.aligner.checkpoint(),
                     records_ingested: self.records_ingested,
+                    routing: Mutex::new(None),
                 })));
             }
         }
@@ -687,25 +838,74 @@ impl Operator<InputMsg, AlignMsg> for AlignBarrierOp {
 }
 
 /// GridAllocate (Algorithm 1) as a pipeline operator; also the latency
-/// ingest point.
+/// ingest point and — in adaptive mode — the rebalancing controller: as
+/// the only subtask upstream of the keyed exchange it is the one place a
+/// routing swap can be ordered strictly between two windows' objects.
 struct AllocateOp {
     grid: Grid,
     eps: f64,
     full_replication: bool,
     metrics: PipelineMetrics,
+    /// `Some` in adaptive mode (owned here; single subtask).
+    balancer: Option<LoadBalancer>,
+    table: Arc<RoutingTable>,
+    tracker: Arc<LoadTracker>,
+    /// Per-cell records routed in the window being emitted. The allocate
+    /// subtask may run many windows ahead of the query subtasks (bounded
+    /// only by channel capacity), so the balancer cannot rely on the
+    /// query-side tracker alone: record counts are accounted here, at the
+    /// routing point, and only the pair counts — which exist nowhere
+    /// upstream of the range join — arrive through the tracker, lagged.
+    cell_records: HashMap<GridKey, u64>,
+}
+
+impl AllocateOp {
+    /// Window-boundary rebalancing: runs before a snapshot's objects are
+    /// emitted, so a new epoch takes effect exactly at the boundary —
+    /// every window's cells route under a single epoch.
+    fn maybe_rebalance(&mut self) {
+        let Some(balancer) = &mut self.balancer else {
+            return;
+        };
+        // Two feedback cadences, folded separately: this stage's own
+        // record counts cover exactly the window just emitted, while the
+        // query stage's pair counts arrive whole-windows-at-a-time with
+        // the pipeline's in-flight lag (in bursts, when backpressure
+        // stalls this stage) — each sealed window is decay-folded on its
+        // own so a burst cannot whipsaw the estimates.
+        let records = std::mem::take(&mut self.cell_records);
+        balancer.observe_records(&records);
+        for (_, cells) in self.tracker.drain_cells() {
+            balancer.observe_pairs_window(&cells);
+        }
+        if let Some(outcome) = balancer.evaluate() {
+            self.table
+                .note_window_loads(outcome.max_load, outcome.mean_load);
+            if let Some(plan) = outcome.plan {
+                self.table
+                    .install(plan.epoch, plan.assignments, plan.migrated);
+            }
+        }
+    }
 }
 
 impl Operator<AlignMsg, ClusterMsg> for AllocateOp {
     fn process(&mut self, msg: AlignMsg, out: &mut Collector<ClusterMsg>) {
         let snapshot = match msg {
             AlignMsg::Snapshot(s) => s,
-            // Stateless across snapshots: nothing to capture, just pass
-            // the barrier along (behind the ticks of every sealed time).
+            // Stateless across snapshots apart from the routing layer:
+            // capture its cut into the token, then pass the barrier along
+            // (behind the ticks of every sealed time).
             AlignMsg::Barrier(token) => {
+                if let Some(balancer) = &self.balancer {
+                    *token.routing.lock().expect("routing slot poisoned") =
+                        Some(balancer.checkpoint());
+                }
                 out.emit(ClusterMsg::Barrier(token));
                 return;
             }
         };
+        self.maybe_rebalance();
         self.metrics.mark_ingest(snapshot.time.0);
         let mut buf = Vec::new();
         for e in &snapshot.entries {
@@ -719,6 +919,11 @@ impl Operator<AlignMsg, ClusterMsg> for AllocateOp {
                 &mut buf,
             );
         }
+        if self.balancer.is_some() {
+            for o in &buf {
+                *self.cell_records.entry(o.key).or_default() += 1;
+            }
+        }
         out.emit_all(buf.into_iter().map(ClusterMsg::Obj));
         out.emit(ClusterMsg::Tick(snapshot.time.0));
     }
@@ -726,54 +931,89 @@ impl Operator<AlignMsg, ClusterMsg> for AllocateOp {
 
 /// GridQuery (Algorithm 2) as a keyed operator: one subtask owns many cells;
 /// objects buffer per (time, cell) and the range queries run at the
-/// snapshot-boundary tick.
+/// snapshot-boundary tick. Each flush accounts the subtask's per-cell load
+/// (buffered objects + produced pairs) into the shared [`LoadTracker`] —
+/// the signal the adaptive balancer repartitions on.
 struct QueryOp {
     eps: f64,
     metric: DistanceMetric,
     build_then_query: bool,
+    subtask: usize,
+    tracker: Arc<LoadTracker>,
     buffers: BTreeMap<u32, HashMap<GridKey, Vec<icpe_cluster::GridObject>>>,
+    /// Per-cell pair scratch, reused across cells and ticks (the emitted
+    /// vector must be owned, but the hot per-cell buffer need not churn).
+    cell_pairs: Vec<NeighborPair>,
+    /// SRJ bulk-load scratch, reused across cells and ticks.
+    items: Vec<(icpe_types::Point, ObjectId)>,
 }
 
 impl QueryOp {
-    fn new(eps: f64, metric: DistanceMetric, build_then_query: bool) -> Self {
+    fn new(
+        eps: f64,
+        metric: DistanceMetric,
+        build_then_query: bool,
+        subtask: usize,
+        tracker: Arc<LoadTracker>,
+    ) -> Self {
         QueryOp {
             eps,
             metric,
             build_then_query,
+            subtask,
+            tracker,
             buffers: BTreeMap::new(),
+            cell_pairs: Vec::new(),
+            items: Vec::new(),
         }
     }
 
     fn flush_time(&mut self, t: u32, out: &mut Collector<PairMsg>) {
         let mut pairs = Vec::new();
+        let mut window_load = 0u64;
         if let Some(cells) = self.buffers.remove(&t) {
-            for (_, objects) in cells {
+            for (cell, objects) in cells {
+                self.cell_pairs.clear();
                 if self.build_then_query {
                     // SRJ: build the complete local index, then query every
                     // object against it.
-                    let mut items: Vec<(icpe_types::Point, ObjectId)> = objects
-                        .iter()
-                        .filter(|o| !o.is_query)
-                        .map(|o| (o.location, o.id))
-                        .collect();
-                    let tree = RTree::bulk_load_with_max_entries(16, &mut items);
+                    self.items.clear();
+                    self.items.extend(
+                        objects
+                            .iter()
+                            .filter(|o| !o.is_query)
+                            .map(|o| (o.location, o.id)),
+                    );
+                    let tree = RTree::bulk_load_with_max_entries(16, &mut self.items);
                     let mut hits = Vec::new();
                     for o in &objects {
                         hits.clear();
                         tree.query_within(&o.location, self.eps, self.metric, &mut hits);
                         for (_, &other) in &hits {
                             if other != o.id {
-                                pairs.push(icpe_cluster::query::canonical(o.id, other));
+                                self.cell_pairs
+                                    .push(icpe_cluster::query::canonical(o.id, other));
                             }
                         }
                     }
                 } else {
                     // RJC: Lemma-2 interleaved query-then-insert.
                     let mut engine = CellQueryEngine::new(self.eps, self.metric);
-                    engine.run_cell(&objects, &mut pairs);
+                    engine.run_cell(&objects, &mut self.cell_pairs);
                 }
+                window_load += objects.len() as u64 + self.cell_pairs.len() as u64;
+                self.tracker.record_cell(
+                    t,
+                    cell,
+                    CellLoad {
+                        records: objects.len() as u64,
+                        pairs: self.cell_pairs.len() as u64,
+                    },
+                );
+                pairs.extend_from_slice(&self.cell_pairs);
             }
         }
+        self.tracker.record_window(t, self.subtask, window_load);
         out.emit(PairMsg::Pairs(t, pairs));
         out.emit(PairMsg::Tick(t));
     }
@@ -1047,6 +1287,96 @@ mod tests {
         let out = IcpePipeline::run(&config(2, EnumeratorKind::Fba), Vec::new());
         assert!(out.patterns.is_empty());
         assert_eq!(out.metrics.snapshots, 0);
+    }
+
+    /// Records whose hot cells all hash-route to one GridQuery subtask:
+    /// co-walking triples parked at cell centers chosen (at grid width
+    /// `8.0`, parallelism `n`) to collide under `hash(cell) % n` — the
+    /// skew adaptive routing exists to fix.
+    fn colliding_hot_records(n: usize, groups: usize, ticks: u32) -> Vec<GpsRecord> {
+        let grid = Grid::new(8.0);
+        let target = subtask_for(
+            stable_hash(&grid.key_of(icpe_types::Point::new(4.0, 4.0))),
+            n,
+        );
+        let mut centers = Vec::new();
+        let mut x = 4.0f64;
+        while centers.len() < groups {
+            let p = icpe_types::Point::new(x, 4.0);
+            if subtask_for(stable_hash(&grid.key_of(p)), n) == target {
+                centers.push(p);
+            }
+            x += 8.0;
+        }
+        let mut out = Vec::new();
+        for t in 0..ticks {
+            let last = if t == 0 { None } else { Some(Timestamp(t - 1)) };
+            for (g, c) in centers.iter().enumerate() {
+                for k in 0..3u32 {
+                    let id = ObjectId(100 * (g as u32 + 1) + k);
+                    let p = icpe_types::Point::new(c.x + 0.3 * k as f64, c.y + 0.2 * k as f64);
+                    out.push(GpsRecord::new(id, p, Timestamp(t), last));
+                }
+            }
+        }
+        out
+    }
+
+    #[test]
+    fn adaptive_routing_migrates_hot_cells_and_preserves_results() {
+        let n = 4;
+        let records = colliding_hot_records(n, 6, 16);
+        let static_cfg = config(n, EnumeratorKind::Fba);
+        let want = unique_object_sets(&IcpePipeline::run(&static_cfg, records.clone()).patterns);
+        assert!(!want.is_empty(), "the hot groups must co-move");
+
+        let adaptive_cfg = IcpeConfig::builder()
+            .constraints(Constraints::new(3, 4, 2, 2).unwrap())
+            .epsilon(1.0)
+            .min_pts(3)
+            .parallelism(n)
+            .enumerator(EnumeratorKind::Fba)
+            .rebalance(icpe_cluster::BalancerConfig {
+                theta: 1.1,
+                cooldown_windows: 0,
+                ..icpe_cluster::BalancerConfig::default()
+            })
+            .build()
+            .unwrap();
+        let got: Arc<Mutex<Vec<Pattern>>> = Arc::new(Mutex::new(Vec::new()));
+        let sink = Arc::clone(&got);
+        let live = IcpePipeline::launch(&adaptive_cfg, move |e| {
+            if let PipelineEvent::Pattern(p) = e {
+                sink.lock().unwrap().push(p);
+            }
+        });
+        let routing = live.routing().expect("grid clusterer has routing").clone();
+        for r in &records {
+            live.push(*r).unwrap();
+        }
+        live.finish();
+
+        assert_eq!(
+            unique_object_sets(&got.lock().unwrap()),
+            want,
+            "adaptive and static routing seal the same patterns"
+        );
+        let status = routing.status();
+        assert!(
+            status.epoch > 0,
+            "colliding hot cells must trigger a rebalance: {status:?}"
+        );
+        assert!(status.cells_migrated > 0);
+
+        // The placement actually helps: late windows are better balanced
+        // than the first (pre-migration) window.
+        let series = routing.imbalance_series();
+        let first = series.first().expect("windows sealed").1;
+        let last = series.last().expect("windows sealed").1;
+        assert!(
+            last < first,
+            "imbalance should fall after migration: first {first}, last {last} ({series:?})"
+        );
     }
 
     #[test]

@@ -1,0 +1,203 @@
+//! Property-based proof that adaptive (hotspot-rebalanced) routing is
+//! invisible to detection semantics: on randomized skewed workloads, with
+//! the balancer forced to migrate essentially every window, the pipeline
+//! seals the *exact same pattern multiset* as static routing — for all
+//! three enumeration engines, and across a checkpoint/restore cut taken
+//! mid-migration (the restored deployment must also resume on the
+//! checkpointed routing epoch).
+//!
+//! Why this must hold: a cell's objects all route to whichever subtask
+//! the table names, and the table only swaps at window boundaries — so
+//! every window's cell group is processed whole, wherever it lands.
+
+use icpe_core::{BalancerConfig, EnumeratorKind, IcpeConfig, IcpePipeline, PipelineEvent};
+use icpe_gen::{HotspotConfig, HotspotGenerator};
+use icpe_types::{Constraints, GpsRecord, ObjectId, Pattern, Timestamp};
+use proptest::prelude::*;
+use std::sync::{Arc, Mutex};
+
+/// Canonical multiset form: every pattern (duplicates included) as a
+/// sortable key.
+fn multiset(patterns: &[Pattern]) -> Vec<(Vec<ObjectId>, Vec<Timestamp>)> {
+    let mut out: Vec<(Vec<ObjectId>, Vec<Timestamp>)> = patterns
+        .iter()
+        .map(|p| (p.objects.clone(), p.times.times().to_vec()))
+        .collect();
+    out.sort();
+    out
+}
+
+fn skewed_records(seed: u64, objects: usize, ticks: u32) -> Vec<GpsRecord> {
+    HotspotGenerator::new(HotspotConfig {
+        num_objects: objects,
+        num_ticks: ticks,
+        area: 120.0,
+        num_sites: 9,
+        zipf_s: 1.4,
+        retarget_every: 12,
+        speed: 10.0,
+        seed,
+        ..HotspotConfig::default()
+    })
+    .traces()
+    .to_gps_records()
+}
+
+fn config(kind: EnumeratorKind, parallelism: usize, adaptive: bool) -> IcpeConfig {
+    let mut b = IcpeConfig::builder()
+        .constraints(Constraints::new(3, 6, 3, 2).expect("valid"))
+        .epsilon(1.0)
+        .min_pts(3)
+        .parallelism(parallelism)
+        .enumerator(kind);
+    if adaptive {
+        // Migrate at the slightest imbalance, every window: the point is
+        // to force as many mid-stream migrations as possible.
+        b = b.rebalance(BalancerConfig {
+            theta: 1.01,
+            cooldown_windows: 0,
+            ..BalancerConfig::default()
+        });
+    }
+    b.build().expect("valid config")
+}
+
+fn run_collecting(config: &IcpeConfig, records: &[GpsRecord]) -> (Vec<Pattern>, u64) {
+    let sink: Arc<Mutex<Vec<Pattern>>> = Arc::new(Mutex::new(Vec::new()));
+    let out = Arc::clone(&sink);
+    let live = IcpePipeline::launch(config, move |e| {
+        if let PipelineEvent::Pattern(p) = e {
+            out.lock().unwrap().push(p);
+        }
+    });
+    let routing = live.routing().cloned();
+    for r in records {
+        live.push(*r).unwrap();
+    }
+    live.finish();
+    let epoch = routing.map_or(0, |r| r.status().epoch);
+    let patterns = std::mem::take(&mut *sink.lock().unwrap());
+    (patterns, epoch)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(10))]
+
+    /// Adaptive ≡ static, all engines, forced migrations.
+    #[test]
+    fn adaptive_routing_seals_identical_pattern_multisets(
+        seed in 0u64..500,
+        parallelism in 2usize..5,
+        kind_idx in 0usize..3,
+    ) {
+        let kind = [
+            EnumeratorKind::Baseline,
+            EnumeratorKind::Fba,
+            EnumeratorKind::Vba,
+        ][kind_idx];
+        let records = skewed_records(seed, 36, 24);
+        let (want, _) = run_collecting(&config(kind, parallelism, false), &records);
+        let (got, epoch) = run_collecting(&config(kind, parallelism, true), &records);
+        prop_assert_eq!(
+            multiset(&got),
+            multiset(&want),
+            "kind {:?} parallelism {} epoch {}",
+            kind,
+            parallelism,
+            epoch
+        );
+    }
+
+    /// Adaptive with a checkpoint/restore cut mid-migration ≡ an
+    /// uninterrupted static run, and the restored pipeline resumes on the
+    /// checkpointed routing epoch.
+    #[test]
+    fn restore_mid_migration_resumes_on_checkpointed_epoch(
+        seed in 0u64..500,
+        parallelism in 2usize..5,
+        kind_idx in 0usize..3,
+        cut_windows in 8u32..16,
+    ) {
+        let kind = [
+            EnumeratorKind::Baseline,
+            EnumeratorKind::Fba,
+            EnumeratorKind::Vba,
+        ][kind_idx];
+        let records = skewed_records(seed, 36, 24);
+        let (want, _) = run_collecting(&config(kind, parallelism, false), &records);
+
+        // Cut at a record boundary of `cut_windows` full windows (36
+        // records per tick: every object reports every tick).
+        let cut = (cut_windows as usize * 36).min(records.len());
+        let cfg = config(kind, parallelism, true);
+        let pre: Arc<Mutex<Vec<Pattern>>> = Arc::new(Mutex::new(Vec::new()));
+        let sink = Arc::clone(&pre);
+        let live = IcpePipeline::launch(&cfg, move |e| {
+            if let PipelineEvent::Pattern(p) = e {
+                sink.lock().unwrap().push(p);
+            }
+        });
+        for r in &records[..cut] {
+            live.push(*r).unwrap();
+        }
+        let ckpt = live.checkpoint().unwrap();
+        let delivered_before = pre.lock().unwrap().clone();
+        drop(live); // crash: the end-of-stream flush is discarded
+
+        let routing_ckpt = ckpt.routing.clone().expect("adaptive checkpoints carry routing");
+        let post: Arc<Mutex<Vec<Pattern>>> = Arc::new(Mutex::new(Vec::new()));
+        let sink = Arc::clone(&post);
+        let resumed = IcpePipeline::launch_from(&cfg, &ckpt, move |e| {
+            if let PipelineEvent::Pattern(p) = e {
+                sink.lock().unwrap().push(p);
+            }
+        })
+        .unwrap();
+        let resumed_epoch = resumed
+            .routing_status()
+            .expect("grid clusterer has routing")
+            .epoch;
+        prop_assert_eq!(
+            resumed_epoch, routing_ckpt.epoch,
+            "restore must resume on the checkpointed routing epoch"
+        );
+        for r in &records[cut..] {
+            resumed.push(*r).unwrap();
+        }
+        resumed.finish();
+
+        let mut got = delivered_before;
+        got.extend(post.lock().unwrap().clone());
+        prop_assert_eq!(
+            multiset(&got),
+            multiset(&want),
+            "kind {:?} parallelism {} cut {} ckpt epoch {}",
+            kind,
+            parallelism,
+            cut,
+            routing_ckpt.epoch
+        );
+    }
+}
+
+/// Deterministic companion: on a seed known to migrate, the checkpoint's
+/// routing section is populated and the epoch really advanced before the
+/// cut (so the proptest above is not vacuously passing on epoch 0).
+#[test]
+fn forced_migrations_actually_happen() {
+    let records = skewed_records(7, 36, 24);
+    let cfg = config(EnumeratorKind::Fba, 4, true);
+    let live = IcpePipeline::launch(&cfg, |_| {});
+    for r in &records[..(16 * 36).min(records.len())] {
+        live.push(*r).unwrap();
+    }
+    let ckpt = live.checkpoint().unwrap();
+    live.finish();
+    let routing = ckpt.routing.expect("adaptive checkpoint carries routing");
+    assert!(
+        routing.epoch > 0,
+        "expected mid-stream migrations on the skewed workload"
+    );
+    assert!(routing.cells_migrated > 0);
+    assert!(!routing.loads.is_empty(), "learned loads are checkpointed");
+}

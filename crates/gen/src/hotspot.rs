@@ -1,0 +1,282 @@
+//! A spatially skewed workload: Zipf-distributed attraction-site
+//! popularity with a hotspot center that drifts over time.
+//!
+//! The paper's scaling experiments assume the grid stage's cells receive
+//! comparable load; real urban streams do not cooperate — a downtown core
+//! and a handful of transit hubs attract most of the fleet, and the hot
+//! area *moves* with the rush hour. This generator reproduces exactly that
+//! adversarial shape for the repartitioning bench:
+//!
+//! * `num_sites` attraction sites on a jittered grid over the area;
+//! * site popularity follows a Zipf(`zipf_s`) law over the sites ranked by
+//!   distance to the current **hotspot center** — nearest = hottest;
+//! * the center drifts along a slow circular orbit, so which sites are hot
+//!   changes over the run (forcing the balancer to re-learn, not just
+//!   learn once);
+//! * objects travel toward their chosen site in small co-moving squads
+//!   (seeded per site), re-choosing a site every `retarget_every` ticks —
+//!   so the stream also carries genuine co-movement patterns to detect.
+
+use crate::stream::TraceSet;
+use icpe_types::{ObjectId, Point};
+use rand::rngs::StdRng;
+use rand::{RngExt, SeedableRng};
+
+/// Configuration of the moving-hotspot generator.
+#[derive(Debug, Clone)]
+pub struct HotspotConfig {
+    /// Fleet size.
+    pub num_objects: usize,
+    /// Number of ticks.
+    pub num_ticks: u32,
+    /// Side length of the (square) area.
+    pub area: f64,
+    /// Attraction sites (placed on a jittered √n × √n grid).
+    pub num_sites: usize,
+    /// Zipf exponent over distance-ranked sites; larger = more skew
+    /// (1.0 ≈ classic web/city skew, 0.0 = uniform).
+    pub zipf_s: f64,
+    /// Ticks between an object re-choosing its target site.
+    pub retarget_every: u32,
+    /// Fraction of the orbit the hotspot center completes over the run
+    /// (1.0 = one full loop; 0.0 = stationary hotspot).
+    pub orbit_turns: f64,
+    /// Movement speed toward the target, per tick.
+    pub speed: f64,
+    /// Squad size: objects are grouped in co-moving squads of this many
+    /// (the co-movement substrate the detection phase finds).
+    pub squad_size: usize,
+    /// RNG seed.
+    pub seed: u64,
+}
+
+impl Default for HotspotConfig {
+    fn default() -> Self {
+        HotspotConfig {
+            num_objects: 400,
+            num_ticks: 120,
+            area: 400.0,
+            num_sites: 48,
+            zipf_s: 1.5,
+            retarget_every: 40,
+            orbit_turns: 0.75,
+            speed: 18.0,
+            squad_size: 4,
+            seed: 0x5EED_1207,
+        }
+    }
+}
+
+/// Generates moving-hotspot traces.
+#[derive(Debug)]
+pub struct HotspotGenerator {
+    config: HotspotConfig,
+    sites: Vec<Point>,
+}
+
+impl HotspotGenerator {
+    /// Builds the generator and its attraction sites.
+    pub fn new(config: HotspotConfig) -> Self {
+        let mut rng = StdRng::seed_from_u64(config.seed.wrapping_add(0xA11));
+        let side = (config.num_sites.max(1) as f64).sqrt().ceil() as usize;
+        let cell = config.area / side as f64;
+        let mut sites = Vec::with_capacity(config.num_sites);
+        'outer: for gy in 0..side {
+            for gx in 0..side {
+                if sites.len() >= config.num_sites {
+                    break 'outer;
+                }
+                sites.push(Point::new(
+                    (gx as f64 + rng.random_range(0.25..0.75)) * cell,
+                    (gy as f64 + rng.random_range(0.25..0.75)) * cell,
+                ));
+            }
+        }
+        HotspotGenerator { config, sites }
+    }
+
+    /// The attraction sites.
+    pub fn sites(&self) -> &[Point] {
+        &self.sites
+    }
+
+    /// The hotspot center at `tick`: a point orbiting the area's midpoint
+    /// at 0.3 × area radius.
+    pub fn center_at(&self, tick: u32) -> Point {
+        let c = &self.config;
+        let mid = c.area / 2.0;
+        let progress = if c.num_ticks <= 1 {
+            0.0
+        } else {
+            tick as f64 / (c.num_ticks - 1) as f64
+        };
+        let angle = progress * c.orbit_turns * std::f64::consts::TAU;
+        Point::new(
+            mid + 0.3 * c.area * angle.cos(),
+            mid + 0.3 * c.area * angle.sin(),
+        )
+    }
+
+    /// Samples a site index from the Zipf law over sites ranked by
+    /// distance to `center` (rank 1 = nearest = most popular).
+    fn sample_site(&self, center: &Point, rng: &mut StdRng) -> usize {
+        let mut ranked: Vec<usize> = (0..self.sites.len()).collect();
+        ranked.sort_by(|&a, &b| {
+            let da = self.sites[a].l2(center);
+            let db = self.sites[b].l2(center);
+            da.partial_cmp(&db).expect("distances are finite")
+        });
+        // Zipf CDF by linear scan (num_sites is small).
+        let total: f64 = (1..=ranked.len())
+            .map(|r| 1.0 / (r as f64).powf(self.config.zipf_s))
+            .sum();
+        let mut draw = rng.random_range(0.0..total);
+        for (i, &site) in ranked.iter().enumerate() {
+            let w = 1.0 / ((i + 1) as f64).powf(self.config.zipf_s);
+            if draw < w {
+                return site;
+            }
+            draw -= w;
+        }
+        *ranked.last().expect("at least one site")
+    }
+
+    /// Simulates and returns the traces (one report per object per tick).
+    pub fn traces(&self) -> TraceSet {
+        let c = &self.config;
+        let mut rng = StdRng::seed_from_u64(c.seed);
+        let squad = c.squad_size.max(1);
+
+        // Per-squad state; squad members share the target and stay in a
+        // tight formation around the squad anchor.
+        let num_squads = c.num_objects.div_ceil(squad);
+        let mut anchors: Vec<Point> = (0..num_squads)
+            .map(|_| Point::new(rng.random_range(0.0..c.area), rng.random_range(0.0..c.area)))
+            .collect();
+        let mut targets: Vec<usize> = (0..num_squads)
+            .map(|_| self.sample_site(&self.center_at(0), &mut rng))
+            .collect();
+        // Each squad parks at a standoff slot around its site rather than
+        // on the exact site point: slots live on a 7×7 lattice with
+        // spacing comfortably above typical DBSCAN ε, so a crowded
+        // hotspot concentrates *cell-level* load without fusing every
+        // parked squad into one giant cluster (which would blow up
+        // pattern enumeration combinatorially, not just the hot subtask).
+        let standoff = |rng: &mut StdRng| {
+            let slot = rng.random_range(0..49usize);
+            Point::new((slot % 7) as f64 * 2.4 - 7.2, (slot / 7) as f64 * 2.4 - 7.2)
+        };
+        let mut standoffs: Vec<Point> = (0..num_squads).map(|_| standoff(&mut rng)).collect();
+        // Fixed intra-squad formation offsets (tight: within DBSCAN reach).
+        let offsets: Vec<Point> = (0..c.num_objects)
+            .map(|i| {
+                let k = i % squad;
+                Point::new(0.35 * (k % 2) as f64, 0.35 * (k / 2) as f64)
+            })
+            .collect();
+
+        let mut traces = TraceSet::new();
+        for tick in 0..c.num_ticks {
+            let center = self.center_at(tick);
+            for (s, anchor) in anchors.iter_mut().enumerate() {
+                // Staggered retargeting so squads do not all turn at once.
+                if tick > 0 && (tick + s as u32).is_multiple_of(c.retarget_every.max(1)) {
+                    targets[s] = self.sample_site(&center, &mut rng);
+                    standoffs[s] = standoff(&mut rng);
+                }
+                let site = self.sites[targets[s]];
+                let goal = Point::new(site.x + standoffs[s].x, site.y + standoffs[s].y);
+                let dx = goal.x - anchor.x;
+                let dy = goal.y - anchor.y;
+                let dist = (dx * dx + dy * dy).sqrt();
+                if dist > 1e-9 {
+                    let step = c.speed.min(dist);
+                    anchor.x += dx / dist * step;
+                    anchor.y += dy / dist * step;
+                }
+            }
+            for i in 0..c.num_objects {
+                let anchor = anchors[i / squad];
+                let o = offsets[i];
+                traces.push(
+                    ObjectId(i as u32),
+                    tick,
+                    Point::new(anchor.x + o.x, anchor.y + o.y),
+                );
+            }
+        }
+        traces
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::stream::dataset_stats;
+
+    fn cfg() -> HotspotConfig {
+        HotspotConfig {
+            num_objects: 80,
+            num_ticks: 60,
+            seed: 11,
+            ..HotspotConfig::default()
+        }
+    }
+
+    #[test]
+    fn dense_sampling_every_tick() {
+        let stats = dataset_stats(&HotspotGenerator::new(cfg()).traces());
+        assert_eq!(stats.trajectories, 80);
+        assert_eq!(stats.locations, 80 * 60);
+        assert_eq!(stats.snapshots, 60);
+    }
+
+    #[test]
+    fn deterministic_under_seed() {
+        let a = HotspotGenerator::new(cfg()).traces();
+        let b = HotspotGenerator::new(cfg()).traces();
+        assert_eq!(a.trace(ObjectId(7)).unwrap(), b.trace(ObjectId(7)).unwrap());
+    }
+
+    #[test]
+    fn load_is_spatially_skewed() {
+        // Bucket the last tick's positions into a coarse grid; Zipf
+        // attraction must concentrate a large share into the top bucket.
+        let gen = HotspotGenerator::new(HotspotConfig {
+            zipf_s: 1.4,
+            ..cfg()
+        });
+        let traces = gen.traces();
+        let mut buckets = std::collections::HashMap::<(i64, i64), usize>::new();
+        for (_, trace) in traces.iter() {
+            let &(_, p) = trace.last().unwrap();
+            *buckets
+                .entry(((p.x / 50.0).floor() as i64, (p.y / 50.0).floor() as i64))
+                .or_default() += 1;
+        }
+        let top = *buckets.values().max().unwrap();
+        let cells = buckets.len().max(1);
+        let mean = 80usize.div_ceil(cells);
+        assert!(
+            top >= mean * 2,
+            "expected skew: top bucket {top}, mean {mean}, cells {cells}"
+        );
+    }
+
+    #[test]
+    fn hotspot_center_moves() {
+        let gen = HotspotGenerator::new(cfg());
+        let a = gen.center_at(0);
+        let b = gen.center_at(59);
+        assert!(a.l2(&b) > 50.0, "orbit must displace the center");
+    }
+
+    #[test]
+    fn stationary_orbit_keeps_center() {
+        let gen = HotspotGenerator::new(HotspotConfig {
+            orbit_turns: 0.0,
+            ..cfg()
+        });
+        assert_eq!(gen.center_at(0), gen.center_at(59));
+    }
+}

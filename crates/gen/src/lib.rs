@@ -16,12 +16,15 @@
 //! * [`group_walk`] — planted co-movement groups with known ground truth;
 //!   the correctness workload for the pattern engines;
 //! * [`geolife`] / [`taxi`] — presets shaped like the two real datasets;
+//! * [`hotspot`] — Zipf-skewed site popularity with a drifting hotspot
+//!   center: the adversarial input for hotspot-aware repartitioning;
 //! * [`stream`] — trace → snapshot / raw-record conversion, disorder
 //!   injection for the time-aligner, and Table-2-style dataset statistics.
 
 pub mod brinkhoff;
 pub mod geolife;
 pub mod group_walk;
+pub mod hotspot;
 pub mod io;
 pub mod network;
 pub mod stream;
@@ -30,6 +33,7 @@ pub mod taxi;
 pub use brinkhoff::{BrinkhoffConfig, BrinkhoffGenerator};
 pub use geolife::{GeoLifeConfig, GeoLifeGenerator};
 pub use group_walk::{GroupWalkConfig, GroupWalkGenerator};
+pub use hotspot::{HotspotConfig, HotspotGenerator};
 pub use network::RoadNetwork;
 pub use stream::{
     dataset_stats, disorder_gps, to_raw_records, DatasetStats, DisorderConfig, TraceSet,

@@ -371,6 +371,7 @@ mod tests {
                 late_records: 1,
                 max_sealed: Some(seq as u32),
             },
+            routing: None,
         }
     }
 

@@ -26,6 +26,7 @@ fn sample() -> PipelineCheckpoint {
             late_records: 1,
             max_sealed: Some(6),
         },
+        routing: None,
     }
 }
 

@@ -1,5 +1,6 @@
 //! Record routing between consecutive pipeline stages.
 
+use crate::routing::RoutingTable;
 use crossbeam::channel::Sender;
 use std::sync::Arc;
 
@@ -40,6 +41,13 @@ pub enum Exchange<T> {
     /// snapshot-boundary ticks (Flink jobs do this with `keyBy` plus
     /// broadcast watermarks).
     PerRecord(Arc<dyn Fn(&T) -> Routing + Send + Sync>),
+    /// [`Exchange::PerRecord`] whose keyed decisions consult a shared,
+    /// swappable [`RoutingTable`] instead of raw `hash % N`: explicit
+    /// assignments win, unmapped keys fall back to consistent hashing (an
+    /// empty table routes exactly like `PerRecord`). The table is shared
+    /// with a controller that installs new epochs while the dataflow runs —
+    /// the adaptive half of hotspot-aware repartitioning.
+    Dynamic(Arc<RoutingTable>, Arc<dyn Fn(&T) -> Routing + Send + Sync>),
 }
 
 impl<T> Exchange<T> {
@@ -52,6 +60,14 @@ impl<T> Exchange<T> {
     pub fn per_record(f: impl Fn(&T) -> Routing + Send + Sync + 'static) -> Self {
         Exchange::PerRecord(Arc::new(f))
     }
+
+    /// Convenience constructor for [`Exchange::Dynamic`].
+    pub fn dynamic(
+        table: Arc<RoutingTable>,
+        f: impl Fn(&T) -> Routing + Send + Sync + 'static,
+    ) -> Self {
+        Exchange::Dynamic(table, Arc::new(f))
+    }
 }
 
 impl<T> Clone for Exchange<T> {
@@ -61,6 +77,7 @@ impl<T> Clone for Exchange<T> {
             Exchange::Rebalance => Exchange::Rebalance,
             Exchange::Broadcast => Exchange::Broadcast,
             Exchange::PerRecord(f) => Exchange::PerRecord(Arc::clone(f)),
+            Exchange::Dynamic(t, f) => Exchange::Dynamic(Arc::clone(t), Arc::clone(f)),
         }
     }
 }
@@ -72,6 +89,7 @@ impl<T> std::fmt::Debug for Exchange<T> {
             Exchange::Rebalance => write!(f, "Rebalance"),
             Exchange::Broadcast => write!(f, "Broadcast"),
             Exchange::PerRecord(_) => write!(f, "PerRecord"),
+            Exchange::Dynamic(t, _) => write!(f, "Dynamic(epoch {})", t.epoch()),
         }
     }
 }
@@ -127,6 +145,13 @@ impl<T> Router<T> {
             Exchange::PerRecord(f) => match f(&record) {
                 Routing::Key(k) => {
                     let idx = (k % self.senders.len() as u64) as usize;
+                    self.senders[idx].send(record).map_err(|_| Disconnected)
+                }
+                Routing::Broadcast => self.broadcast(record),
+            },
+            Exchange::Dynamic(table, f) => match f(&record) {
+                Routing::Key(k) => {
+                    let idx = table.subtask(k, self.senders.len());
                     self.senders[idx].send(record).map_err(|_| Disconnected)
                 }
                 Routing::Broadcast => self.broadcast(record),
@@ -215,6 +240,31 @@ mod tests {
         assert_eq!(got[0], vec![6, 1]);
         assert_eq!(got[1], vec![1]);
         assert_eq!(got[2], vec![1]);
+    }
+
+    #[test]
+    fn dynamic_follows_table_swaps_and_falls_back() {
+        let table = Arc::new(RoutingTable::new());
+        let (mut r, rx) = routers_and_receivers(
+            4,
+            Exchange::dynamic(Arc::clone(&table), |x: &u64| {
+                if *x == u64::MAX {
+                    Routing::Broadcast
+                } else {
+                    Routing::Key(*x)
+                }
+            }),
+        );
+        r.route(6).unwrap(); // unmapped: hash fallback 6 % 4 = 2
+        table.install(1, std::collections::HashMap::from([(6u64, 0usize)]), 1);
+        r.route(6).unwrap(); // mapped: subtask 0
+        r.route(u64::MAX).unwrap(); // broadcast unaffected by the table
+        drop(r);
+        let got: Vec<Vec<u64>> = rx.iter().map(|c| c.try_iter().collect()).collect();
+        assert_eq!(got[0], vec![6, u64::MAX]);
+        assert_eq!(got[2], vec![6, u64::MAX]);
+        assert_eq!(got[1], vec![u64::MAX]);
+        assert_eq!(got[3], vec![u64::MAX]);
     }
 
     #[test]

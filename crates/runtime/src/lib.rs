@@ -25,10 +25,12 @@ pub mod aligner;
 pub mod exchange;
 pub mod metrics;
 pub mod operator;
+pub mod routing;
 pub mod stream;
 
 pub use aligner::{AlignOperator, AlignerConfig, TimeAligner};
 pub use exchange::{Disconnected, Exchange, Routing};
 pub use metrics::{MetricsReport, PipelineMetrics, StreamProgress};
 pub use operator::{filter_fn, flat_map_fn, map_fn, Collector, Operator};
+pub use routing::{RoutingStatus, RoutingTable};
 pub use stream::{ingest_channel, RuntimeConfig, Stream, StreamHandle};

@@ -12,6 +12,14 @@
 //!   ICPE_N         keyed-stage parallelism   (default 4)
 //!   ICPE_INTERVAL  seconds per tick          (default 1.0)
 //!
+//! Hotspot-aware adaptive routing (static `hash(cell) % N` unless θ set):
+//!   ICPE_REBALANCE_THETA     hot threshold θ — rebalance when the max
+//!                            subtask load exceeds θ × the mean (1.5 is a
+//!                            reasonable start; setting this enables the
+//!                            balancer)
+//!   ICPE_REBALANCE_COOLDOWN  min windows between table swaps (default 2)
+//!   ICPE_REBALANCE_CELLS     explicit cell-pin budget (default 256)
+//!
 //! Durability (off unless a directory is given):
 //!   ICPE_CHECKPOINT_DIR     checkpoint directory; the server resumes from
 //!                           the newest readable checkpoint in it at start
@@ -23,7 +31,7 @@
 //! or any TCP producer speaking the line protocol; watch it with
 //! `printf 'STATUS\n' | nc <addr>`.
 
-use icpe_core::IcpeConfig;
+use icpe_core::{BalancerConfig, IcpeConfig};
 use icpe_serve::{CheckpointPolicy, ServeConfig, Server};
 use icpe_types::Constraints;
 
@@ -46,13 +54,21 @@ fn main() {
         env_parse("ICPE_G", 2),
     )
     .expect("valid CP(M,K,L,G) constraints");
-    let engine = IcpeConfig::builder()
+    let mut engine = IcpeConfig::builder()
         .constraints(constraints)
         .epsilon(env_parse("ICPE_EPS", 2.5))
         .min_pts(env_parse("ICPE_MINPTS", 4))
-        .parallelism(env_parse("ICPE_N", 4))
-        .build()
-        .expect("valid engine configuration");
+        .parallelism(env_parse("ICPE_N", 4));
+    if let Ok(theta) = std::env::var("ICPE_REBALANCE_THETA") {
+        let theta: f64 = theta.parse().expect("ICPE_REBALANCE_THETA is a number");
+        engine = engine.rebalance(BalancerConfig {
+            theta,
+            cooldown_windows: env_parse("ICPE_REBALANCE_COOLDOWN", 2),
+            max_mapped_cells: env_parse("ICPE_REBALANCE_CELLS", 256),
+            ..BalancerConfig::default()
+        });
+    }
+    let engine = engine.build().expect("valid engine configuration");
 
     let mut config = ServeConfig::new(engine);
     config.addr = addr;
@@ -88,13 +104,15 @@ fn main() {
                 .unwrap_or_else(|| "?".into())
         };
         println!(
-            "[status] records_in={} records_per_s={} snapshots_sealed={} patterns={} subscribers={} shed={}",
+            "[status] records_in={} records_per_s={} snapshots_sealed={} patterns={} subscribers={} shed={} epoch={} imbalance={}",
             pick("records_in"),
             pick("records_per_s"),
             pick("snapshots_sealed"),
             pick("patterns_emitted"),
             pick("subscribers"),
             pick("subscribers_shed"),
+            pick("routing_epoch"),
+            pick("subtask_imbalance"),
         );
     }
 }

@@ -22,7 +22,9 @@ use crate::hub::Hub;
 use crate::protocol::{EventKind, PatternEvent, SnapshotEvent, Topic, WireRecord};
 use crate::recovery::{CheckpointPolicy, EdgeStatsCheckpoint, ServeCheckpoint};
 use crate::stats::ServerStats;
-use icpe_core::{IcpeConfig, IcpePipeline, LivePipeline, PipelineEvent, RecordSender};
+use icpe_core::{
+    IcpeConfig, IcpePipeline, LivePipeline, PipelineEvent, RecordSender, RoutingHandle,
+};
 use icpe_persist::CheckpointStore;
 use icpe_runtime::{MetricsReport, PipelineMetrics};
 use icpe_types::{Discretizer, RawRecord};
@@ -192,6 +194,9 @@ struct Shared {
     ingest: Mutex<Option<RecordSender>>,
     /// The pipeline's shared recorder (for `STATUS`).
     pipeline_metrics: Mutex<Option<PipelineMetrics>>,
+    /// The grid stage's routing view (epoch, migrations, load split), when
+    /// the engine runs one (for `STATUS`).
+    routing: Mutex<Option<RoutingHandle>>,
     /// Cross-producer skew control.
     skew: SkewLimiter,
     shutting_down: AtomicBool,
@@ -336,6 +341,7 @@ impl Server {
             discretizer: Mutex::new(discretizer),
             ingest: Mutex::new(None),
             pipeline_metrics: Mutex::new(None),
+            routing: Mutex::new(None),
             skew: SkewLimiter::new(config.max_producer_skew, config.startup_grace),
             shutting_down: AtomicBool::new(false),
             suppress_events: AtomicBool::new(false),
@@ -423,6 +429,7 @@ impl Server {
         };
         *shared.ingest.lock() = Some(pipeline.sender());
         *shared.pipeline_metrics.lock() = Some(pipeline.metrics().clone());
+        *shared.routing.lock() = pipeline.routing().cloned();
 
         // Periodic checkpointing: barrier through the live pipeline, then
         // one atomic file with the edge state captured at the same cut.
@@ -466,7 +473,13 @@ impl Server {
             .lock()
             .clone()
             .unwrap_or_default();
-        self.shared.stats.render(&metrics)
+        let routing = self
+            .shared
+            .routing
+            .lock()
+            .as_ref()
+            .map(RoutingHandle::status);
+        self.shared.stats.render(&metrics, routing)
     }
 
     /// Network-edge counters (shared with the handlers; live).
@@ -851,7 +864,8 @@ fn serve_subscriber(
 /// `STATUS` connection: one text block, then close.
 fn serve_status(shared: &Arc<Shared>, stream: TcpStream) -> std::io::Result<()> {
     let metrics = shared.pipeline_metrics.lock().clone().unwrap_or_default();
+    let routing = shared.routing.lock().as_ref().map(RoutingHandle::status);
     let mut w = BufWriter::new(stream);
-    w.write_all(shared.stats.render(&metrics).as_bytes())?;
+    w.write_all(shared.stats.render(&metrics, routing).as_bytes())?;
     w.flush()
 }

@@ -1,6 +1,6 @@
 //! Server-side counters behind the `STATUS` endpoint.
 
-use icpe_runtime::PipelineMetrics;
+use icpe_runtime::{PipelineMetrics, RoutingStatus};
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::time::Instant;
 
@@ -107,8 +107,10 @@ impl ServerStats {
     }
 
     /// Renders the `STATUS` response: one `key=value` per line, stable keys,
-    /// merging the network-edge counters with the pipeline's live metrics.
-    pub fn render(&self, pipeline: &PipelineMetrics) -> String {
+    /// merging the network-edge counters with the pipeline's live metrics
+    /// and — when the engine runs a keyed grid stage — the routing layer's
+    /// epoch and load-balance gauges.
+    pub fn render(&self, pipeline: &PipelineMetrics, routing: Option<RoutingStatus>) -> String {
         let uptime = self.uptime();
         let records_in = self.records_in.load(Ordering::Relaxed);
         let progress = pipeline.progress();
@@ -185,6 +187,18 @@ impl ServerStats {
             "checkpoints_written",
             self.checkpoints_written.load(Ordering::Relaxed).to_string(),
         );
+        // Adaptive routing: which placement epoch is live, how much has
+        // moved, and how evenly the grid stage's last window spread. All
+        // zeros under static routing that never measured a window; absent
+        // keys would break `key=value` consumers, so a grid-less engine
+        // (GDC) renders the same keys with zeroed values.
+        let r = routing.unwrap_or_default();
+        line("routing_epoch", r.epoch.to_string());
+        line("cells_mapped", r.mapped_keys.to_string());
+        line("cells_migrated", r.cells_migrated.to_string());
+        line("max_subtask_load", format!("{:.1}", r.max_subtask_load));
+        line("mean_subtask_load", format!("{:.1}", r.mean_subtask_load));
+        line("subtask_imbalance", format!("{:.3}", r.imbalance()));
         line(
             "avg_latency_ms",
             format!("{:.3}", report.avg_latency.as_secs_f64() * 1e3),
@@ -222,7 +236,7 @@ mod tests {
         let stats = ServerStats::new();
         stats.records_in.store(42, Ordering::Relaxed);
         let pipeline = PipelineMetrics::new();
-        let text = stats.render(&pipeline);
+        let text = stats.render(&pipeline, None);
         let kv = parse_status(&text);
         let get = |k: &str| {
             kv.iter()
@@ -239,10 +253,38 @@ mod tests {
         stats.note_ingested_tick(6);
         stats.note_ingested_tick(3);
         assert_eq!(stats.ingested_tick(), Some(6));
-        let kv = parse_status(&stats.render(&pipeline));
+        let kv = parse_status(&stats.render(&pipeline, None));
         let frontier = kv.iter().find(|(k, _)| k == "ingest_frontier").unwrap();
         assert_eq!(frontier.1, "6");
         let lag = kv.iter().find(|(k, _)| k == "align_lag_snapshots").unwrap();
         assert_eq!(lag.1, "7", "7 snapshots admitted, none aligned yet");
+    }
+
+    #[test]
+    fn render_includes_routing_gauges() {
+        let stats = ServerStats::new();
+        let pipeline = PipelineMetrics::new();
+        // Without a routing layer the keys still render, zeroed.
+        let kv = parse_status(&stats.render(&pipeline, None));
+        let get = |k: &str| kv.iter().find(|(key, _)| key == k).unwrap().1.clone();
+        assert_eq!(get("routing_epoch"), "0");
+        assert_eq!(get("cells_migrated"), "0");
+        assert_eq!(get("subtask_imbalance"), "1.000");
+
+        let routing = RoutingStatus {
+            epoch: 3,
+            mapped_keys: 5,
+            cells_migrated: 11,
+            max_subtask_load: 60.0,
+            mean_subtask_load: 20.0,
+        };
+        let kv = parse_status(&stats.render(&pipeline, Some(routing)));
+        let get = |k: &str| kv.iter().find(|(key, _)| key == k).unwrap().1.clone();
+        assert_eq!(get("routing_epoch"), "3");
+        assert_eq!(get("cells_mapped"), "5");
+        assert_eq!(get("cells_migrated"), "11");
+        assert_eq!(get("max_subtask_load"), "60.0");
+        assert_eq!(get("mean_subtask_load"), "20.0");
+        assert_eq!(get("subtask_imbalance"), "3.000");
     }
 }

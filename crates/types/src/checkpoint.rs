@@ -34,7 +34,10 @@ use std::fmt;
 /// Schema version embedded in every [`PipelineCheckpoint`]. Bump on ANY
 /// change to the checkpoint structs (the golden-fixture schema test
 /// enforces this).
-pub const CHECKPOINT_VERSION: u32 = 1;
+///
+/// v2: added the optional `routing` section (adaptive cell routing:
+/// epoch, explicit cell→subtask assignments, learned per-cell loads).
+pub const CHECKPOINT_VERSION: u32 = 2;
 
 /// Errors raised when restoring state from a checkpoint.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -218,6 +221,52 @@ impl EngineCheckpoint {
     }
 }
 
+/// One explicit cell→subtask route of the adaptive routing table. Cells
+/// are stored by grid coordinate (not key hash): hashes are process-local
+/// (see `shard`), so restore re-derives them.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct CellAssignment {
+    /// Cell column index.
+    pub x: i64,
+    /// Cell row index.
+    pub y: i64,
+    /// The subtask this cell is pinned to. Restoring at a smaller
+    /// parallelism drops assignments whose subtask no longer exists (they
+    /// fall back to consistent hashing until the balancer re-learns).
+    pub subtask: u32,
+}
+
+/// One cell's learned load (EWMA of records + pairs per window), in
+/// milli-units so the byte format stays integer-exact.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct CellLoadCheckpoint {
+    /// Cell column index.
+    pub x: i64,
+    /// Cell row index.
+    pub y: i64,
+    /// EWMA load × 1000, rounded.
+    pub load_milli: u64,
+}
+
+/// Durable form of the adaptive routing layer: the epoch-versioned
+/// cell→subtask table plus the load statistics it was learned from, so a
+/// restored deployment resumes on the learned placement instead of
+/// re-discovering every hotspot from scratch.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct RoutingCheckpoint {
+    /// Routing epoch at the cut (0 = never rebalanced; every table swap
+    /// increments it).
+    pub epoch: u64,
+    /// Explicit assignments, ascending by `(x, y)`. Unlisted cells route
+    /// by consistent hash.
+    pub assignments: Vec<CellAssignment>,
+    /// Learned per-cell loads, ascending by `(x, y)`.
+    pub loads: Vec<CellLoadCheckpoint>,
+    /// Cells whose route changed across all epochs so far (cumulative
+    /// observability counter; survives restore).
+    pub cells_migrated: u64,
+}
+
 /// Pipeline progress gauges frozen at the checkpoint cut; rehydrated into
 /// the metrics recorder on restore so counters do not reset to zero.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
@@ -252,6 +301,9 @@ pub struct PipelineCheckpoint {
     pub engine: EngineCheckpoint,
     /// Observability counters at the cut.
     pub progress: ProgressCheckpoint,
+    /// Adaptive routing state (`None` when the deployment routes
+    /// statically or runs a clusterer without a keyed grid stage).
+    pub routing: Option<RoutingCheckpoint>,
 }
 
 impl PipelineCheckpoint {
@@ -331,6 +383,20 @@ mod tests {
                 late_records: 2,
                 max_sealed: Some(2),
             },
+            routing: Some(RoutingCheckpoint {
+                epoch: 4,
+                assignments: vec![CellAssignment {
+                    x: -2,
+                    y: 5,
+                    subtask: 1,
+                }],
+                loads: vec![CellLoadCheckpoint {
+                    x: -2,
+                    y: 5,
+                    load_milli: 1500,
+                }],
+                cells_migrated: 3,
+            }),
         };
         assert!(ckpt.check_version().is_ok());
         ckpt.version = CHECKPOINT_VERSION + 1;

@@ -15,13 +15,15 @@ pub mod ids;
 pub mod pattern;
 pub mod point;
 pub mod record;
+pub mod shard;
 pub mod snapshot;
 pub mod timeseq;
 
 pub use checkpoint::{
-    AlignerCheckpoint, ChainCheckpoint, CheckpointError, DiscretizerCheckpoint, EngineCheckpoint,
-    EpisodeCheckpoint, HistoryRowCheckpoint, PipelineCheckpoint, ProgressCheckpoint,
-    TrajectoryStamp, VbaOwnerCheckpoint, WindowOwnerCheckpoint, CHECKPOINT_VERSION,
+    AlignerCheckpoint, CellAssignment, CellLoadCheckpoint, ChainCheckpoint, CheckpointError,
+    DiscretizerCheckpoint, EngineCheckpoint, EpisodeCheckpoint, HistoryRowCheckpoint,
+    PipelineCheckpoint, ProgressCheckpoint, RoutingCheckpoint, TrajectoryStamp, VbaOwnerCheckpoint,
+    WindowOwnerCheckpoint, CHECKPOINT_VERSION,
 };
 pub use constraints::{Constraints, DbscanParams};
 pub use discretize::Discretizer;

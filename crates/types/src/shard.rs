@@ -1,0 +1,70 @@
+//! The sharding vocabulary: one stable key-hash used everywhere a record,
+//! cell, or owner is mapped to a subtask.
+//!
+//! Both the runtime's keyed exchanges and the checkpoint-restore
+//! resharding must agree on how a key maps to a subtask — if the routing
+//! hash and the restore hash ever drifted apart, a restored deployment
+//! would load an owner's state on one subtask while the exchange keeps
+//! routing its partitions to another, silently splitting windows. Keeping
+//! the helpers here (the one crate every layer already depends on) makes
+//! that drift impossible.
+//!
+//! The hash is `std`'s [`DefaultHasher`] with its default keys: stable
+//! within a process, which is all routing needs. Nothing persistent stores
+//! raw hashes — checkpoints store cell coordinates and owner ids and
+//! re-hash on restore — so the lack of a cross-version guarantee is fine.
+
+use crate::ids::ObjectId;
+use std::collections::hash_map::DefaultHasher;
+use std::hash::{Hash, Hasher};
+
+/// The stable key hash of any hashable key (grid cells, owner ids).
+pub fn stable_hash<T: Hash>(key: &T) -> u64 {
+    let mut h = DefaultHasher::new();
+    key.hash(&mut h);
+    h.finish()
+}
+
+/// The key hash of a trajectory/owner id — the enumeration stage's
+/// partition key and the restore-resharding owner filter.
+pub fn hash_id(id: ObjectId) -> u64 {
+    stable_hash(&id)
+}
+
+/// The consistent-hash subtask of a key hash at parallelism `n` — the
+/// static route, and the fallback for keys a dynamic routing table does
+/// not map explicitly.
+pub fn subtask_for(hash: u64, n: usize) -> usize {
+    debug_assert!(n >= 1, "parallelism must be ≥ 1");
+    (hash % n.max(1) as u64) as usize
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn hash_is_deterministic() {
+        assert_eq!(stable_hash(&(3i64, -7i64)), stable_hash(&(3i64, -7i64)));
+        assert_eq!(hash_id(ObjectId(42)), hash_id(ObjectId(42)));
+        assert_ne!(hash_id(ObjectId(42)), hash_id(ObjectId(43)));
+    }
+
+    #[test]
+    fn subtask_is_in_range() {
+        for n in 1..9usize {
+            for k in 0..100u64 {
+                assert!(subtask_for(stable_hash(&k), n) < n);
+            }
+        }
+    }
+
+    #[test]
+    fn subtask_spreads_keys() {
+        let mut seen = [false; 4];
+        for k in 0..64u64 {
+            seen[subtask_for(stable_hash(&k), 4)] = true;
+        }
+        assert!(seen.iter().all(|&s| s), "all subtasks receive some keys");
+    }
+}

@@ -13,9 +13,10 @@
 //! `ICPE_REGEN_FIXTURE=1 cargo test -p icpe-types --test checkpoint_schema`.
 
 use icpe_types::{
-    AlignerCheckpoint, ChainCheckpoint, EngineCheckpoint, EpisodeCheckpoint, HistoryRowCheckpoint,
-    ObjectId, PipelineCheckpoint, Point, ProgressCheckpoint, Snapshot, Timestamp,
-    VbaOwnerCheckpoint, WindowOwnerCheckpoint, CHECKPOINT_VERSION,
+    AlignerCheckpoint, CellAssignment, CellLoadCheckpoint, ChainCheckpoint, EngineCheckpoint,
+    EpisodeCheckpoint, HistoryRowCheckpoint, ObjectId, PipelineCheckpoint, Point,
+    ProgressCheckpoint, RoutingCheckpoint, Snapshot, Timestamp, VbaOwnerCheckpoint,
+    WindowOwnerCheckpoint, CHECKPOINT_VERSION,
 };
 
 /// A canonical sample exercising every field of every checkpoint struct.
@@ -78,6 +79,27 @@ fn sample() -> PipelineCheckpoint {
             late_records: 5,
             max_sealed: Some(40),
         },
+        routing: Some(RoutingCheckpoint {
+            epoch: 7,
+            assignments: vec![
+                CellAssignment {
+                    x: -3,
+                    y: 2,
+                    subtask: 0,
+                },
+                CellAssignment {
+                    x: 4,
+                    y: 4,
+                    subtask: 2,
+                },
+            ],
+            loads: vec![CellLoadCheckpoint {
+                x: 4,
+                y: 4,
+                load_milli: 12345,
+            }],
+            cells_migrated: 9,
+        }),
     }
 }
 
