@@ -16,6 +16,7 @@
 //!           throughput, exit non-zero otherwise.
 //! ```
 
+use icpe_bench::arg;
 use icpe_core::{BalancerConfig, EnumeratorKind, IcpeConfig, IcpePipeline, PipelineEvent};
 use icpe_gen::{HotspotConfig, HotspotGenerator};
 use icpe_types::{Constraints, GpsRecord};
@@ -78,14 +79,6 @@ fn run(config: &IcpeConfig, records: &[GpsRecord]) -> RunStats {
         cells_migrated: status.cells_migrated,
         patterns: patterns.load(Ordering::Relaxed),
     }
-}
-
-fn arg<T: std::str::FromStr>(args: &[String], flag: &str, default: T) -> T {
-    args.iter()
-        .position(|a| a == flag)
-        .and_then(|i| args.get(i + 1))
-        .and_then(|v| v.parse().ok())
-        .unwrap_or(default)
 }
 
 fn main() {

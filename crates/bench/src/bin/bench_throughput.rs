@@ -1,0 +1,311 @@
+//! End-to-end throughput bench — the repo's first records/second baseline,
+//! and the proof run of the vectorized micro-batch dataflow.
+//!
+//! Two measurement paths over the same group-walk workload:
+//!
+//! * **in-process**: records pre-materialized, pushed through
+//!   `IcpePipeline::launch` as fast as the dataflow accepts them, wall
+//!   clock from first push to `finish()` — the §8-style "how many points
+//!   per second can the job absorb" number, sweeping the exchange-hop
+//!   batch size (batch 1 = the record-at-a-time dataflow this PR
+//!   replaces) and the keyed-stage parallelism;
+//! * **serve edge**: the same records streamed over real TCP through a
+//!   full `icpe-serve` instance by the `gen`-backed load generator, wall
+//!   clock from first byte to `Server::finish()` — the number a fleet of
+//!   reporting devices would actually observe.
+//!
+//! Writes a `BENCH_throughput.json` summary. Pattern counts are asserted
+//! identical across every batch size and parallelism (batching must be
+//! invisible to detection semantics).
+//!
+//! ```text
+//! bench_throughput [--check] [--objects N] [--ticks T] [--parallelism P]
+//!                  [--batches 1,4,16,64,256] [--serve-producers K]
+//!                  [--out PATH]
+//!
+//! --check   CI smoke mode: assert the default batch size beats batch 1 by
+//!           a generous margin (≥1.2× records/s) at parallelism P and the
+//!           serve edge sustains ≥5k records/s, exit non-zero otherwise.
+//! ```
+
+use icpe_bench::{arg, workloads::pattern_workload};
+use icpe_core::{EnumeratorKind, IcpeConfig, IcpePipeline, PipelineEvent};
+use icpe_serve::{loadgen, loadgen::LoadConfig, ServeConfig, Server, Subscription, Topic};
+use icpe_types::{Constraints, GpsRecord};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+use std::time::Instant;
+
+#[derive(Debug, Clone, Copy)]
+struct RunStats {
+    records_per_s: f64,
+    avg_latency_ms: f64,
+    patterns: u64,
+    elapsed_s: f64,
+}
+
+fn config(parallelism: usize, batch: usize) -> IcpeConfig {
+    // Group-walk workload with real co-movement so every stage (grid join,
+    // DBSCAN, enumeration) does genuine work; constraints sized so pattern
+    // volume stays a workload, not a blowup.
+    IcpeConfig::builder()
+        .constraints(Constraints::new(4, 8, 4, 2).expect("valid constraints"))
+        .epsilon(1.0)
+        .min_pts(5)
+        .parallelism(parallelism)
+        .enumerator(EnumeratorKind::Fba)
+        .batch_size(batch)
+        .build()
+        .expect("valid config")
+}
+
+/// In-process run: push every record, drain to completion, measure wall
+/// clock around the whole ingest+drain.
+fn run_inprocess(config: &IcpeConfig, records: &[GpsRecord]) -> RunStats {
+    let patterns = Arc::new(AtomicU64::new(0));
+    let sink = Arc::clone(&patterns);
+    let live = IcpePipeline::launch(config, move |e| {
+        if let PipelineEvent::Pattern(_) = e {
+            sink.fetch_add(1, Ordering::Relaxed);
+        }
+    });
+    let batch = config.runtime.batch_size.max(1);
+    let started = Instant::now();
+    let mut iter = records.iter().copied();
+    loop {
+        let chunk: Vec<GpsRecord> = iter.by_ref().take(batch).collect();
+        if chunk.is_empty() {
+            break;
+        }
+        live.push_batch(chunk).expect("pipeline alive");
+    }
+    let report = live.finish();
+    let elapsed = started.elapsed().as_secs_f64();
+    RunStats {
+        records_per_s: records.len() as f64 / elapsed.max(1e-9),
+        avg_latency_ms: report.avg_latency.as_secs_f64() * 1e3,
+        patterns: patterns.load(Ordering::Relaxed),
+        elapsed_s: elapsed,
+    }
+}
+
+/// Serve-edge run: full TCP round trip through an `icpe-serve` instance.
+fn run_serve(
+    parallelism: usize,
+    batch: usize,
+    traces: &icpe_gen::TraceSet,
+    producers: usize,
+    records: usize,
+) -> RunStats {
+    let mut serve = ServeConfig::new(config(parallelism, batch));
+    serve.ingest_batch = batch;
+    // The publish side must absorb the pipeline's event bursts without
+    // shedding our counting subscriber (we assert exactly-once delivery
+    // end to end, so a shed would break the count).
+    serve.subscriber_queue = 1 << 16;
+    let server = Server::start(serve).expect("bind server");
+    let addr = server.local_addr().to_string();
+    // A real subscriber counts every delivered pattern event — the number
+    // a downstream consumer actually receives, including the end-of-stream
+    // flush (`finish` closes the subscription after draining its backlog).
+    let subscription = Subscription::connect(&addr, Topic::Patterns).expect("subscribe");
+    let counter = std::thread::spawn(move || {
+        subscription
+            .collect_lines()
+            .map(|lines| lines.len() as u64)
+            .unwrap_or(0)
+    });
+    let started = Instant::now();
+    let report = loadgen::run(
+        &addr,
+        traces,
+        &LoadConfig {
+            producers,
+            ..LoadConfig::default()
+        },
+    )
+    .expect("load generator");
+    assert_eq!(report.records_sent as usize, records);
+    let metrics = server.finish();
+    let elapsed = started.elapsed().as_secs_f64();
+    assert_eq!(metrics.late_records, 0, "serve edge must not drop records");
+    let patterns = counter.join().expect("subscriber thread");
+    RunStats {
+        records_per_s: records as f64 / elapsed.max(1e-9),
+        avg_latency_ms: metrics.avg_latency.as_secs_f64() * 1e3,
+        patterns,
+        elapsed_s: elapsed,
+    }
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    let check = args.iter().any(|a| a == "--check");
+    let objects: usize = arg(&args, "--objects", 1200);
+    let ticks: u32 = arg(&args, "--ticks", 200);
+    let parallelism: usize = arg(&args, "--parallelism", 8);
+    let serve_producers: usize = arg(&args, "--serve-producers", 4);
+    let batches_arg: String = arg(&args, "--batches", "1,4,16,64,256".to_string());
+    let out: String = arg(&args, "--out", "BENCH_throughput.json".to_string());
+    let batches: Vec<usize> = batches_arg
+        .split(',')
+        .filter_map(|b| b.trim().parse().ok())
+        .collect();
+
+    let (_, traces) = pattern_workload(objects, ticks, 0xB47C);
+    let records = traces.to_gps_records();
+    println!("throughput bench — group-walk workload");
+    println!(
+        "  objects {objects}, ticks {ticks}, {} records, parallelism {parallelism}\n",
+        records.len()
+    );
+
+    // Batch-size sweep at fixed parallelism.
+    println!(
+        "{:>16} | {:>12} {:>10} {:>9} {:>10}",
+        "mode", "records/s", "ms/snap", "elapsed", "patterns"
+    );
+    let mut batch_rows = Vec::new();
+    for &batch in &batches {
+        let stats = run_inprocess(&config(parallelism, batch), &records);
+        println!(
+            "{:>16} | {:>12.0} {:>10.3} {:>8.2}s {:>10}",
+            format!("batch {batch}"),
+            stats.records_per_s,
+            stats.avg_latency_ms,
+            stats.elapsed_s,
+            stats.patterns
+        );
+        batch_rows.push((batch, stats));
+    }
+    let base = batch_rows
+        .iter()
+        .find(|(b, _)| *b == 1)
+        .map(|&(_, s)| s)
+        .unwrap_or_else(|| run_inprocess(&config(parallelism, 1), &records));
+    for (b, s) in &batch_rows {
+        assert_eq!(
+            s.patterns, base.patterns,
+            "batch size {b} changed the pattern count"
+        );
+    }
+    let default_batch = icpe_runtime::DEFAULT_BATCH_SIZE;
+    let best = batch_rows
+        .iter()
+        .max_by(|a, b| a.1.records_per_s.total_cmp(&b.1.records_per_s))
+        .map(|&(b, s)| (b, s))
+        .expect("at least one batch size");
+    let tuned = batch_rows
+        .iter()
+        .find(|(b, _)| *b == default_batch)
+        .map(|&(_, s)| s)
+        .unwrap_or(best.1);
+    let speedup = tuned.records_per_s / base.records_per_s.max(1e-9);
+    let best_speedup = best.1.records_per_s / base.records_per_s.max(1e-9);
+    println!(
+        "\nbatch {default_batch} vs batch 1: {speedup:.2}× records/s \
+         (best: batch {} at {best_speedup:.2}×)",
+        best.0
+    );
+
+    // Parallelism sweep at the default batch size (and at batch 1 for the
+    // scaling comparison).
+    let mut scale_rows = Vec::new();
+    for p in [1usize, 2, 4, parallelism] {
+        if scale_rows.iter().any(|&(q, _, _)| q == p) {
+            continue;
+        }
+        let unbatched = run_inprocess(&config(p, 1), &records);
+        let batched = run_inprocess(&config(p, default_batch), &records);
+        println!(
+            "{:>16} | {:>12.0} vs {:>10.0} unbatched ({:.2}×)",
+            format!("N = {p}"),
+            batched.records_per_s,
+            unbatched.records_per_s,
+            batched.records_per_s / unbatched.records_per_s.max(1e-9)
+        );
+        scale_rows.push((p, batched, unbatched));
+    }
+
+    // Serve edge: the same workload through real TCP.
+    let serve = run_serve(
+        parallelism,
+        default_batch,
+        &traces,
+        serve_producers,
+        records.len(),
+    );
+    println!(
+        "\nserve edge ({serve_producers} producers over TCP): {:.0} records/s, {} patterns",
+        serve.records_per_s, serve.patterns
+    );
+    assert_eq!(
+        serve.patterns, base.patterns,
+        "the TCP path must deliver exactly the in-process pattern count"
+    );
+
+    let batch_json: Vec<String> = batch_rows
+        .iter()
+        .map(|(b, s)| {
+            format!(
+                "    {{\"batch\": {b}, \"records_per_s\": {:.0}, \"avg_latency_ms\": {:.3}, \"patterns\": {}}}",
+                s.records_per_s, s.avg_latency_ms, s.patterns
+            )
+        })
+        .collect();
+    let scale_json: Vec<String> = scale_rows
+        .iter()
+        .map(|(p, batched, unbatched)| {
+            format!(
+                "    {{\"parallelism\": {p}, \"records_per_s\": {:.0}, \"unbatched_records_per_s\": {:.0}, \"speedup\": {:.3}}}",
+                batched.records_per_s,
+                unbatched.records_per_s,
+                batched.records_per_s / unbatched.records_per_s.max(1e-9)
+            )
+        })
+        .collect();
+    let json = format!(
+        concat!(
+            "{{\n",
+            "  \"bench\": \"throughput\",\n",
+            "  \"workload\": {{\"kind\": \"group_walk\", \"objects\": {objects}, \"ticks\": {ticks}, \"records\": {records}}},\n",
+            "  \"parallelism\": {parallelism},\n",
+            "  \"default_batch\": {default_batch},\n",
+            "  \"batch_sweep\": [\n{batch_sweep}\n  ],\n",
+            "  \"parallelism_sweep\": [\n{scale_sweep}\n  ],\n",
+            "  \"speedup_vs_unbatched\": {speedup:.3},\n",
+            "  \"serve_edge\": {{\"producers\": {producers}, \"records_per_s\": {serve_rps:.0}, \"patterns\": {serve_patterns}}},\n",
+            "  \"patterns\": {patterns}\n",
+            "}}\n"
+        ),
+        objects = objects,
+        ticks = ticks,
+        records = records.len(),
+        parallelism = parallelism,
+        default_batch = default_batch,
+        batch_sweep = batch_json.join(",\n"),
+        scale_sweep = scale_json.join(",\n"),
+        speedup = speedup,
+        producers = serve_producers,
+        serve_rps = serve.records_per_s,
+        serve_patterns = serve.patterns,
+        patterns = base.patterns,
+    );
+    std::fs::write(&out, json).expect("write bench summary");
+    println!("wrote {out}");
+
+    if check {
+        // Generous CI bounds (shared runners are noisy); the committed
+        // BENCH_throughput.json records the full-scale ≥2× result.
+        assert!(
+            speedup >= 1.2,
+            "CHECK FAILED: batch {default_batch} only {speedup:.2}× over batch 1"
+        );
+        assert!(
+            serve.records_per_s >= 5_000.0,
+            "CHECK FAILED: serve edge sustained only {:.0} records/s",
+            serve.records_per_s
+        );
+        println!("CHECK OK");
+    }
+}

@@ -26,3 +26,14 @@ pub mod workloads;
 pub use measure::{measure_clustering, measure_detection, ClusteringRow, DetectionRow};
 pub use params::{BenchParams, Dataset};
 pub use workloads::{build_traces, extent, object_ratio, pattern_workload};
+
+/// Parses `--flag value` from a raw argv slice, falling back to `default`
+/// when the flag is absent or unparsable — the shared CLI helper of the
+/// bench binaries.
+pub fn arg<T: std::str::FromStr>(args: &[String], flag: &str, default: T) -> T {
+    args.iter()
+        .position(|a| a == flag)
+        .and_then(|i| args.get(i + 1))
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(default)
+}

@@ -20,7 +20,10 @@ pub struct CellQueryEngine {
     tree: RTree<ObjectId>,
     eps: f64,
     metric: DistanceMetric,
-    scratch: Vec<NeighborPair>,
+    /// Per-probe hit scratch, reused across probes (owned ids, not tree
+    /// borrows, so the buffer can live here) — the probe path allocates
+    /// nothing after the first query.
+    hits: Vec<ObjectId>,
 }
 
 impl CellQueryEngine {
@@ -30,7 +33,7 @@ impl CellQueryEngine {
             tree: RTree::new(),
             eps,
             metric,
-            scratch: Vec::new(),
+            hits: Vec::new(),
         }
     }
 
@@ -69,16 +72,15 @@ impl CellQueryEngine {
     }
 
     fn probe(&mut self, id: ObjectId, location: Point, out: &mut Vec<NeighborPair>) {
-        let mut hits = Vec::new();
+        self.hits.clear();
         self.tree
-            .query_within(&location, self.eps, self.metric, &mut hits);
-        self.scratch.clear();
-        for (_, &other) in hits {
-            if other != id {
-                self.scratch.push(canonical(id, other));
-            }
-        }
-        out.extend_from_slice(&self.scratch);
+            .query_payloads_within(&location, self.eps, self.metric, &mut self.hits);
+        out.extend(
+            self.hits
+                .iter()
+                .filter(|&&other| other != id)
+                .map(|&other| canonical(id, other)),
+        );
     }
 }
 

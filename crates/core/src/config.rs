@@ -204,6 +204,25 @@ impl IcpeConfigBuilder {
         self
     }
 
+    /// Sets the records-per-batch of every exchange hop (micro-batch
+    /// vectorization; default [`icpe_runtime::DEFAULT_BATCH_SIZE`]). `1`
+    /// restores record-at-a-time transfers — the pre-batching dataflow and
+    /// the baseline `bench_throughput` compares against. Batching is
+    /// invisible to detection semantics: ticks and checkpoint barriers
+    /// always land between batches, so the sealed pattern multiset is
+    /// identical at every batch size.
+    pub fn batch_size(mut self, records: usize) -> Self {
+        self.runtime.batch_size = records.max(1);
+        self
+    }
+
+    /// Sets the inter-subtask channel capacity in batches (backpressure
+    /// depth; default 1024).
+    pub fn channel_capacity(mut self, batches: usize) -> Self {
+        self.runtime.channel_capacity = batches.max(1);
+        self
+    }
+
     /// Overrides the aligner settings.
     pub fn aligner(mut self, aligner: AlignerConfig) -> Self {
         self.aligner = aligner;

@@ -170,6 +170,58 @@ impl<T> RTree<T> {
         out.truncate_filtered(before, |(p, _)| metric.within(center, p, eps));
     }
 
+    /// Like [`RTree::query_within`], but appends owned payload copies
+    /// instead of borrows. This lets hot callers keep **one reusable result
+    /// buffer across probes** (a `Vec<(&Point, &T)>` borrows the tree, so
+    /// it cannot live in the same struct as the tree it borrows from; a
+    /// `Vec<T>` can) — the range join's per-probe path allocates nothing.
+    pub fn query_payloads_within(
+        &self,
+        center: &Point,
+        eps: f64,
+        metric: DistanceMetric,
+        out: &mut Vec<T>,
+    ) where
+        T: Copy,
+    {
+        let region = Rect::padded_range_region(*center, eps);
+        self.query_node_payloads(self.root, &region, center, eps, metric, out);
+    }
+
+    fn query_node_payloads(
+        &self,
+        node: usize,
+        rect: &Rect,
+        center: &Point,
+        eps: f64,
+        metric: DistanceMetric,
+        out: &mut Vec<T>,
+    ) where
+        T: Copy,
+    {
+        let n = &self.nodes[node];
+        if !n.mbr.intersects(rect) {
+            return;
+        }
+        match &n.kind {
+            NodeKind::Leaf { entries } => {
+                for (p, v) in entries {
+                    // Same rectangle filter + metric refinement expression
+                    // as `query_within`, so both report identical sets at
+                    // boundary distances.
+                    if rect.contains_point(p) && metric.within(center, p, eps) {
+                        out.push(*v);
+                    }
+                }
+            }
+            NodeKind::Internal { children } => {
+                for &c in children {
+                    self.query_node_payloads(c, rect, center, eps, metric, out);
+                }
+            }
+        }
+    }
+
     /// The `k` entries nearest to `center` under `metric`, closest first
     /// (fewer if the tree holds fewer). Classic best-first branch-and-bound
     /// over node MBRs.

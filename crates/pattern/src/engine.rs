@@ -8,6 +8,7 @@ use icpe_types::{
     Timestamp, WindowOwnerCheckpoint,
 };
 use std::collections::{BTreeMap, HashMap, VecDeque};
+use std::sync::Arc;
 
 /// Configuration shared by all three enumeration engines.
 #[derive(Debug, Clone, Copy)]
@@ -93,12 +94,16 @@ pub fn unique_object_sets(patterns: &[Pattern]) -> Vec<Vec<ObjectId>> {
 /// One ready-to-process enumeration window: the owner's partitions over
 /// `[start, start + window.len())`, where `window[0]` is the partition the
 /// candidates are drawn from (always non-empty).
+///
+/// Rows are shared (`Arc<[ObjectId]>`): one partition's member list is
+/// referenced by every overlapping window of its owner (up to η of them),
+/// so releasing a window clones reference counts, never member vectors.
 #[derive(Debug)]
 pub(crate) struct WindowTask {
     pub owner: ObjectId,
     pub start: u32,
     /// Partition member lists per window offset (sorted ascending each).
-    pub window: Vec<Vec<ObjectId>>,
+    pub window: Vec<Arc<[ObjectId]>>,
 }
 
 /// Shared η-window state: buffers each owner's partitions, schedules a
@@ -107,11 +112,13 @@ pub(crate) struct WindowTask {
 #[derive(Debug)]
 pub(crate) struct WindowState {
     eta: u32,
-    histories: HashMap<ObjectId, BTreeMap<u32, Vec<ObjectId>>>,
+    histories: HashMap<ObjectId, BTreeMap<u32, Arc<[ObjectId]>>>,
     starts: HashMap<ObjectId, VecDeque<u32>>,
     /// deadline time → owners whose oldest pending start completes then.
     deadlines: BTreeMap<u32, Vec<ObjectId>>,
     last_time: Option<u32>,
+    /// The shared empty row filled into window offsets without a partition.
+    empty_row: Arc<[ObjectId]>,
 }
 
 impl WindowState {
@@ -122,6 +129,7 @@ impl WindowState {
             starts: HashMap::new(),
             deadlines: BTreeMap::new(),
             last_time: None,
+            empty_row: Arc::from(Vec::new()),
         }
     }
 
@@ -141,7 +149,7 @@ impl WindowState {
             self.histories
                 .entry(part.owner)
                 .or_default()
-                .insert(t, part.members);
+                .insert(t, Arc::from(part.members));
             self.starts.entry(part.owner).or_default().push_back(t);
             self.deadlines
                 .entry(t + self.eta - 1)
@@ -203,7 +211,7 @@ impl WindowState {
                         h.iter()
                             .map(|(&time, members)| HistoryRowCheckpoint {
                                 time,
-                                members: members.clone(),
+                                members: members.to_vec(),
                             })
                             .collect()
                     })
@@ -247,7 +255,7 @@ impl WindowState {
                     o.owner,
                     o.history
                         .iter()
-                        .map(|row| (row.time, row.members.clone()))
+                        .map(|row| (row.time, Arc::from(row.members.as_slice())))
                         .collect(),
                 );
             }
@@ -282,10 +290,14 @@ impl WindowState {
         }
     }
 
-    fn window_slice(&self, owner: ObjectId, start: u32, end: u32) -> Vec<Vec<ObjectId>> {
+    fn window_slice(&self, owner: ObjectId, start: u32, end: u32) -> Vec<Arc<[ObjectId]>> {
         let hist = self.histories.get(&owner);
         (start..=end)
-            .map(|j| hist.and_then(|h| h.get(&j)).cloned().unwrap_or_default())
+            .map(|j| {
+                hist.and_then(|h| h.get(&j))
+                    .cloned()
+                    .unwrap_or_else(|| Arc::clone(&self.empty_row))
+            })
             .collect()
     }
 }
@@ -304,7 +316,7 @@ impl WindowTask {
                 let mut mask = 0u64;
                 let mut mi = 0usize;
                 // Both lists sorted: merge scan.
-                for &id in row {
+                for &id in row.iter() {
                     while mi < members.len() && members[mi] < id {
                         mi += 1;
                     }
@@ -363,7 +375,7 @@ mod tests {
         assert_eq!(t.owner, oid(1));
         assert_eq!(t.start, 0);
         assert_eq!(t.window.len(), 3);
-        assert_eq!(t.window[0], vec![oid(2)]);
+        assert_eq!(t.window[0].to_vec(), vec![oid(2)]);
     }
 
     #[test]
@@ -374,8 +386,8 @@ mod tests {
         push(&mut ws, cs(1, &[]));
         let tasks = push(&mut ws, cs(2, &[]));
         assert_eq!(tasks.len(), 1);
-        assert_eq!(tasks[0].window[1], Vec::<ObjectId>::new());
-        assert_eq!(tasks[0].window[2], Vec::<ObjectId>::new());
+        assert_eq!(tasks[0].window[1].to_vec(), Vec::<ObjectId>::new());
+        assert_eq!(tasks[0].window[2].to_vec(), Vec::<ObjectId>::new());
     }
 
     #[test]
@@ -398,9 +410,9 @@ mod tests {
             owner: oid(1),
             start: 0,
             window: vec![
-                vec![oid(2), oid(5), oid(9)],
-                vec![oid(5)],
-                vec![oid(2), oid(9)],
+                Arc::from(vec![oid(2), oid(5), oid(9)]),
+                Arc::from(vec![oid(5)]),
+                Arc::from(vec![oid(2), oid(9)]),
             ],
         };
         let masks = task.member_masks();

@@ -92,8 +92,18 @@ impl TimeAligner {
     }
 
     /// Ingests one record; returns any snapshots that became sealable,
-    /// in ascending time order.
+    /// in ascending time order. Allocation-free callers (the vectorized
+    /// align stage) use [`TimeAligner::push_into`] with a reused buffer.
     pub fn push(&mut self, rec: GpsRecord) -> Vec<Snapshot> {
+        let mut out = Vec::new();
+        self.push_into(rec, &mut out);
+        out
+    }
+
+    /// Ingests one record, appending any snapshots that became sealable to
+    /// `out` in ascending time order — [`TimeAligner::push`] without the
+    /// per-record result vector, for batch processing with reused scratch.
+    pub fn push_into(&mut self, rec: GpsRecord, out: &mut Vec<Snapshot>) {
         let t = rec.time.0;
         if let Some(s) = self.sealed_up_to {
             if t < s {
@@ -105,7 +115,7 @@ impl TimeAligner {
                 // connect (which would stall sealing until retirement).
                 self.late_dropped += 1;
                 self.advance_chain(&rec);
-                return Vec::new();
+                return;
             }
         }
         self.max_seen = self.max_seen.max(t);
@@ -114,7 +124,7 @@ impl TimeAligner {
             .or_insert_with(|| Snapshot::new(Timestamp(t)))
             .push(rec.id, rec.location, rec.last_time);
         self.advance_chain(&rec);
-        self.drain_sealable()
+        self.drain_sealable_into(out);
     }
 
     /// Advances a trajectory's clarification chain with one record's
@@ -231,8 +241,7 @@ impl TimeAligner {
         }
     }
 
-    fn drain_sealable(&mut self) -> Vec<Snapshot> {
-        let mut out = Vec::new();
+    fn drain_sealable_into(&mut self, out: &mut Vec<Snapshot>) {
         loop {
             let u = match self.sealed_up_to {
                 Some(s) => s,
@@ -252,7 +261,6 @@ impl TimeAligner {
             }
             self.sealed_up_to = Some(u + 1);
         }
-        out
     }
 
     /// A time `u` can be sealed when it lies strictly in the stream's past
@@ -293,6 +301,9 @@ pub struct AlignOperator {
     /// through this instead).
     metrics: Option<crate::metrics::PipelineMetrics>,
     reported_late: u64,
+    /// Sealed-snapshot scratch, reused across records (batch processing
+    /// would otherwise allocate a result vector per record).
+    scratch: Vec<Snapshot>,
 }
 
 impl AlignOperator {
@@ -303,6 +314,7 @@ impl AlignOperator {
             aligner: TimeAligner::new(config),
             metrics: None,
             reported_late: 0,
+            scratch: Vec::new(),
         }
     }
 
@@ -313,6 +325,7 @@ impl AlignOperator {
             aligner: TimeAligner::new(config),
             metrics: Some(metrics),
             reported_late: 0,
+            scratch: Vec::new(),
         }
     }
 
@@ -329,7 +342,16 @@ impl AlignOperator {
 
 impl Operator<GpsRecord, Snapshot> for AlignOperator {
     fn process(&mut self, input: GpsRecord, out: &mut Collector<Snapshot>) {
-        out.emit_all(self.aligner.push(input));
+        self.aligner.push_into(input, &mut self.scratch);
+        out.emit_all(self.scratch.drain(..));
+        self.sync_late_counter();
+    }
+
+    fn process_batch(&mut self, batch: Vec<GpsRecord>, out: &mut Collector<Snapshot>) {
+        for input in batch {
+            self.aligner.push_into(input, &mut self.scratch);
+        }
+        out.emit_all(self.scratch.drain(..));
         self.sync_late_counter();
     }
 

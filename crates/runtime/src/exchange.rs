@@ -1,4 +1,20 @@
 //! Record routing between consecutive pipeline stages.
+//!
+//! Since the micro-batch refactor the inter-stage channels carry
+//! **batches** (`Vec<T>`) instead of single records: the [`Router`] buffers
+//! keyed/round-robin records per destination and ships a whole buffer in
+//! one channel operation, amortizing the send/recv synchronization that
+//! otherwise dominates at high record rates. Three events flush a buffer:
+//!
+//! * **size** — the buffer reached the configured batch size;
+//! * **idle** — the owning subtask is about to block on an empty input
+//!   channel and calls [`Router::flush`] (the runtime does this), so
+//!   batching never adds latency when the stream is slow;
+//! * **punctuation** — any broadcast-routed record (snapshot-boundary
+//!   ticks, checkpoint barriers) flushes *every* buffer before it is sent,
+//!   so punctuation always lands **between** batches and the per-channel
+//!   FIFO order "data before its tick/barrier" is preserved exactly as in
+//!   the record-at-a-time dataflow.
 
 use crate::routing::RoutingTable;
 use crossbeam::channel::Sender;
@@ -94,23 +110,39 @@ impl<T> std::fmt::Debug for Exchange<T> {
     }
 }
 
-/// One upstream subtask's routing handle: a set of senders (one per
-/// downstream subtask) plus the exchange strategy.
+/// Where one record goes (computed before touching the buffers, so the
+/// strategy borrow ends before the mutable buffer access).
+enum Dest {
+    Idx(usize),
+    RoundRobin,
+    All,
+}
+
+/// One upstream subtask's routing handle: a set of batch senders (one per
+/// downstream subtask), per-destination batch buffers, and the exchange
+/// strategy.
 ///
-/// Each subtask owns its own `Router` clone so round-robin counters are
-/// subtask-local, exactly like Flink's per-channel rebalance.
+/// Each subtask owns its own `Router` clone so round-robin counters and
+/// batch buffers are subtask-local, exactly like Flink's per-channel
+/// rebalance and per-channel network buffers.
 pub struct Router<T> {
-    senders: Vec<Sender<T>>,
+    senders: Vec<Sender<Vec<T>>>,
+    bufs: Vec<Vec<T>>,
     strategy: Exchange<T>,
+    /// Records per destination buffer before a size flush (≥ 1; 1 restores
+    /// record-at-a-time behaviour, each record its own batch).
+    batch: usize,
     rr: usize,
 }
 
 impl<T> Router<T> {
-    pub(crate) fn new(senders: Vec<Sender<T>>, strategy: Exchange<T>) -> Self {
+    pub(crate) fn new(senders: Vec<Sender<Vec<T>>>, strategy: Exchange<T>, batch: usize) -> Self {
         debug_assert!(!senders.is_empty());
         Router {
+            bufs: senders.iter().map(|_| Vec::new()).collect(),
             senders,
             strategy,
+            batch: batch.max(1),
             rr: 0,
         }
     }
@@ -118,80 +150,125 @@ impl<T> Router<T> {
     pub(crate) fn clone_for_subtask(&self, subtask: usize) -> Self {
         Router {
             senders: self.senders.clone(),
+            bufs: self.senders.iter().map(|_| Vec::new()).collect(),
             strategy: self.strategy.clone(),
+            batch: self.batch,
             // Stagger round-robin starts so subtasks do not all hammer
             // downstream subtask 0 first.
             rr: subtask % self.senders.len(),
         }
     }
 
-    /// Routes one record. Blocks when the target channel is full
-    /// (backpressure). Returns `Err` when the downstream stage is gone.
+    /// Routes one record into its destination's batch buffer, shipping the
+    /// buffer when it reaches the batch size. Broadcast-routed records
+    /// flush every buffer first and then travel as their own batch, so
+    /// punctuation lands between batches. Blocks when the target channel
+    /// is full (backpressure). Returns `Err` when the downstream stage is
+    /// gone.
     pub fn route(&mut self, record: T) -> Result<(), Disconnected>
     where
         T: Clone,
     {
-        match &self.strategy {
-            Exchange::KeyBy(f) => {
-                let idx = (f(&record) % self.senders.len() as u64) as usize;
-                self.senders[idx].send(record).map_err(|_| Disconnected)
-            }
-            Exchange::Rebalance => {
-                let idx = self.rr;
-                self.rr = (self.rr + 1) % self.senders.len();
-                self.senders[idx].send(record).map_err(|_| Disconnected)
-            }
-            Exchange::Broadcast => self.broadcast(record),
+        let n = self.senders.len() as u64;
+        let dest = match &self.strategy {
+            Exchange::KeyBy(f) => Dest::Idx((f(&record) % n) as usize),
+            Exchange::Rebalance => Dest::RoundRobin,
+            Exchange::Broadcast => Dest::All,
             Exchange::PerRecord(f) => match f(&record) {
-                Routing::Key(k) => {
-                    let idx = (k % self.senders.len() as u64) as usize;
-                    self.senders[idx].send(record).map_err(|_| Disconnected)
-                }
-                Routing::Broadcast => self.broadcast(record),
+                Routing::Key(k) => Dest::Idx((k % n) as usize),
+                Routing::Broadcast => Dest::All,
             },
             Exchange::Dynamic(table, f) => match f(&record) {
-                Routing::Key(k) => {
-                    let idx = table.subtask(k, self.senders.len());
-                    self.senders[idx].send(record).map_err(|_| Disconnected)
-                }
-                Routing::Broadcast => self.broadcast(record),
+                Routing::Key(k) => Dest::Idx(table.subtask(k, self.senders.len())),
+                Routing::Broadcast => Dest::All,
             },
+        };
+        match dest {
+            Dest::Idx(idx) => self.push_to(idx, record),
+            Dest::RoundRobin => {
+                let idx = self.rr;
+                self.rr = (self.rr + 1) % self.senders.len();
+                self.push_to(idx, record)
+            }
+            Dest::All => self.broadcast(record),
         }
     }
 
-    fn broadcast(&self, record: T) -> Result<(), Disconnected>
+    /// Ships every non-empty batch buffer downstream. The runtime calls
+    /// this before a subtask blocks on an empty input channel (so batching
+    /// never trades latency) and at end of stream; operators never see
+    /// partial batches held back indefinitely.
+    pub fn flush(&mut self) -> Result<(), Disconnected> {
+        for idx in 0..self.senders.len() {
+            self.flush_one(idx)?;
+        }
+        Ok(())
+    }
+
+    fn push_to(&mut self, idx: usize, record: T) -> Result<(), Disconnected> {
+        let buf = &mut self.bufs[idx];
+        if buf.capacity() == 0 {
+            buf.reserve_exact(self.batch);
+        }
+        buf.push(record);
+        if self.bufs[idx].len() >= self.batch {
+            self.flush_one(idx)?;
+        }
+        Ok(())
+    }
+
+    fn flush_one(&mut self, idx: usize) -> Result<(), Disconnected> {
+        if self.bufs[idx].is_empty() {
+            return Ok(());
+        }
+        let batch = std::mem::take(&mut self.bufs[idx]);
+        self.senders[idx].send(batch).map_err(|_| Disconnected)
+    }
+
+    fn broadcast(&mut self, record: T) -> Result<(), Disconnected>
     where
         T: Clone,
     {
+        // Punctuation cut: everything routed before this record reaches
+        // its subtask before the broadcast does.
+        self.flush()?;
         let last = self.senders.len() - 1;
         for s in &self.senders[..last] {
-            s.send(record.clone()).map_err(|_| Disconnected)?;
+            s.send(vec![record.clone()]).map_err(|_| Disconnected)?;
         }
-        self.senders[last].send(record).map_err(|_| Disconnected)
+        self.senders[last]
+            .send(vec![record])
+            .map_err(|_| Disconnected)
     }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crossbeam::channel::bounded;
+    use crossbeam::channel::{bounded, Receiver};
 
     fn routers_and_receivers(
         n: usize,
         strategy: Exchange<u64>,
-    ) -> (Router<u64>, Vec<crossbeam::channel::Receiver<u64>>) {
+        batch: usize,
+    ) -> (Router<u64>, Vec<Receiver<Vec<u64>>>) {
         let (senders, receivers): (Vec<_>, Vec<_>) = (0..n).map(|_| bounded(64)).unzip();
-        (Router::new(senders, strategy), receivers)
+        (Router::new(senders, strategy, batch), receivers)
+    }
+
+    fn drain(rx: &Receiver<Vec<u64>>) -> Vec<u64> {
+        rx.try_iter().flatten().collect()
     }
 
     #[test]
     fn key_by_is_deterministic_per_key() {
-        let (mut r, rx) = routers_and_receivers(4, Exchange::key_by(|x: &u64| *x));
+        let (mut r, rx) = routers_and_receivers(4, Exchange::key_by(|x: &u64| *x), 2);
         for v in [5u64, 5, 5, 9, 9] {
             r.route(v).unwrap();
         }
+        r.flush().unwrap();
         drop(r);
-        let counts: Vec<usize> = rx.iter().map(|c| c.try_iter().count()).collect();
+        let counts: Vec<usize> = rx.iter().map(|c| drain(c).len()).collect();
         // key 5 → subtask 1, key 9 → subtask 1 (9 % 4 = 1)... both to 1.
         assert_eq!(counts.iter().sum::<usize>(), 5);
         assert_eq!(counts[1], 5);
@@ -199,24 +276,25 @@ mod tests {
 
     #[test]
     fn rebalance_spreads_evenly() {
-        let (mut r, rx) = routers_and_receivers(3, Exchange::Rebalance);
+        let (mut r, rx) = routers_and_receivers(3, Exchange::Rebalance, 4);
         for v in 0..9u64 {
             r.route(v).unwrap();
         }
+        r.flush().unwrap();
         drop(r);
         for c in rx {
-            assert_eq!(c.try_iter().count(), 3);
+            assert_eq!(drain(&c).len(), 3);
         }
     }
 
     #[test]
     fn broadcast_copies_to_all() {
-        let (mut r, rx) = routers_and_receivers(3, Exchange::Broadcast);
+        let (mut r, rx) = routers_and_receivers(3, Exchange::Broadcast, 8);
         r.route(7).unwrap();
         r.route(8).unwrap();
         drop(r);
         for c in rx {
-            assert_eq!(c.try_iter().collect::<Vec<_>>(), vec![7, 8]);
+            assert_eq!(drain(&c), vec![7, 8]);
         }
     }
 
@@ -232,14 +310,30 @@ mod tests {
                     Routing::Broadcast
                 }
             }),
+            16,
         );
-        r.route(6).unwrap(); // key 6 → subtask 0
-        r.route(1).unwrap(); // broadcast
+        r.route(6).unwrap(); // key 6 → subtask 0 (buffered)
+        r.route(1).unwrap(); // broadcast: flushes the buffer first
         drop(r);
-        let got: Vec<Vec<u64>> = rx.iter().map(|c| c.try_iter().collect()).collect();
-        assert_eq!(got[0], vec![6, 1]);
+        let got: Vec<Vec<u64>> = rx.iter().map(drain).collect();
+        assert_eq!(got[0], vec![6, 1], "buffered data precedes punctuation");
         assert_eq!(got[1], vec![1]);
         assert_eq!(got[2], vec![1]);
+    }
+
+    #[test]
+    fn size_flush_ships_full_batches_without_explicit_flush() {
+        let (mut r, rx) = routers_and_receivers(1, Exchange::key_by(|_| 0), 3);
+        for v in 0..6u64 {
+            r.route(v).unwrap();
+        }
+        // Two full batches of 3 shipped by size alone.
+        let batches: Vec<Vec<u64>> = rx[0].try_iter().collect();
+        assert_eq!(batches, vec![vec![0, 1, 2], vec![3, 4, 5]]);
+        r.route(6).unwrap();
+        assert_eq!(rx[0].try_iter().count(), 0, "partial batch stays buffered");
+        r.flush().unwrap();
+        assert_eq!(rx[0].try_iter().collect::<Vec<_>>(), vec![vec![6]]);
     }
 
     #[test]
@@ -254,13 +348,14 @@ mod tests {
                     Routing::Key(*x)
                 }
             }),
+            1,
         );
         r.route(6).unwrap(); // unmapped: hash fallback 6 % 4 = 2
         table.install(1, std::collections::HashMap::from([(6u64, 0usize)]), 1);
         r.route(6).unwrap(); // mapped: subtask 0
         r.route(u64::MAX).unwrap(); // broadcast unaffected by the table
         drop(r);
-        let got: Vec<Vec<u64>> = rx.iter().map(|c| c.try_iter().collect()).collect();
+        let got: Vec<Vec<u64>> = rx.iter().map(drain).collect();
         assert_eq!(got[0], vec![6, u64::MAX]);
         assert_eq!(got[2], vec![6, u64::MAX]);
         assert_eq!(got[1], vec![u64::MAX]);
@@ -269,20 +364,20 @@ mod tests {
 
     #[test]
     fn route_fails_when_downstream_dropped() {
-        let (mut r, rx) = routers_and_receivers(2, Exchange::Rebalance);
+        let (mut r, rx) = routers_and_receivers(2, Exchange::Rebalance, 1);
         drop(rx);
         assert!(r.route(1).is_err());
     }
 
     #[test]
     fn subtask_clones_stagger_round_robin() {
-        let (r, rx) = routers_and_receivers(2, Exchange::Rebalance);
+        let (r, rx) = routers_and_receivers(2, Exchange::Rebalance, 1);
         let mut r0 = r.clone_for_subtask(0);
         let mut r1 = r.clone_for_subtask(1);
         r0.route(10).unwrap(); // → subtask 0
         r1.route(20).unwrap(); // → subtask 1 (staggered start)
         drop((r, r0, r1));
-        assert_eq!(rx[0].try_iter().collect::<Vec<_>>(), vec![10]);
-        assert_eq!(rx[1].try_iter().collect::<Vec<_>>(), vec![20]);
+        assert_eq!(drain(&rx[0]), vec![10]);
+        assert_eq!(drain(&rx[1]), vec![20]);
     }
 }

@@ -8,10 +8,14 @@
 //!
 //! * [`Stream`] — a builder for linear dataflows; every stage runs `p`
 //!   parallel subtasks on OS threads connected by bounded crossbeam channels
-//!   (bounded = natural backpressure, Flink's pipelined transfer mode);
+//!   (bounded = natural backpressure, Flink's pipelined transfer mode).
+//!   Transfers are **vectorized**: channels carry micro-batches (`Vec<T>`)
+//!   assembled by per-destination router buffers, amortizing channel
+//!   synchronization exactly as Flink's network buffers amortize theirs;
 //! * [`Exchange`] — the routing strategy between consecutive stages
 //!   (key-hash, round-robin, or broadcast);
-//! * [`Operator`] — the subtask logic: process one record, emit any number;
+//! * [`Operator`] — the subtask logic: process one record (or one batch via
+//!   [`Operator::process_batch`]), emit any number;
 //! * [`TimeAligner`] — the paper's §4 stream-synchronization mechanism: the
 //!   per-record *"last time"* link is chained to decide when a snapshot is
 //!   complete and may be sealed, even under out-of-order arrival;
@@ -33,4 +37,4 @@ pub use exchange::{Disconnected, Exchange, Routing};
 pub use metrics::{MetricsReport, PipelineMetrics, StreamProgress};
 pub use operator::{filter_fn, flat_map_fn, map_fn, Collector, Operator};
 pub use routing::{RoutingStatus, RoutingTable};
-pub use stream::{ingest_channel, RuntimeConfig, Stream, StreamHandle};
+pub use stream::{ingest_channel, RuntimeConfig, Stream, StreamHandle, DEFAULT_BATCH_SIZE};

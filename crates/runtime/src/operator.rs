@@ -43,6 +43,17 @@ pub trait Operator<I, O>: Send {
     /// Processes one input record; emits any number of outputs.
     fn process(&mut self, input: I, out: &mut Collector<O>);
 
+    /// Processes one micro-batch of input records — the entry point the
+    /// vectorized runtime actually calls. Defaults to unrolling into
+    /// [`Operator::process`], so operators are batching-agnostic unless
+    /// they override this to amortize per-batch work (scratch reuse, one
+    /// lock hold per batch, …). Overrides must preserve record order.
+    fn process_batch(&mut self, batch: Vec<I>, out: &mut Collector<O>) {
+        for input in batch {
+            self.process(input, out);
+        }
+    }
+
     /// Called once when the input stream is exhausted; flush any state.
     fn finish(&mut self, _out: &mut Collector<O>) {}
 }

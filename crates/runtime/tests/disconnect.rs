@@ -14,6 +14,7 @@ use std::time::Duration;
 fn cfg() -> RuntimeConfig {
     RuntimeConfig {
         channel_capacity: 8,
+        batch_size: 4,
     }
 }
 
@@ -43,7 +44,7 @@ fn receiver_drop_stops_single_stage_source() {
     // backpressure when the consumer leaves.
     let (receiver, handle) = Stream::source(cfg(), 1, |_| 0..u64::MAX).into_receiver();
     for _ in 0..100 {
-        receiver.recv().unwrap();
+        receiver.recv().unwrap(); // whole batches
     }
     drop(receiver);
     join_within(handle, 10);
@@ -100,7 +101,7 @@ fn from_channel_source_delivers_live_pushes_in_order() {
         }
         // Dropping the sender ends the stream.
     });
-    let got: Vec<u64> = receiver.iter().collect();
+    let got: Vec<u64> = receiver.iter().flatten().collect();
     producer.join().unwrap();
     assert_eq!(got, (1..=1000).collect::<Vec<_>>());
     join_within(handle, 10);
@@ -111,7 +112,7 @@ fn from_channel_producer_observes_consumer_hangup() {
     let (sender, source) = ingest_channel::<u64>(2);
     let (receiver, handle) = Stream::from_channel(cfg(), source).into_receiver();
     sender.send(7).unwrap();
-    assert_eq!(receiver.recv(), Ok(7));
+    assert_eq!(receiver.recv(), Ok(vec![7]));
     drop(receiver);
     // The forwarder notices the hangup when it routes its next record:
     // pushes must start failing instead of blocking forever.

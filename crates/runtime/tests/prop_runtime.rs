@@ -8,6 +8,7 @@ use proptest::prelude::*;
 fn cfg() -> RuntimeConfig {
     RuntimeConfig {
         channel_capacity: 8,
+        batch_size: 4,
     }
 }
 

@@ -12,6 +12,12 @@
 //!   ICPE_N         keyed-stage parallelism   (default 4)
 //!   ICPE_INTERVAL  seconds per tick          (default 1.0)
 //!
+//! Micro-batch vectorization (see the README "Performance" section):
+//!   ICPE_BATCH         records per exchange-hop batch inside the
+//!                      pipeline (default 64; 1 = record-at-a-time)
+//!   ICPE_INGEST_BATCH  records stamped + pushed per ingest-edge lock
+//!                      hold (default 64; 1 = record-at-a-time)
+//!
 //! Hotspot-aware adaptive routing (static `hash(cell) % N` unless θ set):
 //!   ICPE_REBALANCE_THETA     hot threshold θ — rebalance when the max
 //!                            subtask load exceeds θ × the mean (1.5 is a
@@ -58,7 +64,8 @@ fn main() {
         .constraints(constraints)
         .epsilon(env_parse("ICPE_EPS", 2.5))
         .min_pts(env_parse("ICPE_MINPTS", 4))
-        .parallelism(env_parse("ICPE_N", 4));
+        .parallelism(env_parse("ICPE_N", 4))
+        .batch_size(env_parse("ICPE_BATCH", icpe_runtime::DEFAULT_BATCH_SIZE));
     if let Ok(theta) = std::env::var("ICPE_REBALANCE_THETA") {
         let theta: f64 = theta.parse().expect("ICPE_REBALANCE_THETA is a number");
         engine = engine.rebalance(BalancerConfig {
@@ -73,6 +80,7 @@ fn main() {
     let mut config = ServeConfig::new(engine);
     config.addr = addr;
     config.interval = env_parse("ICPE_INTERVAL", 1.0);
+    config.ingest_batch = env_parse("ICPE_INGEST_BATCH", icpe_runtime::DEFAULT_BATCH_SIZE);
     if let Ok(dir) = std::env::var("ICPE_CHECKPOINT_DIR") {
         config = config.with_checkpoints(
             CheckpointPolicy::new(dir)

@@ -56,6 +56,9 @@ impl CheckpointPolicy {
 pub struct EdgeStatsCheckpoint {
     /// Valid records accepted into the pipeline.
     pub records_in: u64,
+    /// Ingest micro-batches pushed (mean-batch-fill gauge numerator's
+    /// partner; cumulative like `records_in`).
+    pub ingest_batches: u64,
     /// Lines refused (malformed, non-finite, stale/duplicate tick).
     pub records_rejected: u64,
     /// Bytes read from producer sockets.
@@ -74,6 +77,7 @@ impl EdgeStatsCheckpoint {
     pub fn capture(stats: &ServerStats) -> EdgeStatsCheckpoint {
         EdgeStatsCheckpoint {
             records_in: stats.records_in.load(Ordering::Relaxed),
+            ingest_batches: stats.ingest_batches.load(Ordering::Relaxed),
             records_rejected: stats.records_rejected.load(Ordering::Relaxed),
             bytes_in: stats.bytes_in.load(Ordering::Relaxed),
             patterns_out: stats.patterns_out.load(Ordering::Relaxed),
@@ -85,6 +89,9 @@ impl EdgeStatsCheckpoint {
     /// Rehydrates the counters into a fresh stats block.
     pub fn restore(&self, stats: &ServerStats) {
         stats.records_in.store(self.records_in, Ordering::Relaxed);
+        stats
+            .ingest_batches
+            .store(self.ingest_batches, Ordering::Relaxed);
         stats
             .records_rejected
             .store(self.records_rejected, Ordering::Relaxed);

@@ -68,6 +68,13 @@ pub struct ServeConfig {
     /// connecting a few milliseconds late finds the stream sealed past its
     /// data.
     pub startup_grace: std::time::Duration,
+    /// Records per ingest micro-batch: a producer handler gathers up to
+    /// this many *already-buffered* lines, then stamps, pushes and counts
+    /// the whole batch under one stamping-lock hold and one pipeline
+    /// channel operation. Gathering never waits for the network — a slow
+    /// producer ships batches of one (no added latency), a saturating one
+    /// ships full batches. `1` restores record-at-a-time ingestion.
+    pub ingest_batch: usize,
     /// Durability policy. When set, the server (a) resumes from the newest
     /// readable checkpoint in the policy's directory at startup, (b) writes
     /// periodic checkpoints while running, and (c) supports
@@ -88,6 +95,7 @@ impl ServeConfig {
             max_consecutive_parse_errors: 64,
             max_producer_skew: 8,
             startup_grace: std::time::Duration::from_millis(250),
+            ingest_batch: icpe_runtime::DEFAULT_BATCH_SIZE,
             checkpoint: None,
         }
     }
@@ -190,6 +198,11 @@ struct Shared {
     hub: Hub,
     /// Stamping state: discretization + per-trajectory last-time links.
     discretizer: Mutex<Discretizer>,
+    /// Lock-free tick projection: an immutable clone of the discretizer
+    /// used only for its pure `discretize_time` (a function of the fixed
+    /// epoch/interval pair), so producer handlers can project skew-control
+    /// ticks per record while gathering a batch without the stamping lock.
+    projector: Discretizer,
     /// Producer handle into the pipeline; `None` once draining started.
     ingest: Mutex<Option<RecordSender>>,
     /// The pipeline's shared recorder (for `STATUS`).
@@ -211,6 +224,7 @@ struct Shared {
     conns: Mutex<HashMap<u64, ConnEntry>>,
     next_conn_id: AtomicU64,
     max_consecutive_parse_errors: usize,
+    ingest_batch: usize,
 }
 
 struct ConnEntry {
@@ -327,17 +341,25 @@ impl Server {
         }
         .map_err(|e| std::io::Error::new(std::io::ErrorKind::InvalidInput, e.to_string()))?;
 
-        // The aligner must tolerate at least the cross-producer skew the
-        // edge admits, or records from slower producers seal away.
-        config.engine.aligner.lateness = config
-            .engine
-            .aligner
-            .lateness
-            .max(config.max_producer_skew + 2);
+        // The aligner must tolerate the full disorder the edge can admit:
+        // the admitted-frontier gap (`max_producer_skew`) plus one ingest
+        // batch's tick span (gathered records are admitted before they are
+        // pushed; the gather bounds the span to `max_producer_skew`, so the
+        // pushed gap is at most twice the skew). `max_lag` must exceed the
+        // same bound or a slower producer's chains get retired — and its
+        // buffered batch dropped late — while its records sit in a batch.
+        let edge_disorder = 2 * config.max_producer_skew + 2;
+        config.engine.aligner.lateness = config.engine.aligner.lateness.max(edge_disorder);
+        config.engine.aligner.max_lag = config.engine.aligner.max_lag.max(2 * edge_disorder);
 
         let shared = Arc::new(Shared {
             stats: ServerStats::new(),
             hub: Hub::new(config.subscriber_queue),
+            // Only the pure (epoch, interval) mapping — not the stamping
+            // state (a checkpoint-restored `last_seen` map would be dead
+            // weight held for the server's lifetime).
+            projector: Discretizer::new(discretizer.epoch(), discretizer.interval())
+                .expect("parameters were validated when `discretizer` was built"),
             discretizer: Mutex::new(discretizer),
             ingest: Mutex::new(None),
             pipeline_metrics: Mutex::new(None),
@@ -348,6 +370,7 @@ impl Server {
             conns: Mutex::new(HashMap::new()),
             next_conn_id: AtomicU64::new(1),
             max_consecutive_parse_errors: config.max_consecutive_parse_errors.max(1),
+            ingest_batch: config.ingest_batch.max(1),
         });
         if let Some((seq, ckpt)) = &resume {
             ckpt.stats.restore(&shared.stats);
@@ -756,69 +779,103 @@ fn producer_loop(
     sender: RecordSender,
     conn_id: u64,
 ) -> std::io::Result<()> {
+    let ingest_batch = shared.ingest_batch;
+    let span_bound = shared.skew.max_skew;
     let mut line = first_line;
     let mut consecutive_errors = 0usize;
-    loop {
-        shared
-            .stats
-            .bytes_in
-            .fetch_add(line.len() as u64, Ordering::Relaxed);
-        if !line.trim().is_empty() {
-            match WireRecord::parse(&line) {
-                Ok(wire) => {
-                    consecutive_errors = 0;
-                    // Stamp: discretize the clock time and attach the
-                    // per-trajectory last-time link. Stale/duplicate ticks
-                    // come back as `None` and are counted as rejected.
-                    let raw = RawRecord::new(
-                        icpe_types::ObjectId(wire.id),
-                        icpe_types::Point::new(wire.x, wire.y),
-                        wire.time,
-                    );
-                    // Hold this producer to the cross-producer skew window
-                    // first (a read-only tick projection): the admit wait
-                    // can stretch to seconds and must not hold the
-                    // stamping lock.
-                    let tick = shared.discretizer.lock().discretize_time(raw.time);
-                    shared.skew.admit(conn_id, tick.0);
-                    // Stamp → push → count under ONE lock hold: the
-                    // checkpoint worker enqueues its barrier while holding
-                    // this lock, so "in the discretizer's stamping state"
-                    // and "entered the pipeline before the cut" coincide —
-                    // a record can never straddle the two sides of a
-                    // checkpoint. Push may block under backpressure while
-                    // holding the lock; the pipeline drains independently
-                    // of it, so the stall is bounded and deadlock-free.
-                    let mut discretizer = shared.discretizer.lock();
-                    match discretizer.push(&raw) {
-                        Some(record) => {
-                            if sender.push(record).is_err() {
+    let mut raws: Vec<RawRecord> = Vec::with_capacity(ingest_batch);
+    let mut eof = false;
+    while !eof {
+        // Gather: parse the line in hand, then keep pulling lines for as
+        // long as complete lines are *already buffered* and the batch has
+        // room. Gathering never waits on the socket, so a trickling
+        // producer ships batches of one while a saturating one fills whole
+        // batches.
+        raws.clear();
+        // Projected tick range of the gathered batch. The span is bounded
+        // by `max_producer_skew`: gathered records are *admitted* (visible
+        // to the skew limiter) before they are *pushed*, so an unbounded
+        // batch span would let the pushed frontier lag the admitted one by
+        // the whole batch — far enough for the aligner to retire this
+        // producer's chains and drop the batch's records as late once it
+        // finally lands.
+        let mut tick_range: Option<(u32, u32)> = None;
+        loop {
+            shared
+                .stats
+                .bytes_in
+                .fetch_add(line.len() as u64, Ordering::Relaxed);
+            if !line.trim().is_empty() {
+                match WireRecord::parse(&line) {
+                    Ok(wire) => {
+                        consecutive_errors = 0;
+                        // Tick-span bound (lock-free projection): ship the
+                        // batch gathered so far before this record would
+                        // stretch it past the skew window.
+                        let tick = shared.projector.discretize_time(wire.time).0;
+                        let (lo, hi) = tick_range
+                            .map_or((tick, tick), |(lo, hi)| (lo.min(tick), hi.max(tick)));
+                        if hi - lo > span_bound && !raws.is_empty() {
+                            if !flush_batch(shared, &sender, &mut raws) {
                                 return Ok(()); // pipeline gone
                             }
-                            shared.stats.records_in.fetch_add(1, Ordering::Relaxed);
-                            shared.stats.note_ingested_tick(record.time.0);
-                            drop(discretizer);
+                            tick_range = Some((tick, tick));
+                        } else {
+                            tick_range = Some((lo, hi));
                         }
-                        None => {
-                            drop(discretizer);
-                            shared
-                                .stats
-                                .records_rejected
-                                .fetch_add(1, Ordering::Relaxed);
-                        }
+                        // Hold this producer to the cross-producer skew
+                        // window per record, exactly as in record-at-a-time
+                        // ingestion. The admit wait can stretch to seconds
+                        // and must hold neither the stamping lock nor the
+                        // batch hostage — at most a skew window's worth of
+                        // gathered records rides the wait.
+                        shared.skew.admit(conn_id, tick);
+                        raws.push(RawRecord::new(
+                            icpe_types::ObjectId(wire.id),
+                            icpe_types::Point::new(wire.x, wire.y),
+                            wire.time,
+                        ));
                     }
-                }
-                Err(_) => {
-                    shared
-                        .stats
-                        .records_rejected
-                        .fetch_add(1, Ordering::Relaxed);
-                    consecutive_errors += 1;
-                    if consecutive_errors >= shared.max_consecutive_parse_errors {
-                        return Ok(());
+                    Err(_) => {
+                        shared
+                            .stats
+                            .records_rejected
+                            .fetch_add(1, Ordering::Relaxed);
+                        consecutive_errors += 1;
+                        if consecutive_errors >= shared.max_consecutive_parse_errors {
+                            // Dropping the peer must not drop the valid
+                            // records gathered before its garbage.
+                            let _ = flush_batch(shared, &sender, &mut raws);
+                            return Ok(());
+                        }
                     }
                 }
             }
+            if raws.len() >= ingest_batch || !reader.buffer().contains(&b'\n') {
+                break;
+            }
+            line.clear();
+            match reader.read_line(&mut line) {
+                Ok(0) => {
+                    eof = true;
+                    break;
+                }
+                Ok(_) => {}
+                Err(e) => {
+                    // Connection died mid-gather: the records already
+                    // gathered were valid and admitted — deliver them.
+                    let _ = flush_batch(shared, &sender, &mut raws);
+                    return Err(e);
+                }
+            }
+        }
+
+        if !flush_batch(shared, &sender, &mut raws) {
+            return Ok(()); // pipeline gone
+        }
+
+        if eof {
+            return Ok(());
         }
         // No shutdown-flag check here: during drain, a departed producer's
         // buffered records must still be consumed (until EOF); producers
@@ -828,6 +885,56 @@ fn producer_loop(
             return Ok(());
         }
     }
+    Ok(())
+}
+
+/// Stamps, pushes and counts one gathered ingest batch under ONE stamping
+/// lock hold: the checkpoint worker enqueues its barrier while holding the
+/// same lock, so "in the discretizer's stamping state" and "entered the
+/// pipeline before the cut" coincide — a record (or batch) can never
+/// straddle the two sides of a checkpoint. Push may block under
+/// backpressure while holding the lock; the pipeline drains independently
+/// of it, so the stall is bounded and deadlock-free. Stale/duplicate ticks
+/// stamp to `None` and are counted as rejected. Returns `false` when the
+/// pipeline is gone.
+fn flush_batch(shared: &Shared, sender: &RecordSender, raws: &mut Vec<RawRecord>) -> bool {
+    if raws.is_empty() {
+        return true;
+    }
+    let mut stamped: Vec<icpe_types::GpsRecord> = Vec::with_capacity(raws.len());
+    let mut stale = 0u64;
+    {
+        let mut discretizer = shared.discretizer.lock();
+        let mut max_tick: Option<u32> = None;
+        for raw in raws.iter() {
+            match discretizer.push(raw) {
+                Some(record) => {
+                    max_tick =
+                        Some(max_tick.map_or(record.time.0, |t| std::cmp::max(t, record.time.0)));
+                    stamped.push(record);
+                }
+                None => stale += 1,
+            }
+        }
+        if !stamped.is_empty() {
+            let accepted = stamped.len() as u64;
+            if sender.push_batch(stamped).is_err() {
+                return false; // pipeline gone
+            }
+            shared.stats.note_batch(accepted);
+            if let Some(tick) = max_tick {
+                shared.stats.note_ingested_tick(tick);
+            }
+        }
+    }
+    if stale > 0 {
+        shared
+            .stats
+            .records_rejected
+            .fetch_add(stale, Ordering::Relaxed);
+    }
+    raws.clear();
+    true
 }
 
 /// Subscriber connection: register with the hub, then become the writer

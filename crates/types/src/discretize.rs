@@ -44,6 +44,17 @@ impl Discretizer {
         self.interval
     }
 
+    /// The stream epoch (the clock time mapping to interval 0).
+    ///
+    /// Together with [`Discretizer::interval`] this fully determines
+    /// [`Discretizer::discretize_time`], which is a *pure* function of the
+    /// two — callers that only need tick projection (e.g. ingestion-edge
+    /// skew control batching records without the stamping lock) can copy
+    /// the pair once and project locally.
+    pub fn epoch(&self) -> f64 {
+        self.epoch
+    }
+
     /// Maps a raw clock time to its interval index. Times before the epoch
     /// clamp to interval 0.
     pub fn discretize_time(&self, time: f64) -> Timestamp {

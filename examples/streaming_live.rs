@@ -46,7 +46,13 @@ fn main() {
         .parallelism(4)
         .build()
         .expect("valid configuration");
-    let server = Server::start(ServeConfig::new(engine)).expect("server starts");
+    let mut serve_config = ServeConfig::new(engine);
+    // The end-of-stream flush bursts every still-open window's patterns
+    // plus the final seal notices at once; size the subscriber queue for
+    // that backlog (the shedding policy treats overflow as a slow
+    // consumer, and this example asserts lossless delivery).
+    serve_config.subscriber_queue = 16 * 1024;
+    let server = Server::start(serve_config).expect("server starts");
     let addr = server.local_addr().to_string();
     println!("icpe-serve listening on {addr}");
 
