@@ -235,6 +235,14 @@ pub struct BalancerConfig {
     /// Maximum cells pinned explicitly (the routing-table budget); the
     /// rest stay on consistent hashing.
     pub max_mapped_cells: usize,
+    /// How much each produced pair weighs in the cell-load model. A pair
+    /// costs the deployment twice: once at the query subtask that
+    /// discovers it and once on the sharded sync merge path that
+    /// deduplicates and reduces it — so the default counts both sides
+    /// (`2.0`), making pair-heavy cells (whose merge partitions run hot)
+    /// migrate sooner. `1.0` restores the query-side-only model of the
+    /// pre-sharded merge path.
+    pub sync_pair_weight: f64,
 }
 
 impl Default for BalancerConfig {
@@ -244,6 +252,7 @@ impl Default for BalancerConfig {
             cooldown_windows: 2,
             decay: 0.5,
             max_mapped_cells: 256,
+            sync_pair_weight: 2.0,
         }
     }
 }
@@ -441,9 +450,12 @@ impl LoadBalancer {
         }
         for (cell, load) in observed {
             // Pairs only refresh cells the record pool still considers
-            // occupied; feedback for vacated cells is history.
+            // occupied; feedback for vacated cells is history. Each pair
+            // is weighted by its full downstream cost: query-side
+            // discovery plus its share of the sync merge path.
             if self.rec_estimates.contains_key(cell) {
-                *self.pair_estimates.entry(*cell).or_insert(0.0) += load.pairs as f64;
+                *self.pair_estimates.entry(*cell).or_insert(0.0) +=
+                    load.pairs as f64 * self.config.sync_pair_weight;
             }
         }
         self.pair_estimates.retain(|_, w| *w > 1e-3);

@@ -37,7 +37,7 @@ pub use gridobject::GridObject;
 pub use query::CellQueryEngine;
 pub use rjc::RjcClusterer;
 pub use srj::SrjClusterer;
-pub use sync::PairCollector;
+pub use sync::{PairCollector, SyncStats, SyncStatus};
 
 use icpe_types::{ClusterSnapshot, Snapshot};
 

@@ -29,6 +29,12 @@ impl ClustererKind {
     }
 }
 
+/// Default fanin of the sharded GridSync aggregation tree: how many
+/// partial merges each combiner absorbs. 4 keeps the tree at most one
+/// interior level deep up to parallelism 16 while still fanning the
+/// dedup work out; `≥ N` degrades to a flat N → 1 funnel.
+pub const DEFAULT_SYNC_FANIN: usize = 4;
+
 /// Which enumeration engine runs in the pattern phase (§7.2 comparisons).
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
 pub enum EnumeratorKind {
@@ -70,9 +76,14 @@ pub struct IcpeConfig {
     pub clusterer: ClustererKind,
     /// Enumeration engine.
     pub enumerator: EnumeratorKind,
-    /// Parallelism `N` of the keyed stages (GridQuery, enumeration) in the
-    /// streaming deployment — the paper's machine count.
+    /// Parallelism `N` of the keyed stages (GridQuery, GridSync shards,
+    /// enumeration) in the streaming deployment — the paper's machine
+    /// count.
     pub parallelism: usize,
+    /// Fanin of the GridSync aggregation tree (clamped ≥ 2): the sharded
+    /// sync stage's `N` partial merges reduce through ⌈N/fanin⌉ combiners
+    /// per level down to one finalizer. Ignored by GDC.
+    pub sync_fanin: usize,
     /// Runtime channel capacity (backpressure depth).
     pub runtime: RuntimeConfig,
     /// Stream time-alignment settings.
@@ -116,6 +127,7 @@ pub struct IcpeConfigBuilder {
     clusterer: ClustererKind,
     enumerator: EnumeratorKind,
     parallelism: usize,
+    sync_fanin: usize,
     runtime: RuntimeConfig,
     aligner: AlignerConfig,
     max_baseline_partition: usize,
@@ -134,6 +146,7 @@ impl Default for IcpeConfigBuilder {
             clusterer: ClustererKind::default(),
             enumerator: EnumeratorKind::default(),
             parallelism: 4,
+            sync_fanin: DEFAULT_SYNC_FANIN,
             runtime: RuntimeConfig::default(),
             aligner: AlignerConfig::default(),
             max_baseline_partition: 22,
@@ -195,6 +208,14 @@ impl IcpeConfigBuilder {
     /// Sets the keyed-stage parallelism `N`.
     pub fn parallelism(mut self, n: usize) -> Self {
         self.parallelism = n.max(1);
+        self
+    }
+
+    /// Sets the GridSync aggregation-tree fanin (default
+    /// [`DEFAULT_SYNC_FANIN`], clamped ≥ 2). `fanin ≥ N` collapses the
+    /// tree to a flat N → 1 funnel.
+    pub fn sync_fanin(mut self, fanin: usize) -> Self {
+        self.sync_fanin = fanin.max(2);
         self
     }
 
@@ -264,6 +285,7 @@ impl IcpeConfigBuilder {
             clusterer: self.clusterer,
             enumerator: self.enumerator,
             parallelism: self.parallelism,
+            sync_fanin: self.sync_fanin,
             runtime: self.runtime,
             aligner: self.aligner,
             max_baseline_partition: self.max_baseline_partition,
@@ -321,5 +343,20 @@ mod tests {
             .build()
             .unwrap();
         assert_eq!(c.parallelism, 1);
+    }
+
+    #[test]
+    fn sync_fanin_defaults_and_clamps() {
+        let c = IcpeConfig::builder()
+            .constraints(Constraints::new(2, 2, 1, 1).unwrap())
+            .build()
+            .unwrap();
+        assert_eq!(c.sync_fanin, DEFAULT_SYNC_FANIN);
+        let c = IcpeConfig::builder()
+            .constraints(Constraints::new(2, 2, 1, 1).unwrap())
+            .sync_fanin(0)
+            .build()
+            .unwrap();
+        assert_eq!(c.sync_fanin, 2);
     }
 }

@@ -194,8 +194,10 @@ impl StreamingEngine {
             },
             aligner,
             engine,
-            // Single-threaded: no keyed exchange, nothing to route.
+            // Single-threaded: no keyed exchange, nothing to route and no
+            // sharded merge path.
             routing: None,
+            sync: None,
         })
     }
 

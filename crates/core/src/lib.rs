@@ -30,10 +30,13 @@ pub mod config;
 pub mod engine;
 pub mod pipeline;
 
-pub use config::{ClustererKind, EnumeratorKind, IcpeConfig, IcpeConfigBuilder};
+pub use config::{
+    ClustererKind, EnumeratorKind, IcpeConfig, IcpeConfigBuilder, DEFAULT_SYNC_FANIN,
+};
 pub use engine::{IcpeEngine, StreamingEngine};
-pub use icpe_cluster::BalancerConfig;
+pub use icpe_cluster::{BalancerConfig, SyncStatus};
 pub use icpe_runtime::RoutingStatus;
 pub use pipeline::{
     IcpePipeline, LivePipeline, PipelineEvent, PipelineOutput, RecordSender, RoutingHandle,
+    SyncHandle,
 };

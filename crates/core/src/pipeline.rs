@@ -82,20 +82,21 @@ use crate::config::{ClustererKind, EnumeratorKind, IcpeConfig};
 use icpe_cluster::allocate::allocate_one;
 use icpe_cluster::balance::{imbalance, CellLoad, LoadBalancer, LoadTracker};
 use icpe_cluster::query::NeighborPair;
-use icpe_cluster::sync::PairCollector;
+use icpe_cluster::sync::{PairCollector, SyncStats, SyncStatus};
 use icpe_cluster::{dbscan_from_pairs, CellQueryEngine, GdcClusterer, SnapshotClusterer};
 use icpe_index::{Grid, GridKey, RTree};
 use icpe_pattern::partition::Partition;
 use icpe_pattern::{id_partitions, BaselineEngine, FbaEngine, PatternEngine, VbaEngine};
 use icpe_runtime::{
     ingest_channel, Collector, Disconnected, Exchange, MetricsReport, Operator, PipelineMetrics,
-    Routing, RoutingStatus, RoutingTable, Stream, StreamProgress, TimeAligner,
+    Routing, RoutingStatus, RoutingTable, Stream, StreamProgress, TimeAligner, TreeSlot,
 };
 use icpe_types::shard::{hash_id, stable_hash, subtask_for};
 use icpe_types::{
     AlignerCheckpoint, CheckpointError, ClusterSnapshot, DbscanParams, DistanceMetric,
     EngineCheckpoint, GpsRecord, ObjectId, Pattern, PipelineCheckpoint, ProgressCheckpoint,
-    RoutingCheckpoint, Snapshot, Timestamp, CHECKPOINT_VERSION,
+    RoutingCheckpoint, Snapshot, SyncCheckpoint, SyncWindowCheckpoint, Timestamp,
+    CHECKPOINT_VERSION,
 };
 use std::collections::{BTreeMap, HashMap};
 use std::sync::atomic::{AtomicU64, Ordering};
@@ -161,6 +162,11 @@ pub(crate) struct BarrierToken {
     /// the adaptive-routing state at the cut. Stays `None` under static
     /// routing or the GDC clusterer.
     routing: Mutex<Option<RoutingCheckpoint>>,
+    /// Filled as the barrier aligns through the sharded sync path: one
+    /// piece per sync shard (dedup counters + pending pairs) plus one
+    /// from the tree finalizer (window-seal counter). Merged by the sink;
+    /// stays empty under GDC.
+    sync: Mutex<Vec<SyncCheckpoint>>,
 }
 
 /// A cloneable handle for pushing records into a running [`LivePipeline`]
@@ -255,6 +261,22 @@ impl RoutingHandle {
     }
 }
 
+/// A live view of the sharded GridSync merge path: cumulative dedup/seal
+/// counters and the per-shard load split of the last sealed window.
+/// Cloneable and independent of the [`LivePipeline`]'s lifetime, like
+/// [`RoutingHandle`].
+#[derive(Debug, Clone)]
+pub struct SyncHandle {
+    stats: Arc<SyncStats>,
+}
+
+impl SyncHandle {
+    /// The current sync gauges.
+    pub fn status(&self) -> SyncStatus {
+        self.stats.status()
+    }
+}
+
 /// A running streaming deployment (see [`IcpePipeline::launch`]).
 ///
 /// Dropping the handle without calling [`LivePipeline::finish`] detaches
@@ -266,6 +288,7 @@ pub struct LivePipeline {
     driver: Option<JoinHandle<()>>,
     metrics: PipelineMetrics,
     routing: Option<RoutingHandle>,
+    sync: Option<SyncHandle>,
 }
 
 impl LivePipeline {
@@ -330,6 +353,18 @@ impl LivePipeline {
     /// Convenience: the current [`RoutingStatus`], when a grid stage runs.
     pub fn routing_status(&self) -> Option<RoutingStatus> {
         self.routing.as_ref().map(RoutingHandle::status)
+    }
+
+    /// The sharded GridSync merge path's gauge view (`None` for
+    /// clusterers without a grid sync stage, i.e. GDC). Clone it to keep
+    /// reading after [`LivePipeline::finish`].
+    pub fn sync(&self) -> Option<&SyncHandle> {
+        self.sync.as_ref()
+    }
+
+    /// Convenience: the current [`SyncStatus`], when a sync stage runs.
+    pub fn sync_status(&self) -> Option<SyncStatus> {
+        self.sync.as_ref().map(SyncHandle::status)
     }
 
     /// Ends the stream (drops this handle's sender) and blocks until the
@@ -410,10 +445,22 @@ impl IcpePipeline {
                 tracker: Arc::new(LoadTracker::new(config.parallelism)),
             }
         });
+        // The sync gauge surface exists alongside the routing layer: the
+        // sharded merge path runs whenever a keyed grid stage does. A
+        // restored deployment rehydrates the cumulative counters so
+        // observability does not reset across a restart.
+        let sync = (config.clusterer != ClustererKind::Gdc).then(|| {
+            let stats = Arc::new(SyncStats::new(config.parallelism, config.sync_fanin));
+            if let Some(ckpt) = &resume.sync {
+                stats.restore(ckpt.pairs_merged, ckpt.duplicates, ckpt.windows_sealed);
+            }
+            SyncHandle { stats }
+        });
         let (input, records) = ingest_channel::<InputMsg>(config.runtime.channel_capacity);
         let driver_config = config.clone();
         let driver_metrics = metrics.clone();
         let driver_routing = routing.clone();
+        let driver_sync = sync.clone();
         let ckpt_seq = Arc::new(AtomicU64::new(resume.next_seq.saturating_sub(1)));
         let driver = std::thread::Builder::new()
             .name("icpe-driver".into())
@@ -424,6 +471,7 @@ impl IcpePipeline {
                     driver_metrics,
                     resume,
                     driver_routing,
+                    driver_sync,
                     on_event,
                 )
             })
@@ -436,6 +484,7 @@ impl IcpePipeline {
             driver: Some(driver),
             metrics,
             routing,
+            sync,
         }
     }
 
@@ -518,6 +567,11 @@ struct ResumeState {
     /// The adaptive-routing controller (`None` under static routing),
     /// pre-seeded from the checkpoint's routing section on restore.
     balancer: Option<LoadBalancer>,
+    /// The checkpoint's merged sync section (`None` on a fresh launch or
+    /// a pre-sync checkpoint): counters rehydrate the shared gauges and
+    /// the subtask-0 shard op; pending pairs owner-filter back onto the
+    /// shards that own them at the restored parallelism.
+    sync: Option<SyncCheckpoint>,
     records_ingested: u64,
     completed: u64,
     max_sealed: Option<u32>,
@@ -535,6 +589,7 @@ impl ResumeState {
             balancer: config
                 .rebalance
                 .map(|bc| LoadBalancer::new(bc, config.parallelism)),
+            sync: None,
             records_ingested: 0,
             completed: 0,
             max_sealed: None,
@@ -583,6 +638,7 @@ impl ResumeState {
             aligner: TimeAligner::from_checkpoint(config.aligner, &ckpt.aligner),
             engines,
             balancer,
+            sync: ckpt.sync.clone(),
             records_ingested: ckpt.records_ingested,
             completed: ckpt.progress.snapshots_completed,
             max_sealed: ckpt.progress.max_sealed,
@@ -599,6 +655,7 @@ fn drive(
     metrics: PipelineMetrics,
     resume: ResumeState,
     routing: Option<RoutingHandle>,
+    sync: Option<SyncHandle>,
     mut on_event: impl FnMut(PipelineEvent) + Send + 'static,
 ) {
     let n = config.parallelism;
@@ -606,30 +663,36 @@ fn drive(
         aligner,
         engines,
         balancer,
+        sync: sync_resume,
         records_ingested,
         completed,
         ..
     } = resume;
 
-    let align_cell = Mutex::new(Some(AlignBarrierOp {
-        reported_late: aligner.late_dropped(),
-        aligner,
-        metrics: metrics.clone(),
-        records_ingested,
-        scratch: Vec::new(),
-    }));
     let engine_cells: Vec<Mutex<Option<Box<dyn PatternEngine + Send>>>> =
         engines.into_iter().map(|e| Mutex::new(Some(e))).collect();
 
     let source = Stream::from_channel(config.runtime, records);
-    let snapshots = source.apply("align", 1, Exchange::Rebalance, move |_| {
-        align_cell
-            .lock()
-            .expect("align cell poisoned")
-            .take()
-            .expect("align stage has parallelism 1")
-    });
-    let partitions = cluster_stages(snapshots, &config, &metrics, routing, balancer);
+    let snapshots = source.single(
+        "align",
+        Exchange::Rebalance,
+        AlignBarrierOp {
+            reported_late: aligner.late_dropped(),
+            aligner,
+            metrics: metrics.clone(),
+            records_ingested,
+            scratch: Vec::new(),
+        },
+    );
+    let partitions = cluster_stages(
+        snapshots,
+        &config,
+        &metrics,
+        routing,
+        balancer,
+        sync,
+        sync_resume,
+    );
     let outputs = partitions.apply(
         "enumerate",
         n,
@@ -673,6 +736,14 @@ fn drive(
                 let (token, pieces) = pending_ckpts.remove(&token.request.seq).unwrap();
                 let engine = EngineCheckpoint::merge(pieces)
                     .expect("subtask checkpoints share one engine kind");
+                // By the time the last engine piece arrives here, the
+                // barrier has aligned through every sync shard and the
+                // tree finalizer (their channel sends happen-before the
+                // enumeration pieces'), so the slot holds all N + 1 sync
+                // pieces; empty under GDC.
+                let sync_pieces =
+                    std::mem::take(&mut *token.sync.lock().expect("sync slot poisoned"));
+                let sync = (!sync_pieces.is_empty()).then(|| SyncCheckpoint::merge(sync_pieces));
                 let checkpoint = PipelineCheckpoint {
                     version: CHECKPOINT_VERSION,
                     seq: token.request.seq,
@@ -689,6 +760,7 @@ fn drive(
                     // Deposited by the allocate subtask as the barrier
                     // passed it; `None` under static routing / GDC.
                     routing: token.routing.lock().expect("routing slot poisoned").clone(),
+                    sync,
                 };
                 // The requester may have given up (timeout/shutdown);
                 // nothing to do then.
@@ -706,6 +778,8 @@ fn cluster_stages(
     metrics: &PipelineMetrics,
     routing: Option<RoutingHandle>,
     balancer: Option<LoadBalancer>,
+    sync: Option<SyncHandle>,
+    sync_resume: Option<SyncCheckpoint>,
 ) -> Stream<PartMsg> {
     let n = config.parallelism;
     let m = config.constraints.m();
@@ -720,21 +794,22 @@ fn cluster_stages(
             let routing = routing.expect("grid clusterers run with a routing layer");
             let table = Arc::clone(&routing.table);
             let tracker = Arc::clone(&routing.tracker);
-            let allocate_table = Arc::clone(&table);
-            let allocate_tracker = Arc::clone(&tracker);
-            let balancer_cell = Mutex::new(balancer);
-            let grid_objects =
-                snapshots.apply("allocate", 1, Exchange::Rebalance, move |_| AllocateOp {
+            let sync_stats = Arc::clone(&sync.expect("grid clusterers run with sync stats").stats);
+            let grid_objects = snapshots.single(
+                "allocate",
+                Exchange::Rebalance,
+                AllocateOp {
                     grid: Grid::new(lg),
                     eps: dbscan.eps,
                     full_replication,
-                    metrics: m0.clone(),
-                    balancer: balancer_cell.lock().expect("balancer cell poisoned").take(),
-                    table: Arc::clone(&allocate_table),
-                    tracker: Arc::clone(&allocate_tracker),
+                    metrics: m0,
+                    balancer,
+                    table: Arc::clone(&table),
+                    tracker: Arc::clone(&tracker),
                     cell_records: HashMap::new(),
                     objects: Vec::new(),
-                });
+                },
+            );
             // Keyed on the grid cell either statically (`hash % N`) or
             // through the swappable routing table; ticks and barriers
             // broadcast either way.
@@ -753,26 +828,57 @@ fn cluster_stages(
                     metric,
                     build_then_query,
                     subtask,
+                    n,
                     Arc::clone(&tracker),
                 )
             });
-            pairs.apply("sync-dbscan", 1, Exchange::Rebalance, move |_| {
-                SyncDbscanOp {
-                    upstream: n,
+            // The sharded merge path: pairs key on their owner's shard so
+            // every duplicate of a pair meets its twin on one subtask,
+            // each shard dedups the partitions it owns, and the partial
+            // merges reduce through the aggregation tree down to the one
+            // finalizer that runs DBSCAN and seals the window.
+            let shard_stats = Arc::clone(&sync_stats);
+            let shard_resume = sync_resume.clone();
+            let partials = pairs.apply(
+                "sync-shard",
+                n,
+                Exchange::per_record(|msg: &PairMsg| match msg {
+                    PairMsg::Pairs { shard, .. } => Routing::Key(*shard as u64),
+                    PairMsg::Tick(_) | PairMsg::Barrier(_) => Routing::Broadcast,
+                }),
+                move |i| ShardSyncOp::build(i, n, Arc::clone(&shard_stats), shard_resume.as_ref()),
+            );
+            let final_stats = Arc::clone(&sync_stats);
+            let windows_sealed = sync_resume.map(|s| s.windows_sealed).unwrap_or(0);
+            partials.reduce_tree(
+                "sync-merge",
+                n,
+                config.sync_fanin,
+                |msg: &MergeMsg| msg.from(),
+                |slot| MergeCombineOp {
+                    slot,
+                    align: TreeWindowAlign::new(slot.inputs),
+                },
+                move |inputs| MergeFinalOp {
                     m,
                     dbscan,
-                    pending: BTreeMap::new(),
-                    barriers: HashMap::new(),
-                }
-            })
+                    stats: final_stats,
+                    windows_sealed,
+                    align: TreeWindowAlign::new(inputs),
+                },
+            )
         }
         ClustererKind::Gdc => {
             let m0 = metrics.clone();
-            snapshots.apply("gdc-cluster", 1, Exchange::Rebalance, move |_| GdcOp {
-                clusterer: GdcClusterer::new(dbscan, metric),
-                m,
-                metrics: m0.clone(),
-            })
+            snapshots.single(
+                "gdc-cluster",
+                Exchange::Rebalance,
+                GdcOp {
+                    clusterer: GdcClusterer::new(dbscan, metric),
+                    m,
+                    metrics: m0,
+                },
+            )
         }
     }
 }
@@ -796,12 +902,95 @@ enum ClusterMsg {
     Barrier(Arc<BarrierToken>),
 }
 
-/// GridQuery → GridSync.
+/// GridQuery → GridSync shards: pairs travel keyed by the owning shard
+/// (the pair-owner hash at the sync parallelism), so both discoveries of
+/// a duplicated pair meet on one subtask; ticks and barriers broadcast.
 #[derive(Debug, Clone)]
 enum PairMsg {
-    Pairs(u32, Vec<NeighborPair>),
+    Pairs {
+        /// Destination sync shard (= `subtask_for(hash_id(pair.0), n)`,
+        /// precomputed by the query subtask so the exchange can route the
+        /// whole bundle in one decision).
+        shard: u32,
+        time: u32,
+        pairs: Vec<NeighborPair>,
+    },
     Tick(u32),
     Barrier(Arc<BarrierToken>),
+}
+
+/// GridSync shards → aggregation tree → finalizer. Every variant carries
+/// its producer's index — [`Stream::reduce_tree`] routes on it, and each
+/// combiner re-stamps its own slot index on what it forwards.
+#[derive(Debug, Clone)]
+enum MergeMsg {
+    /// One producer's deduplicated share of window `time`: its distinct
+    /// pairs plus the (sorted, deduplicated) object ids they mention —
+    /// carried alongside so object-set union happens in the tree instead
+    /// of as one big serial sort at the root.
+    Partial {
+        from: usize,
+        time: u32,
+        pairs: Vec<NeighborPair>,
+        objects: Vec<ObjectId>,
+    },
+    Tick {
+        from: usize,
+        time: u32,
+    },
+    Barrier {
+        from: usize,
+        token: Arc<BarrierToken>,
+    },
+}
+
+impl MergeMsg {
+    /// The producing subtask's index at the previous tree level.
+    fn from(&self) -> usize {
+        match self {
+            MergeMsg::Partial { from, .. }
+            | MergeMsg::Tick { from, .. }
+            | MergeMsg::Barrier { from, .. } => *from,
+        }
+    }
+}
+
+/// Merges two ascending, deduplicated id lists into one (the tree's
+/// object-set union; linear, allocation-exact).
+fn merge_sorted_ids(a: Vec<ObjectId>, b: Vec<ObjectId>) -> Vec<ObjectId> {
+    if a.is_empty() {
+        return b;
+    }
+    if b.is_empty() {
+        return a;
+    }
+    let mut out = Vec::with_capacity(a.len() + b.len());
+    let (mut ia, mut ib) = (a.into_iter().peekable(), b.into_iter().peekable());
+    loop {
+        match (ia.peek(), ib.peek()) {
+            (Some(&x), Some(&y)) => {
+                let next = match x.cmp(&y) {
+                    std::cmp::Ordering::Less => ia.next(),
+                    std::cmp::Ordering::Greater => ib.next(),
+                    std::cmp::Ordering::Equal => {
+                        ib.next();
+                        ia.next()
+                    }
+                };
+                out.push(next.expect("peeked"));
+            }
+            (Some(_), None) => {
+                out.extend(ia);
+                break;
+            }
+            (None, Some(_)) => {
+                out.extend(ib);
+                break;
+            }
+            (None, None) => break,
+        }
+    }
+    out
 }
 
 /// GridSync/DBSCAN → Enumerate.
@@ -877,6 +1066,7 @@ impl Operator<InputMsg, AlignMsg> for AlignBarrierOp {
                     aligner: self.aligner.checkpoint(),
                     records_ingested: self.records_ingested,
                     routing: Mutex::new(None),
+                    sync: Mutex::new(Vec::new()),
                 })));
             }
         }
@@ -996,6 +1186,10 @@ struct QueryOp {
     /// Per-cell pair scratch, reused across cells and ticks (the emitted
     /// vector must be owned, but the hot per-cell buffer need not churn).
     cell_pairs: Vec<NeighborPair>,
+    /// Per-shard outgoing pair bundles: produced pairs partition by the
+    /// owning sync shard (`subtask_for(hash_id(pair.0), shards)`), one
+    /// bundle message per non-empty shard per window flush.
+    shard_pairs: Vec<Vec<NeighborPair>>,
     /// SRJ bulk-load scratch, reused across cells and ticks.
     items: Vec<(icpe_types::Point, ObjectId)>,
     /// SRJ per-probe hit scratch (owned ids), reused across probes.
@@ -1008,6 +1202,7 @@ impl QueryOp {
         metric: DistanceMetric,
         build_then_query: bool,
         subtask: usize,
+        shards: usize,
         tracker: Arc<LoadTracker>,
     ) -> Self {
         QueryOp {
@@ -1018,13 +1213,14 @@ impl QueryOp {
             tracker,
             buffers: BTreeMap::new(),
             cell_pairs: Vec::new(),
+            shard_pairs: vec![Vec::new(); shards.max(1)],
             items: Vec::new(),
             hits: Vec::new(),
         }
     }
 
     fn flush_time(&mut self, t: u32, out: &mut Collector<PairMsg>) {
-        let mut pairs = Vec::new();
+        let shards = self.shard_pairs.len();
         let mut window_load = 0u64;
         if let Some(cells) = self.buffers.remove(&t) {
             for (cell, objects) in cells {
@@ -1069,11 +1265,21 @@ impl QueryOp {
                         pairs: self.cell_pairs.len() as u64,
                     },
                 );
-                pairs.extend_from_slice(&self.cell_pairs);
+                for &pair in &self.cell_pairs {
+                    self.shard_pairs[subtask_for(hash_id(pair.0), shards)].push(pair);
+                }
             }
         }
         self.tracker.record_window(t, self.subtask, window_load);
-        out.emit(PairMsg::Pairs(t, pairs));
+        for shard in 0..shards {
+            if !self.shard_pairs[shard].is_empty() {
+                out.emit(PairMsg::Pairs {
+                    shard: shard as u32,
+                    time: t,
+                    pairs: std::mem::take(&mut self.shard_pairs[shard]),
+                });
+            }
+        }
         out.emit(PairMsg::Tick(t));
     }
 }
@@ -1105,22 +1311,96 @@ impl Operator<ClusterMsg, PairMsg> for QueryOp {
     }
 }
 
-/// GridSync + DBSCAN + id-based partitioning, single subtask (as in the
-/// paper: the collection step is centralized and DBSCAN is O(pairs)).
-struct SyncDbscanOp {
+/// One GridSync shard: owns the pair partitions whose owner id hashes to
+/// it, deduplicates them with a [`PairCollector`] per open window, and at
+/// the window's last upstream tick forwards its sorted share (pairs +
+/// mentioned object ids) into the aggregation tree. The paper centralizes
+/// this step; sharding it is what breaks the dataflow's serial tail — the
+/// per-pair hash-set dedup, previously one funnel subtask's job, now runs
+/// at the full keyed-stage parallelism.
+struct ShardSyncOp {
+    shard: usize,
+    /// Upstream query subtasks (tick/barrier alignment count).
     upstream: usize,
-    m: usize,
-    dbscan: DbscanParams,
+    stats: Arc<SyncStats>,
+    /// Cumulative counters, authoritative for this shard's checkpoint
+    /// piece (the shared `stats` only mirror them for live gauges).
+    pairs_merged: u64,
+    duplicates: u64,
     pending: BTreeMap<u32, (PairCollector, usize)>,
     /// Barrier alignment: seq → barriers received from upstream subtasks.
     barriers: HashMap<u64, usize>,
 }
 
-impl Operator<PairMsg, PartMsg> for SyncDbscanOp {
-    fn process(&mut self, msg: PairMsg, out: &mut Collector<PartMsg>) {
+impl ShardSyncOp {
+    /// Builds shard `shard` of `n`, rehydrating from a checkpoint's merged
+    /// sync section when one is given: pending pairs owner-filter onto the
+    /// shards that route them at this parallelism; the cumulative counters
+    /// restore into shard 0 only (the next checkpoint's merge would
+    /// otherwise multiply them by `n` — the engine `skipped_partitions`
+    /// pattern). Restored pending windows reset their tick counts: the
+    /// counts belong to the old deployment's upstream width, and the
+    /// replayed input re-delivers every tick of an unsealed window.
+    fn build(
+        shard: usize,
+        n: usize,
+        stats: Arc<SyncStats>,
+        resume: Option<&SyncCheckpoint>,
+    ) -> Self {
+        let mut op = ShardSyncOp {
+            shard,
+            upstream: n,
+            stats,
+            pairs_merged: 0,
+            duplicates: 0,
+            pending: BTreeMap::new(),
+            barriers: HashMap::new(),
+        };
+        if let Some(ckpt) = resume {
+            let piece = ckpt.piece(shard == 0, |owner| subtask_for(hash_id(owner), n) == shard);
+            op.pairs_merged = piece.pairs_merged;
+            op.duplicates = piece.duplicates;
+            for w in piece.pending {
+                let mut collector = PairCollector::new();
+                collector.extend(w.pairs);
+                op.pending.insert(w.time, (collector, 0));
+            }
+        }
+        op
+    }
+
+    /// This shard's checkpoint piece at a barrier.
+    fn piece(&self) -> SyncCheckpoint {
+        debug_assert!(
+            self.pending.is_empty(),
+            "the barrier trails every sealed window's ticks, so a shard \
+             holds no window state at the cut"
+        );
+        SyncCheckpoint {
+            pairs_merged: self.pairs_merged,
+            duplicates: self.duplicates,
+            windows_sealed: 0,
+            pending: self
+                .pending
+                .iter()
+                .map(|(&time, (collector, _))| SyncWindowCheckpoint {
+                    time,
+                    pairs: collector.snapshot_pairs(),
+                })
+                .collect(),
+        }
+    }
+}
+
+impl Operator<PairMsg, MergeMsg> for ShardSyncOp {
+    fn process(&mut self, msg: PairMsg, out: &mut Collector<MergeMsg>) {
         match msg {
-            PairMsg::Pairs(t, pairs) => {
-                let entry = self.pending.entry(t).or_default();
+            PairMsg::Pairs { shard, time, pairs } => {
+                debug_assert_eq!(
+                    shard as usize, self.shard,
+                    "pairs routed to their owner shard"
+                );
+                let entry = self.pending.entry(time).or_default();
                 entry.0.extend(pairs);
             }
             PairMsg::Tick(t) => {
@@ -1128,16 +1408,30 @@ impl Operator<PairMsg, PartMsg> for SyncDbscanOp {
                 entry.1 += 1;
                 if entry.1 == self.upstream {
                     let (collector, _) = self.pending.remove(&t).unwrap();
+                    let duplicates = collector.duplicates() as u64;
                     let pairs = collector.into_pairs();
+                    // The object-id union of this shard's pairs, computed
+                    // here (in parallel across shards) so the finalizer
+                    // only merges sorted lists instead of sorting the
+                    // whole window's ids serially.
                     let mut objects: Vec<ObjectId> =
                         pairs.iter().flat_map(|&(a, b)| [a, b]).collect();
                     objects.sort_unstable();
                     objects.dedup();
-                    let outcome = dbscan_from_pairs(Timestamp(t), &objects, &pairs, &self.dbscan);
-                    for partition in id_partitions(&outcome.snapshot, self.m) {
-                        out.emit(PartMsg::Part { time: t, partition });
-                    }
-                    out.emit(PartMsg::Tick(t));
+                    self.pairs_merged += pairs.len() as u64;
+                    self.duplicates += duplicates;
+                    self.stats
+                        .note_shard_window(t, self.shard, pairs.len() as u64, duplicates);
+                    out.emit(MergeMsg::Partial {
+                        from: self.shard,
+                        time: t,
+                        pairs,
+                        objects,
+                    });
+                    out.emit(MergeMsg::Tick {
+                        from: self.shard,
+                        time: t,
+                    });
                 }
             }
             PairMsg::Barrier(token) => {
@@ -1148,6 +1442,185 @@ impl Operator<PairMsg, PartMsg> for SyncDbscanOp {
                 *count += 1;
                 if *count == self.upstream {
                     self.barriers.remove(&token.request.seq);
+                    token
+                        .sync
+                        .lock()
+                        .expect("sync slot poisoned")
+                        .push(self.piece());
+                    out.emit(MergeMsg::Barrier {
+                        from: self.shard,
+                        token,
+                    });
+                }
+            }
+        }
+    }
+}
+
+/// Per-window accumulator of one aggregation-tree slot.
+#[derive(Debug, Default)]
+struct MergeAcc {
+    pairs: Vec<NeighborPair>,
+    objects: Vec<ObjectId>,
+    ticks: usize,
+}
+
+impl MergeAcc {
+    fn absorb(&mut self, pairs: Vec<NeighborPair>, objects: Vec<ObjectId>) {
+        // Shards own disjoint pair sets, so concatenation is exact; the
+        // object lists can overlap across shards and merge sorted.
+        if self.pairs.is_empty() {
+            self.pairs = pairs;
+        } else {
+            self.pairs.extend(pairs);
+        }
+        self.objects = merge_sorted_ids(std::mem::take(&mut self.objects), objects);
+    }
+}
+
+/// The per-slot alignment state every aggregation-tree operator shares:
+/// open-window accumulators sealed at the `inputs`-th tick, and barrier
+/// copies counted to the same width — so a fix to alignment semantics
+/// lands in exactly one place for combiners and finalizer alike.
+struct TreeWindowAlign {
+    inputs: usize,
+    pending: BTreeMap<u32, MergeAcc>,
+    barriers: HashMap<u64, usize>,
+}
+
+impl TreeWindowAlign {
+    fn new(inputs: usize) -> Self {
+        TreeWindowAlign {
+            inputs,
+            pending: BTreeMap::new(),
+            barriers: HashMap::new(),
+        }
+    }
+
+    /// Absorbs one producer's partial for window `time`.
+    fn absorb(&mut self, time: u32, pairs: Vec<NeighborPair>, objects: Vec<ObjectId>) {
+        self.pending.entry(time).or_default().absorb(pairs, objects);
+    }
+
+    /// Counts one producer's tick for window `time`; returns the sealed
+    /// accumulator once every input has ticked.
+    fn tick(&mut self, time: u32) -> Option<MergeAcc> {
+        let acc = self.pending.entry(time).or_default();
+        acc.ticks += 1;
+        (acc.ticks == self.inputs).then(|| self.pending.remove(&time).expect("window present"))
+    }
+
+    /// Counts one producer's barrier copy; returns `true` once the
+    /// barrier has aligned (every input delivered its copy), at which
+    /// point no window state can remain open at this slot.
+    fn barrier(&mut self, seq: u64) -> bool {
+        let count = self.barriers.entry(seq).or_insert(0);
+        *count += 1;
+        if *count < self.inputs {
+            return false;
+        }
+        self.barriers.remove(&seq);
+        debug_assert!(
+            self.pending.is_empty(),
+            "aligned barriers trail every sealed window at every tree level"
+        );
+        true
+    }
+}
+
+/// An interior combiner of the sync aggregation tree: merges the partial
+/// windows of its [`TreeSlot::inputs`] producers and forwards one combined
+/// partial per window, re-stamped with its own slot index. Barriers align
+/// here exactly as at the shards, so the cut stays consistent at every
+/// tree level.
+struct MergeCombineOp {
+    slot: TreeSlot,
+    align: TreeWindowAlign,
+}
+
+impl Operator<MergeMsg, MergeMsg> for MergeCombineOp {
+    fn process(&mut self, msg: MergeMsg, out: &mut Collector<MergeMsg>) {
+        match msg {
+            MergeMsg::Partial {
+                time,
+                pairs,
+                objects,
+                ..
+            } => self.align.absorb(time, pairs, objects),
+            MergeMsg::Tick { time, .. } => {
+                if let Some(acc) = self.align.tick(time) {
+                    out.emit(MergeMsg::Partial {
+                        from: self.slot.subtask,
+                        time,
+                        pairs: acc.pairs,
+                        objects: acc.objects,
+                    });
+                    out.emit(MergeMsg::Tick {
+                        from: self.slot.subtask,
+                        time,
+                    });
+                }
+            }
+            MergeMsg::Barrier { token, .. } => {
+                if self.align.barrier(token.request.seq) {
+                    out.emit(MergeMsg::Barrier {
+                        from: self.slot.subtask,
+                        token,
+                    });
+                }
+            }
+        }
+    }
+}
+
+/// The root of the sync aggregation tree: merges the last partials, runs
+/// DBSCAN over the window's global pair set and seals the window —
+/// id-partitioning the clusters for the keyed enumeration stage, exactly
+/// what the centralized GridSync funnel used to do, minus the dedup work
+/// the shards already absorbed.
+struct MergeFinalOp {
+    m: usize,
+    dbscan: DbscanParams,
+    stats: Arc<SyncStats>,
+    /// Cumulative window-seal counter, authoritative for the finalizer's
+    /// checkpoint piece.
+    windows_sealed: u64,
+    align: TreeWindowAlign,
+}
+
+impl Operator<MergeMsg, PartMsg> for MergeFinalOp {
+    fn process(&mut self, msg: MergeMsg, out: &mut Collector<PartMsg>) {
+        match msg {
+            MergeMsg::Partial {
+                time,
+                pairs,
+                objects,
+                ..
+            } => self.align.absorb(time, pairs, objects),
+            MergeMsg::Tick { time, .. } => {
+                if let Some(acc) = self.align.tick(time) {
+                    let outcome =
+                        dbscan_from_pairs(Timestamp(time), &acc.objects, &acc.pairs, &self.dbscan);
+                    for partition in id_partitions(&outcome.snapshot, self.m) {
+                        out.emit(PartMsg::Part { time, partition });
+                    }
+                    out.emit(PartMsg::Tick(time));
+                    self.windows_sealed += 1;
+                    self.stats.note_window_sealed();
+                }
+            }
+            MergeMsg::Barrier { token, .. } => {
+                if self.align.barrier(token.request.seq) {
+                    token
+                        .sync
+                        .lock()
+                        .expect("sync slot poisoned")
+                        .push(SyncCheckpoint {
+                            pairs_merged: 0,
+                            duplicates: 0,
+                            windows_sealed: self.windows_sealed,
+                            pending: Vec::new(),
+                        });
                     out.emit(PartMsg::Barrier(token));
                 }
             }
@@ -1307,6 +1780,62 @@ mod tests {
             let out = IcpePipeline::run(&config(n, EnumeratorKind::Fba), walking_records(10));
             assert_eq!(unique_object_sets(&out.patterns), base, "N = {n}");
         }
+    }
+
+    #[test]
+    fn sync_tree_fanin_does_not_change_results() {
+        let base = unique_object_sets(
+            &IcpePipeline::run(&config(1, EnumeratorKind::Fba), walking_records(10)).patterns,
+        );
+        for fanin in [2usize, 3, 8] {
+            let cfg = IcpeConfig::builder()
+                .constraints(Constraints::new(3, 4, 2, 2).unwrap())
+                .epsilon(1.0)
+                .min_pts(3)
+                .parallelism(8)
+                .sync_fanin(fanin)
+                .enumerator(EnumeratorKind::Fba)
+                .build()
+                .unwrap();
+            let out = IcpePipeline::run(&cfg, walking_records(10));
+            assert_eq!(unique_object_sets(&out.patterns), base, "fanin = {fanin}");
+        }
+    }
+
+    #[test]
+    fn sync_gauges_report_the_sharded_merge() {
+        let live = IcpePipeline::launch(&config(4, EnumeratorKind::Fba), |_| {});
+        let sync = live.sync().expect("grid clusterer has a sync path").clone();
+        for r in walking_records(10) {
+            live.push(r).unwrap();
+        }
+        live.finish();
+        let status = sync.status();
+        assert_eq!(status.shards, 4);
+        assert_eq!(status.fanin, crate::config::DEFAULT_SYNC_FANIN);
+        assert_eq!(status.levels, 0, "4 shards at fanin 4 is a flat funnel");
+        assert_eq!(status.windows_sealed, 10);
+        assert!(
+            status.pairs_merged > 0,
+            "the walking trio produces pairs every window: {status:?}"
+        );
+
+        // A deeper tree exposes interior levels.
+        let cfg = IcpeConfig::builder()
+            .constraints(Constraints::new(3, 4, 2, 2).unwrap())
+            .epsilon(1.0)
+            .min_pts(3)
+            .parallelism(8)
+            .sync_fanin(2)
+            .build()
+            .unwrap();
+        let live = IcpePipeline::launch(&cfg, |_| {});
+        let status = live.sync_status().expect("sync path");
+        assert_eq!(status.levels, 2, "8 → 4 → 2 → final");
+        for r in walking_records(6) {
+            live.push(r).unwrap();
+        }
+        live.finish();
     }
 
     #[test]
@@ -1532,6 +2061,17 @@ mod tests {
             "the barrier trails exactly the pushed records"
         );
         assert_eq!(ckpt.engine.kind, "FBA");
+        let sync = ckpt.sync.as_ref().expect("grid clusterers checkpoint sync");
+        assert!(
+            sync.pending.is_empty(),
+            "aligned barriers leave no open sync windows"
+        );
+        assert_eq!(
+            sync.windows_sealed,
+            ckpt.aligner.sealed_up_to.unwrap_or(0) as u64,
+            "every snapshot the aligner sealed before the cut has flowed \
+             through the merge tree by the time the barrier aligns there"
+        );
         // A second checkpoint advances the sequence.
         for r in &records[25..30] {
             live.push(*r).unwrap();

@@ -43,12 +43,18 @@ fn skewed_records(seed: u64, objects: usize, ticks: u32) -> Vec<GpsRecord> {
     .to_gps_records()
 }
 
-fn config(kind: EnumeratorKind, parallelism: usize, adaptive: bool) -> IcpeConfig {
+fn config(
+    kind: EnumeratorKind,
+    parallelism: usize,
+    adaptive: bool,
+    sync_fanin: usize,
+) -> IcpeConfig {
     let mut b = IcpeConfig::builder()
         .constraints(Constraints::new(3, 6, 3, 2).expect("valid"))
         .epsilon(1.0)
         .min_pts(3)
         .parallelism(parallelism)
+        .sync_fanin(sync_fanin)
         .enumerator(kind);
     if adaptive {
         // Migrate at the slightest imbalance, every window: the point is
@@ -83,53 +89,65 @@ fn run_collecting(config: &IcpeConfig, records: &[GpsRecord]) -> (Vec<Pattern>, 
 proptest! {
     #![proptest_config(ProptestConfig::with_cases(10))]
 
-    /// Adaptive ≡ static, all engines, forced migrations.
+    /// Adaptive ≡ static, all engines, forced migrations — on both
+    /// sharded-sync tree shapes (fanin 2 = interior combiner levels,
+    /// fanin N = flat funnel): cell migrations re-route *query* work
+    /// while the pair→shard keying stays fixed, so the merge path must
+    /// absorb arbitrarily re-placed windows unchanged.
     #[test]
     fn adaptive_routing_seals_identical_pattern_multisets(
         seed in 0u64..500,
         parallelism in 2usize..5,
         kind_idx in 0usize..3,
+        deep_tree in proptest::bool::ANY,
     ) {
         let kind = [
             EnumeratorKind::Baseline,
             EnumeratorKind::Fba,
             EnumeratorKind::Vba,
         ][kind_idx];
+        let fanin = if deep_tree { 2 } else { parallelism.max(2) };
         let records = skewed_records(seed, 36, 24);
-        let (want, _) = run_collecting(&config(kind, parallelism, false), &records);
-        let (got, epoch) = run_collecting(&config(kind, parallelism, true), &records);
+        let (want, _) = run_collecting(&config(kind, parallelism, false, fanin), &records);
+        let (got, epoch) = run_collecting(&config(kind, parallelism, true, fanin), &records);
         prop_assert_eq!(
             multiset(&got),
             multiset(&want),
-            "kind {:?} parallelism {} epoch {}",
+            "kind {:?} parallelism {} epoch {} fanin {}",
             kind,
             parallelism,
-            epoch
+            epoch,
+            fanin
         );
     }
 
     /// Adaptive with a checkpoint/restore cut mid-migration ≡ an
     /// uninterrupted static run, and the restored pipeline resumes on the
-    /// checkpointed routing epoch.
+    /// checkpointed routing epoch. With parallelism > 2 at fanin 2 the
+    /// barrier that takes the cut aligns at tree-*interior* combiner
+    /// slots, which is exactly where a misaligned barrier would capture a
+    /// torn window.
     #[test]
     fn restore_mid_migration_resumes_on_checkpointed_epoch(
         seed in 0u64..500,
         parallelism in 2usize..5,
         kind_idx in 0usize..3,
         cut_windows in 8u32..16,
+        deep_tree in proptest::bool::ANY,
     ) {
         let kind = [
             EnumeratorKind::Baseline,
             EnumeratorKind::Fba,
             EnumeratorKind::Vba,
         ][kind_idx];
+        let fanin = if deep_tree { 2 } else { parallelism.max(2) };
         let records = skewed_records(seed, 36, 24);
-        let (want, _) = run_collecting(&config(kind, parallelism, false), &records);
+        let (want, _) = run_collecting(&config(kind, parallelism, false, fanin), &records);
 
         // Cut at a record boundary of `cut_windows` full windows (36
         // records per tick: every object reports every tick).
         let cut = (cut_windows as usize * 36).min(records.len());
-        let cfg = config(kind, parallelism, true);
+        let cfg = config(kind, parallelism, true, fanin);
         let pre: Arc<Mutex<Vec<Pattern>>> = Arc::new(Mutex::new(Vec::new()));
         let sink = Arc::clone(&pre);
         let live = IcpePipeline::launch(&cfg, move |e| {
@@ -186,7 +204,7 @@ proptest! {
 #[test]
 fn forced_migrations_actually_happen() {
     let records = skewed_records(7, 36, 24);
-    let cfg = config(EnumeratorKind::Fba, 4, true);
+    let cfg = config(EnumeratorKind::Fba, 4, true, 2);
     let live = IcpePipeline::launch(&cfg, |_| {});
     for r in &records[..(16 * 36).min(records.len())] {
         live.push(*r).unwrap();

@@ -44,12 +44,19 @@ fn skewed_records(seed: u64, objects: usize, ticks: u32) -> Vec<GpsRecord> {
     .to_gps_records()
 }
 
-fn config(kind: EnumeratorKind, parallelism: usize, batch: usize, adaptive: bool) -> IcpeConfig {
+fn config(
+    kind: EnumeratorKind,
+    parallelism: usize,
+    batch: usize,
+    adaptive: bool,
+    sync_fanin: usize,
+) -> IcpeConfig {
     let mut b = IcpeConfig::builder()
         .constraints(Constraints::new(3, 6, 3, 2).expect("valid"))
         .epsilon(1.0)
         .min_pts(3)
         .parallelism(parallelism)
+        .sync_fanin(sync_fanin)
         .enumerator(kind)
         .batch_size(batch);
     if adaptive {
@@ -93,7 +100,11 @@ proptest! {
     #![proptest_config(ProptestConfig::with_cases(10))]
 
     /// Batched ≡ unbatched, all engines, arbitrary batch and ingest-chunk
-    /// sizes.
+    /// sizes — across the sharded-sync axis too: the tree fanin (2 = the
+    /// deepest tree, N = the flat funnel) must be invisible to the sealed
+    /// multiset, and the serial seed it is compared against is the
+    /// parallelism-1 deployment whose sync path degenerates to the
+    /// pre-sharding single funnel.
     #[test]
     fn batched_pipeline_seals_identical_pattern_multisets(
         seed in 0u64..500,
@@ -101,30 +112,37 @@ proptest! {
         kind_idx in 0usize..3,
         batch in 2usize..96,
         chunk in 1usize..80,
+        deep_tree in proptest::bool::ANY,
     ) {
         let kind = [
             EnumeratorKind::Baseline,
             EnumeratorKind::Fba,
             EnumeratorKind::Vba,
         ][kind_idx];
+        // fanin ∈ {2, N}: the deepest aggregation tree vs the flat funnel.
+        let fanin = if deep_tree { 2 } else { parallelism.max(2) };
         let records = skewed_records(seed, 36, 24);
-        let want = run_collecting(&config(kind, parallelism, 1, false), &records, 1);
-        let got = run_collecting(&config(kind, parallelism, batch, false), &records, chunk);
+        let want = run_collecting(&config(kind, 1, 1, false, 2), &records, 1);
+        let got = run_collecting(&config(kind, parallelism, batch, false, fanin), &records, chunk);
         prop_assert_eq!(
             multiset(&got),
             multiset(&want),
-            "kind {:?} parallelism {} batch {} chunk {}",
+            "kind {:?} parallelism {} batch {} chunk {} fanin {}",
             kind,
             parallelism,
             batch,
-            chunk
+            chunk,
+            fanin
         );
     }
 
     /// Batched + forced rebalance migrations + a checkpoint/restore cut
     /// mid-stream ≡ an uninterrupted unbatched static run — and the
     /// restored pipeline may even resume with a *different* batch size
-    /// (batching is transport, not state).
+    /// (batching is transport, not state). With parallelism > 2 and
+    /// fanin 2 the barrier aligns through tree-*interior* combiner levels
+    /// on both sides of the cut, and the restored deployment may run a
+    /// different tree shape than the one that wrote the checkpoint.
     #[test]
     fn batched_restore_with_migrations_matches_unbatched(
         seed in 0u64..500,
@@ -133,19 +151,23 @@ proptest! {
         batch in 2usize..96,
         resume_batch in 1usize..96,
         cut_windows in 8u32..16,
+        deep_tree in proptest::bool::ANY,
     ) {
         let kind = [
             EnumeratorKind::Baseline,
             EnumeratorKind::Fba,
             EnumeratorKind::Vba,
         ][kind_idx];
+        // fanin ∈ {2, N}; the resumed deployment uses the other shape.
+        let fanin = if deep_tree { 2 } else { parallelism.max(2) };
+        let resume_fanin = if deep_tree { parallelism.max(2) } else { 2 };
         let records = skewed_records(seed, 36, 24);
-        let want = run_collecting(&config(kind, parallelism, 1, false), &records, 1);
+        let want = run_collecting(&config(kind, 1, 1, false, 2), &records, 1);
 
         // Cut at a record boundary of `cut_windows` full windows (36
         // records per tick: every object reports every tick).
         let cut = (cut_windows as usize * 36).min(records.len());
-        let cfg = config(kind, parallelism, batch, true);
+        let cfg = config(kind, parallelism, batch, true, fanin);
         let pre: Arc<Mutex<Vec<Pattern>>> = Arc::new(Mutex::new(Vec::new()));
         let sink = Arc::clone(&pre);
         let live = IcpePipeline::launch(&cfg, move |e| {
@@ -161,7 +183,7 @@ proptest! {
         let delivered_before = pre.lock().unwrap().clone();
         drop(live); // crash: the end-of-stream flush is discarded
 
-        let resume_cfg = config(kind, parallelism, resume_batch, true);
+        let resume_cfg = config(kind, parallelism, resume_batch, true, resume_fanin);
         let post: Arc<Mutex<Vec<Pattern>>> = Arc::new(Mutex::new(Vec::new()));
         let sink = Arc::clone(&post);
         let resumed = IcpePipeline::launch_from(&resume_cfg, &ckpt, move |e| {
@@ -180,12 +202,14 @@ proptest! {
         prop_assert_eq!(
             multiset(&got),
             multiset(&want),
-            "kind {:?} parallelism {} batch {} resume_batch {} cut {}",
+            "kind {:?} parallelism {} batch {} resume_batch {} cut {} fanin {}→{}",
             kind,
             parallelism,
             batch,
             resume_batch,
-            cut
+            cut,
+            fanin,
+            resume_fanin
         );
     }
 }
@@ -196,7 +220,7 @@ proptest! {
 #[test]
 fn batched_migrations_actually_happen() {
     let records = skewed_records(7, 36, 24);
-    let cfg = config(EnumeratorKind::Fba, 4, 64, true);
+    let cfg = config(EnumeratorKind::Fba, 4, 64, true, 2);
     let live = IcpePipeline::launch(&cfg, |_| {});
     for slice in records.chunks(64) {
         live.push_batch(slice.to_vec()).unwrap();

@@ -372,6 +372,7 @@ mod tests {
                 max_sealed: Some(seq as u32),
             },
             routing: None,
+            sync: None,
         }
     }
 

@@ -4,7 +4,8 @@
 
 use icpe_persist::{CheckpointStore, PersistError};
 use icpe_types::{
-    AlignerCheckpoint, EngineCheckpoint, PipelineCheckpoint, ProgressCheckpoint, CHECKPOINT_VERSION,
+    AlignerCheckpoint, EngineCheckpoint, PipelineCheckpoint, ProgressCheckpoint, SyncCheckpoint,
+    CHECKPOINT_VERSION,
 };
 use proptest::prelude::*;
 
@@ -27,6 +28,12 @@ fn sample() -> PipelineCheckpoint {
             max_sealed: Some(6),
         },
         routing: None,
+        sync: Some(SyncCheckpoint {
+            pairs_merged: 64,
+            duplicates: 3,
+            windows_sealed: 7,
+            pending: Vec::new(),
+        }),
     }
 }
 

@@ -37,4 +37,6 @@ pub use exchange::{Disconnected, Exchange, Routing};
 pub use metrics::{MetricsReport, PipelineMetrics, StreamProgress};
 pub use operator::{filter_fn, flat_map_fn, map_fn, Collector, Operator};
 pub use routing::{RoutingStatus, RoutingTable};
-pub use stream::{ingest_channel, RuntimeConfig, Stream, StreamHandle, DEFAULT_BATCH_SIZE};
+pub use stream::{
+    ingest_channel, RuntimeConfig, Stream, StreamHandle, TreeSlot, DEFAULT_BATCH_SIZE,
+};

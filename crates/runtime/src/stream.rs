@@ -22,6 +22,7 @@
 use crate::exchange::{Exchange, Router};
 use crate::operator::{Collector, Operator};
 use crossbeam::channel::{bounded, Receiver, Sender, TryRecvError};
+use std::sync::Mutex;
 use std::thread::JoinHandle;
 
 /// Runtime knobs shared by every stage of a dataflow.
@@ -49,6 +50,23 @@ impl Default for RuntimeConfig {
             batch_size: DEFAULT_BATCH_SIZE,
         }
     }
+}
+
+/// Which slot of a [`Stream::reduce_tree`] reduction an operator occupies:
+/// the level (0 = first combiner level above the producing stage), the
+/// subtask index within that level, and how many upstream producers feed
+/// the slot — the count punctuation/barrier alignment at the slot waits
+/// for, and the index the slot must stamp onto its own outputs so the
+/// next level can route them.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct TreeSlot {
+    /// Combiner level, counted from the producing stage upward.
+    pub level: usize,
+    /// Subtask index within the level (`0..⌈prev_width/fanin⌉`).
+    pub subtask: usize,
+    /// Upstream subtasks routed to this slot (≤ fanin; the last slot of a
+    /// level may receive fewer).
+    pub inputs: usize,
 }
 
 /// A subtask of the most recently declared stage that has not started yet:
@@ -219,6 +237,102 @@ impl<T: Send + Clone + 'static> Stream<T> {
             handles,
             config: self.config,
         }
+    }
+
+    /// Declares a **single-subtask** stage from an operator *value*.
+    ///
+    /// The typed alternative to `apply(name, 1, exchange, factory)` for
+    /// stages that are parallelism-1 by design (aligners, centralized
+    /// collectors, tree finalizers): the operator moves straight into the
+    /// one subtask, so there is no factory closure to misconfigure and no
+    /// stringly `expect("… has parallelism 1")` cell dance — a stage that
+    /// must not be replicated *cannot* be replicated, by construction.
+    pub fn single<O, Op>(self, name: &str, exchange: Exchange<T>, op: Op) -> Stream<O>
+    where
+        O: Send + Clone + 'static,
+        Op: Operator<T, O> + 'static,
+    {
+        let cell = Mutex::new(Some(op));
+        self.apply(name, 1, exchange, move |_| {
+            cell.lock()
+                .expect("single-stage operator cell poisoned")
+                .take()
+                .expect("single() spawns exactly one subtask")
+        })
+    }
+
+    /// Declares an **N → 1 tree-aggregation reduction** over the previous
+    /// stage's `width` subtasks: interior *combiner* levels of at most
+    /// `fanin` inputs each, then one *finalizer* subtask producing the
+    /// reduced output stream.
+    ///
+    /// ```text
+    /// width partials → ⌈width/fanin⌉ combiners → … → 1 finalizer
+    /// ```
+    ///
+    /// Records are routed by their **producer index**, extracted by
+    /// `from`: the producers of the first level are the upstream subtasks
+    /// (indices `0..width`), and every combiner must stamp its own
+    /// [`TreeSlot::subtask`] index onto the records it emits so the next
+    /// level can route them. Each slot is told how many inputs feed it
+    /// (`TreeSlot::inputs`), which is what punctuation/barrier alignment
+    /// at that slot must count to.
+    ///
+    /// Ordering guarantee: everything one producer emits flows to exactly
+    /// one slot of the next level over one FIFO channel, so per-producer
+    /// order is preserved along every root-ward path — aligned punctuation
+    /// (each slot forwarding only after all `inputs` copies arrived) stays
+    /// aligned at every level of the tree.
+    ///
+    /// With `width ≤ fanin` (including `width == 1`) there are no interior
+    /// levels and the finalizer performs the whole merge — `fanin >= N`
+    /// degrades to the flat N → 1 funnel this combinator replaces. `fanin`
+    /// is clamped to ≥ 2.
+    pub fn reduce_tree<O, C, Fin, FromF, CombF, FinF>(
+        self,
+        name: &str,
+        width: usize,
+        fanin: usize,
+        from: FromF,
+        combiner: CombF,
+        finalizer: FinF,
+    ) -> Stream<O>
+    where
+        O: Send + Clone + 'static,
+        C: Operator<T, T> + 'static,
+        Fin: Operator<T, O> + 'static,
+        FromF: Fn(&T) -> usize + Send + Sync + Clone + 'static,
+        CombF: Fn(TreeSlot) -> C,
+        FinF: FnOnce(usize) -> Fin,
+    {
+        let fanin = fanin.max(2);
+        let mut width = width.max(1);
+        let mut stream = self;
+        let mut level = 0usize;
+        while width > fanin {
+            let next = width.div_ceil(fanin);
+            let prev_width = width;
+            let f = from.clone();
+            stream = stream.apply(
+                &format!("{name}-l{level}"),
+                next,
+                Exchange::key_by(move |t: &T| (f(t) / fanin) as u64),
+                |i| {
+                    combiner(TreeSlot {
+                        level,
+                        subtask: i,
+                        inputs: fanin.min(prev_width - i * fanin),
+                    })
+                },
+            );
+            width = next;
+            level += 1;
+        }
+        stream.single(
+            &format!("{name}-final"),
+            Exchange::Rebalance,
+            finalizer(width),
+        )
     }
 
     /// Terminal: drains the dataflow on the calling thread, invoking `sink`
@@ -510,6 +624,126 @@ mod tests {
                 })
             })
             .run();
+    }
+
+    #[test]
+    fn single_stage_moves_the_operator_in() {
+        struct Sum(u64);
+        impl Operator<u64, u64> for Sum {
+            fn process(&mut self, input: u64, _out: &mut Collector<u64>) {
+                self.0 += input;
+            }
+            fn finish(&mut self, out: &mut Collector<u64>) {
+                out.emit(self.0);
+            }
+        }
+        let out = Stream::source(cfg(), 4, |i| {
+            let base = i as u64 * 10;
+            base..base + 10
+        })
+        .single("sum", Exchange::Rebalance, Sum(0))
+        .collect_vec();
+        assert_eq!(out, vec![(0..40u64).sum::<u64>()], "exactly one subtask");
+    }
+
+    /// A reduce_tree slot that sums `(from, value)` partials: combiners
+    /// re-stamp their own index, the finalizer emits the grand total once
+    /// its last input closes.
+    struct TreeSum {
+        me: usize,
+        acc: u64,
+    }
+    impl Operator<(usize, u64), (usize, u64)> for TreeSum {
+        fn process(&mut self, (_, v): (usize, u64), _out: &mut Collector<(usize, u64)>) {
+            self.acc += v;
+        }
+        fn finish(&mut self, out: &mut Collector<(usize, u64)>) {
+            out.emit((self.me, self.acc));
+        }
+    }
+
+    #[test]
+    fn reduce_tree_sums_across_levels() {
+        for (width, fanin) in [
+            (1usize, 2usize),
+            (2, 2),
+            (5, 2),
+            (8, 2),
+            (8, 3),
+            (8, 8),
+            (9, 4),
+        ] {
+            let out = Stream::source(cfg(), width, |i| {
+                let base = i as u64 * 100;
+                std::iter::once((i, (base..base + 100).sum::<u64>()))
+            })
+            .reduce_tree(
+                "tree",
+                width,
+                fanin,
+                |t: &(usize, u64)| t.0,
+                |slot: TreeSlot| TreeSum {
+                    me: slot.subtask,
+                    acc: 0,
+                },
+                |_inputs| TreeSum { me: 0, acc: 0 },
+            )
+            .collect_vec();
+            let want: u64 = (0..width as u64 * 100).sum();
+            assert_eq!(
+                out.iter().map(|&(_, v)| v).collect::<Vec<_>>(),
+                vec![want],
+                "width {width} fanin {fanin}"
+            );
+        }
+    }
+
+    #[test]
+    fn reduce_tree_slots_partition_the_producers() {
+        // Record which slot each producer's records reach at level 0 of an
+        // 8-wide fanin-3 tree: slots must own disjoint contiguous groups
+        // of sizes 3, 3, 2.
+        let seen: std::sync::Arc<Mutex<Vec<(TreeSlot, usize)>>> =
+            std::sync::Arc::new(Mutex::new(Vec::new()));
+        struct Observe {
+            slot: TreeSlot,
+            seen: std::sync::Arc<Mutex<Vec<(TreeSlot, usize)>>>,
+        }
+        impl Operator<(usize, u64), (usize, u64)> for Observe {
+            fn process(&mut self, (from, v): (usize, u64), out: &mut Collector<(usize, u64)>) {
+                self.seen.lock().unwrap().push((self.slot, from));
+                out.emit((self.slot.subtask, v));
+            }
+        }
+        struct Drain;
+        impl Operator<(usize, u64), u64> for Drain {
+            fn process(&mut self, (_, v): (usize, u64), out: &mut Collector<u64>) {
+                out.emit(v);
+            }
+        }
+        let sink = std::sync::Arc::clone(&seen);
+        let out = Stream::source(cfg(), 8, |i| std::iter::once((i, 1u64)))
+            .reduce_tree(
+                "observe",
+                8,
+                3,
+                |t: &(usize, u64)| t.0,
+                move |slot: TreeSlot| Observe {
+                    slot,
+                    seen: std::sync::Arc::clone(&sink),
+                },
+                |inputs| {
+                    assert_eq!(inputs, 3, "⌈8/3⌉ = 3 combiners feed the finalizer");
+                    Drain
+                },
+            )
+            .collect_vec();
+        assert_eq!(out.len(), 8);
+        for (slot, from) in seen.lock().unwrap().iter() {
+            assert_eq!(slot.level, 0);
+            assert_eq!(from / 3, slot.subtask, "producer {from} in slot {slot:?}");
+            assert_eq!(slot.inputs, 3usize.min(8 - slot.subtask * 3));
+        }
     }
 
     #[test]

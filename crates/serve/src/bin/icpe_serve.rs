@@ -10,6 +10,10 @@
 //!   ICPE_MINPTS    DBSCAN minPts             (default 4)
 //!   ICPE_M/K/L/G   CP(M,K,L,G) constraints   (default 4,8,4,2)
 //!   ICPE_N         keyed-stage parallelism   (default 4)
+//!   ICPE_SYNC_FANIN  GridSync aggregation-tree fanin (default 4,
+//!                    clamped ≥ 2): the N sync shards' partial merges
+//!                    reduce through ⌈N/fanin⌉ combiners per level down
+//!                    to one finalizer; fanin ≥ N is a flat N → 1 funnel
 //!   ICPE_INTERVAL  seconds per tick          (default 1.0)
 //!
 //! Micro-batch vectorization (see the README "Performance" section):
@@ -65,6 +69,7 @@ fn main() {
         .epsilon(env_parse("ICPE_EPS", 2.5))
         .min_pts(env_parse("ICPE_MINPTS", 4))
         .parallelism(env_parse("ICPE_N", 4))
+        .sync_fanin(env_parse("ICPE_SYNC_FANIN", icpe_core::DEFAULT_SYNC_FANIN))
         .batch_size(env_parse("ICPE_BATCH", icpe_runtime::DEFAULT_BATCH_SIZE));
     if let Ok(theta) = std::env::var("ICPE_REBALANCE_THETA") {
         let theta: f64 = theta.parse().expect("ICPE_REBALANCE_THETA is a number");
@@ -112,7 +117,7 @@ fn main() {
                 .unwrap_or_else(|| "?".into())
         };
         println!(
-            "[status] records_in={} records_per_s={} snapshots_sealed={} patterns={} subscribers={} shed={} epoch={} imbalance={}",
+            "[status] records_in={} records_per_s={} snapshots_sealed={} patterns={} subscribers={} shed={} epoch={} imbalance={} sync_pairs={} sync_imbalance={}",
             pick("records_in"),
             pick("records_per_s"),
             pick("snapshots_sealed"),
@@ -121,6 +126,8 @@ fn main() {
             pick("subscribers_shed"),
             pick("routing_epoch"),
             pick("subtask_imbalance"),
+            pick("sync_pairs_merged"),
+            pick("sync_shard_imbalance"),
         );
     }
 }

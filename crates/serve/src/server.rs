@@ -23,7 +23,7 @@ use crate::protocol::{EventKind, PatternEvent, SnapshotEvent, Topic, WireRecord}
 use crate::recovery::{CheckpointPolicy, EdgeStatsCheckpoint, ServeCheckpoint};
 use crate::stats::ServerStats;
 use icpe_core::{
-    IcpeConfig, IcpePipeline, LivePipeline, PipelineEvent, RecordSender, RoutingHandle,
+    IcpeConfig, IcpePipeline, LivePipeline, PipelineEvent, RecordSender, RoutingHandle, SyncHandle,
 };
 use icpe_persist::CheckpointStore;
 use icpe_runtime::{MetricsReport, PipelineMetrics};
@@ -210,6 +210,9 @@ struct Shared {
     /// The grid stage's routing view (epoch, migrations, load split), when
     /// the engine runs one (for `STATUS`).
     routing: Mutex<Option<RoutingHandle>>,
+    /// The sharded sync merge path's gauge view, when the engine runs one
+    /// (for `STATUS`).
+    sync: Mutex<Option<SyncHandle>>,
     /// Cross-producer skew control.
     skew: SkewLimiter,
     shutting_down: AtomicBool,
@@ -364,6 +367,7 @@ impl Server {
             ingest: Mutex::new(None),
             pipeline_metrics: Mutex::new(None),
             routing: Mutex::new(None),
+            sync: Mutex::new(None),
             skew: SkewLimiter::new(config.max_producer_skew, config.startup_grace),
             shutting_down: AtomicBool::new(false),
             suppress_events: AtomicBool::new(false),
@@ -453,6 +457,7 @@ impl Server {
         *shared.ingest.lock() = Some(pipeline.sender());
         *shared.pipeline_metrics.lock() = Some(pipeline.metrics().clone());
         *shared.routing.lock() = pipeline.routing().cloned();
+        *shared.sync.lock() = pipeline.sync().cloned();
 
         // Periodic checkpointing: barrier through the live pipeline, then
         // one atomic file with the edge state captured at the same cut.
@@ -502,7 +507,8 @@ impl Server {
             .lock()
             .as_ref()
             .map(RoutingHandle::status);
-        self.shared.stats.render(&metrics, routing)
+        let sync = self.shared.sync.lock().as_ref().map(SyncHandle::status);
+        self.shared.stats.render(&metrics, routing, sync)
     }
 
     /// Network-edge counters (shared with the handlers; live).
@@ -972,7 +978,8 @@ fn serve_subscriber(
 fn serve_status(shared: &Arc<Shared>, stream: TcpStream) -> std::io::Result<()> {
     let metrics = shared.pipeline_metrics.lock().clone().unwrap_or_default();
     let routing = shared.routing.lock().as_ref().map(RoutingHandle::status);
+    let sync = shared.sync.lock().as_ref().map(SyncHandle::status);
     let mut w = BufWriter::new(stream);
-    w.write_all(shared.stats.render(&metrics, routing).as_bytes())?;
+    w.write_all(shared.stats.render(&metrics, routing, sync).as_bytes())?;
     w.flush()
 }

@@ -1,5 +1,6 @@
 //! Server-side counters behind the `STATUS` endpoint.
 
+use icpe_core::SyncStatus;
 use icpe_runtime::{PipelineMetrics, RoutingStatus};
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::time::Instant;
@@ -122,8 +123,14 @@ impl ServerStats {
     /// Renders the `STATUS` response: one `key=value` per line, stable keys,
     /// merging the network-edge counters with the pipeline's live metrics
     /// and — when the engine runs a keyed grid stage — the routing layer's
-    /// epoch and load-balance gauges.
-    pub fn render(&self, pipeline: &PipelineMetrics, routing: Option<RoutingStatus>) -> String {
+    /// epoch/load-balance gauges plus the sharded sync merge path's
+    /// dedup/seal gauges.
+    pub fn render(
+        &self,
+        pipeline: &PipelineMetrics,
+        routing: Option<RoutingStatus>,
+        sync: Option<SyncStatus>,
+    ) -> String {
         let uptime = self.uptime();
         let records_in = self.records_in.load(Ordering::Relaxed);
         let progress = pipeline.progress();
@@ -223,6 +230,20 @@ impl ServerStats {
         line("max_subtask_load", format!("{:.1}", r.max_subtask_load));
         line("mean_subtask_load", format!("{:.1}", r.mean_subtask_load));
         line("subtask_imbalance", format!("{:.3}", r.imbalance()));
+        // The sharded GridSync merge path: how the dedup load spreads
+        // across the shards and how deep the aggregation tree runs. Same
+        // always-render contract as the routing keys — a grid-less engine
+        // (GDC) renders them zeroed.
+        let s = sync.unwrap_or_default();
+        line("sync_shards", s.shards.to_string());
+        line("sync_fanin", s.fanin.to_string());
+        line("sync_tree_levels", s.levels.to_string());
+        line("sync_pairs_merged", s.pairs_merged.to_string());
+        line("sync_duplicates", s.duplicates.to_string());
+        line("sync_windows_sealed", s.windows_sealed.to_string());
+        line("sync_max_shard_load", s.max_shard_load.to_string());
+        line("sync_mean_shard_load", format!("{:.1}", s.mean_shard_load));
+        line("sync_shard_imbalance", format!("{:.3}", s.imbalance()));
         line(
             "avg_latency_ms",
             format!("{:.3}", report.avg_latency.as_secs_f64() * 1e3),
@@ -260,7 +281,7 @@ mod tests {
         let stats = ServerStats::new();
         stats.records_in.store(42, Ordering::Relaxed);
         let pipeline = PipelineMetrics::new();
-        let text = stats.render(&pipeline, None);
+        let text = stats.render(&pipeline, None, None);
         let kv = parse_status(&text);
         let get = |k: &str| {
             kv.iter()
@@ -277,7 +298,7 @@ mod tests {
         stats.note_ingested_tick(6);
         stats.note_ingested_tick(3);
         assert_eq!(stats.ingested_tick(), Some(6));
-        let kv = parse_status(&stats.render(&pipeline, None));
+        let kv = parse_status(&stats.render(&pipeline, None, None));
         let frontier = kv.iter().find(|(k, _)| k == "ingest_frontier").unwrap();
         assert_eq!(frontier.1, "6");
         let lag = kv.iter().find(|(k, _)| k == "align_lag_snapshots").unwrap();
@@ -289,7 +310,7 @@ mod tests {
         let stats = ServerStats::new();
         let pipeline = PipelineMetrics::new();
         // No batches yet: fill renders 0 (guarded division), rates render.
-        let kv = parse_status(&stats.render(&pipeline, None));
+        let kv = parse_status(&stats.render(&pipeline, None, None));
         let get = |k: &str| kv.iter().find(|(key, _)| key == k).unwrap().1.clone();
         assert_eq!(get("ingest_batches"), "0");
         assert_eq!(get("mean_batch_fill"), "0.00");
@@ -298,7 +319,7 @@ mod tests {
         stats.note_batch(48);
         stats.note_batch(16);
         stats.patterns_out.store(7, Ordering::Relaxed);
-        let kv = parse_status(&stats.render(&pipeline, None));
+        let kv = parse_status(&stats.render(&pipeline, None, None));
         let get = |k: &str| kv.iter().find(|(key, _)| key == k).unwrap().1.clone();
         assert_eq!(get("records_in"), "64");
         assert_eq!(get("ingest_batches"), "2");
@@ -308,11 +329,45 @@ mod tests {
     }
 
     #[test]
+    fn render_includes_sync_gauges() {
+        let stats = ServerStats::new();
+        let pipeline = PipelineMetrics::new();
+        // Without a sync path the keys still render, zeroed.
+        let kv = parse_status(&stats.render(&pipeline, None, None));
+        let get = |k: &str| kv.iter().find(|(key, _)| key == k).unwrap().1.clone();
+        assert_eq!(get("sync_shards"), "0");
+        assert_eq!(get("sync_pairs_merged"), "0");
+        assert_eq!(get("sync_shard_imbalance"), "1.000");
+
+        let sync = SyncStatus {
+            shards: 8,
+            fanin: 4,
+            levels: 1,
+            pairs_merged: 4096,
+            duplicates: 17,
+            windows_sealed: 120,
+            max_shard_load: 90,
+            mean_shard_load: 60.0,
+        };
+        let kv = parse_status(&stats.render(&pipeline, None, Some(sync)));
+        let get = |k: &str| kv.iter().find(|(key, _)| key == k).unwrap().1.clone();
+        assert_eq!(get("sync_shards"), "8");
+        assert_eq!(get("sync_fanin"), "4");
+        assert_eq!(get("sync_tree_levels"), "1");
+        assert_eq!(get("sync_pairs_merged"), "4096");
+        assert_eq!(get("sync_duplicates"), "17");
+        assert_eq!(get("sync_windows_sealed"), "120");
+        assert_eq!(get("sync_max_shard_load"), "90");
+        assert_eq!(get("sync_mean_shard_load"), "60.0");
+        assert_eq!(get("sync_shard_imbalance"), "1.500");
+    }
+
+    #[test]
     fn render_includes_routing_gauges() {
         let stats = ServerStats::new();
         let pipeline = PipelineMetrics::new();
         // Without a routing layer the keys still render, zeroed.
-        let kv = parse_status(&stats.render(&pipeline, None));
+        let kv = parse_status(&stats.render(&pipeline, None, None));
         let get = |k: &str| kv.iter().find(|(key, _)| key == k).unwrap().1.clone();
         assert_eq!(get("routing_epoch"), "0");
         assert_eq!(get("cells_migrated"), "0");
@@ -325,7 +380,7 @@ mod tests {
             max_subtask_load: 60.0,
             mean_subtask_load: 20.0,
         };
-        let kv = parse_status(&stats.render(&pipeline, Some(routing)));
+        let kv = parse_status(&stats.render(&pipeline, Some(routing), None));
         let get = |k: &str| kv.iter().find(|(key, _)| key == k).unwrap().1.clone();
         assert_eq!(get("routing_epoch"), "3");
         assert_eq!(get("cells_mapped"), "5");

@@ -29,6 +29,7 @@
 use crate::ids::ObjectId;
 use crate::snapshot::Snapshot;
 use serde::{Deserialize, Serialize};
+use std::collections::BTreeMap;
 use std::fmt;
 
 /// Schema version embedded in every [`PipelineCheckpoint`]. Bump on ANY
@@ -37,7 +38,12 @@ use std::fmt;
 ///
 /// v2: added the optional `routing` section (adaptive cell routing:
 /// epoch, explicit cell→subtask assignments, learned per-cell loads).
-pub const CHECKPOINT_VERSION: u32 = 2;
+///
+/// v3: added the optional `sync` section (sharded GridSync merge tree:
+/// cumulative dedup/seal counters plus any pending pair partitions,
+/// captured as per-subtask pieces merged at the sink like the engine
+/// section).
+pub const CHECKPOINT_VERSION: u32 = 3;
 
 /// Errors raised when restoring state from a checkpoint.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -267,6 +273,107 @@ pub struct RoutingCheckpoint {
     pub cells_migrated: u64,
 }
 
+/// One unsealed window of a GridSync shard: the deduplicated neighbor
+/// pairs received for `time` so far, in ascending canonical order.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct SyncWindowCheckpoint {
+    /// The window's discretized time.
+    pub time: u32,
+    /// Canonical `(a, b)` pairs with `a ≤ b`, ascending.
+    pub pairs: Vec<(ObjectId, ObjectId)>,
+}
+
+/// Durable form of the sharded GridSync merge path: cumulative dedup and
+/// window-seal observability counters, plus any pending (received but not
+/// yet sealed) pair partitions. Captured as one piece per sync subtask
+/// (plus one from the tree finalizer) and merged at the sink, mirroring
+/// the [`EngineCheckpoint`] pattern; restore owner-filters the pending
+/// pairs back onto the shard that owns them at the restored parallelism.
+///
+/// In the barrier-aligned dataflow `pending` is provably empty at every
+/// cut — the barrier trails the boundary tick of each sealed window on
+/// every channel — but the schema carries it so that invariant is
+/// *checkable* on restore rather than silently assumed.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct SyncCheckpoint {
+    /// Distinct neighbor pairs merged across all sealed windows
+    /// (cumulative).
+    pub pairs_merged: u64,
+    /// Duplicate pair discoveries suppressed (cumulative — the Lemma-1
+    /// residue the dedup exists for).
+    pub duplicates: u64,
+    /// Windows sealed through the merge tree (cumulative; counted by the
+    /// finalizer).
+    pub windows_sealed: u64,
+    /// Pending pair partitions, ascending by time.
+    pub pending: Vec<SyncWindowCheckpoint>,
+}
+
+impl SyncCheckpoint {
+    /// A checkpoint for a sync path that has seen nothing.
+    pub fn empty() -> SyncCheckpoint {
+        SyncCheckpoint {
+            pairs_merged: 0,
+            duplicates: 0,
+            windows_sealed: 0,
+            pending: Vec::new(),
+        }
+    }
+
+    /// Merges per-subtask sync checkpoints into one deployment-independent
+    /// checkpoint: counters sum, pending windows union by time with their
+    /// pair sets re-canonicalized (sorted, deduplicated) — shards hold
+    /// disjoint pair sets, so the dedup is a safety net, not a semantic.
+    pub fn merge(pieces: Vec<SyncCheckpoint>) -> SyncCheckpoint {
+        let mut merged = SyncCheckpoint::empty();
+        let mut pending: BTreeMap<u32, Vec<(ObjectId, ObjectId)>> = BTreeMap::new();
+        for piece in pieces {
+            merged.pairs_merged += piece.pairs_merged;
+            merged.duplicates += piece.duplicates;
+            merged.windows_sealed += piece.windows_sealed;
+            for w in piece.pending {
+                pending.entry(w.time).or_default().extend(w.pairs);
+            }
+        }
+        merged.pending = pending
+            .into_iter()
+            .map(|(time, mut pairs)| {
+                pairs.sort_unstable();
+                pairs.dedup();
+                SyncWindowCheckpoint { time, pairs }
+            })
+            .collect();
+        merged
+    }
+
+    /// The restore piece for one sync subtask at the restored deployment:
+    /// pending pairs filtered to the owners `keep` selects (the same
+    /// pair-owner → shard mapping the exchange routes by), cumulative
+    /// counters included only when `with_counters` (restore them into one
+    /// subtask, or the next checkpoint's merge would multiply them by the
+    /// parallelism — the [`EngineCheckpoint`] `skipped_partitions`
+    /// pattern).
+    pub fn piece(&self, with_counters: bool, keep: impl Fn(ObjectId) -> bool) -> SyncCheckpoint {
+        SyncCheckpoint {
+            pairs_merged: if with_counters { self.pairs_merged } else { 0 },
+            duplicates: if with_counters { self.duplicates } else { 0 },
+            windows_sealed: 0,
+            pending: self
+                .pending
+                .iter()
+                .filter_map(|w| {
+                    let pairs: Vec<(ObjectId, ObjectId)> =
+                        w.pairs.iter().copied().filter(|&(a, _)| keep(a)).collect();
+                    (!pairs.is_empty()).then_some(SyncWindowCheckpoint {
+                        time: w.time,
+                        pairs,
+                    })
+                })
+                .collect(),
+        }
+    }
+}
+
 /// Pipeline progress gauges frozen at the checkpoint cut; rehydrated into
 /// the metrics recorder on restore so counters do not reset to zero.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
@@ -304,6 +411,9 @@ pub struct PipelineCheckpoint {
     /// Adaptive routing state (`None` when the deployment routes
     /// statically or runs a clusterer without a keyed grid stage).
     pub routing: Option<RoutingCheckpoint>,
+    /// Sharded GridSync merge state (`None` for clusterers without a
+    /// grid sync stage, i.e. GDC).
+    pub sync: Option<SyncCheckpoint>,
 }
 
 impl PipelineCheckpoint {
@@ -397,6 +507,12 @@ mod tests {
                 }],
                 cells_migrated: 3,
             }),
+            sync: Some(SyncCheckpoint {
+                pairs_merged: 120,
+                duplicates: 7,
+                windows_sealed: 3,
+                pending: Vec::new(),
+            }),
         };
         assert!(ckpt.check_version().is_ok());
         ckpt.version = CHECKPOINT_VERSION + 1;
@@ -437,6 +553,78 @@ mod tests {
             Err(CheckpointError::EngineMismatch { .. })
         ));
         assert!(EngineCheckpoint::merge(Vec::new()).is_err());
+    }
+
+    #[test]
+    fn sync_merge_sums_counters_and_canonicalizes_pending() {
+        let a = SyncCheckpoint {
+            pairs_merged: 10,
+            duplicates: 2,
+            windows_sealed: 0,
+            pending: vec![SyncWindowCheckpoint {
+                time: 4,
+                pairs: vec![(ObjectId(5), ObjectId(9))],
+            }],
+        };
+        let b = SyncCheckpoint {
+            pairs_merged: 7,
+            duplicates: 1,
+            windows_sealed: 5,
+            pending: vec![
+                SyncWindowCheckpoint {
+                    time: 4,
+                    pairs: vec![(ObjectId(1), ObjectId(2)), (ObjectId(5), ObjectId(9))],
+                },
+                SyncWindowCheckpoint {
+                    time: 6,
+                    pairs: vec![(ObjectId(3), ObjectId(4))],
+                },
+            ],
+        };
+        let merged = SyncCheckpoint::merge(vec![a, b]);
+        assert_eq!(merged.pairs_merged, 17);
+        assert_eq!(merged.duplicates, 3);
+        assert_eq!(merged.windows_sealed, 5);
+        assert_eq!(merged.pending.len(), 2);
+        assert_eq!(merged.pending[0].time, 4);
+        assert_eq!(
+            merged.pending[0].pairs,
+            vec![(ObjectId(1), ObjectId(2)), (ObjectId(5), ObjectId(9))],
+            "cross-piece duplicates collapse, order canonical"
+        );
+        assert_eq!(merged.pending[1].time, 6);
+        assert!(SyncCheckpoint::merge(Vec::new()).pending.is_empty());
+    }
+
+    #[test]
+    fn sync_piece_owner_filters_and_restores_counters_once() {
+        let merged = SyncCheckpoint {
+            pairs_merged: 40,
+            duplicates: 4,
+            windows_sealed: 9,
+            pending: vec![SyncWindowCheckpoint {
+                time: 2,
+                pairs: vec![
+                    (ObjectId(1), ObjectId(2)),
+                    (ObjectId(2), ObjectId(3)),
+                    (ObjectId(7), ObjectId(9)),
+                ],
+            }],
+        };
+        let even = merged.piece(true, |o| o.0 % 2 == 0);
+        assert_eq!(even.pairs_merged, 40);
+        assert_eq!(even.duplicates, 4);
+        assert_eq!(even.windows_sealed, 0, "the finalizer owns the seal count");
+        assert_eq!(even.pending[0].pairs, vec![(ObjectId(2), ObjectId(3))]);
+        let odd = merged.piece(false, |o| o.0 % 2 == 1);
+        assert_eq!(odd.pairs_merged, 0);
+        assert_eq!(
+            odd.pending[0].pairs,
+            vec![(ObjectId(1), ObjectId(2)), (ObjectId(7), ObjectId(9))]
+        );
+        // Windows with no surviving pairs vanish from the piece.
+        let none = merged.piece(false, |_| false);
+        assert!(none.pending.is_empty());
     }
 
     #[test]

@@ -15,8 +15,8 @@
 use icpe_types::{
     AlignerCheckpoint, CellAssignment, CellLoadCheckpoint, ChainCheckpoint, EngineCheckpoint,
     EpisodeCheckpoint, HistoryRowCheckpoint, ObjectId, PipelineCheckpoint, Point,
-    ProgressCheckpoint, RoutingCheckpoint, Snapshot, Timestamp, VbaOwnerCheckpoint,
-    WindowOwnerCheckpoint, CHECKPOINT_VERSION,
+    ProgressCheckpoint, RoutingCheckpoint, Snapshot, SyncCheckpoint, SyncWindowCheckpoint,
+    Timestamp, VbaOwnerCheckpoint, WindowOwnerCheckpoint, CHECKPOINT_VERSION,
 };
 
 /// A canonical sample exercising every field of every checkpoint struct.
@@ -99,6 +99,15 @@ fn sample() -> PipelineCheckpoint {
                 load_milli: 12345,
             }],
             cells_migrated: 9,
+        }),
+        sync: Some(SyncCheckpoint {
+            pairs_merged: 512,
+            duplicates: 31,
+            windows_sealed: 40,
+            pending: vec![SyncWindowCheckpoint {
+                time: 42,
+                pairs: vec![(ObjectId(3), ObjectId(5)), (ObjectId(3), ObjectId(9))],
+            }],
         }),
     }
 }
