@@ -96,6 +96,13 @@ pub struct IcpeConfig {
     /// keeps the paper's static `hash(cell) % N` exchange. Ignored by the
     /// GDC clusterer, which has no keyed grid stage.
     pub rebalance: Option<BalancerConfig>,
+    /// Per-stage/per-exchange instrumentation (default `true`): every
+    /// stage records batch-processing-time histograms and records in/out,
+    /// every exchange hop records queue depth and blocked-send time, into
+    /// the pipeline's metric registry. `false` leaves the registry empty
+    /// (the no-op baseline `bench_throughput --check` compares overhead
+    /// against); the registry itself and the event journal always exist.
+    pub instrument: bool,
 }
 
 impl IcpeConfig {
@@ -132,6 +139,7 @@ pub struct IcpeConfigBuilder {
     aligner: AlignerConfig,
     max_baseline_partition: usize,
     rebalance: Option<BalancerConfig>,
+    instrument: bool,
 }
 
 impl Default for IcpeConfigBuilder {
@@ -151,6 +159,7 @@ impl Default for IcpeConfigBuilder {
             aligner: AlignerConfig::default(),
             max_baseline_partition: 22,
             rebalance: None,
+            instrument: true,
         }
     }
 }
@@ -264,6 +273,14 @@ impl IcpeConfigBuilder {
         self
     }
 
+    /// Toggles per-stage/per-exchange instrumentation (default `true`;
+    /// `false` is the no-op-registry baseline the overhead check in
+    /// `bench_throughput` compares against).
+    pub fn instrument(mut self, on: bool) -> Self {
+        self.instrument = on;
+        self
+    }
+
     /// Validates and builds the configuration.
     pub fn build(self) -> Result<IcpeConfig, TypeError> {
         let constraints = self.constraints.ok_or_else(|| {
@@ -290,6 +307,7 @@ impl IcpeConfigBuilder {
             aligner: self.aligner,
             max_baseline_partition: self.max_baseline_partition,
             rebalance: self.rebalance,
+            instrument: self.instrument,
         })
     }
 }

@@ -194,10 +194,11 @@ impl StreamingEngine {
             },
             aligner,
             engine,
-            // Single-threaded: no keyed exchange, nothing to route and no
-            // sharded merge path.
+            // Single-threaded: no keyed exchange, nothing to route, no
+            // sharded merge path, and no stage registry.
             routing: None,
             sync: None,
+            obs: None,
         })
     }
 

@@ -88,15 +88,16 @@ use icpe_index::{Grid, GridKey, RTree};
 use icpe_pattern::partition::Partition;
 use icpe_pattern::{id_partitions, BaselineEngine, FbaEngine, PatternEngine, VbaEngine};
 use icpe_runtime::{
-    ingest_channel, Collector, Disconnected, Exchange, MetricsReport, Operator, PipelineMetrics,
-    Routing, RoutingStatus, RoutingTable, Stream, StreamProgress, TimeAligner, TreeSlot,
+    ingest_channel, Collector, Disconnected, Exchange, MetricRegistry, MetricsReport, ObsEventKind,
+    Operator, PipelineMetrics, Routing, RoutingStatus, RoutingTable, Stream, StreamProgress,
+    TimeAligner, TreeSlot,
 };
 use icpe_types::shard::{hash_id, stable_hash, subtask_for};
 use icpe_types::{
     AlignerCheckpoint, CheckpointError, ClusterSnapshot, DbscanParams, DistanceMetric,
-    EngineCheckpoint, GpsRecord, ObjectId, Pattern, PipelineCheckpoint, ProgressCheckpoint,
-    RoutingCheckpoint, Snapshot, SyncCheckpoint, SyncWindowCheckpoint, Timestamp,
-    CHECKPOINT_VERSION,
+    EngineCheckpoint, GpsRecord, ObjectId, ObsCheckpoint, Pattern, PipelineCheckpoint,
+    ProgressCheckpoint, RoutingCheckpoint, Snapshot, SyncCheckpoint, SyncWindowCheckpoint,
+    Timestamp, CHECKPOINT_VERSION,
 };
 use std::collections::{BTreeMap, HashMap};
 use std::sync::atomic::{AtomicU64, Ordering};
@@ -289,6 +290,7 @@ pub struct LivePipeline {
     metrics: PipelineMetrics,
     routing: Option<RoutingHandle>,
     sync: Option<SyncHandle>,
+    obs: MetricRegistry,
 }
 
 impl LivePipeline {
@@ -335,6 +337,16 @@ impl LivePipeline {
     /// pipeline runs (the serving layer's status endpoint polls this).
     pub fn metrics(&self) -> &PipelineMetrics {
         &self.metrics
+    }
+
+    /// The per-stage/per-exchange metric registry and event journal —
+    /// everything behind the serving layer's `METRICS` and `EVENTS`
+    /// endpoints. Clone it to keep reading after [`LivePipeline::finish`].
+    /// Empty (families never registered) when the pipeline was launched
+    /// with [`instrument`](crate::IcpeConfigBuilder::instrument) off;
+    /// journal events are emitted either way.
+    pub fn obs(&self) -> &MetricRegistry {
+        &self.obs
     }
 
     /// Live stream-position gauges (ingested vs. sealed frontier, lag,
@@ -426,6 +438,14 @@ impl IcpePipeline {
             late_records: resume.aligner.late_dropped(),
             max_sealed: resume.max_sealed,
         });
+        // The metric registry outlives restarts the same way: cumulative
+        // stage/exchange counters rehydrate from the checkpoint's obs
+        // section (into subtask 0) before any stage thread spawns, so a
+        // restored deployment's METRICS totals continue instead of reset.
+        let obs = MetricRegistry::new();
+        if let Some(ckpt) = &resume.obs {
+            obs.restore(ckpt);
+        }
         // The routing layer exists whenever a keyed grid stage runs (load
         // accounting is wanted even under static routing); the table only
         // leaves epoch 0 when a balancer is configured. A restored
@@ -461,6 +481,7 @@ impl IcpePipeline {
         let driver_metrics = metrics.clone();
         let driver_routing = routing.clone();
         let driver_sync = sync.clone();
+        let driver_obs = obs.clone();
         let ckpt_seq = Arc::new(AtomicU64::new(resume.next_seq.saturating_sub(1)));
         let driver = std::thread::Builder::new()
             .name("icpe-driver".into())
@@ -472,6 +493,7 @@ impl IcpePipeline {
                     resume,
                     driver_routing,
                     driver_sync,
+                    driver_obs,
                     on_event,
                 )
             })
@@ -485,6 +507,7 @@ impl IcpePipeline {
             metrics,
             routing,
             sync,
+            obs,
         }
     }
 
@@ -572,6 +595,10 @@ struct ResumeState {
     /// the subtask-0 shard op; pending pairs owner-filter back onto the
     /// shards that own them at the restored parallelism.
     sync: Option<SyncCheckpoint>,
+    /// The checkpoint's cumulative stage/exchange counters (`None` on a
+    /// fresh launch or a pre-obs checkpoint); rehydrated into the new
+    /// deployment's [`MetricRegistry`] before any stage thread spawns.
+    obs: Option<ObsCheckpoint>,
     records_ingested: u64,
     completed: u64,
     max_sealed: Option<u32>,
@@ -590,6 +617,7 @@ impl ResumeState {
                 .rebalance
                 .map(|bc| LoadBalancer::new(bc, config.parallelism)),
             sync: None,
+            obs: None,
             records_ingested: 0,
             completed: 0,
             max_sealed: None,
@@ -639,6 +667,7 @@ impl ResumeState {
             engines,
             balancer,
             sync: ckpt.sync.clone(),
+            obs: ckpt.obs.clone(),
             records_ingested: ckpt.records_ingested,
             completed: ckpt.progress.snapshots_completed,
             max_sealed: ckpt.progress.max_sealed,
@@ -649,6 +678,7 @@ impl ResumeState {
 
 /// Driver-thread body of a launched pipeline: builds the dataflow with a
 /// channel source and drains it into the event callback.
+#[allow(clippy::too_many_arguments)]
 fn drive(
     config: IcpeConfig,
     records: crossbeam::channel::Receiver<InputMsg>,
@@ -656,6 +686,7 @@ fn drive(
     resume: ResumeState,
     routing: Option<RoutingHandle>,
     sync: Option<SyncHandle>,
+    obs: MetricRegistry,
     mut on_event: impl FnMut(PipelineEvent) + Send + 'static,
 ) {
     let n = config.parallelism;
@@ -672,7 +703,14 @@ fn drive(
     let engine_cells: Vec<Mutex<Option<Box<dyn PatternEngine + Send>>>> =
         engines.into_iter().map(|e| Mutex::new(Some(e))).collect();
 
-    let source = Stream::from_channel(config.runtime, records);
+    let mut source = Stream::from_channel(config.runtime, records);
+    if config.instrument {
+        // Every stage declared below records per-batch latency and
+        // record counts; every exchange hop records queue depth and
+        // blocked-send time. With `instrument` off the stages carry no
+        // observation state at all — the bench's no-op baseline.
+        source = source.instrument(&obs);
+    }
     let snapshots = source.single(
         "align",
         Exchange::Rebalance,
@@ -680,6 +718,7 @@ fn drive(
             reported_late: aligner.late_dropped(),
             aligner,
             metrics: metrics.clone(),
+            obs: obs.clone(),
             records_ingested,
             scratch: Vec::new(),
         },
@@ -688,6 +727,7 @@ fn drive(
         snapshots,
         &config,
         &metrics,
+        &obs,
         routing,
         balancer,
         sync,
@@ -724,6 +764,7 @@ fn drive(
                 done_counts.remove(&t);
                 completed += 1;
                 metrics.mark_done(t);
+                obs.emit(ObsEventKind::WindowSealed { time: t });
                 on_event(PipelineEvent::SnapshotSealed { time: t });
             }
         }
@@ -761,7 +802,14 @@ fn drive(
                     // passed it; `None` under static routing / GDC.
                     routing: token.routing.lock().expect("routing slot poisoned").clone(),
                     sync,
+                    // The registry's cumulative counters at (just after)
+                    // the cut — a restored deployment's METRICS totals
+                    // continue from here.
+                    obs: Some(obs.counter_checkpoint()),
                 };
+                obs.emit(ObsEventKind::BarrierPassed {
+                    checkpoint_seq: token.request.seq,
+                });
                 // The requester may have given up (timeout/shutdown);
                 // nothing to do then.
                 let _ = token.request.reply.send(checkpoint);
@@ -772,10 +820,12 @@ fn drive(
 
 /// Builds the clustering stages for the configured method, producing the
 /// keyed partition stream consumed by enumeration.
+#[allow(clippy::too_many_arguments)]
 fn cluster_stages(
     snapshots: Stream<AlignMsg>,
     config: &IcpeConfig,
     metrics: &PipelineMetrics,
+    obs: &MetricRegistry,
     routing: Option<RoutingHandle>,
     balancer: Option<LoadBalancer>,
     sync: Option<SyncHandle>,
@@ -803,6 +853,7 @@ fn cluster_stages(
                     eps: dbscan.eps,
                     full_replication,
                     metrics: m0,
+                    obs: obs.clone(),
                     balancer,
                     table: Arc::clone(&table),
                     tracker: Arc::clone(&tracker),
@@ -1020,6 +1071,7 @@ enum OutMsg {
 struct AlignBarrierOp {
     aligner: TimeAligner,
     metrics: PipelineMetrics,
+    obs: MetricRegistry,
     reported_late: u64,
     records_ingested: u64,
     /// Sealed-snapshot scratch, reused across records and batches (the
@@ -1031,7 +1083,10 @@ impl AlignBarrierOp {
     fn sync_late_counter(&mut self) {
         let total = self.aligner.late_dropped();
         if total > self.reported_late {
-            self.metrics.mark_late(total - self.reported_late);
+            let dropped = total - self.reported_late;
+            self.metrics.mark_late(dropped);
+            self.obs
+                .emit(ObsEventKind::LateBatchDropped { records: dropped });
             self.reported_late = total;
         }
     }
@@ -1087,6 +1142,7 @@ struct AllocateOp {
     eps: f64,
     full_replication: bool,
     metrics: PipelineMetrics,
+    obs: MetricRegistry,
     /// `Some` in adaptive mode (owned here; single subtask).
     balancer: Option<LoadBalancer>,
     table: Arc<RoutingTable>,
@@ -1125,6 +1181,10 @@ impl AllocateOp {
             self.table
                 .note_window_loads(outcome.max_load, outcome.mean_load);
             if let Some(plan) = outcome.plan {
+                self.obs.emit(ObsEventKind::CellMigrated {
+                    epoch: plan.epoch,
+                    cells: plan.migrated,
+                });
                 self.table
                     .install(plan.epoch, plan.assignments, plan.migrated);
             }
@@ -2129,6 +2189,89 @@ mod tests {
         let mut got = delivered_before;
         got.extend(post.lock().unwrap().clone());
         assert_eq!(unique_object_sets(&got), want);
+    }
+
+    #[test]
+    fn checkpoint_restore_preserves_cumulative_obs_counters() {
+        // The registry's cumulative counters ride in the checkpoint and
+        // survive a kill + restore: immediately after launch_from (no
+        // replayed record has flowed yet) the restored registry reproduces
+        // the cut exactly, and further input only grows the totals.
+        let cfg = config(2, EnumeratorKind::Fba);
+        let records = walking_records(10);
+        let live = IcpePipeline::launch(&cfg, |_| {});
+        for r in &records[..25] {
+            live.push(*r).unwrap();
+        }
+        let ckpt = live.checkpoint().unwrap();
+        let cut = ckpt
+            .obs
+            .clone()
+            .expect("instrumented pipelines checkpoint obs");
+        let records_at_cut = |c: &ObsCheckpoint| {
+            c.counters
+                .iter()
+                .find(|e| e.stage == "align" && e.name == "stage_records_in_total")
+                .map(|e| e.value)
+                .unwrap_or(0)
+        };
+        // 25 data records + 1 barrier message: the counters count dataflow
+        // messages, control messages included.
+        assert_eq!(
+            records_at_cut(&cut),
+            26,
+            "the align stage counted every pre-cut message: {cut:?}"
+        );
+        drop(live); // crash
+
+        let resumed = IcpePipeline::launch_from(&cfg, &ckpt, |_| {}).unwrap();
+        // Fresh stage registrations are zero-valued and zeros are omitted
+        // from the checkpoint form, so the equality is exact.
+        assert_eq!(
+            resumed.obs().counter_checkpoint(),
+            cut,
+            "restored counters reproduce the cut before any record flows"
+        );
+        let registry = resumed.obs().clone();
+        for r in &records[25..] {
+            resumed.push(*r).unwrap();
+        }
+        resumed.finish();
+        let after = registry.counter_checkpoint();
+        assert_eq!(
+            records_at_cut(&after),
+            records.len() as u64 + 1, // 50 data messages + the one barrier
+            "replayed input accumulates on top of the restored base"
+        );
+    }
+
+    #[test]
+    fn uninstrumented_launch_registers_no_metrics_but_checkpoints_fine() {
+        let cfg = IcpeConfig::builder()
+            .constraints(Constraints::new(3, 4, 2, 2).unwrap())
+            .epsilon(1.0)
+            .min_pts(3)
+            .parallelism(2)
+            .instrument(false)
+            .build()
+            .unwrap();
+        let live = IcpePipeline::launch(&cfg, |_| {});
+        for r in walking_records(6) {
+            live.push(r).unwrap();
+        }
+        let ckpt = live.checkpoint().unwrap();
+        assert_eq!(
+            ckpt.obs,
+            Some(ObsCheckpoint {
+                counters: Vec::new()
+            }),
+            "no families registered, so the obs section is empty"
+        );
+        assert!(live.obs().stage_seconds().is_empty());
+        // The journal is independent of metric instrumentation: window
+        // seals and the barrier pass are recorded either way.
+        assert!(live.obs().last_seq() > 0);
+        live.finish();
     }
 
     #[test]

@@ -373,6 +373,7 @@ mod tests {
             },
             routing: None,
             sync: None,
+            obs: None,
         }
     }
 

@@ -4,8 +4,8 @@
 
 use icpe_persist::{CheckpointStore, PersistError};
 use icpe_types::{
-    AlignerCheckpoint, EngineCheckpoint, PipelineCheckpoint, ProgressCheckpoint, SyncCheckpoint,
-    CHECKPOINT_VERSION,
+    AlignerCheckpoint, EngineCheckpoint, ObsCheckpoint, ObsCounterEntry, PipelineCheckpoint,
+    ProgressCheckpoint, SyncCheckpoint, CHECKPOINT_VERSION,
 };
 use proptest::prelude::*;
 
@@ -33,6 +33,13 @@ fn sample() -> PipelineCheckpoint {
             duplicates: 3,
             windows_sealed: 7,
             pending: Vec::new(),
+        }),
+        obs: Some(ObsCheckpoint {
+            counters: vec![ObsCounterEntry {
+                stage: "align".to_string(),
+                name: "stage_records_in_total".to_string(),
+                value: 123,
+            }],
         }),
     }
 }

@@ -16,9 +16,11 @@
 //!   FIFO order "data before its tick/barrier" is preserved exactly as in
 //!   the record-at-a-time dataflow.
 
+use crate::obs::ExchangeObs;
 use crate::routing::RoutingTable;
 use crossbeam::channel::Sender;
 use std::sync::Arc;
+use std::time::Instant;
 
 /// Routing failed because the downstream stage hung up (all of its
 /// receivers were dropped) — the upstream subtask should stop producing.
@@ -133,10 +135,20 @@ pub struct Router<T> {
     /// record-at-a-time behaviour, each record its own batch).
     batch: usize,
     rr: usize,
+    /// Per-destination backpressure/queue-depth instrumentation, shared by
+    /// every upstream subtask's clone (the counters aggregate per
+    /// destination). `None` on uninstrumented dataflows: the hot path pays
+    /// one branch.
+    obs: Option<ExchangeObs>,
 }
 
 impl<T> Router<T> {
-    pub(crate) fn new(senders: Vec<Sender<Vec<T>>>, strategy: Exchange<T>, batch: usize) -> Self {
+    pub(crate) fn new(
+        senders: Vec<Sender<Vec<T>>>,
+        strategy: Exchange<T>,
+        batch: usize,
+        obs: Option<ExchangeObs>,
+    ) -> Self {
         debug_assert!(!senders.is_empty());
         Router {
             bufs: senders.iter().map(|_| Vec::new()).collect(),
@@ -144,6 +156,7 @@ impl<T> Router<T> {
             strategy,
             batch: batch.max(1),
             rr: 0,
+            obs,
         }
     }
 
@@ -156,6 +169,7 @@ impl<T> Router<T> {
             // Stagger round-robin starts so subtasks do not all hammer
             // downstream subtask 0 first.
             rr: subtask % self.senders.len(),
+            obs: self.obs.clone(),
         }
     }
 
@@ -222,7 +236,22 @@ impl<T> Router<T> {
             return Ok(());
         }
         let batch = std::mem::take(&mut self.bufs[idx]);
-        self.senders[idx].send(batch).map_err(|_| Disconnected)
+        self.send_to(idx, batch)
+    }
+
+    /// Ships one batch to destination `idx`, timing the (blocking, bounded)
+    /// send and sampling the queue depth when the hop is instrumented — the
+    /// per-exchange backpressure signal.
+    fn send_to(&self, idx: usize, batch: Vec<T>) -> Result<(), Disconnected> {
+        match &self.obs {
+            Some(obs) => {
+                let started = Instant::now();
+                let result = self.senders[idx].send(batch).map_err(|_| Disconnected);
+                obs.sent(idx, started.elapsed(), self.senders[idx].len());
+                result
+            }
+            None => self.senders[idx].send(batch).map_err(|_| Disconnected),
+        }
     }
 
     fn broadcast(&mut self, record: T) -> Result<(), Disconnected>
@@ -233,12 +262,10 @@ impl<T> Router<T> {
         // its subtask before the broadcast does.
         self.flush()?;
         let last = self.senders.len() - 1;
-        for s in &self.senders[..last] {
-            s.send(vec![record.clone()]).map_err(|_| Disconnected)?;
+        for idx in 0..last {
+            self.send_to(idx, vec![record.clone()])?;
         }
-        self.senders[last]
-            .send(vec![record])
-            .map_err(|_| Disconnected)
+        self.send_to(last, vec![record])
     }
 }
 
@@ -253,7 +280,7 @@ mod tests {
         batch: usize,
     ) -> (Router<u64>, Vec<Receiver<Vec<u64>>>) {
         let (senders, receivers): (Vec<_>, Vec<_>) = (0..n).map(|_| bounded(64)).unzip();
-        (Router::new(senders, strategy, batch), receivers)
+        (Router::new(senders, strategy, batch, None), receivers)
     }
 
     fn drain(rx: &Receiver<Vec<u64>>) -> Vec<u64> {
@@ -367,6 +394,29 @@ mod tests {
         let (mut r, rx) = routers_and_receivers(2, Exchange::Rebalance, 1);
         drop(rx);
         assert!(r.route(1).is_err());
+    }
+
+    #[test]
+    fn instrumented_router_counts_blocked_sends_and_depth() {
+        let reg = crate::obs::MetricRegistry::new();
+        let obs = ExchangeObs::new(&reg, "down", 2);
+        let (senders, receivers): (Vec<_>, Vec<_>) =
+            (0..2).map(|_| bounded::<Vec<u64>>(64)).unzip();
+        let mut r = Router::new(senders, Exchange::key_by(|x: &u64| *x), 2, Some(obs));
+        for v in [0u64, 0, 0, 1, 1] {
+            r.route(v).unwrap();
+        }
+        r.flush().unwrap();
+        // Destination 0 received two batches ([0,0] by size, [0] by flush),
+        // destination 1 one batch; depth gauges saw the queue afterwards.
+        assert_eq!(receivers[0].len(), 2);
+        assert_eq!(reg.gauge("down", 0, "exchange_queue_depth").get(), 2);
+        assert_eq!(reg.gauge("down", 1, "exchange_queue_depth").get(), 1);
+        // The send timer ran (value may round to zero ns on a fast path,
+        // so just assert the series exists via a second handle).
+        let _ = reg
+            .counter("down", 0, "exchange_blocked_seconds_total")
+            .get();
     }
 
     #[test]

@@ -20,7 +20,12 @@
 //!   per-record *"last time"* link is chained to decide when a snapshot is
 //!   complete and may be sealed, even under out-of-order arrival;
 //! * [`PipelineMetrics`] — per-snapshot latency and throughput, the two
-//!   measures reported in every experiment of the paper.
+//!   measures reported in every experiment of the paper;
+//! * [`MetricRegistry`] — the unified per-stage observability surface:
+//!   atomic counters/gauges/histograms keyed `stage/subtask/name`, plus a
+//!   bounded structured event journal. A [`Stream::instrument`]ed dataflow
+//!   records per-batch processing time and records in/out at every stage
+//!   and queue depth plus blocked-send time at every exchange hop.
 //!
 //! The "cluster" of the paper (1 master + 10 slaves) maps to stage
 //! parallelism: Figure 14's `N` machines become `N` subtasks per stage.
@@ -28,6 +33,7 @@
 pub mod aligner;
 pub mod exchange;
 pub mod metrics;
+pub mod obs;
 pub mod operator;
 pub mod routing;
 pub mod stream;
@@ -35,6 +41,9 @@ pub mod stream;
 pub use aligner::{AlignOperator, AlignerConfig, TimeAligner};
 pub use exchange::{Disconnected, Exchange, Routing};
 pub use metrics::{MetricsReport, PipelineMetrics, StreamProgress};
+pub use obs::{
+    Counter, ExchangeObs, Gauge, Histogram, MetricRegistry, ObsEvent, ObsEventKind, StageObs,
+};
 pub use operator::{filter_fn, flat_map_fn, map_fn, Collector, Operator};
 pub use routing::{RoutingStatus, RoutingTable};
 pub use stream::{

@@ -6,20 +6,19 @@
 //! (tps). `PipelineMetrics` is a thread-safe recorder shared by the ingest
 //! and sink stages.
 
+use crate::obs::Histogram;
 use parking_lot::Mutex;
 use std::collections::HashMap;
 use std::sync::Arc;
 use std::time::{Duration, Instant};
 
-/// Latency samples retained for percentile reporting. Long-lived servers
-/// seal snapshots indefinitely, so the sample history is a bounded sliding
-/// window (the counters stay cumulative).
-const LATENCY_WINDOW: usize = 8192;
-
 #[derive(Debug, Default)]
 struct Inner {
     ingest: HashMap<u32, Instant>,
-    latencies: Vec<(u32, Duration)>,
+    /// Cumulative log-bucketed latency distribution. Constant memory and
+    /// O(buckets) reporting regardless of run length — `report()` runs on
+    /// every `STATUS` request, so it must never sort a sample window.
+    latency: Histogram,
     /// Total snapshots completed (ingest + done), across the whole run.
     completed: usize,
     first_done: Option<Instant>,
@@ -58,11 +57,7 @@ impl PipelineMetrics {
         let mut inner = self.inner.lock();
         if let Some(start) = inner.ingest.remove(&t) {
             inner.completed += 1;
-            if inner.latencies.len() >= LATENCY_WINDOW {
-                // Amortized O(1): drop the older half of the window.
-                inner.latencies.drain(..LATENCY_WINDOW / 2);
-            }
-            inner.latencies.push((t, now - start));
+            inner.latency.record(now - start);
         }
         inner.first_done.get_or_insert(now);
         inner.last_done = Some(now);
@@ -101,24 +96,12 @@ impl PipelineMetrics {
         }
     }
 
-    /// Summarizes what was recorded so far.
+    /// Summarizes what was recorded so far. O(buckets) — never O(samples):
+    /// mean and max come exact from the histogram's sum/max cells, the
+    /// percentiles from a bucket walk.
     pub fn report(&self) -> MetricsReport {
         let inner = self.inner.lock();
-        let mut lat: Vec<Duration> = inner.latencies.iter().map(|&(_, d)| d).collect();
-        lat.sort_unstable();
-        let count = lat.len();
-        let avg = if count == 0 {
-            Duration::ZERO
-        } else {
-            lat.iter().sum::<Duration>() / count as u32
-        };
-        let pct = |p: f64| -> Duration {
-            if lat.is_empty() {
-                Duration::ZERO
-            } else {
-                lat[((lat.len() - 1) as f64 * p) as usize]
-            }
-        };
+        let lat = inner.latency.snapshot();
         let span = match (inner.first_done, inner.last_done) {
             (Some(a), Some(b)) if b > a => b - a,
             _ => Duration::ZERO,
@@ -132,10 +115,10 @@ impl PipelineMetrics {
         };
         MetricsReport {
             snapshots: inner.completed,
-            avg_latency: avg,
-            p50_latency: pct(0.50),
-            p95_latency: pct(0.95),
-            max_latency: lat.last().copied().unwrap_or(Duration::ZERO),
+            avg_latency: lat.mean(),
+            p50_latency: lat.quantile(0.50),
+            p95_latency: lat.quantile(0.95),
+            max_latency: lat.max(),
             throughput_tps: throughput,
             late_records: inner.late_records,
         }
@@ -166,9 +149,10 @@ impl StreamProgress {
     }
 }
 
-/// Summary statistics over the recorded snapshots. The count is cumulative
-/// over the whole run; latency statistics cover the most recent bounded
-/// sample window (identical until a run outgrows it).
+/// Summary statistics over the recorded snapshots. Counts, mean, and max
+/// are cumulative and exact over the whole run; the percentiles are
+/// log-bucketed (≤ 25 % relative error) so reporting stays O(buckets) no
+/// matter how long the server has been sealing snapshots.
 #[derive(Debug, Clone, Copy)]
 pub struct MetricsReport {
     /// Number of snapshots with both ingest and done marks.
@@ -252,21 +236,21 @@ mod tests {
     }
 
     #[test]
-    fn latency_window_is_bounded_but_count_is_cumulative() {
+    fn latency_history_is_cumulative_in_constant_memory() {
+        // Far more samples than the old 8192-sample sliding window: the
+        // histogram keeps the full cumulative distribution in constant
+        // memory, and reporting no longer sorts anything.
         let m = PipelineMetrics::new();
-        let n = (super::LATENCY_WINDOW + 100) as u32;
+        let n = 50_000u32;
         for t in 0..n {
             m.mark_ingest(t);
             m.mark_done(t);
         }
         let r = m.report();
         assert_eq!(r.snapshots, n as usize, "count stays cumulative");
-        let inner = m.inner.lock();
-        assert!(
-            inner.latencies.len() <= super::LATENCY_WINDOW,
-            "sample window kept bounded, got {}",
-            inner.latencies.len()
-        );
+        assert_eq!(m.inner.lock().latency.snapshot().count(), n as u64);
+        assert!(r.p50_latency <= r.p95_latency);
+        assert!(r.p95_latency <= r.max_latency);
     }
 
     #[test]

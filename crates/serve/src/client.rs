@@ -78,9 +78,27 @@ impl Subscription {
 
 /// Fetches and parses the `STATUS` block as `(key, value)` pairs.
 pub fn fetch_status(addr: &str) -> std::io::Result<Vec<(String, String)>> {
+    Ok(crate::stats::parse_status(&fetch_text(addr, "STATUS")?))
+}
+
+/// Fetches the raw `METRICS` block (Prometheus text exposition format).
+pub fn fetch_metrics(addr: &str) -> std::io::Result<String> {
+    fetch_text(addr, "METRICS")
+}
+
+/// Fetches the `EVENTS` journal entries with sequence numbers strictly
+/// greater than `since` (0 = everything retained), one raw JSON line per
+/// entry.
+pub fn fetch_events(addr: &str, since: u64) -> std::io::Result<Vec<String>> {
+    let text = fetch_text(addr, &format!("EVENTS {since}"))?;
+    Ok(text.lines().map(str::to_string).collect())
+}
+
+/// One-shot request/response: send `request` as a line, read to EOF.
+fn fetch_text(addr: &str, request: &str) -> std::io::Result<String> {
     let stream = TcpStream::connect(addr)?;
     let mut writer = stream.try_clone()?;
-    writeln!(writer, "STATUS")?;
+    writeln!(writer, "{request}")?;
     writer.flush()?;
     let mut text = String::new();
     let mut reader = BufReader::new(stream);
@@ -91,7 +109,7 @@ pub fn fetch_status(addr: &str) -> std::io::Result<Vec<(String, String)>> {
         }
         text.push_str(&line);
     }
-    Ok(crate::stats::parse_status(&text))
+    Ok(text)
 }
 
 /// Opens one producer connection and streams `records` (CSV or NDJSON);

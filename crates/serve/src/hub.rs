@@ -77,10 +77,11 @@ impl Hub {
     /// Publishes one event line to every subscriber whose topic accepts
     /// `kind`. Never blocks: subscribers that cannot take the line are shed
     /// on the spot (subscribers that simply hung up are reaped without
-    /// counting as shed). Returns how many subscribers were shed.
-    pub fn publish(&self, kind: EventKind, line: &Arc<str>) -> usize {
+    /// counting as shed). Returns the ids of the subscribers shed (empty
+    /// in the common case — no allocation happens then).
+    pub fn publish(&self, kind: EventKind, line: &Arc<str>) -> Vec<u64> {
         let mut subscribers = self.subscribers.lock();
-        let mut shed = 0usize;
+        let mut shed = Vec::new();
         subscribers.retain(|s| {
             if !s.topic.accepts(kind) {
                 return true;
@@ -90,17 +91,30 @@ impl Hub {
                 // Queue full: the consumer is too slow — shed it. Dropping
                 // the sender ends its line stream after the backlog drains.
                 Err(TrySendError::Full(_)) => {
-                    shed += 1;
+                    shed.push(s.id);
                     false
                 }
                 // Consumer already hung up; reap the entry silently.
                 Err(TrySendError::Disconnected(_)) => false,
             }
         });
-        if shed > 0 {
-            self.shed.fetch_add(shed as u64, Ordering::Relaxed);
+        if !shed.is_empty() {
+            self.shed.fetch_add(shed.len() as u64, Ordering::Relaxed);
         }
         shed
+    }
+
+    /// Depth of the fullest subscriber queue right now — the proactive
+    /// health gauge behind `max_subscriber_queue_depth`: a value climbing
+    /// toward the queue capacity means a consumer is falling behind and
+    /// about to be shed, visible *before* the disconnect happens.
+    pub fn max_queue_depth(&self) -> usize {
+        self.subscribers
+            .lock()
+            .iter()
+            .map(|s| s.queue.len())
+            .max()
+            .unwrap_or(0)
     }
 
     /// True if any current subscriber accepts events of `kind` — the
@@ -161,13 +175,17 @@ mod tests {
         let hub = Hub::new(2);
         let _slow = hub.subscribe(Topic::All); // never drained
         let fast = hub.subscribe(Topic::All);
-        let mut shed_total = 0;
+        let mut shed_total = Vec::new();
         for i in 0..10 {
-            shed_total += hub.publish(EventKind::Pattern, &line(&i.to_string()));
+            shed_total.extend(hub.publish(EventKind::Pattern, &line(&i.to_string())));
             // Keep the fast subscriber drained.
             while fast.lines().try_recv().is_ok() {}
         }
-        assert_eq!(shed_total, 1, "exactly the slow subscriber is shed");
+        assert_eq!(
+            shed_total,
+            vec![_slow.id],
+            "exactly the slow subscriber is shed"
+        );
         assert_eq!(hub.shed_count(), 1);
         assert_eq!(hub.len(), 1, "fast subscriber still registered");
     }
@@ -183,6 +201,20 @@ mod tests {
         // The backlog (a, b) is still deliverable; the stream then ends.
         let got: Vec<Arc<str>> = sub.lines().iter().collect();
         assert_eq!(got, vec![line("a"), line("b")]);
+    }
+
+    #[test]
+    fn max_queue_depth_tracks_the_fullest_subscriber() {
+        let hub = Hub::new(4);
+        assert_eq!(hub.max_queue_depth(), 0, "no subscribers, no depth");
+        let lagging = hub.subscribe(Topic::All);
+        let drained = hub.subscribe(Topic::All);
+        hub.publish(EventKind::Pattern, &line("a"));
+        hub.publish(EventKind::Pattern, &line("b"));
+        while drained.lines().try_recv().is_ok() {}
+        assert_eq!(hub.max_queue_depth(), 2, "the lagging queue dominates");
+        while lagging.lines().try_recv().is_ok() {}
+        assert_eq!(hub.max_queue_depth(), 0, "drained everywhere");
     }
 
     #[test]

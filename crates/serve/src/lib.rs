@@ -16,6 +16,8 @@
 //! | a record line       | producer   | one record per line, CSV `obj_id,time,x,y` or NDJSON `{"id":…,"time":…,"x":…,"y":…}`, auto-detected per line |
 //! | `SUBSCRIBE <topic>` | subscriber | server streams NDJSON events (`patterns`, `snapshots`, or `all`) |
 //! | `STATUS`            | status     | server writes a `key=value` block and closes |
+//! | `METRICS`           | metrics    | server writes the per-stage/per-exchange metric families in Prometheus text exposition format and closes |
+//! | `EVENTS [since]`    | events     | server writes the retained journal entries with `seq > since` (one JSON object per line) and closes |
 //!
 //! Producers are stamped and validated server-side: clock times are
 //! discretized to ticks ([`icpe_types::Discretizer`]), each record gets its
@@ -50,7 +52,7 @@ pub mod recovery;
 pub mod server;
 pub mod stats;
 
-pub use client::{fetch_status, Subscription};
+pub use client::{fetch_events, fetch_metrics, fetch_status, Subscription};
 pub use protocol::{Event, PatternEvent, SnapshotEvent, Topic, WireRecord};
 pub use recovery::{CheckpointPolicy, ServeCheckpoint};
 pub use server::{ServeConfig, Server};

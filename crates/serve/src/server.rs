@@ -26,7 +26,7 @@ use icpe_core::{
     IcpeConfig, IcpePipeline, LivePipeline, PipelineEvent, RecordSender, RoutingHandle, SyncHandle,
 };
 use icpe_persist::CheckpointStore;
-use icpe_runtime::{MetricsReport, PipelineMetrics};
+use icpe_runtime::{MetricRegistry, MetricsReport, ObsEventKind, PipelineMetrics};
 use icpe_types::{Discretizer, RawRecord};
 use parking_lot::Mutex;
 use std::collections::HashMap;
@@ -207,6 +207,10 @@ struct Shared {
     ingest: Mutex<Option<RecordSender>>,
     /// The pipeline's shared recorder (for `STATUS`).
     pipeline_metrics: Mutex<Option<PipelineMetrics>>,
+    /// The pipeline's per-stage metric registry and event journal (for
+    /// `METRICS` / `EVENTS`); also the sink for serve-originated journal
+    /// events (subscriber shedding).
+    obs: Mutex<Option<MetricRegistry>>,
     /// The grid stage's routing view (epoch, migrations, load split), when
     /// the engine runs one (for `STATUS`).
     routing: Mutex<Option<RoutingHandle>>,
@@ -366,6 +370,7 @@ impl Server {
             discretizer: Mutex::new(discretizer),
             ingest: Mutex::new(None),
             pipeline_metrics: Mutex::new(None),
+            obs: Mutex::new(None),
             routing: Mutex::new(None),
             sync: Mutex::new(None),
             skew: SkewLimiter::new(config.max_producer_skew, config.startup_grace),
@@ -405,12 +410,7 @@ impl Server {
                                 .as_str(),
                         );
                         let shed = bridge.hub.publish(EventKind::Pattern, &line);
-                        if shed > 0 {
-                            bridge
-                                .stats
-                                .subscribers_shed
-                                .fetch_add(shed as u64, Ordering::Relaxed);
-                        }
+                        note_shed(&bridge, &shed);
                     }
                 }
                 PipelineEvent::SnapshotSealed { time } => {
@@ -437,12 +437,7 @@ impl Server {
                                 .as_str(),
                         );
                         let shed = bridge.hub.publish(EventKind::Snapshot, &line);
-                        if shed > 0 {
-                            bridge
-                                .stats
-                                .subscribers_shed
-                                .fetch_add(shed as u64, Ordering::Relaxed);
-                        }
+                        note_shed(&bridge, &shed);
                     }
                 }
             }
@@ -456,6 +451,7 @@ impl Server {
         };
         *shared.ingest.lock() = Some(pipeline.sender());
         *shared.pipeline_metrics.lock() = Some(pipeline.metrics().clone());
+        *shared.obs.lock() = Some(pipeline.obs().clone());
         *shared.routing.lock() = pipeline.routing().cloned();
         *shared.sync.lock() = pipeline.sync().cloned();
 
@@ -508,7 +504,16 @@ impl Server {
             .as_ref()
             .map(RoutingHandle::status);
         let sync = self.shared.sync.lock().as_ref().map(SyncHandle::status);
-        self.shared.stats.render(&metrics, routing, sync)
+        self.shared
+            .stats
+            .render(&metrics, routing, sync, self.shared.hub.max_queue_depth())
+    }
+
+    /// The current Prometheus exposition block, as served by the `METRICS`
+    /// endpoint: the pipeline's per-stage/per-exchange families followed by
+    /// the serve-level edge families.
+    pub fn metrics_text(&self) -> String {
+        render_metrics(&self.shared)
     }
 
     /// Network-edge counters (shared with the handlers; live).
@@ -647,6 +652,25 @@ impl Drop for Server {
     }
 }
 
+/// Accounts a publish's shed subscribers: the cumulative edge counter plus
+/// one typed journal entry per shed connection, so `EVENTS` shows *which*
+/// subscriber was dropped and when relative to the stream's other
+/// transitions.
+fn note_shed(shared: &Shared, shed: &[u64]) {
+    if shed.is_empty() {
+        return;
+    }
+    shared
+        .stats
+        .subscribers_shed
+        .fetch_add(shed.len() as u64, Ordering::Relaxed);
+    if let Some(obs) = &*shared.obs.lock() {
+        for &id in shed {
+            obs.emit(ObsEventKind::SubscriberShed { subscriber: id });
+        }
+    }
+}
+
 /// Takes one consistent serve checkpoint — pipeline barrier plus the edge
 /// state captured at the same cut — and persists it atomically.
 ///
@@ -755,6 +779,10 @@ fn dispatch(shared: &Arc<Shared>, stream: TcpStream, conn_id: u64) -> std::io::R
         serve_subscriber(shared, stream, topic)
     } else if trimmed == "STATUS" {
         serve_status(shared, stream)
+    } else if trimmed == "METRICS" {
+        serve_metrics(shared, stream)
+    } else if trimmed == "EVENTS" || trimmed.starts_with("EVENTS ") {
+        serve_events(shared, stream, trimmed.strip_prefix("EVENTS").unwrap_or(""))
     } else {
         serve_producer(shared, reader, first, conn_id)
     }
@@ -979,7 +1007,62 @@ fn serve_status(shared: &Arc<Shared>, stream: TcpStream) -> std::io::Result<()> 
     let metrics = shared.pipeline_metrics.lock().clone().unwrap_or_default();
     let routing = shared.routing.lock().as_ref().map(RoutingHandle::status);
     let sync = shared.sync.lock().as_ref().map(SyncHandle::status);
+    let depth = shared.hub.max_queue_depth();
     let mut w = BufWriter::new(stream);
-    w.write_all(shared.stats.render(&metrics, routing, sync).as_bytes())?;
+    w.write_all(
+        shared
+            .stats
+            .render(&metrics, routing, sync, depth)
+            .as_bytes(),
+    )?;
+    w.flush()
+}
+
+/// Assembles the `METRICS` exposition: per-stage/per-exchange pipeline
+/// families first, then the serve-level edge families. The two renders use
+/// disjoint prefixes (`icpe_` vs `icpe_serve_`), so concatenation keeps
+/// every family's samples contiguous as the exposition format requires.
+fn render_metrics(shared: &Shared) -> String {
+    let metrics = shared.pipeline_metrics.lock().clone().unwrap_or_default();
+    let mut text = match &*shared.obs.lock() {
+        Some(obs) => obs.render_prometheus(),
+        None => String::new(),
+    };
+    text.push_str(
+        &shared
+            .stats
+            .render_prometheus(&metrics, shared.hub.max_queue_depth()),
+    );
+    text
+}
+
+/// `METRICS` connection: one Prometheus text-exposition block, then close.
+fn serve_metrics(shared: &Arc<Shared>, stream: TcpStream) -> std::io::Result<()> {
+    let mut w = BufWriter::new(stream);
+    w.write_all(render_metrics(shared).as_bytes())?;
+    w.flush()
+}
+
+/// `EVENTS [since-seq]` connection: the journal's retained entries with
+/// sequence numbers strictly greater than `since-seq` (default 0 = all
+/// retained), one JSON object per line, then close. Consumers page by
+/// passing the last `seq` they saw.
+fn serve_events(shared: &Arc<Shared>, stream: TcpStream, arg: &str) -> std::io::Result<()> {
+    let mut w = BufWriter::new(stream);
+    let since = match arg.trim() {
+        "" => 0u64,
+        s => match s.parse() {
+            Ok(n) => n,
+            Err(_) => {
+                writeln!(w, "ERR usage: EVENTS [since-seq]")?;
+                return w.flush();
+            }
+        },
+    };
+    if let Some(obs) = shared.obs.lock().clone() {
+        for event in obs.events_since(since) {
+            writeln!(w, "{}", event.render_json())?;
+        }
+    }
     w.flush()
 }

@@ -130,6 +130,7 @@ impl ServerStats {
         pipeline: &PipelineMetrics,
         routing: Option<RoutingStatus>,
         sync: Option<SyncStatus>,
+        max_subscriber_queue_depth: usize,
     ) -> String {
         let uptime = self.uptime();
         let records_in = self.records_in.load(Ordering::Relaxed);
@@ -188,6 +189,13 @@ impl ServerStats {
         line(
             "subscribers_shed",
             self.subscribers_shed.load(Ordering::Relaxed).to_string(),
+        );
+        // Proactive delivery health: how deep the fullest subscriber queue
+        // currently is. Climbing toward the configured queue bound means a
+        // consumer is about to be shed — visible before the disconnect.
+        line(
+            "max_subscriber_queue_depth",
+            max_subscriber_queue_depth.to_string(),
         );
         // Per-stage frontiers: what the edge accepted, what the aligner
         // released into clustering, what enumeration completed. The gap
@@ -255,6 +263,135 @@ impl ServerStats {
         line("throughput_tps", format!("{:.1}", report.throughput_tps));
         out
     }
+
+    /// Renders the network-edge counters in Prometheus text exposition
+    /// format — the serve-level half of the `METRICS` endpoint (the
+    /// pipeline's per-stage families come from its
+    /// [`icpe_runtime::MetricRegistry`]). Every value is finite: the
+    /// `NaN` that [`MetricsReport::throughput_tps`] reports before two
+    /// snapshots complete renders as `0`, because `NaN` is not a valid
+    /// exposition-format sample and would poison scrapers.
+    ///
+    /// [`MetricsReport::throughput_tps`]: icpe_runtime::MetricsReport
+    pub fn render_prometheus(
+        &self,
+        pipeline: &PipelineMetrics,
+        max_subscriber_queue_depth: usize,
+    ) -> String {
+        let report = pipeline.report();
+        let progress = pipeline.progress();
+        let mut out = String::with_capacity(1024);
+        let mut family = |name: &str, kind: &str, help: &str, value: String| {
+            out.push_str(&format!("# HELP icpe_serve_{name} {help}\n"));
+            out.push_str(&format!("# TYPE icpe_serve_{name} {kind}\n"));
+            out.push_str(&format!("icpe_serve_{name} {value}\n"));
+        };
+        let count = |v: u64| v.to_string();
+        family(
+            "records_in_total",
+            "counter",
+            "Valid records accepted into the pipeline.",
+            count(self.records_in.load(Ordering::Relaxed)),
+        );
+        family(
+            "records_rejected_total",
+            "counter",
+            "Lines refused (malformed, non-finite, stale/duplicate tick).",
+            count(self.records_rejected.load(Ordering::Relaxed)),
+        );
+        family(
+            "records_late_total",
+            "counter",
+            "Records dropped for arriving after their snapshot sealed.",
+            count(progress.late_records),
+        );
+        family(
+            "ingest_batches_total",
+            "counter",
+            "Ingest micro-batches pushed into the pipeline.",
+            count(self.ingest_batches.load(Ordering::Relaxed)),
+        );
+        family(
+            "bytes_in_total",
+            "counter",
+            "Bytes read from producer sockets.",
+            count(self.bytes_in.load(Ordering::Relaxed)),
+        );
+        family(
+            "patterns_emitted_total",
+            "counter",
+            "Pattern events published.",
+            count(self.patterns_out.load(Ordering::Relaxed)),
+        );
+        family(
+            "snapshots_sealed_total",
+            "counter",
+            "Snapshot-sealed events published.",
+            count(self.snapshots_sealed.load(Ordering::Relaxed)),
+        );
+        family(
+            "subscribers_shed_total",
+            "counter",
+            "Subscribers disconnected for not keeping up.",
+            count(self.subscribers_shed.load(Ordering::Relaxed)),
+        );
+        family(
+            "checkpoints_written_total",
+            "counter",
+            "Checkpoints written since start (periodic + final).",
+            count(self.checkpoints_written.load(Ordering::Relaxed)),
+        );
+        family(
+            "producers",
+            "gauge",
+            "Producer connections currently open.",
+            count(self.producers.load(Ordering::Relaxed)),
+        );
+        family(
+            "subscribers",
+            "gauge",
+            "Subscriber connections currently open.",
+            count(self.subscribers.load(Ordering::Relaxed)),
+        );
+        family(
+            "max_subscriber_queue_depth",
+            "gauge",
+            "Depth of the fullest subscriber queue (shedding nears at the configured bound).",
+            count(max_subscriber_queue_depth as u64),
+        );
+        family(
+            "in_flight_snapshots",
+            "gauge",
+            "Snapshots currently between ingest and completion.",
+            count(progress.in_flight as u64),
+        );
+        family(
+            "uptime_seconds",
+            "gauge",
+            "Seconds since the server started.",
+            format!("{:.3}", self.uptime()),
+        );
+        let finite = |v: f64| if v.is_finite() { v } else { 0.0 };
+        family(
+            "throughput_tps",
+            "gauge",
+            "Snapshots sealed per second (0 until two snapshots complete).",
+            format!("{:.3}", finite(report.throughput_tps)),
+        );
+        family(
+            "avg_latency_seconds",
+            "gauge",
+            "Mean end-to-end snapshot latency.",
+            format!("{:.9}", finite(report.avg_latency.as_secs_f64())),
+        );
+        family(
+            "p95_latency_seconds",
+            "gauge",
+            "95th-percentile end-to-end snapshot latency.",
+            format!("{:.9}", finite(report.p95_latency.as_secs_f64())),
+        );
+        out
+    }
 }
 
 impl Default for ServerStats {
@@ -281,7 +418,7 @@ mod tests {
         let stats = ServerStats::new();
         stats.records_in.store(42, Ordering::Relaxed);
         let pipeline = PipelineMetrics::new();
-        let text = stats.render(&pipeline, None, None);
+        let text = stats.render(&pipeline, None, None, 0);
         let kv = parse_status(&text);
         let get = |k: &str| {
             kv.iter()
@@ -298,7 +435,7 @@ mod tests {
         stats.note_ingested_tick(6);
         stats.note_ingested_tick(3);
         assert_eq!(stats.ingested_tick(), Some(6));
-        let kv = parse_status(&stats.render(&pipeline, None, None));
+        let kv = parse_status(&stats.render(&pipeline, None, None, 0));
         let frontier = kv.iter().find(|(k, _)| k == "ingest_frontier").unwrap();
         assert_eq!(frontier.1, "6");
         let lag = kv.iter().find(|(k, _)| k == "align_lag_snapshots").unwrap();
@@ -310,7 +447,7 @@ mod tests {
         let stats = ServerStats::new();
         let pipeline = PipelineMetrics::new();
         // No batches yet: fill renders 0 (guarded division), rates render.
-        let kv = parse_status(&stats.render(&pipeline, None, None));
+        let kv = parse_status(&stats.render(&pipeline, None, None, 0));
         let get = |k: &str| kv.iter().find(|(key, _)| key == k).unwrap().1.clone();
         assert_eq!(get("ingest_batches"), "0");
         assert_eq!(get("mean_batch_fill"), "0.00");
@@ -319,7 +456,7 @@ mod tests {
         stats.note_batch(48);
         stats.note_batch(16);
         stats.patterns_out.store(7, Ordering::Relaxed);
-        let kv = parse_status(&stats.render(&pipeline, None, None));
+        let kv = parse_status(&stats.render(&pipeline, None, None, 0));
         let get = |k: &str| kv.iter().find(|(key, _)| key == k).unwrap().1.clone();
         assert_eq!(get("records_in"), "64");
         assert_eq!(get("ingest_batches"), "2");
@@ -333,7 +470,7 @@ mod tests {
         let stats = ServerStats::new();
         let pipeline = PipelineMetrics::new();
         // Without a sync path the keys still render, zeroed.
-        let kv = parse_status(&stats.render(&pipeline, None, None));
+        let kv = parse_status(&stats.render(&pipeline, None, None, 0));
         let get = |k: &str| kv.iter().find(|(key, _)| key == k).unwrap().1.clone();
         assert_eq!(get("sync_shards"), "0");
         assert_eq!(get("sync_pairs_merged"), "0");
@@ -349,7 +486,7 @@ mod tests {
             max_shard_load: 90,
             mean_shard_load: 60.0,
         };
-        let kv = parse_status(&stats.render(&pipeline, None, Some(sync)));
+        let kv = parse_status(&stats.render(&pipeline, None, Some(sync), 0));
         let get = |k: &str| kv.iter().find(|(key, _)| key == k).unwrap().1.clone();
         assert_eq!(get("sync_shards"), "8");
         assert_eq!(get("sync_fanin"), "4");
@@ -367,7 +504,7 @@ mod tests {
         let stats = ServerStats::new();
         let pipeline = PipelineMetrics::new();
         // Without a routing layer the keys still render, zeroed.
-        let kv = parse_status(&stats.render(&pipeline, None, None));
+        let kv = parse_status(&stats.render(&pipeline, None, None, 0));
         let get = |k: &str| kv.iter().find(|(key, _)| key == k).unwrap().1.clone();
         assert_eq!(get("routing_epoch"), "0");
         assert_eq!(get("cells_migrated"), "0");
@@ -380,7 +517,7 @@ mod tests {
             max_subtask_load: 60.0,
             mean_subtask_load: 20.0,
         };
-        let kv = parse_status(&stats.render(&pipeline, Some(routing), None));
+        let kv = parse_status(&stats.render(&pipeline, Some(routing), None, 0));
         let get = |k: &str| kv.iter().find(|(key, _)| key == k).unwrap().1.clone();
         assert_eq!(get("routing_epoch"), "3");
         assert_eq!(get("cells_mapped"), "5");

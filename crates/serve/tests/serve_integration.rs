@@ -301,10 +301,151 @@ fn status_endpoint_reports_counters_and_rejects() {
     assert_eq!(get("ingest_frontier"), "2");
     assert!(get("uptime_s").parse::<f64>().unwrap() >= 0.0);
     assert!(get("records_per_s").parse::<f64>().unwrap() > 0.0);
+    // The hub health gauge is part of the stable STATUS surface: no
+    // subscriber is connected, so the fullest queue is empty.
+    assert_eq!(get("max_subscriber_queue_depth"), "0");
+    assert_eq!(get("subscribers_shed"), "0");
 
     // In-process view agrees with the wire view.
     let text = server.status_text();
     assert!(text.contains("records_in=3"), "{text}");
+    server.finish();
+}
+
+/// Golden test for the METRICS exposition: the metric-family names are a
+/// stable interface (dashboards key on them), every pipeline stage and
+/// exchange hop reports, and every sample value is finite — a NaN from a
+/// zero-duration rate would poison Prometheus `rate()` queries.
+#[test]
+fn metrics_and_events_endpoints_expose_the_pipeline() {
+    // Single in-order producer, tight alignment: windows seal (and the
+    // journal fills) while the server is still up to be scraped.
+    let engine = IcpeConfig::builder()
+        .constraints(Constraints::new(4, 8, 4, 2).unwrap())
+        .epsilon(2.5)
+        .min_pts(4)
+        .parallelism(2)
+        .aligner(AlignerConfig {
+            max_lag: 8,
+            emit_empty: true,
+            lateness: 0,
+        })
+        .build()
+        .unwrap();
+    let server = Server::start(ServeConfig::new(engine)).unwrap();
+    let addr = server.local_addr().to_string();
+
+    let traces = planted_generator(20).traces();
+    let report = loadgen::run(
+        &addr,
+        &traces,
+        &LoadConfig {
+            producers: 1,
+            ..LoadConfig::default()
+        },
+    )
+    .unwrap();
+    assert_eq!(report.records_sent, 30 * 20);
+
+    // Poll until detection has progressed end-to-end: the enumerate stage
+    // registered samples and at least one window-sealed journal entry is
+    // retained.
+    let mut text = String::new();
+    let mut journal: Vec<String> = Vec::new();
+    for _ in 0..2000 {
+        text = client::fetch_metrics(&addr).unwrap();
+        journal = client::fetch_events(&addr, 0).unwrap();
+        if text.contains("stage=\"enumerate\"")
+            && journal.iter().any(|l| l.contains("window_sealed"))
+        {
+            break;
+        }
+        std::thread::sleep(std::time::Duration::from_millis(5));
+    }
+
+    // Stable family names, all present with their exposition type headers.
+    for family in [
+        "# TYPE icpe_stage_batches_in_total counter",
+        "# TYPE icpe_stage_records_in_total counter",
+        "# TYPE icpe_stage_records_out_total counter",
+        "# TYPE icpe_stage_batch_seconds histogram",
+        "# TYPE icpe_exchange_blocked_seconds_total counter",
+        "# TYPE icpe_exchange_queue_depth gauge",
+        "# TYPE icpe_serve_records_in_total counter",
+        "# TYPE icpe_serve_records_rejected_total counter",
+        "# TYPE icpe_serve_snapshots_sealed_total counter",
+        "# TYPE icpe_serve_subscribers_shed_total counter",
+        "# TYPE icpe_serve_max_subscriber_queue_depth gauge",
+        "# TYPE icpe_serve_throughput_tps gauge",
+        "# TYPE icpe_serve_avg_latency_seconds gauge",
+    ] {
+        assert!(text.contains(family), "missing family: {family}\n{text}");
+    }
+
+    // Every stage of the RJC topology reports, including the exchange-only
+    // sink hop and the aggregation-tree finalizer.
+    for stage in [
+        "align",
+        "allocate",
+        "grid-query",
+        "sync-shard",
+        "sync-merge-final",
+        "enumerate",
+        "sink",
+    ] {
+        assert!(
+            text.contains(&format!("stage=\"{stage}\"")),
+            "stage {stage} missing from exposition:\n{text}"
+        );
+    }
+
+    // Every sample line parses as a finite number (`le="+Inf"` lives in the
+    // label set, never in the value position).
+    for line in text.lines() {
+        if line.starts_with('#') || line.is_empty() {
+            continue;
+        }
+        let value = line.rsplit(' ').next().unwrap();
+        let parsed: f64 = value
+            .parse()
+            .unwrap_or_else(|_| panic!("unparseable sample value in {line:?}"));
+        assert!(parsed.is_finite(), "non-finite sample: {line}");
+    }
+
+    // The journal is NDJSON with strictly increasing seqs, and the
+    // since-seq cursor pages precisely.
+    assert!(!journal.is_empty());
+    let seq_of = |line: &str| -> u64 {
+        let rest = line.strip_prefix("{\"seq\":").expect("journal line shape");
+        rest[..rest.find(',').unwrap()].parse().unwrap()
+    };
+    let seqs: Vec<u64> = journal.iter().map(|l| seq_of(l)).collect();
+    assert!(
+        seqs.windows(2).all(|w| w[0] < w[1]),
+        "seqs increase: {seqs:?}"
+    );
+    let rest = client::fetch_events(&addr, seqs[0]).unwrap();
+    assert_eq!(rest.len(), journal.len() - 1, "since-seq skips the cursor");
+    assert!(
+        client::fetch_events(&addr, *seqs.last().unwrap())
+            .unwrap()
+            .is_empty(),
+        "nothing beyond the newest seq"
+    );
+
+    // Counters only move forward: a second scrape never regresses.
+    let records_sample = |t: &str| -> f64 {
+        t.lines()
+            .find(|l| l.starts_with("icpe_serve_records_in_total"))
+            .and_then(|l| l.rsplit(' ').next())
+            .unwrap()
+            .parse()
+            .unwrap()
+    };
+    let again = client::fetch_metrics(&addr).unwrap();
+    assert!(records_sample(&again) >= records_sample(&text));
+    assert_eq!(records_sample(&again), 600.0, "all sent records counted");
+
     server.finish();
 }
 

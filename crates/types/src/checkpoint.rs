@@ -43,7 +43,11 @@ use std::fmt;
 /// cumulative dedup/seal counters plus any pending pair partitions,
 /// captured as per-subtask pieces merged at the sink like the engine
 /// section).
-pub const CHECKPOINT_VERSION: u32 = 3;
+///
+/// v4: added the optional `obs` section (cumulative metric-registry
+/// counters summed per `(stage, name)` at the cut, so per-stage
+/// observability survives a restore instead of resetting to zero).
+pub const CHECKPOINT_VERSION: u32 = 4;
 
 /// Errors raised when restoring state from a checkpoint.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -374,6 +378,29 @@ impl SyncCheckpoint {
     }
 }
 
+/// One cumulative metric-registry counter at the checkpoint cut, summed
+/// across the subtasks of its stage (the restored deployment may use a
+/// different parallelism, so only the per-stage total is meaningful).
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct ObsCounterEntry {
+    /// The stage (or exchange-hop receiving stage) that owns the counter.
+    pub stage: String,
+    /// The metric family name (e.g. `stage_records_in_total`). Names
+    /// ending in `seconds_total` hold nanoseconds.
+    pub name: String,
+    /// Cumulative value at the cut.
+    pub value: u64,
+}
+
+/// Durable form of the metric registry's cumulative counters, canonically
+/// sorted by `(stage, name)` with zero-valued series omitted. Gauges and
+/// histogram samples are wall-clock-bound and restart empty.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct ObsCheckpoint {
+    /// Counter totals, ascending by `(stage, name)`.
+    pub counters: Vec<ObsCounterEntry>,
+}
+
 /// Pipeline progress gauges frozen at the checkpoint cut; rehydrated into
 /// the metrics recorder on restore so counters do not reset to zero.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
@@ -414,6 +441,9 @@ pub struct PipelineCheckpoint {
     /// Sharded GridSync merge state (`None` for clusterers without a
     /// grid sync stage, i.e. GDC).
     pub sync: Option<SyncCheckpoint>,
+    /// Cumulative metric-registry counters at the cut (`None` only in
+    /// checkpoints upgraded from pre-v4 schemas).
+    pub obs: Option<ObsCheckpoint>,
 }
 
 impl PipelineCheckpoint {
@@ -512,6 +542,13 @@ mod tests {
                 duplicates: 7,
                 windows_sealed: 3,
                 pending: Vec::new(),
+            }),
+            obs: Some(ObsCheckpoint {
+                counters: vec![ObsCounterEntry {
+                    stage: "align".into(),
+                    name: "stage_records_in_total".into(),
+                    value: 10,
+                }],
             }),
         };
         assert!(ckpt.check_version().is_ok());

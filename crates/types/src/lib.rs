@@ -22,9 +22,9 @@ pub mod timeseq;
 pub use checkpoint::{
     AlignerCheckpoint, CellAssignment, CellLoadCheckpoint, ChainCheckpoint, CheckpointError,
     DiscretizerCheckpoint, EngineCheckpoint, EpisodeCheckpoint, HistoryRowCheckpoint,
-    PipelineCheckpoint, ProgressCheckpoint, RoutingCheckpoint, SyncCheckpoint,
-    SyncWindowCheckpoint, TrajectoryStamp, VbaOwnerCheckpoint, WindowOwnerCheckpoint,
-    CHECKPOINT_VERSION,
+    ObsCheckpoint, ObsCounterEntry, PipelineCheckpoint, ProgressCheckpoint, RoutingCheckpoint,
+    SyncCheckpoint, SyncWindowCheckpoint, TrajectoryStamp, VbaOwnerCheckpoint,
+    WindowOwnerCheckpoint, CHECKPOINT_VERSION,
 };
 pub use constraints::{Constraints, DbscanParams};
 pub use discretize::Discretizer;

@@ -14,9 +14,9 @@
 
 use icpe_types::{
     AlignerCheckpoint, CellAssignment, CellLoadCheckpoint, ChainCheckpoint, EngineCheckpoint,
-    EpisodeCheckpoint, HistoryRowCheckpoint, ObjectId, PipelineCheckpoint, Point,
-    ProgressCheckpoint, RoutingCheckpoint, Snapshot, SyncCheckpoint, SyncWindowCheckpoint,
-    Timestamp, VbaOwnerCheckpoint, WindowOwnerCheckpoint, CHECKPOINT_VERSION,
+    EpisodeCheckpoint, HistoryRowCheckpoint, ObjectId, ObsCheckpoint, ObsCounterEntry,
+    PipelineCheckpoint, Point, ProgressCheckpoint, RoutingCheckpoint, Snapshot, SyncCheckpoint,
+    SyncWindowCheckpoint, Timestamp, VbaOwnerCheckpoint, WindowOwnerCheckpoint, CHECKPOINT_VERSION,
 };
 
 /// A canonical sample exercising every field of every checkpoint struct.
@@ -108,6 +108,25 @@ fn sample() -> PipelineCheckpoint {
                 time: 42,
                 pairs: vec![(ObjectId(3), ObjectId(5)), (ObjectId(3), ObjectId(9))],
             }],
+        }),
+        obs: Some(ObsCheckpoint {
+            counters: vec![
+                ObsCounterEntry {
+                    stage: "align".into(),
+                    name: "stage_batches_in_total".into(),
+                    value: 64,
+                },
+                ObsCounterEntry {
+                    stage: "align".into(),
+                    name: "stage_records_in_total".into(),
+                    value: 4096,
+                },
+                ObsCounterEntry {
+                    stage: "grid-query".into(),
+                    name: "exchange_blocked_seconds_total".into(),
+                    value: 2_500_000,
+                },
+            ],
         }),
     }
 }
