@@ -31,10 +31,12 @@
 //!           N = P in-process beats N = 1 by the scaling floor (default
 //!           1.2×; the sharded-sync regression gate — enforced only on
 //!           hosts with ≥2 CPUs, where wall-clock parallelism exists),
-//!           that the serve edge sustains ≥5k records/s, and that stage
+//!           that the serve edge sustains ≥5k records/s, that stage
 //!           instrumentation costs at most `--overhead-cap` (default 5%)
-//!           of throughput vs an `instrument(false)` run — exit non-zero
-//!           otherwise.
+//!           of throughput vs an `instrument(false)` run, and that the
+//!           busy-time bottleneck is not a serial head stage (the sharded
+//!           aligner gate: `align`/`allocate`/`align-route` ranking first
+//!           means the head re-serialized) — exit non-zero otherwise.
 //! ```
 //!
 //! The summary also records where the wall clock goes: per-stage busy
@@ -276,7 +278,9 @@ fn main() {
 
     // Parallelism sweep at the default batch size (and at batch 1 for the
     // batching comparison). Every row must seal the identical pattern
-    // multiset — sharded sync included.
+    // multiset — sharded sync included, and (since `align_shards` follows
+    // the parallelism) the sharded TimeAligner + fused GridAllocate head
+    // widens with every row too.
     let mut scale_rows = Vec::new();
     for p in [1usize, 2, 4, parallelism] {
         if scale_rows.iter().any(|&(q, _, _)| q == p) {
@@ -509,6 +513,21 @@ fn main() {
             overhead * 100.0,
             overhead_cap * 100.0
         );
+        // The point of sharding the head: with N subtasks everywhere, a
+        // serial stage at the top would cap the whole dataflow, so the
+        // busy-time ranking must not crown one. (`align`/`allocate` are the
+        // pre-sharding stage names — tripping on them means the topology
+        // regressed outright; `align-route` is the residual serial router,
+        // which only hashes, seals, and forwards.) Busy seconds, not wall
+        // clock, so the ranking is meaningful on single-CPU hosts too.
+        if parallelism >= 2 {
+            let serial_head = ["align", "allocate", "align-route"];
+            assert!(
+                !serial_head.contains(&bottleneck_stage.as_str()),
+                "CHECK FAILED: bottleneck stage is {bottleneck_stage} — \
+                 the aligner head is serial again"
+            );
+        }
         println!("CHECK OK");
     }
 }

@@ -84,6 +84,11 @@ pub struct IcpeConfig {
     /// sync stage's `N` partial merges reduce through ⌈N/fanin⌉ combiners
     /// per level down to one finalizer. Ignored by GDC.
     pub sync_fanin: usize,
+    /// Parallelism of the sharded aligner head (TimeAligner + fused
+    /// GridAllocate), keyed by trajectory id. Defaults to `parallelism`;
+    /// `1` degenerates to a single aligner shard behind the frontier
+    /// router. Ignored by GDC, which keeps the serial head.
+    pub align_shards: usize,
     /// Runtime channel capacity (backpressure depth).
     pub runtime: RuntimeConfig,
     /// Stream time-alignment settings.
@@ -135,6 +140,7 @@ pub struct IcpeConfigBuilder {
     enumerator: EnumeratorKind,
     parallelism: usize,
     sync_fanin: usize,
+    align_shards: Option<usize>,
     runtime: RuntimeConfig,
     aligner: AlignerConfig,
     max_baseline_partition: usize,
@@ -155,6 +161,7 @@ impl Default for IcpeConfigBuilder {
             enumerator: EnumeratorKind::default(),
             parallelism: 4,
             sync_fanin: DEFAULT_SYNC_FANIN,
+            align_shards: None,
             runtime: RuntimeConfig::default(),
             aligner: AlignerConfig::default(),
             max_baseline_partition: 22,
@@ -225,6 +232,15 @@ impl IcpeConfigBuilder {
     /// tree to a flat N → 1 funnel.
     pub fn sync_fanin(mut self, fanin: usize) -> Self {
         self.sync_fanin = fanin.max(2);
+        self
+    }
+
+    /// Sets the aligner-head shard count (default: follow `parallelism`,
+    /// clamped ≥ 1). The sealed output is shard-count-invariant — the
+    /// equivalence battery in `aligner_equivalence.rs` pins this — so the
+    /// knob is purely a throughput/latency trade.
+    pub fn align_shards(mut self, shards: usize) -> Self {
+        self.align_shards = Some(shards.max(1));
         self
     }
 
@@ -303,6 +319,7 @@ impl IcpeConfigBuilder {
             enumerator: self.enumerator,
             parallelism: self.parallelism,
             sync_fanin: self.sync_fanin,
+            align_shards: self.align_shards.unwrap_or(self.parallelism).max(1),
             runtime: self.runtime,
             aligner: self.aligner,
             max_baseline_partition: self.max_baseline_partition,
@@ -361,6 +378,23 @@ mod tests {
             .build()
             .unwrap();
         assert_eq!(c.parallelism, 1);
+    }
+
+    #[test]
+    fn align_shards_follows_parallelism_unless_set() {
+        let c = IcpeConfig::builder()
+            .constraints(Constraints::new(2, 2, 1, 1).unwrap())
+            .parallelism(6)
+            .build()
+            .unwrap();
+        assert_eq!(c.align_shards, 6);
+        let c = IcpeConfig::builder()
+            .constraints(Constraints::new(2, 2, 1, 1).unwrap())
+            .parallelism(6)
+            .align_shards(0)
+            .build()
+            .unwrap();
+        assert_eq!(c.align_shards, 1, "explicit value clamps to ≥ 1");
     }
 
     #[test]

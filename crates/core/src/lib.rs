@@ -35,8 +35,9 @@ pub use config::{
 };
 pub use engine::{IcpeEngine, StreamingEngine};
 pub use icpe_cluster::{BalancerConfig, SyncStatus};
+pub use icpe_runtime::AlignerStatus;
 pub use icpe_runtime::RoutingStatus;
 pub use pipeline::{
-    IcpePipeline, LivePipeline, PipelineEvent, PipelineOutput, RecordSender, RoutingHandle,
-    SyncHandle,
+    AlignHandle, IcpePipeline, LivePipeline, PipelineEvent, PipelineOutput, RecordSender,
+    RoutingHandle, SyncHandle,
 };

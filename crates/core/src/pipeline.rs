@@ -1,9 +1,11 @@
 //! The distributed streaming deployment (the paper's Flink job, Fig. 5).
 //!
 //! ```text
-//! Source(1) → [Discretize(N, keyBy id)] → Align(1) → GridAllocate(1)
-//!     → GridQuery(N, keyBy grid cell)    ┐  keyed data,
-//!     → GridSync+DBSCAN(1)               │  broadcast per-snapshot ticks
+//! Source(1) → AlignRoute(1) → AlignShard+GridAllocate(S, keyBy id)
+//!     → SnapMerge(tree, fanin f)         ┐
+//!     → GridQuery(N, keyBy grid cell)    │  keyed data,
+//!     → GridSync(N, keyBy owner id)      │  broadcast per-snapshot ticks
+//!     → SyncMerge+DBSCAN(tree, fanin f)  │
 //!     → Enumerate(N, keyBy owner id)     ┘
 //!     → Sink(1)
 //! ```
@@ -11,9 +13,32 @@
 //! Snapshot boundaries travel as broadcast *ticks* (the runtime equivalent
 //! of Flink punctuation/watermarks): a keyed subtask knows a snapshot's
 //! contribution is complete when it has seen the boundary tick from each of
-//! its upstream producers. Latency is measured from a snapshot entering
-//! GridAllocate until all enumeration subtasks have reported its tick done;
-//! throughput is completed snapshots per second — the two measures of §7.
+//! its upstream producers. Latency is measured from a snapshot leaving the
+//! snapshot-merge finalizer until all enumeration subtasks have reported
+//! its tick done; throughput is completed snapshots per second — the two
+//! measures of §7.
+//!
+//! ## The sharded aligner head
+//!
+//! §4 time alignment decomposes by trajectory id — every chain is
+//! per-trajectory state — but the *seal decision* is global: a record is
+//! late iff its time is below the min-over-all-chains frontier at the
+//! moment it enters the stream. So the head splits into a thin serial
+//! **frontier router** (`align-route`) holding the chains partitioned per
+//! shard (seal = min over shard frontiers; it buffers no rows) and `S`
+//! **aligner shards** (`align-shard`, keyed by `hash_id(id) % S`) holding
+//! the buffered snapshot rows of their trajectories. The router forwards
+//! each kept record to its shard and broadcasts `Seal` punctuation as
+//! times become sealable; each shard then runs GridAllocate over its rows
+//! — cell assignment is per-record stateless, so the allocate work rides
+//! the shards for free — and emits a partial object set per sealed time.
+//! Partials reduce through a `snap-merge` aggregation tree (same fanin as
+//! the GridSync tree, ticks aligned at every level) to one finalizer that
+//! runs the load balancer and releases the window to the keyed grid
+//! exchange. Per-record chain work, row buffering, and cell assignment all
+//! scale with `S`; only the frontier bookkeeping (a hash+compare per
+//! record) stays serial. The GDC baseline keeps the serial `align` head —
+//! it has no grid stage to fuse into.
 //!
 //! Two entry points are provided:
 //!
@@ -29,15 +54,19 @@
 //!
 //! ## Checkpointing (the recovery story)
 //!
-//! The job is stateful: the aligner's chains and the enumeration engines'
-//! open windows are exactly what a crash would forget. [`LivePipeline::
-//! checkpoint`] captures them *consistently* without stopping the world,
-//! Flink/Chandy–Lamport style: a **barrier** message is enqueued on the
-//! ingest channel behind every record pushed so far and flows through the
-//! dataflow along the same FIFO channels as data —
+//! The job is stateful: the aligner's chains and buffered rows and the
+//! enumeration engines' open windows are exactly what a crash would
+//! forget. [`LivePipeline::checkpoint`] captures them *consistently*
+//! without stopping the world, Flink/Chandy–Lamport style: a **barrier**
+//! message is enqueued on the ingest channel behind every record pushed so
+//! far and flows through the dataflow along the same FIFO channels as
+//! data —
 //!
-//! * the align subtask snapshots its [`TimeAligner`] state and forwards the
-//!   barrier;
+//! * the frontier router snapshots its chains + counters into the token
+//!   and forwards the barrier; each aligner shard deposits its buffered
+//!   rows as a buffer-only piece (the sink later merges router + shard
+//!   pieces into one canonical, deployment-independent aligner section —
+//!   restore may therefore use a different shard count);
 //! * the clustering stages forward it (their per-snapshot buffers are
 //!   provably empty at a barrier: the barrier trails the boundary tick of
 //!   every sealed snapshot, and ticks flush those buffers);
@@ -62,10 +91,10 @@
 //! * every GridQuery subtask accounts its per-cell load (buffered objects
 //!   plus produced pairs) into a shared [`LoadTracker`] as it flushes
 //!   each window;
-//! * the (single) GridAllocate subtask runs the [`LoadBalancer`] at each
-//!   snapshot boundary — **before** emitting the snapshot's objects — and,
-//!   when a hot placement is detected, installs a new routing epoch into
-//!   the table;
+//! * the (single) snapshot-merge finalizer — the one subtask upstream of
+//!   the keyed exchange — runs the [`LoadBalancer`] at each snapshot
+//!   boundary, **before** emitting the snapshot's objects, and, when a hot
+//!   placement is detected, installs a new routing epoch into the table;
 //! * because the swap happens strictly between the boundary tick of
 //!   window `t−1` and the first object of window `t`, and ticks flush
 //!   every per-cell buffer, a window's cell group is always routed under
@@ -88,9 +117,9 @@ use icpe_index::{Grid, GridKey, RTree};
 use icpe_pattern::partition::Partition;
 use icpe_pattern::{id_partitions, BaselineEngine, FbaEngine, PatternEngine, VbaEngine};
 use icpe_runtime::{
-    ingest_channel, Collector, Disconnected, Exchange, MetricRegistry, MetricsReport, ObsEventKind,
-    Operator, PipelineMetrics, Routing, RoutingStatus, RoutingTable, Stream, StreamProgress,
-    TimeAligner, TreeSlot,
+    ingest_channel, AlignStats, AlignerStatus, Collector, Disconnected, Exchange, MetricRegistry,
+    MetricsReport, ObsEventKind, Operator, PipelineMetrics, Routed, Routing, RoutingStatus,
+    RoutingTable, ShardedAligner, Stream, StreamProgress, TimeAligner, TreeSlot,
 };
 use icpe_types::shard::{hash_id, stable_hash, subtask_for};
 use icpe_types::{
@@ -157,8 +186,17 @@ struct BarrierRequest {
 #[derive(Debug)]
 pub(crate) struct BarrierToken {
     request: Arc<BarrierRequest>,
+    /// The aligner state captured at the ingest point: under the sharded
+    /// head this is the frontier router's piece (chains + counters + clock
+    /// fields, no rows); under the GDC serial head it is the complete
+    /// aligner checkpoint.
     aligner: AlignerCheckpoint,
     records_ingested: u64,
+    /// Filled by the aligner shards as the barrier passes them: one
+    /// buffer-only piece per shard (their unsealed rows). The sink merges
+    /// these with the router's piece into the canonical aligner section.
+    /// Stays empty under the GDC serial head.
+    aligner_shards: Mutex<Vec<AlignerCheckpoint>>,
     /// Filled by the (single) allocate subtask as the barrier passes it:
     /// the adaptive-routing state at the cut. Stays `None` under static
     /// routing or the GDC clusterer.
@@ -278,6 +316,22 @@ impl SyncHandle {
     }
 }
 
+/// A live view of the sharded aligner head: chain counts, per-shard
+/// frontier spread, the sealed frontier, and the late-drop counter.
+/// Cloneable and independent of the [`LivePipeline`]'s lifetime, like
+/// [`SyncHandle`].
+#[derive(Debug, Clone)]
+pub struct AlignHandle {
+    stats: Arc<AlignStats>,
+}
+
+impl AlignHandle {
+    /// The current aligner-head gauges.
+    pub fn status(&self) -> AlignerStatus {
+        self.stats.status()
+    }
+}
+
 /// A running streaming deployment (see [`IcpePipeline::launch`]).
 ///
 /// Dropping the handle without calling [`LivePipeline::finish`] detaches
@@ -290,6 +344,7 @@ pub struct LivePipeline {
     metrics: PipelineMetrics,
     routing: Option<RoutingHandle>,
     sync: Option<SyncHandle>,
+    align: Option<AlignHandle>,
     obs: MetricRegistry,
 }
 
@@ -377,6 +432,19 @@ impl LivePipeline {
     /// Convenience: the current [`SyncStatus`], when a sync stage runs.
     pub fn sync_status(&self) -> Option<SyncStatus> {
         self.sync.as_ref().map(SyncHandle::status)
+    }
+
+    /// The sharded aligner head's gauge view (`None` under GDC, which
+    /// keeps the serial head). Clone it to keep reading after
+    /// [`LivePipeline::finish`].
+    pub fn align(&self) -> Option<&AlignHandle> {
+        self.align.as_ref()
+    }
+
+    /// Convenience: the current [`AlignerStatus`], when the sharded head
+    /// runs.
+    pub fn align_status(&self) -> Option<AlignerStatus> {
+        self.align.as_ref().map(AlignHandle::status)
     }
 
     /// Ends the stream (drops this handle's sender) and blocks until the
@@ -476,11 +544,23 @@ impl IcpePipeline {
             }
             SyncHandle { stats }
         });
+        // The aligner-head gauges exist whenever the sharded head runs
+        // (GDC keeps the serial head); a restored deployment seeds the
+        // frontier and late-drop gauges from the cut.
+        let align = (config.clusterer != ClustererKind::Gdc).then(|| {
+            let stats = AlignStats::new(config.align_shards);
+            stats.restore(
+                resume.aligner.late_dropped(),
+                resume.aligner_ckpt.as_ref().and_then(|c| c.sealed_up_to),
+            );
+            AlignHandle { stats }
+        });
         let (input, records) = ingest_channel::<InputMsg>(config.runtime.channel_capacity);
         let driver_config = config.clone();
         let driver_metrics = metrics.clone();
         let driver_routing = routing.clone();
         let driver_sync = sync.clone();
+        let driver_align = align.clone();
         let driver_obs = obs.clone();
         let ckpt_seq = Arc::new(AtomicU64::new(resume.next_seq.saturating_sub(1)));
         let driver = std::thread::Builder::new()
@@ -493,6 +573,7 @@ impl IcpePipeline {
                     resume,
                     driver_routing,
                     driver_sync,
+                    driver_align,
                     driver_obs,
                     on_event,
                 )
@@ -507,6 +588,7 @@ impl IcpePipeline {
             metrics,
             routing,
             sync,
+            align,
             obs,
         }
     }
@@ -584,7 +666,15 @@ pub(crate) fn restore_engine(
 /// spawns, so a bad checkpoint fails the launch instead of panicking a
 /// subtask later.
 struct ResumeState {
+    /// The serial aligner for the GDC head; also the source of the
+    /// restored late-drop gauge either way.
     aligner: TimeAligner,
+    /// The checkpoint's merged aligner section (`None` on a fresh launch):
+    /// the sharded head rebuilds its router (chains + counters) and
+    /// owner-filters the buffered rows onto the restored deployment's
+    /// aligner shards from this — possibly at a different shard count than
+    /// the one that wrote it.
+    aligner_ckpt: Option<AlignerCheckpoint>,
     /// One pre-built engine per enumeration subtask.
     engines: Vec<Box<dyn PatternEngine + Send>>,
     /// The adaptive-routing controller (`None` under static routing),
@@ -610,6 +700,7 @@ impl ResumeState {
         let engine_config = config.engine_config();
         ResumeState {
             aligner: TimeAligner::new(config.aligner),
+            aligner_ckpt: None,
             engines: (0..config.parallelism)
                 .map(|_| build_engine(config.enumerator, engine_config))
                 .collect(),
@@ -664,6 +755,7 @@ impl ResumeState {
         });
         Ok(ResumeState {
             aligner: TimeAligner::from_checkpoint(config.aligner, &ckpt.aligner),
+            aligner_ckpt: Some(ckpt.aligner.clone()),
             engines,
             balancer,
             sync: ckpt.sync.clone(),
@@ -686,12 +778,14 @@ fn drive(
     resume: ResumeState,
     routing: Option<RoutingHandle>,
     sync: Option<SyncHandle>,
+    align: Option<AlignHandle>,
     obs: MetricRegistry,
     mut on_event: impl FnMut(PipelineEvent) + Send + 'static,
 ) {
     let n = config.parallelism;
     let ResumeState {
         aligner,
+        aligner_ckpt,
         engines,
         balancer,
         sync: sync_resume,
@@ -711,20 +805,8 @@ fn drive(
         // observation state at all — the bench's no-op baseline.
         source = source.instrument(&obs);
     }
-    let snapshots = source.single(
-        "align",
-        Exchange::Rebalance,
-        AlignBarrierOp {
-            reported_late: aligner.late_dropped(),
-            aligner,
-            metrics: metrics.clone(),
-            obs: obs.clone(),
-            records_ingested,
-            scratch: Vec::new(),
-        },
-    );
     let partitions = cluster_stages(
-        snapshots,
+        source,
         &config,
         &metrics,
         &obs,
@@ -732,6 +814,10 @@ fn drive(
         balancer,
         sync,
         sync_resume,
+        align,
+        aligner,
+        aligner_ckpt,
+        records_ingested,
     );
     let outputs = partitions.apply(
         "enumerate",
@@ -785,18 +871,39 @@ fn drive(
                 let sync_pieces =
                     std::mem::take(&mut *token.sync.lock().expect("sync slot poisoned"));
                 let sync = (!sync_pieces.is_empty()).then(|| SyncCheckpoint::merge(sync_pieces));
+                // Same happens-before argument for the aligner shards: each
+                // deposits its buffer-only piece before forwarding the
+                // barrier into the snapshot-merge tree. The router's piece
+                // (chains + counters) plus the shard pieces merge into one
+                // canonical, shard-count-independent aligner section; under
+                // the GDC serial head the slot is empty and the token
+                // already carries the complete checkpoint.
+                let shard_pieces = std::mem::take(
+                    &mut *token
+                        .aligner_shards
+                        .lock()
+                        .expect("aligner shard slot poisoned"),
+                );
+                let aligner = if shard_pieces.is_empty() {
+                    token.aligner.clone()
+                } else {
+                    let mut pieces = Vec::with_capacity(shard_pieces.len() + 1);
+                    pieces.push(token.aligner.clone());
+                    pieces.extend(shard_pieces);
+                    AlignerCheckpoint::merge(pieces)
+                };
                 let checkpoint = PipelineCheckpoint {
                     version: CHECKPOINT_VERSION,
                     seq: token.request.seq,
                     records_ingested: token.records_ingested,
                     progress: ProgressCheckpoint {
                         snapshots_completed: completed,
-                        late_records: token.aligner.late_dropped,
+                        late_records: aligner.late_dropped,
                         // sealed_up_to is `u + 1` after sealing `u`, so it
                         // is ≥ 1 whenever Some.
-                        max_sealed: token.aligner.sealed_up_to.map(|s| s - 1),
+                        max_sealed: aligner.sealed_up_to.map(|s| s - 1),
                     },
-                    aligner: token.aligner.clone(),
+                    aligner,
                     engine,
                     // Deposited by the allocate subtask as the barrier
                     // passed it; `None` under static routing / GDC.
@@ -818,11 +925,15 @@ fn drive(
     });
 }
 
-/// Builds the clustering stages for the configured method, producing the
-/// keyed partition stream consumed by enumeration.
+/// Builds the full clustering dataflow — alignment head included — for
+/// the configured method, producing the keyed partition stream consumed
+/// by enumeration. The grid clusterers run the sharded head (frontier
+/// router → aligner shards with fused GridAllocate → snapshot-merge
+/// tree); GDC keeps the serial `align` stage, having no grid work to
+/// fuse into shards.
 #[allow(clippy::too_many_arguments)]
 fn cluster_stages(
-    snapshots: Stream<AlignMsg>,
+    source: Stream<InputMsg>,
     config: &IcpeConfig,
     metrics: &PipelineMetrics,
     obs: &MetricRegistry,
@@ -830,6 +941,10 @@ fn cluster_stages(
     balancer: Option<LoadBalancer>,
     sync: Option<SyncHandle>,
     sync_resume: Option<SyncCheckpoint>,
+    align: Option<AlignHandle>,
+    aligner: TimeAligner,
+    aligner_ckpt: Option<AlignerCheckpoint>,
+    records_ingested: u64,
 ) -> Stream<PartMsg> {
     let n = config.parallelism;
     let m = config.constraints.m();
@@ -840,25 +955,96 @@ fn cluster_stages(
         ClustererKind::Rjc | ClustererKind::Srj => {
             let full_replication = config.clusterer == ClustererKind::Srj;
             let build_then_query = full_replication;
-            let m0 = metrics.clone();
             let routing = routing.expect("grid clusterers run with a routing layer");
             let table = Arc::clone(&routing.table);
             let tracker = Arc::clone(&routing.tracker);
             let sync_stats = Arc::clone(&sync.expect("grid clusterers run with sync stats").stats);
-            let grid_objects = snapshots.single(
-                "allocate",
+            let align_stats =
+                Arc::clone(&align.expect("grid clusterers run the sharded head").stats);
+            let shards = config.align_shards;
+            // The frontier router: the one serial subtask, owning the
+            // chains (partitioned by shard) and the global seal frontier.
+            // On restore it rebuilds from the checkpoint's canonical
+            // aligner section — at this deployment's shard count, which
+            // may differ from the one that wrote it.
+            let router = match &aligner_ckpt {
+                Some(ckpt) => ShardedAligner::from_checkpoint(config.aligner, shards, ckpt),
+                None => ShardedAligner::new(config.aligner, shards),
+            };
+            let routed = source.single(
+                "align-route",
                 Exchange::Rebalance,
-                AllocateOp {
-                    grid: Grid::new(lg),
-                    eps: dbscan.eps,
-                    full_replication,
-                    metrics: m0,
+                AlignRouteOp {
+                    reported_late: router.late_dropped_total(),
+                    router,
+                    metrics: metrics.clone(),
                     obs: obs.clone(),
-                    balancer,
-                    table: Arc::clone(&table),
-                    tracker: Arc::clone(&tracker),
+                    stats: Arc::clone(&align_stats),
+                    records_ingested,
+                    buckets: vec![Vec::new(); shards],
+                    sealed: Vec::new(),
+                },
+            );
+            // S aligner shards, keyed by trajectory: each buffers the rows
+            // of its trajectories and — at the router's Seal punctuation —
+            // runs GridAllocate over them (per-record stateless, so the
+            // cell-assignment work rides the shards for free) and emits
+            // one grid-object partial per sealed time.
+            let eps = dbscan.eps;
+            let shard_partials = routed.apply(
+                "align-shard",
+                shards,
+                Exchange::per_record(|msg: &RouteMsg| match msg {
+                    RouteMsg::Records { shard, .. } => Routing::Key(*shard as u64),
+                    RouteMsg::Seal { .. } | RouteMsg::Barrier(_) => Routing::Broadcast,
+                }),
+                move |i| {
+                    let mut buffers = BTreeMap::new();
+                    if let Some(ckpt) = aligner_ckpt.as_ref() {
+                        // The same owner→shard mapping the exchange routes
+                        // by, so each shard reloads exactly the buffered
+                        // rows it will keep receiving.
+                        let piece =
+                            ckpt.piece(false, |owner| subtask_for(hash_id(owner), shards) == i);
+                        for snapshot in piece.buffers {
+                            buffers.insert(snapshot.time.0, snapshot);
+                        }
+                    }
+                    AlignShardOp {
+                        shard: i,
+                        grid: Grid::new(lg),
+                        eps,
+                        full_replication,
+                        buffers,
+                    }
+                },
+            );
+            // The partials reduce through an aggregation tree (same fanin
+            // as the sync tree, ticks and barriers aligned at every level)
+            // down to the one finalizer that runs the load balancer and
+            // releases each window to the keyed grid exchange.
+            let m0 = metrics.clone();
+            let final_obs = obs.clone();
+            let final_balancer = balancer;
+            let final_table = Arc::clone(&table);
+            let final_tracker = Arc::clone(&tracker);
+            let grid_objects = shard_partials.reduce_tree(
+                "snap-merge",
+                shards,
+                config.sync_fanin,
+                |msg: &SnapMsg| msg.from(),
+                |slot| SnapCombineOp {
+                    slot,
+                    align: TreeWindowAlign::new(slot.inputs),
+                },
+                move |inputs| SnapFinalOp {
+                    metrics: m0,
+                    obs: final_obs,
+                    balancer: final_balancer,
+                    table: final_table,
+                    tracker: final_tracker,
                     cell_records: HashMap::new(),
-                    objects: Vec::new(),
+                    align: TreeWindowAlign::new(inputs),
                 },
             );
             // Keyed on the grid cell either statically (`hash % N`) or
@@ -920,6 +1106,20 @@ fn cluster_stages(
             )
         }
         ClustererKind::Gdc => {
+            // The serial head: §4 alignment and the checkpoint cut in one
+            // subtask, complete aligner checkpoints in the token.
+            let snapshots = source.single(
+                "align",
+                Exchange::Rebalance,
+                AlignBarrierOp {
+                    reported_late: aligner.late_dropped(),
+                    aligner,
+                    metrics: metrics.clone(),
+                    obs: obs.clone(),
+                    records_ingested,
+                    scratch: Vec::new(),
+                },
+            );
             let m0 = metrics.clone();
             snapshots.single(
                 "gdc-cluster",
@@ -936,12 +1136,60 @@ fn cluster_stages(
 
 // ---- messages --------------------------------------------------------------
 
-/// Align → clustering.
+/// Align → clustering (the GDC serial head).
 #[derive(Debug, Clone)]
 enum AlignMsg {
     Snapshot(Snapshot),
     /// Checkpoint barrier: trails every snapshot sealed before the cut.
     Barrier(Arc<BarrierToken>),
+}
+
+/// Frontier router → aligner shards. Kept records travel keyed by their
+/// owning shard; seal punctuation and barriers broadcast. The router
+/// flushes every record bucket before emitting a `Seal`, so on each shard
+/// channel the rows of a time always precede the punctuation listing it.
+#[derive(Debug, Clone)]
+enum RouteMsg {
+    /// Kept records of one shard's trajectories, arrival order preserved.
+    Records { shard: u32, records: Vec<GpsRecord> },
+    /// These times sealed (ascending): flush their buffered rows through
+    /// GridAllocate and tick the snapshot-merge tree.
+    Seal { times: Vec<u32> },
+    /// Checkpoint barrier carrying the router's piece; width-1 upstream,
+    /// so shards forward without alignment counting.
+    Barrier(Arc<BarrierToken>),
+}
+
+/// Aligner shards → snapshot-merge tree → finalizer. Every variant
+/// carries its producer's index for [`Stream::reduce_tree`] routing,
+/// exactly like [`MergeMsg`] on the sync path.
+#[derive(Debug, Clone)]
+enum SnapMsg {
+    /// One producer's grid-object share of the sealed window `time`.
+    Partial {
+        from: usize,
+        time: u32,
+        objects: Vec<icpe_cluster::GridObject>,
+    },
+    Tick {
+        from: usize,
+        time: u32,
+    },
+    Barrier {
+        from: usize,
+        token: Arc<BarrierToken>,
+    },
+}
+
+impl SnapMsg {
+    /// The producing subtask's index at the previous tree level.
+    fn from(&self) -> usize {
+        match self {
+            SnapMsg::Partial { from, .. }
+            | SnapMsg::Tick { from, .. }
+            | SnapMsg::Barrier { from, .. } => *from,
+        }
+    }
 }
 
 /// GridAllocate → GridQuery.
@@ -1120,6 +1368,7 @@ impl Operator<InputMsg, AlignMsg> for AlignBarrierOp {
                     request,
                     aligner: self.aligner.checkpoint(),
                     records_ingested: self.records_ingested,
+                    aligner_shards: Mutex::new(Vec::new()),
                     routing: Mutex::new(None),
                     sync: Mutex::new(Vec::new()),
                 })));
@@ -1133,33 +1382,278 @@ impl Operator<InputMsg, AlignMsg> for AlignBarrierOp {
     }
 }
 
-/// GridAllocate (Algorithm 1) as a pipeline operator; also the latency
-/// ingest point and — in adaptive mode — the rebalancing controller: as
-/// the only subtask upstream of the keyed exchange it is the one place a
-/// routing swap can be ordered strictly between two windows' objects.
-struct AllocateOp {
+/// The frontier router of the sharded head: the one serial subtask. Owns
+/// the §4 chains, partitioned by destination shard, and the global seal
+/// frontier (a record is late iff its time is below the min over every
+/// shard's frontier — a per-shard decision would drop records the serial
+/// aligner keeps, or keep records it drops). Per record it does a hash,
+/// a chain advance, and a bucket push; the buffering, allocate, and
+/// flush work all live on the shards. Also the checkpoint cut: the
+/// authoritative record count and the router's chains + counters piece.
+struct AlignRouteOp {
+    router: ShardedAligner,
+    metrics: PipelineMetrics,
+    obs: MetricRegistry,
+    stats: Arc<AlignStats>,
+    reported_late: u64,
+    records_ingested: u64,
+    /// Per-shard outgoing record buckets of the batch being processed.
+    buckets: Vec<Vec<GpsRecord>>,
+    /// Times sealed by the batch being processed, ascending.
+    sealed: Vec<u32>,
+}
+
+impl AlignRouteOp {
+    fn ingest_one(&mut self, record: GpsRecord) {
+        self.records_ingested += 1;
+        match self.router.route(&record) {
+            Routed::Keep { shard } => {
+                self.buckets[shard].push(record);
+                // Drain after every kept record, exactly as the serial
+                // aligner drains per push: drain frequency decides when
+                // lagging chains retire, and retirement timing is part of
+                // the seal semantics the equivalence tests pin.
+                self.router.drain_sealed(&mut self.sealed);
+            }
+            Routed::Late { .. } => {}
+        }
+    }
+
+    /// Emits the batch's record buckets, then its seal punctuation —
+    /// in that order, so a row can never chase its own seal. (A record
+    /// of time `t` arriving after `t` sealed within the same batch is
+    /// impossible: the router classifies it late the moment `t` seals.)
+    fn flush_batch(&mut self, out: &mut Collector<RouteMsg>) {
+        for shard in 0..self.buckets.len() {
+            if !self.buckets[shard].is_empty() {
+                out.emit(RouteMsg::Records {
+                    shard: shard as u32,
+                    records: std::mem::take(&mut self.buckets[shard]),
+                });
+            }
+        }
+        if !self.sealed.is_empty() {
+            self.stats.observe_frontiers(&self.router);
+            out.emit(RouteMsg::Seal {
+                times: std::mem::take(&mut self.sealed),
+            });
+        }
+        self.sync_late_counter();
+        self.stats.observe(&self.router);
+    }
+
+    fn sync_late_counter(&mut self) {
+        let total = self.router.late_dropped_total();
+        if total > self.reported_late {
+            let dropped = total - self.reported_late;
+            self.metrics.mark_late(dropped);
+            self.obs
+                .emit(ObsEventKind::LateBatchDropped { records: dropped });
+            self.reported_late = total;
+        }
+    }
+}
+
+impl Operator<InputMsg, RouteMsg> for AlignRouteOp {
+    fn process(&mut self, input: InputMsg, out: &mut Collector<RouteMsg>) {
+        match input {
+            InputMsg::Record(record) => {
+                self.ingest_one(record);
+                self.flush_batch(out);
+            }
+            InputMsg::Batch(records) => {
+                for record in records {
+                    self.ingest_one(record);
+                }
+                self.flush_batch(out);
+            }
+            InputMsg::Barrier(request) => {
+                // Buckets and seals of earlier messages are already
+                // flushed, so everything sealed before the cut precedes
+                // the token on every shard channel.
+                out.emit(RouteMsg::Barrier(Arc::new(BarrierToken {
+                    request,
+                    aligner: self.router.checkpoint(),
+                    records_ingested: self.records_ingested,
+                    aligner_shards: Mutex::new(Vec::new()),
+                    routing: Mutex::new(None),
+                    sync: Mutex::new(Vec::new()),
+                })));
+            }
+        }
+    }
+
+    fn finish(&mut self, out: &mut Collector<RouteMsg>) {
+        // End of stream: seal everything still buffered (plus the gap
+        // times an emit-empty aligner owes), mirroring the serial flush.
+        let times = self.router.flush_times();
+        if !times.is_empty() {
+            self.stats.observe_frontiers(&self.router);
+            out.emit(RouteMsg::Seal { times });
+        }
+        self.sync_late_counter();
+        self.stats.observe(&self.router);
+    }
+}
+
+/// One aligner shard with GridAllocate fused in: buffers the rows of its
+/// trajectories per snapshot time, and at the router's `Seal` punctuation
+/// flushes each listed time through cell assignment (Algorithm 1 — a
+/// per-record stateless map, so fusing it here costs the shard nothing
+/// extra and removes a serial stage) into one grid-object partial for the
+/// snapshot-merge tree. At a barrier it deposits its unsealed rows as a
+/// buffer-only checkpoint piece — the only state it holds.
+struct AlignShardOp {
+    shard: usize,
     grid: Grid,
     eps: f64,
     full_replication: bool,
+    /// Buffered rows of this shard's trajectories, keyed by snapshot time.
+    buffers: BTreeMap<u32, Snapshot>,
+}
+
+impl Operator<RouteMsg, SnapMsg> for AlignShardOp {
+    fn process(&mut self, msg: RouteMsg, out: &mut Collector<SnapMsg>) {
+        match msg {
+            RouteMsg::Records { shard, records } => {
+                debug_assert_eq!(
+                    shard as usize, self.shard,
+                    "records routed to their trajectory's shard"
+                );
+                for r in records {
+                    self.buffers
+                        .entry(r.time.0)
+                        .or_insert_with(|| Snapshot::new(r.time))
+                        .push(r.id, r.location, r.last_time);
+                }
+            }
+            RouteMsg::Seal { times } => {
+                for t in times {
+                    if let Some(snapshot) = self.buffers.remove(&t) {
+                        let mut objects = Vec::new();
+                        for e in &snapshot.entries {
+                            allocate_one(
+                                e.id,
+                                e.location,
+                                snapshot.time,
+                                &self.grid,
+                                self.eps,
+                                self.full_replication,
+                                &mut objects,
+                            );
+                        }
+                        if !objects.is_empty() {
+                            out.emit(SnapMsg::Partial {
+                                from: self.shard,
+                                time: t,
+                                objects,
+                            });
+                        }
+                    }
+                    // Every shard ticks every sealed time — empty-handed
+                    // shards included — so the tree's alignment count is
+                    // exact and empty windows still seal downstream.
+                    out.emit(SnapMsg::Tick {
+                        from: self.shard,
+                        time: t,
+                    });
+                }
+            }
+            RouteMsg::Barrier(token) => {
+                // The rows still buffered here are exactly the cut's
+                // unsealed rows of this shard's trajectories; chains,
+                // counters, and clock fields travel in the router's piece.
+                token
+                    .aligner_shards
+                    .lock()
+                    .expect("aligner shard slot poisoned")
+                    .push(AlignerCheckpoint {
+                        buffers: self.buffers.values().cloned().collect(),
+                        chains: Vec::new(),
+                        sealed_up_to: None,
+                        max_seen: 0,
+                        late_dropped: 0,
+                    });
+                out.emit(SnapMsg::Barrier {
+                    from: self.shard,
+                    token,
+                });
+            }
+        }
+    }
+}
+
+/// An interior combiner of the snapshot-merge tree: concatenates its
+/// producers' grid-object partials per window (shards own disjoint
+/// trajectories, so concatenation is exact — and the downstream range
+/// join is provably object-order-invariant) and forwards one combined
+/// partial per window, re-stamped with its own slot index.
+struct SnapCombineOp {
+    slot: TreeSlot,
+    align: TreeWindowAlign<Vec<icpe_cluster::GridObject>>,
+}
+
+impl Operator<SnapMsg, SnapMsg> for SnapCombineOp {
+    fn process(&mut self, msg: SnapMsg, out: &mut Collector<SnapMsg>) {
+        match msg {
+            SnapMsg::Partial { time, objects, .. } => self.align.absorb(time, |acc| {
+                if acc.is_empty() {
+                    *acc = objects;
+                } else {
+                    acc.extend(objects);
+                }
+            }),
+            SnapMsg::Tick { time, .. } => {
+                if let Some(objects) = self.align.tick(time) {
+                    if !objects.is_empty() {
+                        out.emit(SnapMsg::Partial {
+                            from: self.slot.subtask,
+                            time,
+                            objects,
+                        });
+                    }
+                    out.emit(SnapMsg::Tick {
+                        from: self.slot.subtask,
+                        time,
+                    });
+                }
+            }
+            SnapMsg::Barrier { token, .. } => {
+                if self.align.barrier(token.request.seq) {
+                    out.emit(SnapMsg::Barrier {
+                        from: self.slot.subtask,
+                        token,
+                    });
+                }
+            }
+        }
+    }
+}
+
+/// The root of the snapshot-merge tree: the one subtask upstream of the
+/// keyed grid exchange, and therefore — in adaptive mode — the
+/// rebalancing controller: the only place a routing swap can be ordered
+/// strictly between two windows' objects. Also the latency ingest point:
+/// a window's clock starts when it leaves here, complete.
+struct SnapFinalOp {
     metrics: PipelineMetrics,
     obs: MetricRegistry,
     /// `Some` in adaptive mode (owned here; single subtask).
     balancer: Option<LoadBalancer>,
     table: Arc<RoutingTable>,
     tracker: Arc<LoadTracker>,
-    /// Per-cell records routed in the window being emitted. The allocate
-    /// subtask may run many windows ahead of the query subtasks (bounded
-    /// only by channel capacity), so the balancer cannot rely on the
-    /// query-side tracker alone: record counts are accounted here, at the
-    /// routing point, and only the pair counts — which exist nowhere
-    /// upstream of the range join — arrive through the tracker, lagged.
+    /// Per-cell records routed in the window being emitted. This subtask
+    /// may run many windows ahead of the query subtasks (bounded only by
+    /// channel capacity), so the balancer cannot rely on the query-side
+    /// tracker alone: record counts are accounted here, at the routing
+    /// point, and only the pair counts — which exist nowhere upstream of
+    /// the range join — arrive through the tracker, lagged.
     cell_records: HashMap<GridKey, u64>,
-    /// Grid-object scratch, reused across snapshots.
-    objects: Vec<icpe_cluster::GridObject>,
+    align: TreeWindowAlign<Vec<icpe_cluster::GridObject>>,
 }
 
-impl AllocateOp {
-    /// Window-boundary rebalancing: runs before a snapshot's objects are
+impl SnapFinalOp {
+    /// Window-boundary rebalancing: runs before a window's objects are
     /// emitted, so a new epoch takes effect exactly at the boundary —
     /// every window's cells route under a single epoch.
     fn maybe_rebalance(&mut self) {
@@ -1192,42 +1686,42 @@ impl AllocateOp {
     }
 }
 
-impl Operator<AlignMsg, ClusterMsg> for AllocateOp {
-    fn process(&mut self, msg: AlignMsg, out: &mut Collector<ClusterMsg>) {
-        let snapshot = match msg {
-            AlignMsg::Snapshot(s) => s,
-            // Stateless across snapshots apart from the routing layer:
-            // capture its cut into the token, then pass the barrier along
-            // (behind the ticks of every sealed time).
-            AlignMsg::Barrier(token) => {
-                if let Some(balancer) = &self.balancer {
-                    *token.routing.lock().expect("routing slot poisoned") =
-                        Some(balancer.checkpoint());
+impl Operator<SnapMsg, ClusterMsg> for SnapFinalOp {
+    fn process(&mut self, msg: SnapMsg, out: &mut Collector<ClusterMsg>) {
+        match msg {
+            SnapMsg::Partial { time, objects, .. } => self.align.absorb(time, |acc| {
+                if acc.is_empty() {
+                    *acc = objects;
+                } else {
+                    acc.extend(objects);
                 }
-                out.emit(ClusterMsg::Barrier(token));
-                return;
+            }),
+            SnapMsg::Tick { time, .. } => {
+                if let Some(objects) = self.align.tick(time) {
+                    // Empty windows run the full boundary protocol too —
+                    // the balancer cadence and the downstream tick fabric
+                    // match the serial head's empty snapshots exactly.
+                    self.maybe_rebalance();
+                    self.metrics.mark_ingest(time);
+                    if self.balancer.is_some() {
+                        for o in &objects {
+                            *self.cell_records.entry(o.key).or_default() += 1;
+                        }
+                    }
+                    out.emit_all(objects.into_iter().map(ClusterMsg::Obj));
+                    out.emit(ClusterMsg::Tick(time));
+                }
             }
-        };
-        self.maybe_rebalance();
-        self.metrics.mark_ingest(snapshot.time.0);
-        for e in &snapshot.entries {
-            allocate_one(
-                e.id,
-                e.location,
-                snapshot.time,
-                &self.grid,
-                self.eps,
-                self.full_replication,
-                &mut self.objects,
-            );
-        }
-        if self.balancer.is_some() {
-            for o in &self.objects {
-                *self.cell_records.entry(o.key).or_default() += 1;
+            SnapMsg::Barrier { token, .. } => {
+                if self.align.barrier(token.request.seq) {
+                    if let Some(balancer) = &self.balancer {
+                        *token.routing.lock().expect("routing slot poisoned") =
+                            Some(balancer.checkpoint());
+                    }
+                    out.emit(ClusterMsg::Barrier(token));
+                }
             }
         }
-        out.emit_all(self.objects.drain(..).map(ClusterMsg::Obj));
-        out.emit(ClusterMsg::Tick(snapshot.time.0));
     }
 }
 
@@ -1517,12 +2011,11 @@ impl Operator<PairMsg, MergeMsg> for ShardSyncOp {
     }
 }
 
-/// Per-window accumulator of one aggregation-tree slot.
+/// Per-window accumulator of one sync aggregation-tree slot.
 #[derive(Debug, Default)]
 struct MergeAcc {
     pairs: Vec<NeighborPair>,
     objects: Vec<ObjectId>,
-    ticks: usize,
 }
 
 impl MergeAcc {
@@ -1538,17 +2031,19 @@ impl MergeAcc {
     }
 }
 
-/// The per-slot alignment state every aggregation-tree operator shares:
-/// open-window accumulators sealed at the `inputs`-th tick, and barrier
-/// copies counted to the same width — so a fix to alignment semantics
-/// lands in exactly one place for combiners and finalizer alike.
-struct TreeWindowAlign {
+/// The per-slot alignment state every aggregation-tree operator shares —
+/// generic over the window accumulator, so the sync tree (pair partials)
+/// and the snapshot-merge tree (grid-object partials) run the identical
+/// protocol: open-window accumulators sealed at the `inputs`-th tick, and
+/// barrier copies counted to the same width. A fix to alignment semantics
+/// lands in exactly one place for combiners and finalizers of both trees.
+struct TreeWindowAlign<A> {
     inputs: usize,
-    pending: BTreeMap<u32, MergeAcc>,
+    pending: BTreeMap<u32, (A, usize)>,
     barriers: HashMap<u64, usize>,
 }
 
-impl TreeWindowAlign {
+impl<A: Default> TreeWindowAlign<A> {
     fn new(inputs: usize) -> Self {
         TreeWindowAlign {
             inputs,
@@ -1558,16 +2053,16 @@ impl TreeWindowAlign {
     }
 
     /// Absorbs one producer's partial for window `time`.
-    fn absorb(&mut self, time: u32, pairs: Vec<NeighborPair>, objects: Vec<ObjectId>) {
-        self.pending.entry(time).or_default().absorb(pairs, objects);
+    fn absorb(&mut self, time: u32, fold: impl FnOnce(&mut A)) {
+        fold(&mut self.pending.entry(time).or_default().0);
     }
 
     /// Counts one producer's tick for window `time`; returns the sealed
     /// accumulator once every input has ticked.
-    fn tick(&mut self, time: u32) -> Option<MergeAcc> {
-        let acc = self.pending.entry(time).or_default();
-        acc.ticks += 1;
-        (acc.ticks == self.inputs).then(|| self.pending.remove(&time).expect("window present"))
+    fn tick(&mut self, time: u32) -> Option<A> {
+        let entry = self.pending.entry(time).or_default();
+        entry.1 += 1;
+        (entry.1 == self.inputs).then(|| self.pending.remove(&time).expect("window present").0)
     }
 
     /// Counts one producer's barrier copy; returns `true` once the
@@ -1595,7 +2090,7 @@ impl TreeWindowAlign {
 /// tree level.
 struct MergeCombineOp {
     slot: TreeSlot,
-    align: TreeWindowAlign,
+    align: TreeWindowAlign<MergeAcc>,
 }
 
 impl Operator<MergeMsg, MergeMsg> for MergeCombineOp {
@@ -1606,7 +2101,7 @@ impl Operator<MergeMsg, MergeMsg> for MergeCombineOp {
                 pairs,
                 objects,
                 ..
-            } => self.align.absorb(time, pairs, objects),
+            } => self.align.absorb(time, |acc| acc.absorb(pairs, objects)),
             MergeMsg::Tick { time, .. } => {
                 if let Some(acc) = self.align.tick(time) {
                     out.emit(MergeMsg::Partial {
@@ -1645,7 +2140,7 @@ struct MergeFinalOp {
     /// Cumulative window-seal counter, authoritative for the finalizer's
     /// checkpoint piece.
     windows_sealed: u64,
-    align: TreeWindowAlign,
+    align: TreeWindowAlign<MergeAcc>,
 }
 
 impl Operator<MergeMsg, PartMsg> for MergeFinalOp {
@@ -1656,7 +2151,7 @@ impl Operator<MergeMsg, PartMsg> for MergeFinalOp {
                 pairs,
                 objects,
                 ..
-            } => self.align.absorb(time, pairs, objects),
+            } => self.align.absorb(time, |acc| acc.absorb(pairs, objects)),
             MergeMsg::Tick { time, .. } => {
                 if let Some(acc) = self.align.tick(time) {
                     let outcome =
@@ -2211,7 +2706,7 @@ mod tests {
         let records_at_cut = |c: &ObsCheckpoint| {
             c.counters
                 .iter()
-                .find(|e| e.stage == "align" && e.name == "stage_records_in_total")
+                .find(|e| e.stage == "align-route" && e.name == "stage_records_in_total")
                 .map(|e| e.value)
                 .unwrap_or(0)
         };
@@ -2220,7 +2715,7 @@ mod tests {
         assert_eq!(
             records_at_cut(&cut),
             26,
-            "the align stage counted every pre-cut message: {cut:?}"
+            "the router stage counted every pre-cut message: {cut:?}"
         );
         drop(live); // crash
 

@@ -18,8 +18,11 @@
 //! [`AlignerConfig::max_lag`]).
 
 use crate::operator::{Collector, Operator};
+use icpe_types::shard::{hash_id, subtask_for};
 use icpe_types::{AlignerCheckpoint, ChainCheckpoint, GpsRecord, ObjectId, Snapshot, Timestamp};
-use std::collections::{BTreeMap, HashMap};
+use std::collections::{BTreeMap, BTreeSet, HashMap};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
 
 /// Configuration of the [`TimeAligner`].
 #[derive(Debug, Clone, Copy)]
@@ -130,30 +133,7 @@ impl TimeAligner {
     /// Advances a trajectory's clarification chain with one record's
     /// last-time link.
     fn advance_chain(&mut self, rec: &GpsRecord) {
-        let t = rec.time.0;
-        let chain = self.chains.entry(rec.id).or_default();
-        match rec.last_time {
-            // First report of the trajectory: the chain starts here.
-            None => chain.clarified = Some(chain.clarified.map_or(t, |c| c.max(t))),
-            Some(lt) => match chain.clarified {
-                Some(c) if lt.0 == c => chain.clarified = Some(t),
-                Some(c) if lt.0 < c => {
-                    // Link points below the clarified frontier (predecessor
-                    // was dropped after a retirement): fast-forward.
-                    chain.clarified = Some(c.max(t));
-                }
-                _ => {
-                    chain.waiting.insert(lt.0, t);
-                }
-            },
-        }
-        // Consume any waiting links that now connect.
-        while let Some(c) = chain.clarified {
-            match chain.waiting.remove(&c) {
-                Some(next_t) => chain.clarified = Some(next_t),
-                None => break,
-            }
-        }
+        advance_chain_in(&mut self.chains, rec);
     }
 
     /// Seals everything still buffered (end of stream).
@@ -270,26 +250,461 @@ impl TimeAligner {
         if u.saturating_add(self.config.lateness) >= self.max_seen {
             return false;
         }
-        let max_lag = self.config.max_lag;
-        let max_seen = self.max_seen;
+        !scan_chains(&mut self.chains, u, self.config.max_lag, self.max_seen)
+    }
+}
+
+/// Advances a trajectory's clarification chain with one record's last-time
+/// link. Shared verbatim between [`TimeAligner`] and the per-shard chain
+/// maps of [`ShardedAligner`], so the two heads stay equivalent by
+/// construction.
+fn advance_chain_in(chains: &mut HashMap<ObjectId, Chain>, rec: &GpsRecord) {
+    let t = rec.time.0;
+    let chain = chains.entry(rec.id).or_default();
+    match rec.last_time {
+        // First report of the trajectory: the chain starts here.
+        None => chain.clarified = Some(chain.clarified.map_or(t, |c| c.max(t))),
+        Some(lt) => match chain.clarified {
+            Some(c) if lt.0 == c => chain.clarified = Some(t),
+            Some(c) if lt.0 < c => {
+                // Link points below the clarified frontier (predecessor
+                // was dropped after a retirement): fast-forward.
+                chain.clarified = Some(c.max(t));
+            }
+            _ => {
+                chain.waiting.insert(lt.0, t);
+            }
+        },
+    }
+    // Consume any waiting links that now connect.
+    while let Some(c) = chain.clarified {
+        match chain.waiting.remove(&c) {
+            Some(next_t) => chain.clarified = Some(next_t),
+            None => break,
+        }
+    }
+}
+
+/// Runs the §4 retire-or-block scan over one chain map for candidate seal
+/// time `u`; returns whether any chain blocks the seal. Retired chains
+/// (lagged out per `max_lag`) are removed as a side effect — exactly the
+/// `retain` the serial [`TimeAligner::can_seal`] performs. Because the scan
+/// is pure per chain, running it over a partition of the chains and OR-ing
+/// the blocked flags is identical to running it over their union.
+fn scan_chains(chains: &mut HashMap<ObjectId, Chain>, u: u32, max_lag: u32, max_seen: u32) -> bool {
+    let mut blocked = false;
+    chains.retain(|_, chain| {
+        let clarified = chain.clarified.unwrap_or(0);
+        if clarified >= u {
+            return true;
+        }
+        // The trajectory is behind. Has it lagged out entirely? A chain
+        // whose newest *known* report (frontier) is also ancient is
+        // departed; a chain whose clarified end is ancient but whose
+        // frontier is recent is stuck on a lost link — retire it too,
+        // otherwise it would stall the stream forever.
+        if clarified.saturating_add(max_lag) < max_seen {
+            return false;
+        }
+        blocked = true;
+        true
+    });
+    blocked
+}
+
+/// Routing decision of [`ShardedAligner::route`] for one record.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Routed {
+    /// Buffer the record's row on this aligner shard.
+    Keep {
+        /// Destination shard, `hash_id(object_id) % shards`.
+        shard: usize,
+    },
+    /// The record arrived after its snapshot sealed: drop the row. The
+    /// chain advance already happened in the owning shard's map (the
+    /// record's synchronization information stays valid), and the drop was
+    /// counted against that shard.
+    Late {
+        /// Shard whose late counter absorbed the drop.
+        shard: usize,
+    },
+}
+
+/// The sharded head's frontier router: the serial [`TimeAligner`] minus the
+/// row buffers.
+///
+/// Sharding the aligner splits its state in two. The *rows* of each
+/// buffered snapshot partition cleanly by trajectory id and live on the N
+/// aligner shards. The *seal decision* does not: a record is late iff its
+/// time is below the **global** sealed frontier at the moment it enters the
+/// stream, and that frontier is the min over every trajectory's chain — so
+/// the §4 chain state is partitioned per shard *inside* this router, which
+/// runs serially at the ingest point, and seal = min over the per-shard
+/// frontiers. (Deciding drops against per-shard local frontiers would drop
+/// records the serial aligner keeps whenever one shard runs ahead; deciding
+/// them downstream would make the outcome depend on thread timing.)
+///
+/// Per record the router answers "which shard, or late?" via
+/// [`route`](ShardedAligner::route); after kept records,
+/// [`drain_sealed`](ShardedAligner::drain_sealed) yields the times that
+/// became sealable — the `Seal` punctuation broadcast to the shards, which
+/// then emit their partial snapshots for merging. The sequence of sealed
+/// times and every drop decision are bit-for-bit the serial aligner's:
+/// `advance_chain_in` and `scan_chains` are the very same code, and the
+/// per-shard scan unions to the serial scan.
+#[derive(Debug)]
+pub struct ShardedAligner {
+    config: AlignerConfig,
+    shards: usize,
+    /// §4 chains, partitioned by `hash_id(object_id) % shards` — the same
+    /// key the aligner shards buffer rows under.
+    chains: Vec<HashMap<ObjectId, Chain>>,
+    /// Times with at least one buffered row on some shard. Presence is all
+    /// the router needs: the serial aligner only ever buffers non-empty
+    /// snapshots, so `occupied` mirrors its `buffers.keys()` exactly.
+    occupied: BTreeSet<u32>,
+    /// All times `< sealed_up_to` are sealed; `None` until the first seal.
+    sealed_up_to: Option<u32>,
+    /// Largest record time seen.
+    max_seen: u32,
+    /// Late drops per shard. The decision is the router's, but the count is
+    /// attributed to the shard owning the trajectory so gauges and
+    /// checkpoint pieces mirror a per-shard deployment; the serial count is
+    /// the sum.
+    late_dropped: Vec<u64>,
+}
+
+impl ShardedAligner {
+    /// Creates a router for `shards` aligner shards (clamped to ≥ 1).
+    pub fn new(config: AlignerConfig, shards: usize) -> Self {
+        let shards = shards.max(1);
+        ShardedAligner {
+            config,
+            shards,
+            chains: (0..shards).map(|_| HashMap::new()).collect(),
+            occupied: BTreeSet::new(),
+            sealed_up_to: None,
+            max_seen: 0,
+            late_dropped: vec![0; shards],
+        }
+    }
+
+    /// Number of aligner shards this router feeds.
+    pub fn shards(&self) -> usize {
+        self.shards
+    }
+
+    /// The shard owning a trajectory's rows and chain.
+    pub fn shard_of(&self, id: ObjectId) -> usize {
+        subtask_for(hash_id(id), self.shards)
+    }
+
+    /// Routes one record: mirrors [`TimeAligner::push_into`] up to (but not
+    /// including) the buffer insert and the sealable drain. The caller
+    /// forwards `Keep` rows to their shard, then calls
+    /// [`drain_sealed`](ShardedAligner::drain_sealed) — once per record, in
+    /// arrival order, exactly as the serial aligner drains after every
+    /// kept record (drain frequency affects chain retirement timing, so it
+    /// is part of the equivalence contract).
+    pub fn route(&mut self, rec: &GpsRecord) -> Routed {
+        let t = rec.time.0;
+        let shard = self.shard_of(rec.id);
+        if let Some(s) = self.sealed_up_to {
+            if t < s {
+                self.late_dropped[shard] += 1;
+                advance_chain_in(&mut self.chains[shard], rec);
+                return Routed::Late { shard };
+            }
+        }
+        self.max_seen = self.max_seen.max(t);
+        self.occupied.insert(t);
+        advance_chain_in(&mut self.chains[shard], rec);
+        Routed::Keep { shard }
+    }
+
+    /// Appends the times that became sealable, ascending — the serial
+    /// aligner's sealable drain with times in place of snapshots (the same
+    /// loop `TimeAligner::push_into` runs). A listed time is either occupied
+    /// (some shard holds rows for it) or an `emit_empty` gap; with
+    /// `emit_empty` off, unoccupied times seal silently and are not listed.
+    pub fn drain_sealed(&mut self, out: &mut Vec<u32>) {
+        loop {
+            let u = match self.sealed_up_to {
+                Some(s) => s,
+                // Nothing sealed yet: start at the earliest buffered time.
+                None => match self.occupied.iter().next() {
+                    Some(&t) => t,
+                    None => break,
+                },
+            };
+            if !self.can_seal(u) {
+                break;
+            }
+            if self.occupied.remove(&u) || self.config.emit_empty {
+                out.push(u);
+            }
+            self.sealed_up_to = Some(u + 1);
+        }
+    }
+
+    fn can_seal(&mut self, u: u32) -> bool {
+        if u.saturating_add(self.config.lateness) >= self.max_seen {
+            return false;
+        }
         let mut blocked = false;
-        self.chains.retain(|_, chain| {
-            let clarified = chain.clarified.unwrap_or(0);
-            if clarified >= u {
-                return true;
-            }
-            // The trajectory is behind. Has it lagged out entirely? A chain
-            // whose newest *known* report (frontier) is also ancient is
-            // departed; a chain whose clarified end is ancient but whose
-            // frontier is recent is stuck on a lost link — retire it too,
-            // otherwise it would stall the stream forever.
-            if clarified.saturating_add(max_lag) < max_seen {
-                return false;
-            }
-            blocked = true;
-            true
-        });
+        for chains in &mut self.chains {
+            blocked |= scan_chains(chains, u, self.config.max_lag, self.max_seen);
+        }
         !blocked
+    }
+
+    /// Seals everything still buffered (end of stream), returning the times
+    /// to emit in ascending order — [`TimeAligner::flush`] with times in
+    /// place of snapshots, including the `emit_empty` gap times.
+    pub fn flush_times(&mut self) -> Vec<u32> {
+        let mut out = Vec::new();
+        let times: Vec<u32> = self.occupied.iter().copied().collect();
+        for t in times {
+            if self.config.emit_empty {
+                if let Some(s) = self.sealed_up_to {
+                    out.extend(s..t);
+                }
+            }
+            self.occupied.remove(&t);
+            out.push(t);
+            self.sealed_up_to = Some(t + 1);
+        }
+        out
+    }
+
+    /// Number of buffered (unsealed) snapshot times across all shards.
+    pub fn pending(&self) -> usize {
+        self.occupied.len()
+    }
+
+    /// Total late drops across shards — equals the serial aligner's count
+    /// on the same stream.
+    pub fn late_dropped_total(&self) -> u64 {
+        self.late_dropped.iter().sum()
+    }
+
+    /// Late drops attributed to one shard.
+    pub fn shard_late_dropped(&self, shard: usize) -> u64 {
+        self.late_dropped[shard]
+    }
+
+    /// The sealed frontier: all times `< sealed_up_to` are sealed.
+    pub fn sealed_up_to(&self) -> Option<u32> {
+        self.sealed_up_to
+    }
+
+    /// `(total, max per shard)` live chain counts.
+    pub fn chain_counts(&self) -> (u64, u64) {
+        let mut total = 0u64;
+        let mut max = 0u64;
+        for chains in &self.chains {
+            let n = chains.len() as u64;
+            total += n;
+            max = max.max(n);
+        }
+        (total, max)
+    }
+
+    /// `(min, max)` of the per-shard frontiers — the first time each
+    /// shard's own chains could still block. Gauge-only (the seal decision
+    /// never reads this): a shard's frontier is capped by the lateness
+    /// watermark and held back by its slowest non-retired chain, so the
+    /// spread is a live measure of shard skew.
+    pub fn frontier_range(&self) -> (u32, u32) {
+        let cap = self.max_seen.saturating_sub(self.config.lateness);
+        let mut min_f = u32::MAX;
+        let mut max_f = 0u32;
+        for chains in &self.chains {
+            let mut f = cap;
+            for chain in chains.values() {
+                let clarified = chain.clarified.unwrap_or(0);
+                if clarified.saturating_add(self.config.max_lag) < self.max_seen {
+                    continue; // lagged out: no longer holds the frontier back
+                }
+                f = f.min(clarified.saturating_add(1));
+            }
+            min_f = min_f.min(f);
+            max_f = max_f.max(f);
+        }
+        if min_f == u32::MAX {
+            (0, 0)
+        } else {
+            (min_f, max_f)
+        }
+    }
+
+    /// The router's checkpoint piece: chains (canonically sorted), clock
+    /// fields, and the summed late counter — everything except the buffered
+    /// rows, which the aligner shards deposit as their own pieces.
+    /// [`AlignerCheckpoint::merge`] of the router piece plus the shard
+    /// pieces reproduces the serial aligner's checkpoint of the same state.
+    pub fn checkpoint(&self) -> AlignerCheckpoint {
+        let mut chains: Vec<ChainCheckpoint> = self
+            .chains
+            .iter()
+            .flat_map(|shard| shard.iter())
+            .map(|(&id, chain)| ChainCheckpoint {
+                id,
+                clarified: chain.clarified,
+                waiting: chain.waiting.iter().map(|(&lt, &t)| (lt, t)).collect(),
+            })
+            .collect();
+        chains.sort_by_key(|c| c.id);
+        AlignerCheckpoint {
+            buffers: Vec::new(),
+            chains,
+            sealed_up_to: self.sealed_up_to,
+            max_seen: self.max_seen,
+            late_dropped: self.late_dropped_total(),
+        }
+    }
+
+    /// Rebuilds a router from a (merged) checkpoint onto `shards` shards —
+    /// possibly a different count than the checkpoint was written under:
+    /// chains rebucket by the hash, `occupied` rebuilds from the buffered
+    /// times, and the late counter is credited to shard 0 **only**. The
+    /// counter is a merged total; splitting or replicating it across shards
+    /// would multiply it at the next merge (the skipped-partition bug class
+    /// from the engine restore path), so exactly one shard carries it.
+    pub fn from_checkpoint(config: AlignerConfig, shards: usize, ckpt: &AlignerCheckpoint) -> Self {
+        let shards = shards.max(1);
+        let mut chains: Vec<HashMap<ObjectId, Chain>> =
+            (0..shards).map(|_| HashMap::new()).collect();
+        for c in &ckpt.chains {
+            chains[subtask_for(hash_id(c.id), shards)].insert(
+                c.id,
+                Chain {
+                    clarified: c.clarified,
+                    waiting: c.waiting.iter().copied().collect(),
+                },
+            );
+        }
+        let mut late_dropped = vec![0; shards];
+        late_dropped[0] = ckpt.late_dropped;
+        ShardedAligner {
+            config,
+            shards,
+            chains,
+            occupied: ckpt
+                .buffers
+                .iter()
+                .filter(|s| !s.is_empty())
+                .map(|s| s.time.0)
+                .collect(),
+            sealed_up_to: ckpt.sealed_up_to,
+            max_seen: ckpt.max_seen,
+            late_dropped,
+        }
+    }
+}
+
+/// Point-in-time view of the sharded aligner head, for STATUS/METRICS.
+/// `Default` is the zeroed no-head view (a GDC deployment runs the serial
+/// aligner and exposes no shard gauges) — status renderers use it to keep
+/// every key present.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct AlignerStatus {
+    /// Number of aligner shards (the head's parallelism).
+    pub shards: usize,
+    /// Live trajectory chains across all shards.
+    pub chains: u64,
+    /// Chains on the most loaded shard.
+    pub max_shard_chains: u64,
+    /// Records dropped for arriving after their snapshot sealed.
+    pub late_dropped: u64,
+    /// The sealed frontier (0 until the first seal).
+    pub sealed_up_to: u64,
+    /// Smallest per-shard frontier — the shard holding sealing back.
+    pub min_shard_frontier: u64,
+    /// Largest per-shard frontier — the shard running furthest ahead.
+    pub max_shard_frontier: u64,
+}
+
+impl AlignerStatus {
+    /// Chain-count skew: max shard load over the ideal even share. 1.0 is
+    /// perfectly balanced; `shards` is everything on one shard.
+    pub fn imbalance(&self) -> f64 {
+        if self.chains == 0 {
+            1.0
+        } else {
+            self.max_shard_chains as f64 * self.shards as f64 / self.chains as f64
+        }
+    }
+}
+
+/// Shared gauges for the sharded aligner head: the router thread owns the
+/// [`ShardedAligner`], so drivers observe it through these atomics (same
+/// contract as the GridSync `SyncStats`).
+#[derive(Debug)]
+pub struct AlignStats {
+    shards: usize,
+    chains: AtomicU64,
+    max_shard_chains: AtomicU64,
+    late_dropped: AtomicU64,
+    sealed_up_to: AtomicU64,
+    min_frontier: AtomicU64,
+    max_frontier: AtomicU64,
+}
+
+impl AlignStats {
+    /// Creates zeroed gauges for an `shards`-wide head.
+    pub fn new(shards: usize) -> Arc<AlignStats> {
+        Arc::new(AlignStats {
+            shards: shards.max(1),
+            chains: AtomicU64::new(0),
+            max_shard_chains: AtomicU64::new(0),
+            late_dropped: AtomicU64::new(0),
+            sealed_up_to: AtomicU64::new(0),
+            min_frontier: AtomicU64::new(0),
+            max_frontier: AtomicU64::new(0),
+        })
+    }
+
+    /// Seeds the gauges from a restored checkpoint so observability resumes
+    /// from the cut instead of zero.
+    pub fn restore(&self, late_dropped: u64, sealed_up_to: Option<u32>) {
+        self.late_dropped.store(late_dropped, Ordering::Relaxed);
+        self.sealed_up_to
+            .store(sealed_up_to.unwrap_or(0) as u64, Ordering::Relaxed);
+    }
+
+    /// Publishes the cheap per-batch gauges (O(shards) reads).
+    pub fn observe(&self, aligner: &ShardedAligner) {
+        let (total, max) = aligner.chain_counts();
+        self.chains.store(total, Ordering::Relaxed);
+        self.max_shard_chains.store(max, Ordering::Relaxed);
+        self.late_dropped
+            .store(aligner.late_dropped_total(), Ordering::Relaxed);
+        self.sealed_up_to.store(
+            aligner.sealed_up_to().unwrap_or(0) as u64,
+            Ordering::Relaxed,
+        );
+    }
+
+    /// Publishes the per-shard frontier spread (O(chains) scan — called on
+    /// seal, not per record).
+    pub fn observe_frontiers(&self, aligner: &ShardedAligner) {
+        let (min_f, max_f) = aligner.frontier_range();
+        self.min_frontier.store(min_f as u64, Ordering::Relaxed);
+        self.max_frontier.store(max_f as u64, Ordering::Relaxed);
+    }
+
+    /// Snapshot of the gauges.
+    pub fn status(&self) -> AlignerStatus {
+        AlignerStatus {
+            shards: self.shards,
+            chains: self.chains.load(Ordering::Relaxed),
+            max_shard_chains: self.max_shard_chains.load(Ordering::Relaxed),
+            late_dropped: self.late_dropped.load(Ordering::Relaxed),
+            sealed_up_to: self.sealed_up_to.load(Ordering::Relaxed),
+            min_shard_frontier: self.min_frontier.load(Ordering::Relaxed),
+            max_shard_frontier: self.max_frontier.load(Ordering::Relaxed),
+        }
     }
 }
 
@@ -668,5 +1083,387 @@ mod tests {
         sealed.extend(a.flush());
         let s0 = sealed.iter().find(|s| s.time == Timestamp(0)).unwrap();
         assert_eq!(s0.len(), 2, "late first record was dropped");
+    }
+
+    // ---- sharded head ----------------------------------------------------
+
+    /// Reference harness for the sharded head: the router plus per-shard
+    /// row buffers, reassembling full snapshots at seal — what the
+    /// pipeline's shard stages + merge tree do across threads, done inline
+    /// so outputs can be compared record-for-record against the serial
+    /// aligner.
+    struct ShardedHarness {
+        router: ShardedAligner,
+        buffers: Vec<BTreeMap<u32, Snapshot>>,
+    }
+
+    impl ShardedHarness {
+        fn new(config: AlignerConfig, shards: usize) -> Self {
+            ShardedHarness {
+                router: ShardedAligner::new(config, shards),
+                buffers: (0..shards.max(1)).map(|_| BTreeMap::new()).collect(),
+            }
+        }
+
+        fn push(&mut self, r: GpsRecord) -> Vec<Snapshot> {
+            match self.router.route(&r) {
+                Routed::Late { .. } => return Vec::new(),
+                Routed::Keep { shard } => {
+                    self.buffers[shard]
+                        .entry(r.time.0)
+                        .or_insert_with(|| Snapshot::new(r.time))
+                        .push(r.id, r.location, r.last_time);
+                }
+            }
+            let mut times = Vec::new();
+            self.router.drain_sealed(&mut times);
+            times.into_iter().map(|t| self.collect(t)).collect()
+        }
+
+        fn collect(&mut self, t: u32) -> Snapshot {
+            let mut entries = Vec::new();
+            for shard in &mut self.buffers {
+                if let Some(s) = shard.remove(&t) {
+                    entries.extend(s.entries);
+                }
+            }
+            entries.sort_by_key(|e| e.id);
+            Snapshot {
+                time: Timestamp(t),
+                entries,
+            }
+        }
+
+        fn flush(&mut self) -> Vec<Snapshot> {
+            self.router
+                .flush_times()
+                .into_iter()
+                .map(|t| self.collect(t))
+                .collect()
+        }
+    }
+
+    /// Snapshot rows in canonical (id) order, for comparing the serial
+    /// aligner's arrival-ordered rows against shard-merged ones.
+    fn normalized(mut s: Snapshot) -> Snapshot {
+        s.entries.sort_by_key(|e| e.id);
+        s
+    }
+
+    fn normalized_ckpt(mut c: AlignerCheckpoint) -> AlignerCheckpoint {
+        for snap in &mut c.buffers {
+            snap.entries.sort_by_key(|e| e.id);
+        }
+        c
+    }
+
+    fn lcg(state: &mut u64) -> u64 {
+        *state = state
+            .wrapping_mul(6364136223846793005)
+            .wrapping_add(1442695040888963407);
+        *state >> 33
+    }
+
+    /// A deterministic stream with silent ticks (link gaps) and bounded
+    /// out-of-order swaps.
+    fn disordered_stream(seed: u64, objects: u32, ticks: u32) -> Vec<GpsRecord> {
+        let mut rng = seed;
+        let mut recs: Vec<GpsRecord> = Vec::new();
+        for id in 1..=objects {
+            let mut prev: Option<u32> = None;
+            for t in 0..ticks {
+                if lcg(&mut rng).is_multiple_of(4) {
+                    continue; // silent tick: the next link skips over it
+                }
+                recs.push(rec(id, t, prev));
+                prev = Some(t);
+            }
+        }
+        recs.sort_by_key(|r| r.time.0);
+        for i in 0..recs.len() {
+            let j = i + (lcg(&mut rng) as usize % 7).min(recs.len() - 1 - i);
+            recs.swap(i, j);
+        }
+        recs
+    }
+
+    #[test]
+    fn sharded_router_matches_serial_on_disordered_streams() {
+        let configs = [
+            AlignerConfig {
+                max_lag: 6,
+                emit_empty: true,
+                lateness: 1,
+            },
+            // Tight lag + zero lateness: forces retirements and late drops.
+            AlignerConfig {
+                max_lag: 3,
+                emit_empty: true,
+                lateness: 0,
+            },
+            AlignerConfig {
+                max_lag: 100,
+                emit_empty: false,
+                lateness: 0,
+            },
+        ];
+        for config in configs {
+            for seed in [1u64, 7, 42] {
+                for shards in [1usize, 2, 3, 5] {
+                    let mut serial = TimeAligner::new(config);
+                    let mut sharded = ShardedHarness::new(config, shards);
+                    let mut out_serial = Vec::new();
+                    let mut out_sharded = Vec::new();
+                    for r in disordered_stream(seed, 6, 40) {
+                        out_serial.extend(serial.push(r).into_iter().map(normalized));
+                        out_sharded.extend(sharded.push(r));
+                    }
+                    out_serial.extend(serial.flush().into_iter().map(normalized));
+                    out_sharded.extend(sharded.flush());
+                    assert_eq!(
+                        out_serial, out_sharded,
+                        "diverged: seed {seed}, {shards} shards"
+                    );
+                    assert_eq!(
+                        serial.late_dropped(),
+                        sharded.router.late_dropped_total(),
+                        "late counts diverged: seed {seed}, {shards} shards"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn sharded_late_boundary_matches_serial_drop_decisions() {
+        // One trajectory races ahead on its shard; the other crawls at the
+        // seal boundary on a different shard. Records landing exactly at
+        // the min-over-frontiers boundary must drop iff the serial aligner
+        // drops them — lateness is strict (`t < sealed_up_to`), so `s - 1`
+        // drops and `s` itself is kept.
+        let config = AlignerConfig {
+            max_lag: 4,
+            emit_empty: true,
+            lateness: 0,
+        };
+        let probe = ShardedAligner::new(config, 2);
+        let fast = (1..100)
+            .find(|&i| probe.shard_of(ObjectId(i)) == 0)
+            .unwrap();
+        let slow = (1..100)
+            .find(|&i| probe.shard_of(ObjectId(i)) == 1)
+            .unwrap();
+
+        let mut serial = TimeAligner::new(config);
+        let mut sharded = ShardedHarness::new(config, 2);
+        let mut out_serial = Vec::new();
+        let mut out_sharded = Vec::new();
+        let feed = |serial: &mut TimeAligner,
+                    sharded: &mut ShardedHarness,
+                    out_serial: &mut Vec<Snapshot>,
+                    out_sharded: &mut Vec<Snapshot>,
+                    r: GpsRecord| {
+            out_serial.extend(serial.push(r).into_iter().map(normalized));
+            out_sharded.extend(sharded.push(r));
+        };
+
+        feed(
+            &mut serial,
+            &mut sharded,
+            &mut out_serial,
+            &mut out_sharded,
+            rec(fast, 0, None),
+        );
+        feed(
+            &mut serial,
+            &mut sharded,
+            &mut out_serial,
+            &mut out_sharded,
+            rec(slow, 0, None),
+        );
+        // The fast shard runs far ahead; the slow trajectory retires once
+        // its clarified end lags more than max_lag behind.
+        for t in 1..12 {
+            feed(
+                &mut serial,
+                &mut sharded,
+                &mut out_serial,
+                &mut out_sharded,
+                rec(fast, t, Some(t - 1)),
+            );
+        }
+        let s = serial.checkpoint().sealed_up_to.expect("sealing advanced");
+        assert_eq!(sharded.router.sealed_up_to(), Some(s), "frontiers agree");
+        assert!(s >= 2, "the slow shard no longer holds the frontier");
+
+        // Exactly at the boundary from the slow trajectory's shard.
+        assert_eq!(
+            sharded.router.route(&rec(slow, s - 1, Some(0))),
+            Routed::Late { shard: 1 },
+            "one tick below the frontier drops"
+        );
+        let before = serial.late_dropped();
+        out_serial.extend(
+            serial
+                .push(rec(slow, s - 1, Some(0)))
+                .into_iter()
+                .map(normalized),
+        );
+        assert_eq!(serial.late_dropped(), before + 1, "serial dropped it too");
+
+        match sharded.router.route(&rec(slow, s, Some(s - 1))) {
+            Routed::Keep { shard } => {
+                assert_eq!(shard, 1);
+                sharded.buffers[1]
+                    .entry(s)
+                    .or_insert_with(|| Snapshot::new(Timestamp(s)))
+                    .push(
+                        ObjectId(slow),
+                        rec(slow, s, Some(s - 1)).location,
+                        Some(Timestamp(s - 1)),
+                    );
+                let mut times = Vec::new();
+                sharded.router.drain_sealed(&mut times);
+                out_sharded.extend(times.into_iter().map(|t| sharded.collect(t)));
+            }
+            other => panic!("record at the frontier itself must be kept, got {other:?}"),
+        }
+        out_serial.extend(
+            serial
+                .push(rec(slow, s, Some(s - 1)))
+                .into_iter()
+                .map(normalized),
+        );
+
+        out_serial.extend(serial.flush().into_iter().map(normalized));
+        out_sharded.extend(sharded.flush());
+        assert_eq!(out_serial, out_sharded, "sealed outputs diverged");
+        assert_eq!(serial.late_dropped(), sharded.router.late_dropped_total());
+        assert_eq!(
+            sharded.router.shard_late_dropped(1),
+            sharded.router.late_dropped_total(),
+            "drops attributed to the owning shard"
+        );
+    }
+
+    #[test]
+    fn sharded_reshard_cycle_conserves_state_and_counters() {
+        // Run sharded at S=3 with late drops, checkpoint (router piece +
+        // per-shard buffer pieces, merged), restore onto S=5, continue, and
+        // compare everything against an uninterrupted serial aligner. The
+        // merged counter must restore exactly once (credited to shard 0),
+        // not once per shard.
+        let config = AlignerConfig {
+            max_lag: 3,
+            emit_empty: true,
+            lateness: 0,
+        };
+        let mut serial = TimeAligner::new(config);
+        let mut sharded = ShardedHarness::new(config, 3);
+        let stream = disordered_stream(9, 5, 30);
+        let (prefix, suffix) = stream.split_at(stream.len() / 2);
+
+        let mut out_serial = Vec::new();
+        let mut out_sharded = Vec::new();
+        for r in prefix {
+            out_serial.extend(serial.push(*r).into_iter().map(normalized));
+            out_sharded.extend(sharded.push(*r));
+        }
+        // Force a late drop at the cut so the counter is non-zero.
+        if let Some(s) = serial.checkpoint().sealed_up_to {
+            if s > 0 {
+                let late = rec(5, s - 1, None);
+                out_serial.extend(serial.push(late).into_iter().map(normalized));
+                out_sharded.extend(sharded.push(late));
+            }
+        }
+        assert!(serial.late_dropped() > 0, "cut must carry a live counter");
+
+        // Checkpoint: router piece + one buffer-only piece per shard.
+        let mut pieces = vec![sharded.router.checkpoint()];
+        for shard in &sharded.buffers {
+            pieces.push(AlignerCheckpoint {
+                buffers: shard.values().cloned().collect(),
+                chains: Vec::new(),
+                sealed_up_to: None,
+                max_seen: 0,
+                late_dropped: 0,
+            });
+        }
+        let merged = AlignerCheckpoint::merge(pieces);
+        assert_eq!(
+            merged,
+            normalized_ckpt(serial.checkpoint()),
+            "merged pieces reproduce the serial checkpoint"
+        );
+
+        // Restore onto a different shard count.
+        let mut restored = ShardedHarness::new(config, 5);
+        restored.router = ShardedAligner::from_checkpoint(config, 5, &merged);
+        for (i, shard) in restored.buffers.iter_mut().enumerate() {
+            let piece = merged.piece(false, |id| subtask_for(hash_id(id), 5) == i);
+            *shard = piece.buffers.into_iter().map(|s| (s.time.0, s)).collect();
+        }
+        assert_eq!(
+            restored.router.late_dropped_total(),
+            merged.late_dropped,
+            "restored total intact"
+        );
+        assert_eq!(
+            restored.router.shard_late_dropped(0),
+            merged.late_dropped,
+            "counter credited to shard 0 only"
+        );
+
+        let mut out_restored = out_sharded.clone();
+        for r in suffix {
+            out_serial.extend(serial.push(*r).into_iter().map(normalized));
+            out_restored.extend(restored.push(*r));
+        }
+        out_serial.extend(serial.flush().into_iter().map(normalized));
+        out_restored.extend(restored.flush());
+        assert_eq!(out_serial, out_restored, "restore onto 5 shards diverged");
+        assert_eq!(serial.late_dropped(), restored.router.late_dropped_total());
+
+        // A second checkpoint cycle must not multiply the counter.
+        let merged2 = AlignerCheckpoint::merge(vec![restored.router.checkpoint()]);
+        assert_eq!(merged2.late_dropped, serial.late_dropped());
+    }
+
+    #[test]
+    fn sharded_gauges_report_chains_frontiers_and_drops() {
+        let config = AlignerConfig {
+            max_lag: 100,
+            emit_empty: true,
+            lateness: 0,
+        };
+        let stats = AlignStats::new(2);
+        let mut sharded = ShardedHarness::new(config, 2);
+        let probe = &sharded.router;
+        let a = (1..100)
+            .find(|&i| probe.shard_of(ObjectId(i)) == 0)
+            .unwrap();
+        let b = (1..100)
+            .find(|&i| probe.shard_of(ObjectId(i)) == 1)
+            .unwrap();
+        sharded.push(rec(a, 0, None));
+        sharded.push(rec(b, 0, None));
+        sharded.push(rec(a, 5, Some(0)));
+        stats.observe(&sharded.router);
+        stats.observe_frontiers(&sharded.router);
+        let status = stats.status();
+        assert_eq!(status.shards, 2);
+        assert_eq!(status.chains, 2);
+        assert_eq!(status.max_shard_chains, 1);
+        assert!(
+            (status.imbalance() - 1.0).abs() < 1e-9,
+            "perfectly balanced"
+        );
+        // Shard a is clarified through 5 (frontier capped at max_seen);
+        // shard b is stuck at 1.
+        assert_eq!(status.min_shard_frontier, 1);
+        assert_eq!(status.max_shard_frontier, 5);
+        assert_eq!(status.sealed_up_to, 1, "time 0 sealed");
+        assert_eq!(status.late_dropped, 0);
     }
 }

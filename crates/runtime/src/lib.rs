@@ -38,7 +38,9 @@ pub mod operator;
 pub mod routing;
 pub mod stream;
 
-pub use aligner::{AlignOperator, AlignerConfig, TimeAligner};
+pub use aligner::{
+    AlignOperator, AlignStats, AlignerConfig, AlignerStatus, Routed, ShardedAligner, TimeAligner,
+};
 pub use exchange::{Disconnected, Exchange, Routing};
 pub use metrics::{MetricsReport, PipelineMetrics, StreamProgress};
 pub use obs::{

@@ -23,7 +23,8 @@ use crate::protocol::{EventKind, PatternEvent, SnapshotEvent, Topic, WireRecord}
 use crate::recovery::{CheckpointPolicy, EdgeStatsCheckpoint, ServeCheckpoint};
 use crate::stats::ServerStats;
 use icpe_core::{
-    IcpeConfig, IcpePipeline, LivePipeline, PipelineEvent, RecordSender, RoutingHandle, SyncHandle,
+    AlignHandle, IcpeConfig, IcpePipeline, LivePipeline, PipelineEvent, RecordSender,
+    RoutingHandle, SyncHandle,
 };
 use icpe_persist::CheckpointStore;
 use icpe_runtime::{MetricRegistry, MetricsReport, ObsEventKind, PipelineMetrics};
@@ -217,6 +218,9 @@ struct Shared {
     /// The sharded sync merge path's gauge view, when the engine runs one
     /// (for `STATUS`).
     sync: Mutex<Option<SyncHandle>>,
+    /// The sharded aligner head's gauge view, when the engine runs one
+    /// (for `STATUS`).
+    align: Mutex<Option<AlignHandle>>,
     /// Cross-producer skew control.
     skew: SkewLimiter,
     shutting_down: AtomicBool,
@@ -373,6 +377,7 @@ impl Server {
             obs: Mutex::new(None),
             routing: Mutex::new(None),
             sync: Mutex::new(None),
+            align: Mutex::new(None),
             skew: SkewLimiter::new(config.max_producer_skew, config.startup_grace),
             shutting_down: AtomicBool::new(false),
             suppress_events: AtomicBool::new(false),
@@ -454,6 +459,7 @@ impl Server {
         *shared.obs.lock() = Some(pipeline.obs().clone());
         *shared.routing.lock() = pipeline.routing().cloned();
         *shared.sync.lock() = pipeline.sync().cloned();
+        *shared.align.lock() = pipeline.align().cloned();
 
         // Periodic checkpointing: barrier through the live pipeline, then
         // one atomic file with the edge state captured at the same cut.
@@ -504,9 +510,14 @@ impl Server {
             .as_ref()
             .map(RoutingHandle::status);
         let sync = self.shared.sync.lock().as_ref().map(SyncHandle::status);
-        self.shared
-            .stats
-            .render(&metrics, routing, sync, self.shared.hub.max_queue_depth())
+        let align = self.shared.align.lock().as_ref().map(AlignHandle::status);
+        self.shared.stats.render(
+            &metrics,
+            routing,
+            sync,
+            align,
+            self.shared.hub.max_queue_depth(),
+        )
     }
 
     /// The current Prometheus exposition block, as served by the `METRICS`
@@ -1007,12 +1018,13 @@ fn serve_status(shared: &Arc<Shared>, stream: TcpStream) -> std::io::Result<()> 
     let metrics = shared.pipeline_metrics.lock().clone().unwrap_or_default();
     let routing = shared.routing.lock().as_ref().map(RoutingHandle::status);
     let sync = shared.sync.lock().as_ref().map(SyncHandle::status);
+    let align = shared.align.lock().as_ref().map(AlignHandle::status);
     let depth = shared.hub.max_queue_depth();
     let mut w = BufWriter::new(stream);
     w.write_all(
         shared
             .stats
-            .render(&metrics, routing, sync, depth)
+            .render(&metrics, routing, sync, align, depth)
             .as_bytes(),
     )?;
     w.flush()

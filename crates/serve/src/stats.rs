@@ -1,6 +1,6 @@
 //! Server-side counters behind the `STATUS` endpoint.
 
-use icpe_core::SyncStatus;
+use icpe_core::{AlignerStatus, SyncStatus};
 use icpe_runtime::{PipelineMetrics, RoutingStatus};
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::time::Instant;
@@ -123,13 +123,14 @@ impl ServerStats {
     /// Renders the `STATUS` response: one `key=value` per line, stable keys,
     /// merging the network-edge counters with the pipeline's live metrics
     /// and — when the engine runs a keyed grid stage — the routing layer's
-    /// epoch/load-balance gauges plus the sharded sync merge path's
-    /// dedup/seal gauges.
+    /// epoch/load-balance gauges, the sharded sync merge path's dedup/seal
+    /// gauges, and the sharded aligner head's chain/frontier gauges.
     pub fn render(
         &self,
         pipeline: &PipelineMetrics,
         routing: Option<RoutingStatus>,
         sync: Option<SyncStatus>,
+        align: Option<AlignerStatus>,
         max_subscriber_queue_depth: usize,
     ) -> String {
         let uptime = self.uptime();
@@ -215,6 +216,26 @@ impl ServerStats {
         );
         line("detect_lag_snapshots", progress.lag().to_string());
         line("in_flight_snapshots", progress.in_flight.to_string());
+        // The sharded aligner head: how the trajectory chains spread across
+        // the shards and how far apart the per-shard frontiers run (a wide
+        // spread means one shard's slow trajectories hold the global seal
+        // back). Same always-render contract as the routing/sync keys — a
+        // GDC deployment runs the serial head and renders them zeroed.
+        let a = align.unwrap_or_default();
+        line("aligner_shards", a.shards.to_string());
+        line("aligner_chains", a.chains.to_string());
+        line("aligner_max_shard_chains", a.max_shard_chains.to_string());
+        line("aligner_late_dropped", a.late_dropped.to_string());
+        line("aligner_sealed_frontier", a.sealed_up_to.to_string());
+        line(
+            "aligner_min_shard_frontier",
+            a.min_shard_frontier.to_string(),
+        );
+        line(
+            "aligner_max_shard_frontier",
+            a.max_shard_frontier.to_string(),
+        );
+        line("aligner_shard_imbalance", format!("{:.3}", a.imbalance()));
         // Durability: how far recovery could rewind to, and how often
         // checkpoints land.
         line(
@@ -418,7 +439,7 @@ mod tests {
         let stats = ServerStats::new();
         stats.records_in.store(42, Ordering::Relaxed);
         let pipeline = PipelineMetrics::new();
-        let text = stats.render(&pipeline, None, None, 0);
+        let text = stats.render(&pipeline, None, None, None, 0);
         let kv = parse_status(&text);
         let get = |k: &str| {
             kv.iter()
@@ -435,7 +456,7 @@ mod tests {
         stats.note_ingested_tick(6);
         stats.note_ingested_tick(3);
         assert_eq!(stats.ingested_tick(), Some(6));
-        let kv = parse_status(&stats.render(&pipeline, None, None, 0));
+        let kv = parse_status(&stats.render(&pipeline, None, None, None, 0));
         let frontier = kv.iter().find(|(k, _)| k == "ingest_frontier").unwrap();
         assert_eq!(frontier.1, "6");
         let lag = kv.iter().find(|(k, _)| k == "align_lag_snapshots").unwrap();
@@ -447,7 +468,7 @@ mod tests {
         let stats = ServerStats::new();
         let pipeline = PipelineMetrics::new();
         // No batches yet: fill renders 0 (guarded division), rates render.
-        let kv = parse_status(&stats.render(&pipeline, None, None, 0));
+        let kv = parse_status(&stats.render(&pipeline, None, None, None, 0));
         let get = |k: &str| kv.iter().find(|(key, _)| key == k).unwrap().1.clone();
         assert_eq!(get("ingest_batches"), "0");
         assert_eq!(get("mean_batch_fill"), "0.00");
@@ -456,7 +477,7 @@ mod tests {
         stats.note_batch(48);
         stats.note_batch(16);
         stats.patterns_out.store(7, Ordering::Relaxed);
-        let kv = parse_status(&stats.render(&pipeline, None, None, 0));
+        let kv = parse_status(&stats.render(&pipeline, None, None, None, 0));
         let get = |k: &str| kv.iter().find(|(key, _)| key == k).unwrap().1.clone();
         assert_eq!(get("records_in"), "64");
         assert_eq!(get("ingest_batches"), "2");
@@ -470,7 +491,7 @@ mod tests {
         let stats = ServerStats::new();
         let pipeline = PipelineMetrics::new();
         // Without a sync path the keys still render, zeroed.
-        let kv = parse_status(&stats.render(&pipeline, None, None, 0));
+        let kv = parse_status(&stats.render(&pipeline, None, None, None, 0));
         let get = |k: &str| kv.iter().find(|(key, _)| key == k).unwrap().1.clone();
         assert_eq!(get("sync_shards"), "0");
         assert_eq!(get("sync_pairs_merged"), "0");
@@ -486,7 +507,7 @@ mod tests {
             max_shard_load: 90,
             mean_shard_load: 60.0,
         };
-        let kv = parse_status(&stats.render(&pipeline, None, Some(sync), 0));
+        let kv = parse_status(&stats.render(&pipeline, None, Some(sync), None, 0));
         let get = |k: &str| kv.iter().find(|(key, _)| key == k).unwrap().1.clone();
         assert_eq!(get("sync_shards"), "8");
         assert_eq!(get("sync_fanin"), "4");
@@ -500,11 +521,44 @@ mod tests {
     }
 
     #[test]
+    fn render_includes_aligner_gauges() {
+        let stats = ServerStats::new();
+        let pipeline = PipelineMetrics::new();
+        // Without a sharded head (GDC) the keys still render, zeroed.
+        let kv = parse_status(&stats.render(&pipeline, None, None, None, 0));
+        let get = |k: &str| kv.iter().find(|(key, _)| key == k).unwrap().1.clone();
+        assert_eq!(get("aligner_shards"), "0");
+        assert_eq!(get("aligner_chains"), "0");
+        assert_eq!(get("aligner_sealed_frontier"), "0");
+        assert_eq!(get("aligner_shard_imbalance"), "1.000");
+
+        let align = AlignerStatus {
+            shards: 4,
+            chains: 36,
+            max_shard_chains: 18,
+            late_dropped: 7,
+            sealed_up_to: 21,
+            min_shard_frontier: 20,
+            max_shard_frontier: 24,
+        };
+        let kv = parse_status(&stats.render(&pipeline, None, None, Some(align), 0));
+        let get = |k: &str| kv.iter().find(|(key, _)| key == k).unwrap().1.clone();
+        assert_eq!(get("aligner_shards"), "4");
+        assert_eq!(get("aligner_chains"), "36");
+        assert_eq!(get("aligner_max_shard_chains"), "18");
+        assert_eq!(get("aligner_late_dropped"), "7");
+        assert_eq!(get("aligner_sealed_frontier"), "21");
+        assert_eq!(get("aligner_min_shard_frontier"), "20");
+        assert_eq!(get("aligner_max_shard_frontier"), "24");
+        assert_eq!(get("aligner_shard_imbalance"), "2.000");
+    }
+
+    #[test]
     fn render_includes_routing_gauges() {
         let stats = ServerStats::new();
         let pipeline = PipelineMetrics::new();
         // Without a routing layer the keys still render, zeroed.
-        let kv = parse_status(&stats.render(&pipeline, None, None, 0));
+        let kv = parse_status(&stats.render(&pipeline, None, None, None, 0));
         let get = |k: &str| kv.iter().find(|(key, _)| key == k).unwrap().1.clone();
         assert_eq!(get("routing_epoch"), "0");
         assert_eq!(get("cells_migrated"), "0");
@@ -517,7 +571,7 @@ mod tests {
             max_subtask_load: 60.0,
             mean_subtask_load: 20.0,
         };
-        let kv = parse_status(&stats.render(&pipeline, Some(routing), None, 0));
+        let kv = parse_status(&stats.render(&pipeline, Some(routing), None, None, 0));
         let get = |k: &str| kv.iter().find(|(key, _)| key == k).unwrap().1.clone();
         assert_eq!(get("routing_epoch"), "3");
         assert_eq!(get("cells_mapped"), "5");

@@ -47,7 +47,17 @@ use std::fmt;
 /// v4: added the optional `obs` section (cumulative metric-registry
 /// counters summed per `(stage, name)` at the cut, so per-stage
 /// observability survives a restore instead of resetting to zero).
-pub const CHECKPOINT_VERSION: u32 = 4;
+///
+/// v5: the `aligner` section is now assembled from per-shard pieces
+/// (sharded aligner head): the frontier router deposits chains + counters,
+/// each aligner shard deposits its buffered rows, and
+/// [`AlignerCheckpoint::merge`] canonicalizes buffered snapshot rows by
+/// object id — so the bytes are a pure function of the logical state
+/// regardless of the writing deployment's shard count. The struct fields
+/// are unchanged, but the canonical row order within `buffers` differs
+/// from v4's arrival order, so v4 files are refused rather than reread
+/// under the new canon.
+pub const CHECKPOINT_VERSION: u32 = 5;
 
 /// Errors raised when restoring state from a checkpoint.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -118,6 +128,85 @@ pub struct AlignerCheckpoint {
     /// Records dropped for arriving after their snapshot sealed
     /// (cumulative; rehydrated on restore so observability does not reset).
     pub late_dropped: u64,
+}
+
+impl AlignerCheckpoint {
+    /// A checkpoint for an aligner that has seen nothing.
+    pub fn empty() -> AlignerCheckpoint {
+        AlignerCheckpoint {
+            buffers: Vec::new(),
+            chains: Vec::new(),
+            sealed_up_to: None,
+            max_seen: 0,
+            late_dropped: 0,
+        }
+    }
+
+    /// Merges per-shard aligner checkpoints into one deployment-independent
+    /// checkpoint, mirroring [`SyncCheckpoint::merge`]: the late-drop
+    /// counter sums, the clock fields (`sealed_up_to`, `max_seen`) take the
+    /// max, chains concatenate and re-sort by trajectory id (shards own
+    /// disjoint ids), and buffered snapshots union by time with their rows
+    /// canonically sorted by id — so the merged bytes are a pure function
+    /// of the logical state, independent of how many shards wrote pieces.
+    pub fn merge(pieces: Vec<AlignerCheckpoint>) -> AlignerCheckpoint {
+        let mut merged = AlignerCheckpoint::empty();
+        let mut buffers: BTreeMap<u32, Snapshot> = BTreeMap::new();
+        for piece in pieces {
+            merged.late_dropped += piece.late_dropped;
+            merged.max_seen = merged.max_seen.max(piece.max_seen);
+            merged.sealed_up_to = match (merged.sealed_up_to, piece.sealed_up_to) {
+                (Some(a), Some(b)) => Some(a.max(b)),
+                (a, b) => a.or(b),
+            };
+            merged.chains.extend(piece.chains);
+            for snap in piece.buffers {
+                buffers
+                    .entry(snap.time.0)
+                    .or_insert_with(|| Snapshot::new(snap.time))
+                    .entries
+                    .extend(snap.entries);
+            }
+        }
+        merged.chains.sort_by_key(|c| c.id);
+        merged.buffers = buffers
+            .into_values()
+            .filter(|s| !s.is_empty())
+            .map(|mut s| {
+                s.entries.sort_by_key(|e| e.id);
+                s
+            })
+            .collect();
+        merged
+    }
+
+    /// The restore piece for one aligner shard at the restored deployment:
+    /// buffered rows and chains filtered to the trajectories `keep` selects
+    /// (the same owner → shard mapping the head's exchange routes by), the
+    /// clock fields replicated, and the cumulative late-drop counter
+    /// included only when `with_counters` — restore it into one shard, or
+    /// the next checkpoint's merge would multiply it by the shard count
+    /// (the [`SyncCheckpoint::piece`] / `skipped_partitions` pattern).
+    pub fn piece(&self, with_counters: bool, keep: impl Fn(ObjectId) -> bool) -> AlignerCheckpoint {
+        AlignerCheckpoint {
+            buffers: self
+                .buffers
+                .iter()
+                .filter_map(|s| {
+                    let entries: Vec<_> =
+                        s.entries.iter().filter(|e| keep(e.id)).copied().collect();
+                    (!entries.is_empty()).then_some(Snapshot {
+                        time: s.time,
+                        entries,
+                    })
+                })
+                .collect(),
+            chains: self.chains.iter().filter(|c| keep(c.id)).cloned().collect(),
+            sealed_up_to: self.sealed_up_to,
+            max_seen: self.max_seen,
+            late_dropped: if with_counters { self.late_dropped } else { 0 },
+        }
+    }
 }
 
 /// One buffered partition row of an owner's η-window history.
@@ -662,6 +751,101 @@ mod tests {
         // Windows with no surviving pairs vanish from the piece.
         let none = merged.piece(false, |_| false);
         assert!(none.pending.is_empty());
+    }
+
+    #[test]
+    fn aligner_merge_sums_counters_and_canonicalizes_rows() {
+        let mut shard_a = Snapshot::new(Timestamp(4));
+        shard_a.push(ObjectId(9), crate::Point::new(1.0, 0.0), Some(Timestamp(3)));
+        let mut shard_b = Snapshot::new(Timestamp(4));
+        shard_b.push(ObjectId(2), crate::Point::new(0.0, 1.0), None);
+        let router = AlignerCheckpoint {
+            buffers: Vec::new(),
+            chains: vec![
+                ChainCheckpoint {
+                    id: ObjectId(9),
+                    clarified: Some(4),
+                    waiting: Vec::new(),
+                },
+                ChainCheckpoint {
+                    id: ObjectId(2),
+                    clarified: Some(3),
+                    waiting: vec![(5, 6)],
+                },
+            ],
+            sealed_up_to: Some(4),
+            max_seen: 6,
+            late_dropped: 3,
+        };
+        let piece = |snap: Snapshot| AlignerCheckpoint {
+            buffers: vec![snap],
+            chains: Vec::new(),
+            sealed_up_to: None,
+            max_seen: 0,
+            late_dropped: 0,
+        };
+        // Piece order must not matter: the merged form is canonical.
+        let m1 = AlignerCheckpoint::merge(vec![
+            router.clone(),
+            piece(shard_a.clone()),
+            piece(shard_b.clone()),
+        ]);
+        let m2 = AlignerCheckpoint::merge(vec![piece(shard_b), router, piece(shard_a)]);
+        assert_eq!(m1, m2, "merge is independent of piece order");
+        assert_eq!(m1.late_dropped, 3);
+        assert_eq!(m1.sealed_up_to, Some(4));
+        assert_eq!(m1.max_seen, 6);
+        let chain_ids: Vec<u32> = m1.chains.iter().map(|c| c.id.0).collect();
+        assert_eq!(chain_ids, vec![2, 9], "chains re-sorted canonically");
+        assert_eq!(m1.buffers.len(), 1);
+        let row_ids: Vec<u32> = m1.buffers[0].entries.iter().map(|e| e.id.0).collect();
+        assert_eq!(row_ids, vec![2, 9], "rows sorted by id within a time");
+    }
+
+    #[test]
+    fn aligner_piece_owner_filters_and_restores_counters_once() {
+        let mut buffered = Snapshot::new(Timestamp(7));
+        buffered.push(ObjectId(1), crate::Point::new(0.0, 0.0), None);
+        buffered.push(ObjectId(2), crate::Point::new(1.0, 0.0), Some(Timestamp(6)));
+        buffered.push(ObjectId(4), crate::Point::new(2.0, 0.0), None);
+        let merged = AlignerCheckpoint {
+            buffers: vec![buffered],
+            chains: vec![
+                ChainCheckpoint {
+                    id: ObjectId(1),
+                    clarified: Some(7),
+                    waiting: Vec::new(),
+                },
+                ChainCheckpoint {
+                    id: ObjectId(2),
+                    clarified: Some(6),
+                    waiting: Vec::new(),
+                },
+            ],
+            sealed_up_to: Some(7),
+            max_seen: 9,
+            late_dropped: 5,
+        };
+        let even = merged.piece(true, |o| o.0 % 2 == 0);
+        assert_eq!(even.late_dropped, 5, "counters restore into one shard");
+        let even_rows: Vec<u32> = even.buffers[0].entries.iter().map(|e| e.id.0).collect();
+        assert_eq!(even_rows, vec![2, 4]);
+        assert_eq!(even.chains.len(), 1);
+        assert_eq!(even.chains[0].id, ObjectId(2));
+        assert_eq!(even.sealed_up_to, Some(7), "clock fields replicate");
+        assert_eq!(even.max_seen, 9);
+        let odd = merged.piece(false, |o| o.0 % 2 == 1);
+        assert_eq!(odd.late_dropped, 0, "only one piece carries the counter");
+        let odd_rows: Vec<u32> = odd.buffers[0].entries.iter().map(|e| e.id.0).collect();
+        assert_eq!(odd_rows, vec![1]);
+        // Times with no surviving rows vanish from the piece.
+        let none = merged.piece(false, |_| false);
+        assert!(none.buffers.is_empty());
+        // A reshard round-trip conserves the totals: merging every piece
+        // back yields the counters exactly once.
+        let roundtrip = AlignerCheckpoint::merge(vec![even, odd]);
+        assert_eq!(roundtrip.late_dropped, merged.late_dropped);
+        assert_eq!(roundtrip, merged);
     }
 
     #[test]

@@ -167,3 +167,44 @@ fn schema_change_requires_version_bump() {
     let parsed: PipelineCheckpoint = serde_json::from_str(fixture.trim_end()).unwrap();
     assert_eq!(parsed, sample());
 }
+
+/// The guard has teeth against drift: a schema change that slips through
+/// without a version bump (simulated here by renaming a field in the pinned
+/// bytes) both breaks the byte comparison the guard performs and refuses to
+/// restore — so it cannot silently misread old files either way.
+#[test]
+fn guard_fails_on_schema_drift_without_version_bump() {
+    let fixture = std::fs::read_to_string(fixture_path()).unwrap();
+    let pinned = fixture.trim_end();
+    let drifted = pinned.replace("\"max_seen\":", "\"maximum_seen\":");
+    assert_ne!(drifted, pinned, "simulated drift must change the bytes");
+    assert_ne!(
+        serde_json::to_string(&sample()).unwrap(),
+        drifted,
+        "the guard's byte comparison catches the drift"
+    );
+    assert!(
+        serde_json::from_str::<PipelineCheckpoint>(&drifted).is_err(),
+        "drifted bytes must not restore as the current schema"
+    );
+}
+
+/// A version bump without a regenerated fixture is itself a failure: the
+/// fixture for the *current* version must be committed and must carry the
+/// current version number inside.
+#[test]
+fn fixture_for_current_version_is_committed() {
+    let path = fixture_path();
+    assert!(
+        std::path::Path::new(&path).exists(),
+        "no fixture at {path}: after bumping CHECKPOINT_VERSION, regenerate \
+         it with ICPE_REGEN_FIXTURE=1 cargo test -p icpe-types --test \
+         checkpoint_schema and commit the file"
+    );
+    let parsed: PipelineCheckpoint =
+        serde_json::from_str(std::fs::read_to_string(&path).unwrap().trim_end()).unwrap();
+    assert_eq!(
+        parsed.version, CHECKPOINT_VERSION,
+        "fixture was written for a different schema version"
+    );
+}
