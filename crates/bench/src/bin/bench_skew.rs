@@ -1,19 +1,28 @@
 //! Skew bench — static `hash(cell) % N` vs. hotspot-aware adaptive
-//! routing on the Zipf moving-hotspot workload.
+//! routing vs. adaptive routing with sub-cell refinement, on the Zipf
+//! moving-hotspot workload.
 //!
 //! Measures, per routing mode: pipeline throughput, average latency, and
 //! the per-window `max/mean` GridQuery subtask-load ratio (p95 and mean
 //! over all windows; 1.0 = perfectly balanced, `N` = everything on one
-//! subtask). Writes a `BENCH_skew.json` summary to seed the performance
-//! trajectory.
+//! subtask). Every run also computes the **hindsight-LPT oracle floor**:
+//! per window, the actual observed cell loads are LPT-packed into `N`
+//! bins — the best any cell-granularity placement could have done — and
+//! each mode's `gap_to_floor` (its p95 over the oracle p95) lands in the
+//! `BENCH_skew.json` summary. Refinement splits hot cells below cell
+//! granularity, so its gap can drop below what any unrefined placement
+//! reaches.
 //!
 //! ```text
 //! bench_skew [--check] [--objects N] [--ticks T] [--parallelism P]
-//!            [--theta F] [--out PATH]
+//!            [--theta F] [--refine-depth D] [--max-gap F] [--out PATH]
 //!
 //! --check   CI smoke mode: assert adaptive imbalance beats static by a
 //!           generous margin (p95 ratio ≥ 1.2×) at no worse than 0.6×
-//!           throughput, exit non-zero otherwise.
+//!           throughput, that refinement actually split cells, and that
+//!           the refined gap_to_floor is no worse than the adaptive
+//!           (refinement-off) gap and within --max-gap (default 1.5)
+//!           of the oracle; exit non-zero otherwise.
 //! ```
 
 use icpe_bench::arg;
@@ -23,6 +32,13 @@ use icpe_types::{Constraints, GpsRecord};
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Mode {
+    Static,
+    Adaptive,
+    Refined,
+}
+
 #[derive(Debug, Clone, Copy)]
 struct RunStats {
     throughput_tps: f64,
@@ -31,6 +47,9 @@ struct RunStats {
     mean_imbalance: f64,
     routing_epoch: u64,
     cells_migrated: u64,
+    splits: u64,
+    coalesces: u64,
+    max_refine_depth: u8,
     patterns: u64,
 }
 
@@ -42,7 +61,15 @@ fn percentile(sorted: &[f64], q: f64) -> f64 {
     sorted[idx.min(sorted.len() - 1)]
 }
 
-fn run(config: &IcpeConfig, records: &[GpsRecord]) -> RunStats {
+/// Runs one pipeline; returns its stats, its hindsight-oracle p95 (taken
+/// from the static run so the floor is measured at base-cell granularity),
+/// and its per-window imbalance series (so `--series` prints the very run
+/// the summary numbers came from).
+fn run(
+    config: &IcpeConfig,
+    records: &[GpsRecord],
+    parallelism: usize,
+) -> (RunStats, f64, Vec<(u32, f64)>) {
     let patterns = Arc::new(AtomicU64::new(0));
     let sink = Arc::clone(&patterns);
     let live = IcpePipeline::launch(config, move |e| {
@@ -59,26 +86,47 @@ fn run(config: &IcpeConfig, records: &[GpsRecord]) -> RunStats {
     }
     let report = live.finish();
     let status = routing.status();
-    let mut ratios: Vec<f64> = routing
-        .imbalance_series()
-        .into_iter()
-        .map(|(_, ratio)| ratio)
-        .collect();
+    let series = routing.imbalance_series();
+    let mut ratios: Vec<f64> = series.iter().map(|&(_, ratio)| ratio).collect();
     let mean = if ratios.is_empty() {
         1.0
     } else {
         ratios.iter().sum::<f64>() / ratios.len() as f64
     };
     ratios.sort_by(|a, b| a.partial_cmp(b).expect("finite ratios"));
-    RunStats {
+
+    // Hindsight floor over this run's own observed windows: per window,
+    // LPT-pack the actual cell loads — the best any placement at this
+    // run's cell granularity could have done.
+    let mut oracle_ratios: Vec<f64> = Vec::new();
+    for (_, cells) in routing.sealed_cell_windows() {
+        let mut weights: Vec<u64> = cells.iter().map(|&(_, w)| w).collect();
+        weights.sort_unstable_by(|a, b| b.cmp(a));
+        let mut bins = vec![0u64; parallelism];
+        for w in weights {
+            *bins.iter_mut().min().expect("bins") += w;
+        }
+        let total: u64 = bins.iter().sum();
+        if total > 0 {
+            let mean = total as f64 / parallelism as f64;
+            oracle_ratios.push(*bins.iter().max().expect("bins") as f64 / mean);
+        }
+    }
+    oracle_ratios.sort_by(|a, b| a.partial_cmp(b).expect("finite"));
+
+    let stats = RunStats {
         throughput_tps: report.throughput_tps,
         avg_latency_ms: report.avg_latency.as_secs_f64() * 1e3,
         p95_imbalance: percentile(&ratios, 0.95),
         mean_imbalance: mean,
         routing_epoch: status.epoch,
         cells_migrated: status.cells_migrated,
+        splits: status.splits,
+        coalesces: status.coalesces,
+        max_refine_depth: status.max_refine_depth,
         patterns: patterns.load(Ordering::Relaxed),
-    }
+    };
+    (stats, percentile(&oracle_ratios, 0.95), series)
 }
 
 fn main() {
@@ -90,6 +138,24 @@ fn main() {
     let theta: f64 = arg(&args, "--theta", 1.05);
     let cooldown: u32 = arg(&args, "--cooldown", 0);
     let decay: f64 = arg(&args, "--decay", 0.5);
+    // The measured metric is the GridQuery stage's records+pairs split, so
+    // the planner optimizes the same objective here (the serve default of
+    // 2.0 trades query-stage balance for sync-merge balance, which this
+    // bench does not measure).
+    let pair_weight: f64 = arg(&args, "--pair-weight", 1.0);
+    let refine_depth: u8 = arg(&args, "--refine-depth", 2);
+    let refine_split: f64 = arg(&args, "--refine-split", 0.5);
+    let refine_coalesce: f64 = arg(&args, "--refine-coalesce", 0.15);
+    // Bounded in-flight data, as any deployed streaming system runs: with
+    // the library default (1024 batches/channel) the whole bench workload
+    // fits in channel buffers, the finalizer races tens of windows ahead
+    // of the query stage, and the balancer plans every boundary blind —
+    // no pair feedback ever arrives in time. A small bound keeps the
+    // stages within a few windows of each other, the regime the paper's
+    // feedback loop (and serve's socket backpressure) operates in. Same
+    // setting for all three modes.
+    let channel_capacity: usize = arg(&args, "--channel-capacity", 16);
+    let max_gap: f64 = arg(&args, "--max-gap", 1.5);
     let out: String = arg(&args, "--out", "BENCH_skew.json".to_string());
 
     // Workload shape: long hot-site dwell (travel is load the balancer
@@ -106,109 +172,105 @@ fn main() {
     });
     let records = gen.traces().to_gps_records();
     println!("skew bench — Zipf moving-hotspot workload");
-    println!("  objects {objects}, ticks {ticks}, parallelism {parallelism}, θ {theta}");
+    println!(
+        "  objects {objects}, ticks {ticks}, parallelism {parallelism}, θ {theta}, \
+         refine depth {refine_depth}"
+    );
     println!("  {} records\n", records.len());
 
-    let build = |adaptive: bool| {
+    let build = |mode: Mode| {
         // min_pts above the squad size: lone squads still produce the
         // range-join pairs that load the grid stage, but only genuine
         // slot-sharing crowds cluster — keeping enumeration cheap so the
         // bench measures the clustering stage this PR repartitions.
         // Grid width: finer than the 8×ε default so a hotspot spans
-        // several cells — cells are the atomic unit of routing, and a
-        // single cell as hot as a whole subtask's fair share cannot be
-        // split by ANY placement (Figure 11 shows clustering itself is
-        // flat across this range).
+        // several cells — cells are the atomic unit of routing for the
+        // unrefined modes, and the refined mode shows what splitting the
+        // remaining hot cells buys on top (Figure 11 shows clustering
+        // itself is flat across this range).
         let mut b = IcpeConfig::builder()
             .constraints(Constraints::new(4, 8, 4, 2).expect("valid constraints"))
             .epsilon(1.0)
             .grid_width(arg(&args, "--lg", 8.0))
             .min_pts(5)
             .parallelism(parallelism)
+            .channel_capacity(channel_capacity)
             .enumerator(EnumeratorKind::Fba);
-        if adaptive {
+        if mode != Mode::Static {
             b = b.rebalance(BalancerConfig {
                 theta,
                 cooldown_windows: cooldown,
                 decay,
+                sync_pair_weight: pair_weight,
                 ..BalancerConfig::default()
             });
+        }
+        if mode == Mode::Refined {
+            b = b
+                .refine_max_depth(refine_depth)
+                .refine_split_frac(refine_split)
+                .refine_coalesce_frac(refine_coalesce);
         }
         b.build().expect("valid config")
     };
 
-    let static_run = run(&build(false), &records);
-    let adaptive_run = run(&build(true), &records);
-    if args.iter().any(|a| a == "--oracle") {
-        // Hindsight floor: per window, LPT the actual cell loads — the
-        // best any cell-granularity placement could have done.
-        let cfg = build(false);
-        let live = IcpePipeline::launch(&cfg, |_| {});
-        let routing = live.routing().cloned().expect("grid stage");
-        for r in &records {
-            live.push(*r).expect("pipeline alive");
-        }
-        live.finish();
-        let mut ratios: Vec<f64> = Vec::new();
-        for (_, cells) in routing.sealed_cell_windows() {
-            let mut weights: Vec<u64> = cells.iter().map(|&(_, w)| w).collect();
-            weights.sort_unstable_by(|a, b| b.cmp(a));
-            let mut bins = vec![0u64; parallelism];
-            for w in weights {
-                *bins.iter_mut().min().expect("bins") += w;
-            }
-            let total: u64 = bins.iter().sum();
-            if total > 0 {
-                let mean = total as f64 / parallelism as f64;
-                ratios.push(*bins.iter().max().expect("bins") as f64 / mean);
-            }
-        }
-        ratios.sort_by(|a, b| a.partial_cmp(b).expect("finite"));
-        println!(
-            "oracle (hindsight LPT): p95 {:.3}, mean {:.3}",
-            percentile(&ratios, 0.95),
-            ratios.iter().sum::<f64>() / ratios.len().max(1) as f64
-        );
-    }
+    // The oracle floor comes from the *static* run's observed windows:
+    // base-cell granularity, the floor the paper's placement lives above.
+    let (static_run, oracle_p95, static_series) = run(&build(Mode::Static), &records, parallelism);
+    let (adaptive_run, _, adaptive_series) = run(&build(Mode::Adaptive), &records, parallelism);
+    let (refined_run, _, refined_series) = run(&build(Mode::Refined), &records, parallelism);
+    let gap = |p95: f64| p95 / oracle_p95.max(1.0);
+
     if args.iter().any(|a| a == "--series") {
-        for (name, cfg) in [("static", build(false)), ("adaptive", build(true))] {
-            let live = IcpePipeline::launch(&cfg, |_| {});
-            let routing = live.routing().cloned().expect("grid stage");
-            for r in &records {
-                live.push(*r).expect("pipeline alive");
-            }
-            live.finish();
-            let series: Vec<String> = routing
-                .imbalance_series()
-                .iter()
-                .map(|(t, r)| format!("{t}:{r:.2}"))
-                .collect();
+        for (name, series) in [
+            ("static", &static_series),
+            ("adaptive", &adaptive_series),
+            ("refined", &refined_series),
+        ] {
+            let series: Vec<String> = series.iter().map(|(t, r)| format!("{t}:{r:.2}")).collect();
             println!("{name} series: {}", series.join(" "));
         }
     }
 
     println!(
-        "{:>10} | {:>9} {:>9} | {:>8} {:>8} | {:>6} {:>9}",
-        "mode", "tps", "ms", "p95 imb", "avg imb", "epoch", "migrated"
+        "{:>10} | {:>9} {:>9} | {:>8} {:>8} {:>8} | {:>6} {:>9} {:>7}",
+        "mode", "tps", "ms", "p95 imb", "avg imb", "gap", "epoch", "migrated", "splits"
     );
-    for (name, s) in [("static", &static_run), ("adaptive", &adaptive_run)] {
+    for (name, s) in [
+        ("static", &static_run),
+        ("adaptive", &adaptive_run),
+        ("refined", &refined_run),
+    ] {
         println!(
-            "{:>10} | {:>9.1} {:>9.3} | {:>8.3} {:>8.3} | {:>6} {:>9}",
+            "{:>10} | {:>9.1} {:>9.3} | {:>8.3} {:>8.3} {:>8.3} | {:>6} {:>9} {:>7}",
             name,
             s.throughput_tps,
             s.avg_latency_ms,
             s.p95_imbalance,
             s.mean_imbalance,
+            gap(s.p95_imbalance),
             s.routing_epoch,
-            s.cells_migrated
+            s.cells_migrated,
+            s.splits
         );
     }
+    println!("    oracle | hindsight-LPT floor p95 {oracle_p95:.3}");
     let improvement = static_run.p95_imbalance / adaptive_run.p95_imbalance.max(1.0);
     let tps_ratio = adaptive_run.throughput_tps / static_run.throughput_tps.max(1e-9);
+    let refined_tps_ratio = refined_run.throughput_tps / static_run.throughput_tps.max(1e-9);
     println!("\np95 imbalance improvement: {improvement:.2}× (throughput ratio {tps_ratio:.2})");
+    println!(
+        "refined gap_to_floor {:.3} vs adaptive {:.3} (throughput ratio {refined_tps_ratio:.2})",
+        gap(refined_run.p95_imbalance),
+        gap(adaptive_run.p95_imbalance)
+    );
     assert_eq!(
         static_run.patterns, adaptive_run.patterns,
         "routing must not change the sealed pattern multiset"
+    );
+    assert_eq!(
+        static_run.patterns, refined_run.patterns,
+        "sub-cell refinement must not change the sealed pattern multiset"
     );
 
     let json = format!(
@@ -218,10 +280,14 @@ fn main() {
             "  \"workload\": {{\"kind\": \"hotspot\", \"objects\": {objects}, \"ticks\": {ticks}, \"zipf_s\": {zipf}}},\n",
             "  \"parallelism\": {parallelism},\n",
             "  \"theta\": {theta},\n",
-            "  \"static\": {{\"throughput_tps\": {s_tps:.1}, \"avg_latency_ms\": {s_ms:.3}, \"p95_imbalance\": {s_p95:.3}, \"mean_imbalance\": {s_mean:.3}}},\n",
-            "  \"adaptive\": {{\"throughput_tps\": {a_tps:.1}, \"avg_latency_ms\": {a_ms:.3}, \"p95_imbalance\": {a_p95:.3}, \"mean_imbalance\": {a_mean:.3}, \"routing_epoch\": {a_epoch}, \"cells_migrated\": {a_migr}}},\n",
+            "  \"refine_depth\": {refine_depth},\n",
+            "  \"oracle_p95\": {oracle:.3},\n",
+            "  \"static\": {{\"throughput_tps\": {s_tps:.1}, \"avg_latency_ms\": {s_ms:.3}, \"p95_imbalance\": {s_p95:.3}, \"mean_imbalance\": {s_mean:.3}, \"gap_to_floor\": {s_gap:.3}}},\n",
+            "  \"adaptive\": {{\"throughput_tps\": {a_tps:.1}, \"avg_latency_ms\": {a_ms:.3}, \"p95_imbalance\": {a_p95:.3}, \"mean_imbalance\": {a_mean:.3}, \"gap_to_floor\": {a_gap:.3}, \"routing_epoch\": {a_epoch}, \"cells_migrated\": {a_migr}}},\n",
+            "  \"refined\": {{\"throughput_tps\": {r_tps:.1}, \"avg_latency_ms\": {r_ms:.3}, \"p95_imbalance\": {r_p95:.3}, \"mean_imbalance\": {r_mean:.3}, \"gap_to_floor\": {r_gap:.3}, \"routing_epoch\": {r_epoch}, \"cells_migrated\": {r_migr}, \"splits\": {r_splits}, \"coalesces\": {r_coal}, \"max_refine_depth\": {r_depth}}},\n",
             "  \"p95_imbalance_improvement\": {imp:.3},\n",
             "  \"throughput_ratio\": {tps_ratio:.3},\n",
+            "  \"refined_throughput_ratio\": {r_tps_ratio:.3},\n",
             "  \"patterns\": {patterns}\n",
             "}}\n"
         ),
@@ -230,18 +296,33 @@ fn main() {
         zipf = arg(&args, "--zipf", 1.6),
         parallelism = parallelism,
         theta = theta,
+        refine_depth = refine_depth,
+        oracle = oracle_p95,
         s_tps = static_run.throughput_tps,
         s_ms = static_run.avg_latency_ms,
         s_p95 = static_run.p95_imbalance,
         s_mean = static_run.mean_imbalance,
+        s_gap = gap(static_run.p95_imbalance),
         a_tps = adaptive_run.throughput_tps,
         a_ms = adaptive_run.avg_latency_ms,
         a_p95 = adaptive_run.p95_imbalance,
         a_mean = adaptive_run.mean_imbalance,
+        a_gap = gap(adaptive_run.p95_imbalance),
         a_epoch = adaptive_run.routing_epoch,
         a_migr = adaptive_run.cells_migrated,
+        r_tps = refined_run.throughput_tps,
+        r_ms = refined_run.avg_latency_ms,
+        r_p95 = refined_run.p95_imbalance,
+        r_mean = refined_run.mean_imbalance,
+        r_gap = gap(refined_run.p95_imbalance),
+        r_epoch = refined_run.routing_epoch,
+        r_migr = refined_run.cells_migrated,
+        r_splits = refined_run.splits,
+        r_coal = refined_run.coalesces,
+        r_depth = refined_run.max_refine_depth,
         imp = improvement,
         tps_ratio = tps_ratio,
+        r_tps_ratio = refined_tps_ratio,
         patterns = static_run.patterns,
     );
     std::fs::write(&out, json).expect("write bench summary");
@@ -263,6 +344,31 @@ fn main() {
         assert!(
             tps_ratio >= 0.6,
             "CHECK FAILED: adaptive throughput dropped to {tps_ratio:.2}× of static"
+        );
+        assert!(
+            refined_run.splits > 0,
+            "CHECK FAILED: refinement never split a cell on a Zipf hotspot workload"
+        );
+        let (refined_gap, adaptive_gap) = (
+            gap(refined_run.p95_imbalance),
+            gap(adaptive_run.p95_imbalance),
+        );
+        // With fresh feedback both modes sit within a few percent of the
+        // floor, so strict ≤ would flip on run noise; the bound still
+        // catches refinement actively hurting placement.
+        assert!(
+            refined_gap <= adaptive_gap * 1.05,
+            "CHECK FAILED: refined gap_to_floor {refined_gap:.3} worse than \
+             refinement-off {adaptive_gap:.3}"
+        );
+        assert!(
+            refined_gap <= max_gap,
+            "CHECK FAILED: refined gap_to_floor {refined_gap:.3} exceeds {max_gap:.2}× \
+             the hindsight-LPT oracle"
+        );
+        assert!(
+            refined_tps_ratio >= 0.6,
+            "CHECK FAILED: refined throughput dropped to {refined_tps_ratio:.2}× of static"
         );
         println!("CHECK OK");
     }

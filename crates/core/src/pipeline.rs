@@ -112,7 +112,9 @@ use icpe_cluster::allocate::allocate_one;
 use icpe_cluster::balance::{imbalance, CellLoad, LoadBalancer, LoadTracker};
 use icpe_cluster::query::NeighborPair;
 use icpe_cluster::sync::{PairCollector, SyncStats, SyncStatus};
-use icpe_cluster::{dbscan_from_pairs, CellQueryEngine, GdcClusterer, SnapshotClusterer};
+use icpe_cluster::{
+    dbscan_from_pairs, refine_expand, CellQueryEngine, GdcClusterer, SnapshotClusterer,
+};
 use icpe_index::{Grid, GridKey, RTree};
 use icpe_pattern::partition::Partition;
 use icpe_pattern::{id_partitions, BaselineEngine, FbaEngine, PatternEngine, VbaEngine};
@@ -1043,8 +1045,10 @@ fn cluster_stages(
                     balancer: final_balancer,
                     table: final_table,
                     tracker: final_tracker,
-                    cell_records: HashMap::new(),
                     align: TreeWindowAlign::new(inputs),
+                    grid: Grid::new(lg),
+                    eps: dbscan.eps,
+                    full_replication,
                 },
             );
             // Keyed on the grid cell either statically (`hash % N`) or
@@ -1642,38 +1646,81 @@ struct SnapFinalOp {
     balancer: Option<LoadBalancer>,
     table: Arc<RoutingTable>,
     tracker: Arc<LoadTracker>,
-    /// Per-cell records routed in the window being emitted. This subtask
-    /// may run many windows ahead of the query subtasks (bounded only by
-    /// channel capacity), so the balancer cannot rely on the query-side
-    /// tracker alone: record counts are accounted here, at the routing
-    /// point, and only the pair counts — which exist nowhere upstream of
-    /// the range join — arrive through the tracker, lagged.
-    cell_records: HashMap<GridKey, u64>,
     align: TreeWindowAlign<Vec<icpe_cluster::GridObject>>,
+    /// Sub-cell refinement context: the same grid geometry and replication
+    /// mode the aligner shards allocate with, so hot-cell objects can be
+    /// re-keyed onto the balancer's current sub-cell tier here — at the
+    /// window boundary, strictly after any split/coalesce lands.
+    grid: Grid,
+    eps: f64,
+    full_replication: bool,
 }
 
 impl SnapFinalOp {
     /// Window-boundary rebalancing: runs before a window's objects are
     /// emitted, so a new epoch takes effect exactly at the boundary —
-    /// every window's cells route under a single epoch.
-    fn maybe_rebalance(&mut self) {
+    /// every window's cells route under a single epoch. Takes and returns
+    /// the window's objects because the boundary is two-phase: the
+    /// refinement tree updates first, the objects are re-keyed onto it,
+    /// and only then does placement plan — on the *exact* per-cell record
+    /// distribution of the window it is about to route (including the
+    /// true per-leaf split of freshly refined cells, which no decayed
+    /// history could supply).
+    fn maybe_rebalance(
+        &mut self,
+        objects: Vec<icpe_cluster::GridObject>,
+    ) -> Vec<icpe_cluster::GridObject> {
         let Some(balancer) = &mut self.balancer else {
-            return;
+            return objects;
         };
-        // Two feedback cadences, folded separately: this stage's own
-        // record counts cover exactly the window just emitted, while the
-        // query stage's pair counts arrive whole-windows-at-a-time with
-        // the pipeline's in-flight lag (in bursts, when backpressure
-        // stalls this stage) — each sealed window is decay-folded on its
-        // own so a burst cannot whipsaw the estimates.
-        let records = std::mem::take(&mut self.cell_records);
+        let (split_cells, coalesced_cells, unpinned) = balancer.refine_boundary();
+        // Re-key onto the sub-cell tier: splits/coalesces land strictly
+        // between windows, so every window's objects are keyed under
+        // exactly one tree.
+        let objects = if balancer.refinement().is_empty() {
+            objects
+        } else {
+            refine_expand(
+                objects,
+                &self.grid,
+                balancer.refinement(),
+                self.eps,
+                self.full_replication,
+            )
+        };
+        // Two feedback cadences, folded separately: this stage counts the
+        // outgoing window's records exactly, at the routing point, while
+        // the query stage's pair counts — which exist nowhere upstream of
+        // the range join — arrive whole-windows-at-a-time with the
+        // pipeline's in-flight lag (in bursts, when backpressure stalls
+        // this stage) — each sealed window is decay-folded on its own so
+        // a burst cannot whipsaw the estimates.
+        let mut records: HashMap<GridKey, u64> = HashMap::new();
+        for o in &objects {
+            *records.entry(o.key).or_default() += 1;
+        }
         balancer.observe_records(&records);
-        for (_, cells) in self.tracker.drain_cells() {
+        let drained = self.tracker.drain_cells();
+        for (_, cells) in drained {
             balancer.observe_pairs_window(&cells);
         }
-        if let Some(outcome) = balancer.evaluate() {
+        if let Some(outcome) = balancer.place(split_cells, coalesced_cells, unpinned) {
             self.table
                 .note_window_loads(outcome.max_load, outcome.mean_load);
+            for &(base, depth) in &outcome.split_cells {
+                self.obs.emit(ObsEventKind::CellSplit {
+                    x: base.x,
+                    y: base.y,
+                    depth,
+                });
+            }
+            for &(base, depth) in &outcome.coalesced_cells {
+                self.obs.emit(ObsEventKind::CellCoalesced {
+                    x: base.x,
+                    y: base.y,
+                    depth,
+                });
+            }
             if let Some(plan) = outcome.plan {
                 self.obs.emit(ObsEventKind::CellMigrated {
                     epoch: plan.epoch,
@@ -1682,7 +1729,15 @@ impl SnapFinalOp {
                 self.table
                     .install(plan.epoch, plan.assignments, plan.migrated);
             }
+            let tree = balancer.refinement();
+            self.table.note_refinement(
+                tree.refined_cells(),
+                tree.max_depth(),
+                balancer.splits(),
+                balancer.coalesces(),
+            );
         }
+        objects
     }
 }
 
@@ -1701,13 +1756,8 @@ impl Operator<SnapMsg, ClusterMsg> for SnapFinalOp {
                     // Empty windows run the full boundary protocol too —
                     // the balancer cadence and the downstream tick fabric
                     // match the serial head's empty snapshots exactly.
-                    self.maybe_rebalance();
+                    let objects = self.maybe_rebalance(objects);
                     self.metrics.mark_ingest(time);
-                    if self.balancer.is_some() {
-                        for o in &objects {
-                            *self.cell_records.entry(o.key).or_default() += 1;
-                        }
-                    }
                     out.emit_all(objects.into_iter().map(ClusterMsg::Obj));
                     out.emit(ClusterMsg::Tick(time));
                 }

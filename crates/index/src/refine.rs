@@ -1,0 +1,142 @@
+//! Recursive sub-cell refinement of the uniform grid.
+//!
+//! The balancer is floored by cell granularity: one base cell hotter than a
+//! subtask's fair share cannot be split by routing alone. A [`RefinementTree`]
+//! lifts that floor by mapping hot base cells to a refinement *depth*: depth
+//! `d` partitions the base cell into `2^d × 2^d` leaf sub-cells (uniform
+//! within the base — a split always deepens the whole cell, which keeps the
+//! key computation a pure function of `(base, depth)` and lets cold cells
+//! re-coalesce one level at a time under hysteresis).
+//!
+//! Refinement is a pure *routing* concern: the ε-padded replication of
+//! Lemma 1 applies at sub-cell borders exactly as at base-cell borders
+//! ([`Grid::lemma1_query_keys_refined`](crate::Grid::lemma1_query_keys_refined)),
+//! so the candidate pair set — and therefore the sealed pattern multiset —
+//! is provably unchanged for any tree shape.
+
+use crate::grid::GridKey;
+use std::collections::HashMap;
+
+/// Per-base-cell refinement depths. Absent cells are unrefined (depth 0).
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct RefinementTree {
+    depths: HashMap<GridKey, u8>,
+}
+
+impl RefinementTree {
+    /// An empty tree: every cell at depth 0 (byte-for-byte the plain grid).
+    pub fn new() -> Self {
+        RefinementTree::default()
+    }
+
+    /// True when no cell is refined.
+    pub fn is_empty(&self) -> bool {
+        self.depths.is_empty()
+    }
+
+    /// The refinement depth of the base cell containing `key` (0 when
+    /// unrefined). Accepts leaf keys: they resolve through their base.
+    pub fn depth(&self, key: GridKey) -> u8 {
+        self.depths
+            .get(&key.base_cell())
+            .copied()
+            .unwrap_or_default()
+    }
+
+    /// Deepens the base cell containing `key` by one level; returns the new
+    /// depth.
+    pub fn split(&mut self, key: GridKey) -> u8 {
+        let d = self.depths.entry(key.base_cell()).or_insert(0);
+        *d += 1;
+        *d
+    }
+
+    /// Shallows the base cell containing `key` by one level (no-op at depth
+    /// 0, removed from the tree when it reaches 0); returns the new depth.
+    pub fn coalesce(&mut self, key: GridKey) -> u8 {
+        let base = key.base_cell();
+        match self.depths.get_mut(&base) {
+            Some(d) if *d > 1 => {
+                *d -= 1;
+                *d
+            }
+            Some(_) => {
+                self.depths.remove(&base);
+                0
+            }
+            None => 0,
+        }
+    }
+
+    /// Pins the base cell containing `key` at an exact depth (0 removes it).
+    /// Used by checkpoint restore.
+    pub fn set_depth(&mut self, key: GridKey, depth: u8) {
+        let base = key.base_cell();
+        if depth == 0 {
+            self.depths.remove(&base);
+        } else {
+            self.depths.insert(base, depth);
+        }
+    }
+
+    /// Number of refined base cells.
+    pub fn refined_cells(&self) -> usize {
+        self.depths.len()
+    }
+
+    /// The deepest refinement level in the tree (0 when empty).
+    pub fn max_depth(&self) -> u8 {
+        self.depths.values().copied().max().unwrap_or_default()
+    }
+
+    /// Iterates `(base cell, depth)` entries in arbitrary order.
+    pub fn iter(&self) -> impl Iterator<Item = (GridKey, u8)> + '_ {
+        self.depths.iter().map(|(&k, &d)| (k, d))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn split_and_coalesce_walk_the_depth() {
+        let mut tree = RefinementTree::new();
+        let base = GridKey::new(3, -2);
+        assert_eq!(tree.depth(base), 0);
+        assert_eq!(tree.split(base), 1);
+        assert_eq!(tree.split(base), 2);
+        assert_eq!(tree.depth(base), 2);
+        assert_eq!(tree.max_depth(), 2);
+        assert_eq!(tree.refined_cells(), 1);
+        assert_eq!(tree.coalesce(base), 1);
+        assert_eq!(tree.coalesce(base), 0);
+        assert!(tree.is_empty(), "depth-0 cells leave the tree");
+        assert_eq!(tree.coalesce(base), 0, "coalescing depth 0 is a no-op");
+    }
+
+    #[test]
+    fn leaf_keys_resolve_through_their_base() {
+        let mut tree = RefinementTree::new();
+        let base = GridKey::new(1, 1);
+        tree.split(base);
+        tree.split(base);
+        // A depth-2 leaf of (1,1): indices in [4, 8).
+        let leaf = GridKey::sub(5, 7, 2);
+        assert_eq!(leaf.base_cell(), base);
+        assert_eq!(tree.depth(leaf), 2);
+        // Splitting via the leaf deepens the base.
+        assert_eq!(tree.split(leaf), 3);
+        assert_eq!(tree.depth(base), 3);
+    }
+
+    #[test]
+    fn set_depth_pins_and_clears() {
+        let mut tree = RefinementTree::new();
+        let base = GridKey::new(0, 0);
+        tree.set_depth(base, 3);
+        assert_eq!(tree.depth(base), 3);
+        tree.set_depth(base, 0);
+        assert!(tree.is_empty());
+    }
+}

@@ -259,6 +259,13 @@ impl ServerStats {
         line("max_subtask_load", format!("{:.1}", r.max_subtask_load));
         line("mean_subtask_load", format!("{:.1}", r.mean_subtask_load));
         line("subtask_imbalance", format!("{:.3}", r.imbalance()));
+        // Sub-cell refinement: how many base cells are split, how deep,
+        // and the cumulative split/coalesce churn. Zeroed when refinement
+        // is off (the default) — same always-render contract as above.
+        line("refined_cells", r.refined_cells.to_string());
+        line("max_refine_depth", r.max_refine_depth.to_string());
+        line("cell_splits", r.splits.to_string());
+        line("cell_coalesces", r.coalesces.to_string());
         // The sharded GridSync merge path: how the dedup load spreads
         // across the shards and how deep the aggregation tree runs. Same
         // always-render contract as the routing keys — a grid-less engine
@@ -563,6 +570,8 @@ mod tests {
         assert_eq!(get("routing_epoch"), "0");
         assert_eq!(get("cells_migrated"), "0");
         assert_eq!(get("subtask_imbalance"), "1.000");
+        assert_eq!(get("refined_cells"), "0");
+        assert_eq!(get("cell_splits"), "0");
 
         let routing = RoutingStatus {
             epoch: 3,
@@ -570,6 +579,10 @@ mod tests {
             cells_migrated: 11,
             max_subtask_load: 60.0,
             mean_subtask_load: 20.0,
+            refined_cells: 2,
+            max_refine_depth: 1,
+            splits: 4,
+            coalesces: 2,
         };
         let kv = parse_status(&stats.render(&pipeline, Some(routing), None, None, 0));
         let get = |k: &str| kv.iter().find(|(key, _)| key == k).unwrap().1.clone();
@@ -579,5 +592,9 @@ mod tests {
         assert_eq!(get("max_subtask_load"), "60.0");
         assert_eq!(get("mean_subtask_load"), "20.0");
         assert_eq!(get("subtask_imbalance"), "3.000");
+        assert_eq!(get("refined_cells"), "2");
+        assert_eq!(get("max_refine_depth"), "1");
+        assert_eq!(get("cell_splits"), "4");
+        assert_eq!(get("cell_coalesces"), "2");
     }
 }

@@ -13,10 +13,11 @@
 //! `ICPE_REGEN_FIXTURE=1 cargo test -p icpe-types --test checkpoint_schema`.
 
 use icpe_types::{
-    AlignerCheckpoint, CellAssignment, CellLoadCheckpoint, ChainCheckpoint, EngineCheckpoint,
-    EpisodeCheckpoint, HistoryRowCheckpoint, ObjectId, ObsCheckpoint, ObsCounterEntry,
-    PipelineCheckpoint, Point, ProgressCheckpoint, RoutingCheckpoint, Snapshot, SyncCheckpoint,
-    SyncWindowCheckpoint, Timestamp, VbaOwnerCheckpoint, WindowOwnerCheckpoint, CHECKPOINT_VERSION,
+    AlignerCheckpoint, CellAssignment, CellLoadCheckpoint, CellRefinement, ChainCheckpoint,
+    EngineCheckpoint, EpisodeCheckpoint, HistoryRowCheckpoint, ObjectId, ObsCheckpoint,
+    ObsCounterEntry, PipelineCheckpoint, Point, ProgressCheckpoint, RoutingCheckpoint, Snapshot,
+    SyncCheckpoint, SyncWindowCheckpoint, Timestamp, VbaOwnerCheckpoint, WindowOwnerCheckpoint,
+    CHECKPOINT_VERSION,
 };
 
 /// A canonical sample exercising every field of every checkpoint struct.
@@ -85,20 +86,30 @@ fn sample() -> PipelineCheckpoint {
                 CellAssignment {
                     x: -3,
                     y: 2,
+                    level: 0,
                     subtask: 0,
                 },
                 CellAssignment {
-                    x: 4,
-                    y: 4,
+                    x: 9,
+                    y: 8,
+                    level: 1,
                     subtask: 2,
                 },
             ],
             loads: vec![CellLoadCheckpoint {
-                x: 4,
-                y: 4,
+                x: 9,
+                y: 8,
+                level: 1,
                 load_milli: 12345,
             }],
             cells_migrated: 9,
+            refinements: vec![CellRefinement {
+                x: 4,
+                y: 4,
+                depth: 1,
+            }],
+            splits: 2,
+            coalesces: 1,
         }),
         sync: Some(SyncCheckpoint {
             pairs_merged: 512,
