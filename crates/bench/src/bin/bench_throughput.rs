@@ -388,6 +388,58 @@ fn main() {
         .map(|(s, _, _)| s.clone())
         .unwrap_or_else(|| "none".to_string());
 
+    // Recovery path: the same workload through a supervised pipeline with
+    // one mid-stream injected panic — what a failure costs in wall clock
+    // (time from failure detection to replay completion) and in replayed
+    // records. Informational: recorded in the summary, not `--check`-gated.
+    let (recovery_ms, replayed_records, recoveries) = {
+        // Panic an aligner shard halfway through the stream, whatever the
+        // workload scale. (Not the serial router: it drains its ingest
+        // channel eagerly into a handful of giant batches, so its batch
+        // ordinals don't track stream position.)
+        let mid_batch = (records.len() / default_batch.max(1) / 2).max(1);
+        let fault = icpe_runtime::FaultPlan::from_spec(&format!("panic@align-shard:0:{mid_batch}"))
+            .expect("valid fault spec");
+        let fault = std::sync::Arc::new(fault);
+        let cfg = IcpeConfig::builder()
+            .constraints(Constraints::new(4, 8, 4, 2).expect("valid constraints"))
+            .epsilon(1.0)
+            .min_pts(5)
+            .parallelism(parallelism)
+            .sync_fanin(fanin)
+            .enumerator(EnumeratorKind::Fba)
+            .batch_size(default_batch)
+            .supervised(icpe_core::Supervision {
+                checkpoint_every_records: Some(8192),
+                ..icpe_core::Supervision::default()
+            })
+            .fault_plan(Arc::clone(&fault))
+            .build()
+            .expect("valid supervised config");
+        let live = IcpePipeline::launch(&cfg, |_| {});
+        let obs = live.obs().clone();
+        let mut iter = records.iter().copied();
+        loop {
+            let chunk: Vec<GpsRecord> = iter.by_ref().take(default_batch).collect();
+            if chunk.is_empty() {
+                break;
+            }
+            live.push_batch(chunk).expect("supervised pipeline alive");
+        }
+        live.finish();
+        assert!(fault.exhausted(), "the injected panic never fired");
+        (
+            obs.gauge("supervisor", 0, "mean_recovery_ms").get(),
+            obs.counter("supervisor", 0, "replayed_records_total").get(),
+            obs.counter("supervisor", 0, "pipeline_recoveries_total")
+                .get(),
+        )
+    };
+    println!(
+        "\nrecovery (1 injected panic, checkpoint every 8192 records): \
+         {recoveries} recovery in {recovery_ms} ms, {replayed_records} records replayed"
+    );
+
     // Serve edge: the same workload through real TCP.
     let serve = run_serve(
         parallelism,
@@ -445,6 +497,9 @@ fn main() {
             "  \"stage_time_share\": [\n{stage_share}\n  ],\n",
             "  \"bottleneck_stage\": \"{bottleneck_stage}\",\n",
             "  \"serve_edge\": {{\"producers\": {producers}, \"records_per_s\": {serve_rps:.0}, \"patterns\": {serve_patterns}}},\n",
+            "  \"recovery\": {{\"recoveries\": {recoveries}, \"recovery_ms\": {recovery_ms}, \"replayed_records\": {replayed_records}}},\n",
+            "  \"recovery_ms\": {recovery_ms},\n",
+            "  \"replayed_records\": {replayed_records},\n",
             "  \"patterns\": {patterns}\n",
             "}}\n"
         ),
@@ -476,6 +531,9 @@ fn main() {
         producers = serve_producers,
         serve_rps = serve.records_per_s,
         serve_patterns = serve.patterns,
+        recoveries = recoveries,
+        recovery_ms = recovery_ms,
+        replayed_records = replayed_records,
         patterns = base.patterns,
     );
     std::fs::write(&out, json).expect("write bench summary");

@@ -2,8 +2,40 @@
 
 use icpe_cluster::BalancerConfig;
 use icpe_pattern::Semantics;
-use icpe_runtime::{AlignerConfig, RuntimeConfig};
+use icpe_runtime::{AlignerConfig, FaultPlan, RuntimeConfig};
 use icpe_types::{Constraints, DbscanParams, DistanceMetric, TypeError};
+use std::sync::Arc;
+use std::time::Duration;
+
+/// Self-healing supervision policy (see `IcpePipeline::launch` with
+/// [`IcpeConfigBuilder::supervised`]): how the supervisor restarts the
+/// dataflow after a subtask dies, and how often it takes automatic
+/// checkpoints to bound the replay buffer.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Supervision {
+    /// Restart attempts before the pipeline goes terminally `Failed`.
+    pub max_restarts: u32,
+    /// Backoff before the first restart; doubles per consecutive restart.
+    pub backoff: Duration,
+    /// Backoff ceiling for the exponential schedule.
+    pub max_backoff: Duration,
+    /// Take an automatic checkpoint every this many ingested records
+    /// (`None` disables them). Record-count cadence keeps the cut — and
+    /// therefore recovery — deterministic, and bounds both the replay
+    /// buffer and the dedup ledger the supervisor keeps between cuts.
+    pub checkpoint_every_records: Option<u64>,
+}
+
+impl Default for Supervision {
+    fn default() -> Self {
+        Supervision {
+            max_restarts: 5,
+            backoff: Duration::from_millis(50),
+            max_backoff: Duration::from_secs(2),
+            checkpoint_every_records: Some(8192),
+        }
+    }
+}
 
 /// Which clustering method runs in the clustering phase (§7.1 comparisons).
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
@@ -108,6 +140,13 @@ pub struct IcpeConfig {
     /// (the no-op baseline `bench_throughput --check` compares overhead
     /// against); the registry itself and the event journal always exist.
     pub instrument: bool,
+    /// Self-healing supervision: `Some` makes `IcpePipeline::launch` wrap
+    /// the dataflow in a supervisor that catches subtask panics, restores
+    /// the latest (in-memory) checkpoint, replays the records since the
+    /// cut, and suppresses duplicate deliveries across the recovery —
+    /// `None` (default) keeps the fail-fast behavior where a subtask panic
+    /// propagates out of `LivePipeline::finish`.
+    pub supervision: Option<Supervision>,
 }
 
 impl IcpeConfig {
@@ -146,6 +185,7 @@ pub struct IcpeConfigBuilder {
     max_baseline_partition: usize,
     rebalance: Option<BalancerConfig>,
     instrument: bool,
+    supervision: Option<Supervision>,
 }
 
 impl Default for IcpeConfigBuilder {
@@ -167,6 +207,7 @@ impl Default for IcpeConfigBuilder {
             max_baseline_partition: 22,
             rebalance: None,
             instrument: true,
+            supervision: None,
         }
     }
 }
@@ -332,6 +373,22 @@ impl IcpeConfigBuilder {
         self
     }
 
+    /// Enables self-healing supervision with the given restart/backoff
+    /// policy ([`Supervision::default`] for the stock one).
+    pub fn supervised(mut self, policy: Supervision) -> Self {
+        self.supervision = Some(policy);
+        self
+    }
+
+    /// Installs a deterministic fault-injection plan (the chaos harness):
+    /// worker panics/stalls and exchange delays/drops fire at the keyed
+    /// logical positions. Checkpoint-write faults from the same plan are
+    /// wired separately, at the persist layer. Testing only.
+    pub fn fault_plan(mut self, plan: Arc<FaultPlan>) -> Self {
+        self.runtime.fault = Some(plan);
+        self
+    }
+
     /// Validates and builds the configuration.
     pub fn build(self) -> Result<IcpeConfig, TypeError> {
         let constraints = self.constraints.ok_or_else(|| {
@@ -360,6 +417,7 @@ impl IcpeConfigBuilder {
             max_baseline_partition: self.max_baseline_partition,
             rebalance: self.rebalance,
             instrument: self.instrument,
+            supervision: self.supervision,
         })
     }
 }

@@ -31,13 +31,13 @@ pub mod engine;
 pub mod pipeline;
 
 pub use config::{
-    ClustererKind, EnumeratorKind, IcpeConfig, IcpeConfigBuilder, DEFAULT_SYNC_FANIN,
+    ClustererKind, EnumeratorKind, IcpeConfig, IcpeConfigBuilder, Supervision, DEFAULT_SYNC_FANIN,
 };
 pub use engine::{IcpeEngine, StreamingEngine};
 pub use icpe_cluster::{BalancerConfig, SyncStatus};
 pub use icpe_runtime::AlignerStatus;
 pub use icpe_runtime::RoutingStatus;
 pub use pipeline::{
-    AlignHandle, IcpePipeline, LivePipeline, PipelineEvent, PipelineOutput, RecordSender,
-    RoutingHandle, SyncHandle,
+    AlignHandle, HealthHandle, HealthState, IcpePipeline, LivePipeline, PipelineEvent,
+    PipelineOutput, RecordSender, RoutingHandle, SyncHandle,
 };

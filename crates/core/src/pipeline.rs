@@ -107,7 +107,7 @@
 //! deployment resumes on the checkpointed epoch instead of re-learning
 //! every hotspot.
 
-use crate::config::{ClustererKind, EnumeratorKind, IcpeConfig};
+use crate::config::{ClustererKind, EnumeratorKind, IcpeConfig, Supervision};
 use icpe_cluster::allocate::allocate_one;
 use icpe_cluster::balance::{imbalance, CellLoad, LoadBalancer, LoadTracker};
 use icpe_cluster::query::NeighborPair;
@@ -121,7 +121,7 @@ use icpe_pattern::{id_partitions, BaselineEngine, FbaEngine, PatternEngine, VbaE
 use icpe_runtime::{
     ingest_channel, AlignStats, AlignerStatus, Collector, Disconnected, Exchange, MetricRegistry,
     MetricsReport, ObsEventKind, Operator, PipelineMetrics, Routed, Routing, RoutingStatus,
-    RoutingTable, ShardedAligner, Stream, StreamProgress, TimeAligner, TreeSlot,
+    RoutingTable, ShardedAligner, StageFailure, Stream, StreamProgress, TimeAligner, TreeSlot,
 };
 use icpe_types::shard::{hash_id, stable_hash, subtask_for};
 use icpe_types::{
@@ -131,9 +131,10 @@ use icpe_types::{
     Timestamp, CHECKPOINT_VERSION,
 };
 use std::collections::{BTreeMap, HashMap};
-use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::atomic::{AtomicU64, AtomicU8, Ordering};
 use std::sync::{Arc, Mutex};
 use std::thread::JoinHandle;
+use std::time::Instant;
 
 /// What a pipeline run produces.
 #[derive(Debug)]
@@ -334,6 +335,72 @@ impl AlignHandle {
     }
 }
 
+/// The supervised pipeline's health, as a state machine:
+///
+/// ```text
+/// Healthy ──stage failure──► Recovering ──relaunch + replay ok──► Healthy
+///    ▲                           │  ▲                             (or Degraded once
+///    └───────────────────────────┘  └──another failure────┐        > half the restart
+///                                                         │        budget is spent)
+///                            restart budget exhausted ──► Failed (terminal)
+/// ```
+///
+/// Unsupervised pipelines always report `Healthy`; their failure mode is
+/// the pre-existing panic out of [`LivePipeline::finish`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum HealthState {
+    /// Running normally.
+    Healthy,
+    /// A stage died; the supervisor is relaunching from the latest cut.
+    Recovering,
+    /// Recovered, but more than half the restart budget is spent.
+    Degraded,
+    /// Restart budget exhausted; the pipeline is down for good (pushes are
+    /// discarded, checkpoints fail — nothing blocks).
+    Failed,
+}
+
+impl HealthState {
+    /// Lowercase wire name (`STATUS`'s `health=` value).
+    pub fn as_str(self) -> &'static str {
+        match self {
+            HealthState::Healthy => "healthy",
+            HealthState::Recovering => "recovering",
+            HealthState::Degraded => "degraded",
+            HealthState::Failed => "failed",
+        }
+    }
+}
+
+/// A cloneable, lock-free view of a pipeline's [`HealthState`] — stays
+/// readable after [`LivePipeline::finish`], like the other handles.
+#[derive(Debug, Clone, Default)]
+pub struct HealthHandle {
+    cell: Arc<AtomicU8>,
+}
+
+impl HealthHandle {
+    /// The current state.
+    pub fn get(&self) -> HealthState {
+        match self.cell.load(Ordering::Relaxed) {
+            1 => HealthState::Recovering,
+            2 => HealthState::Degraded,
+            3 => HealthState::Failed,
+            _ => HealthState::Healthy,
+        }
+    }
+
+    fn set(&self, state: HealthState) {
+        let v = match state {
+            HealthState::Healthy => 0,
+            HealthState::Recovering => 1,
+            HealthState::Degraded => 2,
+            HealthState::Failed => 3,
+        };
+        self.cell.store(v, Ordering::Relaxed);
+    }
+}
+
 /// A running streaming deployment (see [`IcpePipeline::launch`]).
 ///
 /// Dropping the handle without calling [`LivePipeline::finish`] detaches
@@ -348,6 +415,7 @@ pub struct LivePipeline {
     sync: Option<SyncHandle>,
     align: Option<AlignHandle>,
     obs: MetricRegistry,
+    health: HealthHandle,
 }
 
 impl LivePipeline {
@@ -449,6 +517,18 @@ impl LivePipeline {
         self.align.as_ref().map(AlignHandle::status)
     }
 
+    /// The pipeline's current [`HealthState`]. Always `Healthy` for an
+    /// unsupervised launch.
+    pub fn health(&self) -> HealthState {
+        self.health.get()
+    }
+
+    /// A cloneable health view that stays readable after
+    /// [`LivePipeline::finish`] (the serve tier's `STATUS` caches this).
+    pub fn health_handle(&self) -> HealthHandle {
+        self.health.clone()
+    }
+
     /// Ends the stream (drops this handle's sender) and blocks until the
     /// dataflow drains; returns the final metrics. Producer handles from
     /// [`LivePipeline::sender`] keep the stream open until they drop too.
@@ -478,8 +558,10 @@ impl IcpePipeline {
         config: &IcpeConfig,
         on_event: impl FnMut(PipelineEvent) + Send + 'static,
     ) -> LivePipeline {
-        let resume = ResumeState::fresh(config);
-        Self::launch_inner(config, resume, on_event)
+        match config.supervision.clone() {
+            Some(policy) => Self::launch_supervised(config, policy, None, on_event),
+            None => Self::launch_inner(config, ResumeState::fresh(config), on_event),
+        }
     }
 
     /// Launches the dataflow resuming from a checkpoint: the aligner, the
@@ -494,7 +576,15 @@ impl IcpePipeline {
         on_event: impl FnMut(PipelineEvent) + Send + 'static,
     ) -> Result<LivePipeline, CheckpointError> {
         let resume = ResumeState::from_checkpoint(config, checkpoint)?;
-        Ok(Self::launch_inner(config, resume, on_event))
+        Ok(match config.supervision.clone() {
+            Some(policy) => Self::launch_supervised(
+                config,
+                policy,
+                Some((resume, checkpoint.clone())),
+                on_event,
+            ),
+            None => Self::launch_inner(config, resume, on_event),
+        })
     }
 
     fn launch_inner(
@@ -502,96 +592,81 @@ impl IcpePipeline {
         resume: ResumeState,
         on_event: impl FnMut(PipelineEvent) + Send + 'static,
     ) -> LivePipeline {
-        let metrics = PipelineMetrics::new();
-        metrics.restore(&ProgressCheckpoint {
-            snapshots_completed: resume.completed,
-            late_records: resume.aligner.late_dropped(),
-            max_sealed: resume.max_sealed,
-        });
-        // The metric registry outlives restarts the same way: cumulative
-        // stage/exchange counters rehydrate from the checkpoint's obs
-        // section (into subtask 0) before any stage thread spawns, so a
-        // restored deployment's METRICS totals continue instead of reset.
-        let obs = MetricRegistry::new();
-        if let Some(ckpt) = &resume.obs {
-            obs.restore(ckpt);
-        }
-        // The routing layer exists whenever a keyed grid stage runs (load
-        // accounting is wanted even under static routing); the table only
-        // leaves epoch 0 when a balancer is configured. A restored
-        // balancer's learned placement is installed before any record
-        // flows, so the deployment resumes on the checkpointed epoch.
-        let routing = (config.clusterer != ClustererKind::Gdc).then(|| {
-            let table = Arc::new(RoutingTable::new());
-            if let Some(balancer) = &resume.balancer {
-                table.install(
-                    balancer.epoch(),
-                    balancer.table_assignments(),
-                    balancer.cells_migrated(),
-                );
-            }
-            RoutingHandle {
-                table,
-                tracker: Arc::new(LoadTracker::new(config.parallelism)),
-            }
-        });
-        // The sync gauge surface exists alongside the routing layer: the
-        // sharded merge path runs whenever a keyed grid stage does. A
-        // restored deployment rehydrates the cumulative counters so
-        // observability does not reset across a restart.
-        let sync = (config.clusterer != ClustererKind::Gdc).then(|| {
-            let stats = Arc::new(SyncStats::new(config.parallelism, config.sync_fanin));
-            if let Some(ckpt) = &resume.sync {
-                stats.restore(ckpt.pairs_merged, ckpt.duplicates, ckpt.windows_sealed);
-            }
-            SyncHandle { stats }
-        });
-        // The aligner-head gauges exist whenever the sharded head runs
-        // (GDC keeps the serial head); a restored deployment seeds the
-        // frontier and late-drop gauges from the cut.
-        let align = (config.clusterer != ClustererKind::Gdc).then(|| {
-            let stats = AlignStats::new(config.align_shards);
-            stats.restore(
-                resume.aligner.late_dropped(),
-                resume.aligner_ckpt.as_ref().and_then(|c| c.sealed_up_to),
-            );
-            AlignHandle { stats }
-        });
-        let (input, records) = ingest_channel::<InputMsg>(config.runtime.channel_capacity);
-        let driver_config = config.clone();
-        let driver_metrics = metrics.clone();
-        let driver_routing = routing.clone();
-        let driver_sync = sync.clone();
-        let driver_align = align.clone();
-        let driver_obs = obs.clone();
+        let shared = SharedHandles::new(config);
+        shared.reset_to(&resume);
         let ckpt_seq = Arc::new(AtomicU64::new(resume.next_seq.saturating_sub(1)));
-        let driver = std::thread::Builder::new()
-            .name("icpe-driver".into())
-            .spawn(move || {
-                drive(
-                    driver_config,
-                    records,
-                    driver_metrics,
-                    resume,
-                    driver_routing,
-                    driver_sync,
-                    driver_align,
-                    driver_obs,
-                    on_event,
-                )
-            })
-            .expect("failed to spawn pipeline driver thread");
+        let (input, driver) = launch_generation(config, resume, &shared, None, None, on_event);
         LivePipeline {
             input: Some(RecordSender {
                 inner: input,
                 ckpt_seq,
             }),
             driver: Some(driver),
-            metrics,
-            routing,
-            sync,
-            align,
-            obs,
+            metrics: shared.metrics,
+            routing: shared.routing,
+            sync: shared.sync,
+            align: shared.align,
+            obs: shared.obs,
+            health: HealthHandle::default(),
+        }
+    }
+
+    /// Launches the dataflow behind a supervisor thread: producers feed the
+    /// supervisor, which relays into the current dataflow *generation*,
+    /// buffers every record since the latest checkpoint cut, and — when a
+    /// stage dies — tears the generation down, relaunches from that cut
+    /// under the policy's exponential backoff, and replays the buffer. The
+    /// shared observability handles (metrics, registry, routing, sync,
+    /// align) survive generations, as does the event sink.
+    fn launch_supervised(
+        config: &IcpeConfig,
+        policy: Supervision,
+        start: Option<(ResumeState, PipelineCheckpoint)>,
+        on_event: impl FnMut(PipelineEvent) + Send + 'static,
+    ) -> LivePipeline {
+        let shared = SharedHandles::new(config);
+        let health = HealthHandle::default();
+        let (resume, latest) = match start {
+            Some((resume, ckpt)) => (resume, Some(ckpt)),
+            None => (ResumeState::fresh(config), None),
+        };
+        shared.reset_to(&resume);
+        let ckpt_seq = Arc::new(AtomicU64::new(resume.next_seq.saturating_sub(1)));
+        let (outer_tx, outer_rx) = ingest_channel::<InputMsg>(config.runtime.channel_capacity);
+        let supervisor = Supervisor {
+            config: config.clone(),
+            policy,
+            shared: shared.clone(),
+            health: health.clone(),
+            ledger: Arc::new(Mutex::new(DeliveryLedger::default())),
+            sink: Arc::new(Mutex::new(Box::new(on_event))),
+            outer: outer_rx,
+            ckpt_seq: Arc::clone(&ckpt_seq),
+            latest,
+            pending_cut: None,
+            buffer: Vec::new(),
+            restarts_used: 0,
+            restarts_total: 0,
+            recoveries_total: 0,
+            recovery_nanos_total: 0,
+            replayed_total: 0,
+        };
+        let driver = std::thread::Builder::new()
+            .name("icpe-supervisor".into())
+            .spawn(move || supervisor.run(resume))
+            .expect("failed to spawn pipeline supervisor thread");
+        LivePipeline {
+            input: Some(RecordSender {
+                inner: outer_tx,
+                ckpt_seq,
+            }),
+            driver: Some(driver),
+            metrics: shared.metrics,
+            routing: shared.routing,
+            sync: shared.sync,
+            align: shared.align,
+            obs: shared.obs,
+            health,
         }
     }
 
@@ -621,6 +696,622 @@ impl IcpePipeline {
         let metrics = live.finish();
         let patterns = std::mem::take(&mut *collected.lock().expect("pattern sink poisoned"));
         PipelineOutput { patterns, metrics }
+    }
+}
+
+// ---- supervision -----------------------------------------------------------
+
+/// The observability surfaces that outlive a dataflow generation: the
+/// supervisor resets them *to the recovery cut* before relaunching, so
+/// cached handles (serve's `STATUS`/`METRICS`, benches) stay valid across
+/// restarts instead of dangling or double-counting.
+#[derive(Debug, Clone)]
+struct SharedHandles {
+    metrics: PipelineMetrics,
+    obs: MetricRegistry,
+    routing: Option<RoutingHandle>,
+    sync: Option<SyncHandle>,
+    align: Option<AlignHandle>,
+}
+
+impl SharedHandles {
+    /// Fresh, empty handles for one deployment. The routing/sync/align
+    /// surfaces exist whenever a keyed grid stage runs; GDC keeps the
+    /// serial head and carries none of them.
+    fn new(config: &IcpeConfig) -> SharedHandles {
+        let grid = config.clusterer != ClustererKind::Gdc;
+        SharedHandles {
+            metrics: PipelineMetrics::new(),
+            obs: MetricRegistry::new(),
+            routing: grid.then(|| RoutingHandle {
+                table: Arc::new(RoutingTable::new()),
+                tracker: Arc::new(LoadTracker::new(config.parallelism)),
+            }),
+            sync: grid.then(|| SyncHandle {
+                stats: Arc::new(SyncStats::new(config.parallelism, config.sync_fanin)),
+            }),
+            align: grid.then(|| AlignHandle {
+                stats: AlignStats::new(config.align_shards),
+            }),
+        }
+    }
+
+    /// Rewinds every shared surface to the state `resume` describes — the
+    /// checkpoint cut on recovery/restore, all-zero on a fresh launch. The
+    /// cumulative counters the replayed records re-earn land on top of the
+    /// cut values, so totals stay conserved across a recovery.
+    fn reset_to(&self, resume: &ResumeState) {
+        self.metrics.restore(&ProgressCheckpoint {
+            snapshots_completed: resume.completed,
+            late_records: resume.aligner.late_dropped(),
+            max_sealed: resume.max_sealed,
+        });
+        // The registry's event journal is deliberately NOT reset: journal
+        // seqs stay monotonic across generations so `EVENTS since-seq`
+        // consumers never see time move backwards; only the counters rewind
+        // to the cut.
+        match &resume.obs {
+            Some(ckpt) => self.obs.reset_counters_to(ckpt),
+            None => self.obs.reset_counters_to(&ObsCheckpoint {
+                counters: Vec::new(),
+            }),
+        }
+        if let (Some(routing), Some(balancer)) = (&self.routing, &resume.balancer) {
+            // `install` replaces the table outright; the migration counter
+            // only tops up to the cut value (it may already exceed it after
+            // an in-process restart — migrations really happened).
+            let behind = balancer
+                .cells_migrated()
+                .saturating_sub(routing.table.status().cells_migrated);
+            routing
+                .table
+                .install(balancer.epoch(), balancer.table_assignments(), behind);
+        }
+        if let Some(sync) = &self.sync {
+            match &resume.sync {
+                Some(ckpt) => {
+                    sync.stats
+                        .restore(ckpt.pairs_merged, ckpt.duplicates, ckpt.windows_sealed)
+                }
+                None => sync.stats.restore(0, 0, 0),
+            }
+        }
+        if let Some(align) = &self.align {
+            align.stats.restore(
+                resume.aligner.late_dropped(),
+                resume.aligner_ckpt.as_ref().and_then(|c| c.sealed_up_to),
+            );
+        }
+    }
+}
+
+/// Spawns one dataflow *generation*: the ingest channel plus the driver
+/// thread running [`drive`] against the shared handles. Both launch paths
+/// go through here; the supervised one passes a failure channel (stage
+/// panics report instead of poisoning the process) and the delivery
+/// ledger (exactly-once output across recovery cuts).
+fn launch_generation(
+    config: &IcpeConfig,
+    resume: ResumeState,
+    shared: &SharedHandles,
+    failures: Option<crossbeam::channel::Sender<StageFailure>>,
+    ledger: Option<Arc<Mutex<DeliveryLedger>>>,
+    on_event: impl FnMut(PipelineEvent) + Send + 'static,
+) -> (crossbeam::channel::Sender<InputMsg>, JoinHandle<()>) {
+    let (input, records) = ingest_channel::<InputMsg>(config.runtime.channel_capacity);
+    let driver_config = config.clone();
+    let driver_metrics = shared.metrics.clone();
+    let driver_routing = shared.routing.clone();
+    let driver_sync = shared.sync.clone();
+    let driver_align = shared.align.clone();
+    let driver_obs = shared.obs.clone();
+    let driver = std::thread::Builder::new()
+        .name("icpe-driver".into())
+        .spawn(move || {
+            drive(
+                driver_config,
+                records,
+                driver_metrics,
+                resume,
+                driver_routing,
+                driver_sync,
+                driver_align,
+                driver_obs,
+                failures,
+                ledger,
+                on_event,
+            )
+        })
+        .expect("failed to spawn pipeline driver thread");
+    (input, driver)
+}
+
+/// What one sink delivery is keyed by in the [`DeliveryLedger`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+enum LedgerKey {
+    /// A pattern, by stable 64-bit content hash (a collision would wrongly
+    /// suppress one delivery in ~2⁻⁶⁴ of replayed pairs — accepted).
+    Pattern(u64),
+    /// A `SnapshotSealed { time }` notification.
+    Sealed(u32),
+}
+
+/// Exactly-once output accounting across recovery cuts.
+///
+/// Replaying from a checkpoint re-runs everything after the cut, so the
+/// relaunched generation re-emits deliveries the crashed one already made.
+/// The ledger counts, per key, how many copies the user has *seen* since
+/// the latest committed cut (`seen`) and how many the current generation
+/// has *emitted* since that cut (`emitted`): an emission is delivered only
+/// once it exceeds the seen count. Replay emits a sub-multiset of the
+/// uninterrupted stream (the dataflow is deterministic from a cut), so
+/// per-key counting suppresses exactly the duplicates — no more, no less.
+///
+/// A barrier in flight opens a *cut window* (first engine piece at the
+/// sink) holding next-epoch maps; deliveries from subtasks that already
+/// deposited their piece are post-cut and land there. When the last piece
+/// arrives the window commits — on the driver thread, immediately before
+/// the checkpoint reply is sent, so no delivery can slip between the cut
+/// and the epoch swap. A crash mid-window aborts it, folding the window's
+/// deliveries back into `seen` (they are user-visible and post-*previous*-
+/// cut, which is what recovery will replay from). Supervised pipelines
+/// serialize barriers, so at most one window is ever open.
+#[derive(Debug, Default)]
+struct DeliveryLedger {
+    seen: HashMap<LedgerKey, u64>,
+    emitted: HashMap<LedgerKey, u64>,
+    cutting: Option<CutWindow>,
+}
+
+/// A barrier mid-assembly: which enumeration subtasks the barrier already
+/// passed, and the next epoch's ledger maps.
+#[derive(Debug, Default)]
+struct CutWindow {
+    passed: std::collections::HashSet<usize>,
+    seen: HashMap<LedgerKey, u64>,
+    emitted: HashMap<LedgerKey, u64>,
+}
+
+impl DeliveryLedger {
+    /// Accounts one emission by `subtask`; true when it must reach the
+    /// user, false when it replays a delivery the user already saw.
+    fn admit(&mut self, subtask: usize, key: LedgerKey) -> bool {
+        let epoch = match &mut self.cutting {
+            Some(cut) if cut.passed.contains(&subtask) => (&mut cut.seen, &mut cut.emitted),
+            _ => (&mut self.seen, &mut self.emitted),
+        };
+        let emitted = epoch.1.entry(key).or_insert(0);
+        *emitted += 1;
+        let seen = epoch.0.entry(key).or_insert(0);
+        if *emitted <= *seen {
+            return false;
+        }
+        *seen += 1;
+        true
+    }
+
+    /// Accounts a completed snapshot seal. Seals are never ambiguous: a
+    /// pre-cut seal completes before the assembly does (every subtask's
+    /// `Done` precedes its engine piece) and a post-cut seal completes
+    /// after commit, so the current epoch is always the right one.
+    fn admit_sealed(&mut self, time: u32) -> bool {
+        let key = LedgerKey::Sealed(time);
+        let emitted = self.emitted.entry(key).or_insert(0);
+        *emitted += 1;
+        let seen = self.seen.entry(key).or_insert(0);
+        if *emitted <= *seen {
+            return false;
+        }
+        *seen += 1;
+        true
+    }
+
+    /// The barrier passed enumeration subtask `subtask` (its engine piece
+    /// reached the sink): subsequent emissions from it are post-cut.
+    fn subtask_passed(&mut self, subtask: usize) {
+        self.cutting
+            .get_or_insert_with(CutWindow::default)
+            .passed
+            .insert(subtask);
+    }
+
+    /// The checkpoint assembled: everything user-visible before the cut is
+    /// inside it, so the window's maps become the whole ledger.
+    fn commit_cut(&mut self) {
+        let cut = self.cutting.take().unwrap_or_default();
+        self.seen = cut.seen;
+        self.emitted = cut.emitted;
+    }
+
+    /// A new generation restarts from the latest *committed* cut: its
+    /// emission counters reset; the user-visible history — including an
+    /// aborted window's, which is post-that-cut — stays to be replayed
+    /// against.
+    fn on_restart(&mut self) {
+        if let Some(cut) = self.cutting.take() {
+            for (key, n) in cut.seen {
+                *self.seen.entry(key).or_insert(0) += n;
+            }
+        }
+        self.emitted.clear();
+    }
+}
+
+/// One spawned dataflow generation, as the supervisor sees it.
+struct Generation {
+    input: crossbeam::channel::Sender<InputMsg>,
+    driver: JoinHandle<()>,
+    failures: crossbeam::channel::Receiver<StageFailure>,
+    /// Keeps the failure channel's send side open for the generation's
+    /// lifetime so `failures.try_recv()` distinguishes "no report yet"
+    /// from noise; workers hold clones only while alive.
+    keepalive: crossbeam::channel::Sender<StageFailure>,
+}
+
+/// The self-healing wrapper around the dataflow (see
+/// [`IcpePipeline::launch`] with [`Supervision`] configured): relays
+/// producer input into the current generation, buffers records since the
+/// latest cut, takes automatic checkpoints on the policy's record cadence,
+/// and restarts crashed generations from the cut with bounded exponential
+/// backoff until the restart budget runs out.
+struct Supervisor {
+    config: IcpeConfig,
+    policy: Supervision,
+    shared: SharedHandles,
+    health: HealthHandle,
+    ledger: Arc<Mutex<DeliveryLedger>>,
+    /// The user's event sink, shared across generations (each generation's
+    /// driver funnels admitted deliveries through it).
+    sink: EventSink,
+    outer: crossbeam::channel::Receiver<InputMsg>,
+    ckpt_seq: Arc<AtomicU64>,
+    /// The latest fully assembled checkpoint — the recovery cut.
+    latest: Option<PipelineCheckpoint>,
+    /// The reply slot of a barrier that was in flight when its generation
+    /// died. The sink commits the delivery ledger to the new cut
+    /// immediately before replying, so if the reply made it out we must
+    /// adopt that cut — recovering from the older one would replay
+    /// deliveries the ledger no longer remembers suppressing.
+    pending_cut: Option<crossbeam::channel::Receiver<PipelineCheckpoint>>,
+    /// Every record relayed since that cut, in order: the replay source.
+    buffer: Vec<GpsRecord>,
+    restarts_used: u32,
+    // Supervisor-owned cumulative totals. The registry's counters rewind to
+    // the cut on every recovery, so these re-credit afterwards — restart
+    // accounting must never be undone by the very recovery it counts.
+    restarts_total: u64,
+    recoveries_total: u64,
+    recovery_nanos_total: u64,
+    replayed_total: u64,
+}
+
+type EventSink = Arc<Mutex<Box<dyn FnMut(PipelineEvent) + Send>>>;
+
+/// How long the supervisor waits on producer input before polling the
+/// failure channel (failure-detection latency when the stream idles).
+const SUPERVISOR_POLL: std::time::Duration = std::time::Duration::from_millis(20);
+
+impl Supervisor {
+    fn run(mut self, resume: ResumeState) {
+        let mut gen = Some(self.spawn_generation(resume));
+        loop {
+            let Some(g) = gen.as_ref() else {
+                // Terminal `Failed`: swallow input so producers never hang;
+                // dropping a barrier's reply sender fails its checkpoint()
+                // call cleanly. Ends when every producer handle is gone.
+                for msg in self.outer.iter() {
+                    drop(msg);
+                }
+                return;
+            };
+            if let Ok(failure) = g.failures.try_recv() {
+                let dead = gen.take().expect("generation present");
+                gen = self.recover(dead, failure);
+                continue;
+            }
+            match self.outer.recv_timeout(SUPERVISOR_POLL) {
+                Ok(msg) => {
+                    let g = gen.as_mut().expect("generation present");
+                    if let Err(failure) = self.relay_into(g, msg) {
+                        let dead = gen.take().expect("generation present");
+                        gen = self.recover(dead, failure);
+                    }
+                }
+                Err(crossbeam::channel::RecvTimeoutError::Timeout) => {}
+                Err(crossbeam::channel::RecvTimeoutError::Disconnected) => {
+                    let last = gen.take().expect("generation present");
+                    self.wind_down(last);
+                    return;
+                }
+            }
+        }
+    }
+
+    /// Forwards one producer message into the live generation, buffering
+    /// data for replay and expanding barriers into supervised checkpoints.
+    /// `Err` carries the stage failure that killed the generation.
+    fn relay_into(&mut self, gen: &mut Generation, msg: InputMsg) -> Result<(), StageFailure> {
+        match msg {
+            InputMsg::Record(record) => {
+                self.buffer.push(record);
+                gen.input
+                    .send(InputMsg::Record(record))
+                    .map_err(|_| self.death_report(gen))?;
+            }
+            InputMsg::Batch(batch) => {
+                self.buffer.extend_from_slice(&batch);
+                gen.input
+                    .send(InputMsg::Batch(batch))
+                    .map_err(|_| self.death_report(gen))?;
+            }
+            InputMsg::Barrier(request) => {
+                // The producer's own checkpoint doubles as the recovery
+                // cut. On failure the request is dropped — its caller
+                // unblocks with Disconnected — and recovery proceeds.
+                let checkpoint = self.take_checkpoint(gen, request.seq)?;
+                let _ = request.reply.send(checkpoint);
+                return Ok(());
+            }
+        }
+        if let Some(every) = self.policy.checkpoint_every_records {
+            if self.buffer.len() as u64 >= every {
+                let seq = self.ckpt_seq.fetch_add(1, Ordering::Relaxed) + 1;
+                self.take_checkpoint(gen, seq)?;
+            }
+        }
+        Ok(())
+    }
+
+    /// Injects a barrier and blocks for the assembled checkpoint; success
+    /// advances the recovery cut and empties the replay buffer.
+    fn take_checkpoint(
+        &mut self,
+        gen: &mut Generation,
+        seq: u64,
+    ) -> Result<PipelineCheckpoint, StageFailure> {
+        let (reply, rx) = crossbeam::channel::bounded(1);
+        if gen
+            .input
+            .send(InputMsg::Barrier(Arc::new(BarrierRequest { seq, reply })))
+            .is_err()
+        {
+            self.pending_cut = Some(rx);
+            return Err(self.death_report(gen));
+        }
+        // Polls rather than blocks: if a worker dies while the barrier is
+        // in flight the cut can never assemble (the dead subtask's engine
+        // piece is missing) while the rest of the generation idles waiting
+        // for input that only this supervisor can provide — a deadlock
+        // unless the failure report preempts the wait. On failure the rx
+        // is parked in `pending_cut`; `respawn` re-checks it after the
+        // driver is joined, when the reply is either there or never coming.
+        loop {
+            match rx.recv_timeout(SUPERVISOR_POLL) {
+                Ok(checkpoint) => {
+                    self.latest = Some(checkpoint.clone());
+                    self.buffer.clear();
+                    return Ok(checkpoint);
+                }
+                Err(crossbeam::channel::RecvTimeoutError::Timeout) => {
+                    if let Ok(failure) = gen.failures.try_recv() {
+                        self.pending_cut = Some(rx);
+                        return Err(failure);
+                    }
+                }
+                Err(crossbeam::channel::RecvTimeoutError::Disconnected) => {
+                    self.pending_cut = Some(rx);
+                    return Err(self.death_report(gen));
+                }
+            }
+        }
+    }
+
+    /// The failure report behind a dead ingest channel — gives the panic
+    /// report a moment to arrive before synthesizing a generic one.
+    fn death_report(&self, gen: &Generation) -> StageFailure {
+        gen.failures
+            .recv_timeout(std::time::Duration::from_millis(200))
+            .unwrap_or_else(|_| StageFailure {
+                stage: "pipeline".into(),
+                subtask: 0,
+                cause: "generation terminated unexpectedly".into(),
+            })
+    }
+
+    /// Tears down a dead generation, then restarts from the latest cut.
+    fn recover(&mut self, gen: Generation, failure: StageFailure) -> Option<Generation> {
+        self.teardown(gen);
+        self.respawn(failure)
+    }
+
+    /// Completes a generation's teardown: close its ingest, join its
+    /// driver. A driver panic is the user's sink callback panicking —
+    /// that is not a stage failure, and propagates out of `finish()` just
+    /// as it does unsupervised.
+    fn teardown(&self, gen: Generation) {
+        let Generation { input, driver, .. } = gen;
+        drop(input);
+        if let Err(payload) = driver.join() {
+            std::panic::resume_unwind(payload);
+        }
+    }
+
+    /// The recovery loop: backoff, rewind the shared surfaces to the cut,
+    /// relaunch, replay the buffer. Returns the healthy new generation, or
+    /// `None` once the restart budget is spent (pipeline terminally
+    /// [`HealthState::Failed`]).
+    fn respawn(&mut self, failure: StageFailure) -> Option<Generation> {
+        self.health.set(HealthState::Recovering);
+        let started = Instant::now();
+        self.shared.obs.emit(ObsEventKind::StageFailed {
+            stage: failure.stage.clone(),
+            subtask: failure.subtask as u64,
+        });
+        eprintln!("icpe-core: {failure}; recovering from latest checkpoint");
+        // The dying generation's driver is joined by now, so a barrier that
+        // was in flight when it died has either delivered its checkpoint or
+        // never will. If it delivered, the sink committed the ledger to
+        // that cut right before replying — adopt it so the replay cut and
+        // the ledger agree (the buffer holds nothing newer than the
+        // barrier: the supervisor relays nothing while a cut is pending).
+        if let Some(rx) = self.pending_cut.take() {
+            if let Ok(checkpoint) = rx.try_recv() {
+                self.latest = Some(checkpoint);
+                self.buffer.clear();
+            }
+        }
+        loop {
+            if self.restarts_used >= self.policy.max_restarts {
+                self.health.set(HealthState::Failed);
+                self.shared.obs.emit(ObsEventKind::PipelineFailed {
+                    restarts: self.restarts_used as u64,
+                });
+                self.sync_supervisor_metrics();
+                eprintln!(
+                    "icpe-core: restart budget exhausted after {} attempts; pipeline failed",
+                    self.restarts_used
+                );
+                return None;
+            }
+            self.restarts_used += 1;
+            self.restarts_total += 1;
+            let attempt = self.restarts_used;
+            self.shared.obs.emit(ObsEventKind::PipelineRecovering {
+                restart: attempt as u64,
+            });
+            std::thread::sleep(self.backoff_for(attempt));
+            let resume = match &self.latest {
+                Some(ckpt) => match ResumeState::from_checkpoint(&self.config, ckpt) {
+                    Ok(resume) => resume,
+                    // Unreachable for a checkpoint this supervisor
+                    // assembled (validated by construction); a fresh
+                    // restart is the only remaining move.
+                    Err(e) => {
+                        eprintln!("icpe-core: latest checkpoint unusable ({e}); restarting fresh");
+                        ResumeState::fresh(&self.config)
+                    }
+                },
+                None => ResumeState::fresh(&self.config),
+            };
+            self.shared.reset_to(&resume);
+            self.ledger
+                .lock()
+                .expect("delivery ledger poisoned")
+                .on_restart();
+            self.sync_supervisor_metrics();
+            let gen = self.spawn_generation(resume);
+            let batch = self.config.runtime.batch_size.max(1);
+            let mut replayed = 0u64;
+            let mut died_mid_replay = false;
+            for chunk in self.buffer.chunks(batch) {
+                if gen.input.send(InputMsg::Batch(chunk.to_vec())).is_err() {
+                    died_mid_replay = true;
+                    break;
+                }
+                replayed += chunk.len() as u64;
+            }
+            if died_mid_replay {
+                self.teardown(gen);
+                continue;
+            }
+            self.recoveries_total += 1;
+            self.recovery_nanos_total += started.elapsed().as_nanos() as u64;
+            self.replayed_total += replayed;
+            self.shared.obs.emit(ObsEventKind::PipelineRecovered {
+                restart: attempt as u64,
+                replayed,
+            });
+            self.sync_supervisor_metrics();
+            self.health
+                .set(if self.restarts_used * 2 > self.policy.max_restarts {
+                    HealthState::Degraded
+                } else {
+                    HealthState::Healthy
+                });
+            return Some(gen);
+        }
+    }
+
+    fn backoff_for(&self, attempt: u32) -> std::time::Duration {
+        let doubled = self
+            .policy
+            .backoff
+            .checked_mul(1u32 << (attempt - 1).min(16))
+            .unwrap_or(self.policy.max_backoff);
+        doubled.min(self.policy.max_backoff)
+    }
+
+    /// Every producer handle dropped: flush the final generation (engines
+    /// emit their end-of-stream patterns through the ledgered sink) and
+    /// heal failures that strike *during* that flush, so `finish()` still
+    /// returns the complete output.
+    fn wind_down(&mut self, gen: Generation) {
+        let mut gen = gen;
+        loop {
+            let Generation {
+                input,
+                driver,
+                failures,
+                keepalive,
+            } = gen;
+            drop(input);
+            if let Err(payload) = driver.join() {
+                std::panic::resume_unwind(payload);
+            }
+            drop(keepalive);
+            match failures.try_recv() {
+                Ok(failure) => match self.respawn(failure) {
+                    Some(next) => gen = next,
+                    None => return,
+                },
+                Err(_) => return,
+            }
+        }
+    }
+
+    /// Re-credits the supervisor's own cumulative counters after a registry
+    /// rewind (counters named per the `seconds_total`-holds-nanos registry
+    /// convention), and refreshes the mean-recovery gauge.
+    fn sync_supervisor_metrics(&self) {
+        let top_up = |name: &str, total: u64| {
+            let c = self.shared.obs.counter("supervisor", 0, name);
+            c.add(total.saturating_sub(c.get()));
+        };
+        top_up("pipeline_restarts_total", self.restarts_total);
+        top_up("pipeline_recoveries_total", self.recoveries_total);
+        top_up("recovery_seconds_total", self.recovery_nanos_total);
+        top_up("replayed_records_total", self.replayed_total);
+        let mean_ms = self
+            .recovery_nanos_total
+            .checked_div(self.recoveries_total)
+            .unwrap_or(0)
+            / 1_000_000;
+        self.shared
+            .obs
+            .gauge("supervisor", 0, "mean_recovery_ms")
+            .set(mean_ms);
+    }
+
+    fn spawn_generation(&self, resume: ResumeState) -> Generation {
+        let (failure_tx, failure_rx) = crossbeam::channel::bounded(64);
+        let sink = Arc::clone(&self.sink);
+        let on_event = move |event: PipelineEvent| {
+            (sink.lock().expect("event sink poisoned"))(event);
+        };
+        let (input, driver) = launch_generation(
+            &self.config,
+            resume,
+            &self.shared,
+            Some(failure_tx.clone()),
+            Some(Arc::clone(&self.ledger)),
+            on_event,
+        );
+        Generation {
+            input,
+            driver,
+            failures: failure_rx,
+            keepalive: failure_tx,
+        }
     }
 }
 
@@ -782,6 +1473,8 @@ fn drive(
     sync: Option<SyncHandle>,
     align: Option<AlignHandle>,
     obs: MetricRegistry,
+    failures: Option<crossbeam::channel::Sender<StageFailure>>,
+    ledger: Option<Arc<Mutex<DeliveryLedger>>>,
     mut on_event: impl FnMut(PipelineEvent) + Send + 'static,
 ) {
     let n = config.parallelism;
@@ -799,7 +1492,14 @@ fn drive(
     let engine_cells: Vec<Mutex<Option<Box<dyn PatternEngine + Send>>>> =
         engines.into_iter().map(|e| Mutex::new(Some(e))).collect();
 
-    let mut source = Stream::from_channel(config.runtime, records);
+    let mut source = Stream::from_channel(config.runtime.clone(), records);
+    if let Some(reports) = failures {
+        // Every stage declared below runs panic-isolated: a dying subtask
+        // reports a typed StageFailure to the supervisor instead of
+        // poisoning the process, and the teardown cascade quiesces the
+        // survivors.
+        source = source.supervise(reports);
+    }
     if config.instrument {
         // Every stage declared below records per-batch latency and
         // record counts; every exchange hop records queue depth and
@@ -829,6 +1529,7 @@ fn drive(
             PartMsg::Tick(_) | PartMsg::Barrier(_) => Routing::Broadcast,
         }),
         move |i| EnumerateOp {
+            subtask: i,
             engine: engine_cells[i]
                 .lock()
                 .expect("engine cell poisoned")
@@ -844,19 +1545,55 @@ fn drive(
     let mut pending_ckpts: HashMap<u64, (Arc<BarrierToken>, Vec<EngineCheckpoint>)> =
         HashMap::new();
     outputs.for_each(|msg| match msg {
-        OutMsg::Pattern(p) => on_event(PipelineEvent::Pattern(p)),
+        OutMsg::Pattern { subtask, pattern } => {
+            // Under supervision the ledger suppresses re-deliveries of
+            // patterns the crashed generation already surfaced post-cut.
+            let admit = match &ledger {
+                Some(ledger) => ledger
+                    .lock()
+                    .expect("delivery ledger poisoned")
+                    .admit(subtask, LedgerKey::Pattern(stable_hash(&pattern))),
+                None => true,
+            };
+            if admit {
+                on_event(PipelineEvent::Pattern(pattern));
+            }
+        }
         OutMsg::Done(t) => {
             let c = done_counts.entry(t).or_insert(0);
             *c += 1;
             if *c == n {
                 done_counts.remove(&t);
+                // Progress accounting always runs — the shared surfaces
+                // were rewound to the cut, and replayed seals re-earn
+                // their place in them. Only the *user-facing* sealed
+                // notification is exactly-once.
                 completed += 1;
                 metrics.mark_done(t);
                 obs.emit(ObsEventKind::WindowSealed { time: t });
-                on_event(PipelineEvent::SnapshotSealed { time: t });
+                let admit = match &ledger {
+                    Some(ledger) => ledger
+                        .lock()
+                        .expect("delivery ledger poisoned")
+                        .admit_sealed(t),
+                    None => true,
+                };
+                if admit {
+                    on_event(PipelineEvent::SnapshotSealed { time: t });
+                }
             }
         }
-        OutMsg::Checkpoint { token, engine } => {
+        OutMsg::Checkpoint {
+            subtask,
+            token,
+            engine,
+        } => {
+            if let Some(ledger) = &ledger {
+                ledger
+                    .lock()
+                    .expect("delivery ledger poisoned")
+                    .subtask_passed(subtask);
+            }
             let entry = pending_ckpts
                 .entry(token.request.seq)
                 .or_insert_with(|| (Arc::clone(&token), Vec::new()));
@@ -919,6 +1656,16 @@ fn drive(
                 obs.emit(ObsEventKind::BarrierPassed {
                     checkpoint_seq: token.request.seq,
                 });
+                // The cut commits on this thread, immediately before the
+                // reply: once the supervisor receives the checkpoint, the
+                // ledger provably holds only post-cut deliveries (nothing
+                // is delivered between these two statements).
+                if let Some(ledger) = &ledger {
+                    ledger
+                        .lock()
+                        .expect("delivery ledger poisoned")
+                        .commit_cut();
+                }
                 // The requester may have given up (timeout/shutdown);
                 // nothing to do then.
                 let _ = token.request.reply.send(checkpoint);
@@ -1304,13 +2051,20 @@ pub(crate) enum PartMsg {
     Barrier(Arc<BarrierToken>),
 }
 
-/// Enumerate → Sink.
+/// Enumerate → Sink. Pattern and checkpoint messages carry the emitting
+/// subtask so the sink's delivery ledger can classify emissions against an
+/// in-flight barrier (FIFO per subtask: everything after a subtask's
+/// engine piece is post-cut).
 #[derive(Debug, Clone)]
 enum OutMsg {
-    Pattern(Pattern),
+    Pattern {
+        subtask: usize,
+        pattern: Pattern,
+    },
     Done(u32),
     /// One subtask's engine state at the barrier.
     Checkpoint {
+        subtask: usize,
         token: Arc<BarrierToken>,
         engine: EngineCheckpoint,
     },
@@ -2262,6 +3016,7 @@ impl Operator<AlignMsg, PartMsg> for GdcOp {
 /// One enumeration subtask: owns the engines' state for the owner ids routed
 /// to it, advances time on broadcast ticks.
 struct EnumerateOp {
+    subtask: usize,
     engine: Box<dyn PatternEngine + Send>,
     pending: HashMap<u32, Vec<Partition>>,
 }
@@ -2275,7 +3030,12 @@ impl Operator<PartMsg, OutMsg> for EnumerateOp {
             PartMsg::Tick(t) => {
                 let parts = self.pending.remove(&t).unwrap_or_default();
                 let patterns = self.engine.push_partitions(Timestamp(t), parts);
-                out.emit_all(patterns.into_iter().map(OutMsg::Pattern));
+                let subtask = self.subtask;
+                out.emit_all(
+                    patterns
+                        .into_iter()
+                        .map(|pattern| OutMsg::Pattern { subtask, pattern }),
+                );
                 out.emit(OutMsg::Done(t));
             }
             PartMsg::Barrier(token) => {
@@ -2286,14 +3046,23 @@ impl Operator<PartMsg, OutMsg> for EnumerateOp {
                     .engine
                     .checkpoint()
                     .expect("pipeline engines support checkpointing");
-                out.emit(OutMsg::Checkpoint { token, engine });
+                out.emit(OutMsg::Checkpoint {
+                    subtask: self.subtask,
+                    token,
+                    engine,
+                });
             }
         }
     }
 
     fn finish(&mut self, out: &mut Collector<OutMsg>) {
         let patterns = self.engine.finish();
-        out.emit_all(patterns.into_iter().map(OutMsg::Pattern));
+        let subtask = self.subtask;
+        out.emit_all(
+            patterns
+                .into_iter()
+                .map(|pattern| OutMsg::Pattern { subtask, pattern }),
+        );
     }
 }
 
@@ -2872,5 +3641,158 @@ mod tests {
             .err()
             .unwrap();
         assert!(matches!(err, CheckpointError::UnsupportedVersion { .. }));
+    }
+
+    // ---- supervision -------------------------------------------------------
+
+    /// Small batches keep fault-point batch ordinals dense (every
+    /// generation sees several batches per stage), so injected panics fire
+    /// deterministically across restarts.
+    fn supervised_config(n: usize, fault: &str) -> IcpeConfig {
+        IcpeConfig::builder()
+            .constraints(Constraints::new(3, 4, 2, 2).unwrap())
+            .epsilon(1.0)
+            .min_pts(3)
+            .parallelism(n)
+            .batch_size(4)
+            .enumerator(EnumeratorKind::Fba)
+            .supervised(Supervision {
+                backoff: std::time::Duration::from_millis(1),
+                checkpoint_every_records: Some(16),
+                ..Supervision::default()
+            })
+            .fault_plan(Arc::new(icpe_runtime::FaultPlan::from_spec(fault).unwrap()))
+            .build()
+            .unwrap()
+    }
+
+    /// Pattern multiset (not just unique sets): exactly-once must also hold
+    /// per duplicate delivery.
+    fn pattern_counts(patterns: &[Pattern]) -> HashMap<u64, usize> {
+        let mut counts = HashMap::new();
+        for p in patterns {
+            *counts.entry(stable_hash(p)).or_insert(0) += 1;
+        }
+        counts
+    }
+
+    #[test]
+    fn supervised_pipeline_heals_an_injected_panic() {
+        let baseline = IcpePipeline::run(&config(2, EnumeratorKind::Fba), walking_records(10));
+
+        let cfg = supervised_config(2, "panic@align-route:0:2");
+        let plan = cfg.runtime.fault.clone().unwrap();
+        let patterns: Arc<Mutex<Vec<Pattern>>> = Arc::new(Mutex::new(Vec::new()));
+        let sealed: Arc<Mutex<Vec<u32>>> = Arc::new(Mutex::new(Vec::new()));
+        let (p, s) = (Arc::clone(&patterns), Arc::clone(&sealed));
+        let live = IcpePipeline::launch(&cfg, move |event| match event {
+            PipelineEvent::Pattern(pat) => p.lock().unwrap().push(pat),
+            PipelineEvent::SnapshotSealed { time } => s.lock().unwrap().push(time),
+        });
+        assert_eq!(live.health(), HealthState::Healthy);
+        let obs = live.obs().clone();
+        for r in walking_records(10) {
+            live.push(r).unwrap();
+        }
+        let report = live.finish();
+
+        assert!(plan.exhausted(), "the injected panic fired");
+        assert!(
+            obs.counter("supervisor", 0, "pipeline_restarts_total")
+                .get()
+                >= 1,
+            "a restart was accounted"
+        );
+        assert!(
+            obs.counter("supervisor", 0, "pipeline_recoveries_total")
+                .get()
+                >= 1,
+            "a recovery completed"
+        );
+        // Exactly-once across the recovery cut: the healed run's delivered
+        // pattern multiset matches an uninterrupted run's, and every
+        // snapshot seals exactly once.
+        let got = patterns.lock().unwrap();
+        assert_eq!(pattern_counts(&got), pattern_counts(&baseline.patterns));
+        let mut seals = sealed.lock().unwrap().clone();
+        seals.sort_unstable();
+        assert_eq!(seals, (0..10).collect::<Vec<_>>(), "seals exactly once");
+        assert_eq!(report.snapshots, 10, "progress counters conserved");
+    }
+
+    #[test]
+    fn supervised_health_transitions_to_recovering_and_back() {
+        let cfg = supervised_config(2, "panic@align-route:0:1");
+        let live = IcpePipeline::launch(&cfg, |_| {});
+        let health = live.health_handle();
+        for r in walking_records(10) {
+            live.push(r).unwrap();
+        }
+        // The panic fires while records flow; poll for the round trip.
+        let mut saw_non_healthy = false;
+        for _ in 0..500 {
+            if health.get() != HealthState::Healthy {
+                saw_non_healthy = true;
+                break;
+            }
+            std::thread::sleep(std::time::Duration::from_millis(1));
+        }
+        live.finish();
+        // Whether or not the poll caught the transient Recovering window,
+        // the pipeline must end Healthy with the restart on the books.
+        let _ = saw_non_healthy;
+        assert_eq!(health.get(), HealthState::Healthy);
+    }
+
+    #[test]
+    fn supervised_pipeline_fails_terminally_without_hanging() {
+        let mut cfg = supervised_config(
+            1,
+            "panic@align-route:0:0;panic@align-route:0:1;panic@align-route:0:2",
+        );
+        cfg.supervision = Some(Supervision {
+            max_restarts: 2,
+            backoff: std::time::Duration::from_millis(1),
+            checkpoint_every_records: Some(16),
+            ..Supervision::default()
+        });
+        let live = IcpePipeline::launch(&cfg, |_| {});
+        let health = live.health_handle();
+        for r in walking_records(10) {
+            // Pushes must never hang or panic, even once the pipeline is
+            // terminally down (they are discarded).
+            live.push(r).unwrap();
+        }
+        for _ in 0..5000 {
+            if health.get() == HealthState::Failed {
+                break;
+            }
+            std::thread::sleep(std::time::Duration::from_millis(1));
+        }
+        assert_eq!(health.get(), HealthState::Failed, "restart budget spent");
+        // A checkpoint request against a failed pipeline errors instead of
+        // blocking forever.
+        assert!(live.checkpoint().is_err());
+        live.finish();
+    }
+
+    #[test]
+    fn supervised_without_faults_matches_unsupervised() {
+        let baseline = IcpePipeline::run(&config(3, EnumeratorKind::Fba), walking_records(10));
+        let cfg = IcpeConfig::builder()
+            .constraints(Constraints::new(3, 4, 2, 2).unwrap())
+            .epsilon(1.0)
+            .min_pts(3)
+            .parallelism(3)
+            .enumerator(EnumeratorKind::Fba)
+            .supervised(Supervision::default())
+            .build()
+            .unwrap();
+        let out = IcpePipeline::run(&cfg, walking_records(10));
+        assert_eq!(
+            pattern_counts(&out.patterns),
+            pattern_counts(&baseline.patterns)
+        );
+        assert_eq!(out.metrics.snapshots, 10);
     }
 }

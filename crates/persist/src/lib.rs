@@ -139,12 +139,55 @@ pub fn crc32(bytes: &[u8]) -> u32 {
     crc ^ 0xFFFF_FFFF
 }
 
+/// An injected write fault, consulted per save via
+/// [`CheckpointStore::with_fault_hook`] — the persist half of the chaos
+/// harness. `persist` cannot depend on the runtime's `FaultPlan`, so the
+/// hook is a plain callback the caller adapts.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SaveFault {
+    /// The write fails with an I/O error; nothing reaches disk.
+    Fail,
+    /// The file lands torn: the payload is truncated mid-way but the file
+    /// is still renamed into place, as if the process died during the
+    /// write — exercises [`CheckpointStore::load_latest`]'s fallback.
+    Torn,
+}
+
+/// Callback deciding whether checkpoint `seq`'s write should fault.
+pub type SaveFaultHook = std::sync::Arc<dyn Fn(u64) -> Option<SaveFault> + Send + Sync>;
+
+/// A checkpoint `load_latest` walked past because it was unreadable.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SkippedCheckpoint {
+    /// Sequence number of the skipped file.
+    pub seq: u64,
+    /// The rendered [`PersistError`] that made it unreadable.
+    pub reason: String,
+}
+
+/// Result payload of
+/// [`load_latest_with_skips`](CheckpointStore::load_latest_with_skips):
+/// the newest readable `(seq, value)` (if any) plus the unreadable
+/// checkpoints walked past to find it, newest first.
+pub type LoadedWithSkips<T> = (Option<(u64, T)>, Vec<SkippedCheckpoint>);
+
 /// A directory of atomic, CRC-protected, retention-bounded checkpoint
 /// files.
-#[derive(Debug, Clone)]
+#[derive(Clone)]
 pub struct CheckpointStore {
     dir: PathBuf,
     retain: usize,
+    fault: Option<SaveFaultHook>,
+}
+
+impl fmt::Debug for CheckpointStore {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("CheckpointStore")
+            .field("dir", &self.dir)
+            .field("retain", &self.retain)
+            .field("fault", &self.fault.as_ref().map(|_| "<hook>"))
+            .finish()
+    }
 }
 
 impl CheckpointStore {
@@ -156,7 +199,15 @@ impl CheckpointStore {
         Ok(CheckpointStore {
             dir,
             retain: retain.max(1),
+            fault: None,
         })
+    }
+
+    /// Installs a write-fault hook consulted (with the checkpoint seq)
+    /// before every [`save`](CheckpointStore::save). Testing/chaos only.
+    pub fn with_fault_hook(mut self, hook: SaveFaultHook) -> CheckpointStore {
+        self.fault = Some(hook);
+        self
     }
 
     /// The store's directory.
@@ -184,6 +235,26 @@ impl CheckpointStore {
         );
         let final_path = self.path_for(seq);
         let tmp_path = final_path.with_extension("tmp");
+        match self.fault.as_ref().and_then(|hook| hook(seq)) {
+            Some(SaveFault::Fail) => {
+                return Err(PersistError::Io(std::io::Error::other(
+                    "injected checkpoint write fault",
+                )));
+            }
+            Some(SaveFault::Torn) => {
+                // Half the payload, renamed into place anyway: the torn
+                // newest file a mid-write crash would leave behind.
+                let cut = payload.len() / 2;
+                fs::write(
+                    &tmp_path,
+                    [header.as_bytes(), &payload.as_bytes()[..cut]].concat(),
+                )?;
+                fs::rename(&tmp_path, &final_path)?;
+                self.prune()?;
+                return Ok(final_path);
+            }
+            None => {}
+        }
         {
             let mut f = fs::File::create(&tmp_path)?;
             f.write_all(header.as_bytes())?;
@@ -269,24 +340,47 @@ impl CheckpointStore {
 
     /// Loads the newest readable checkpoint, walking backwards past corrupt
     /// or truncated files (a torn newest file must not brick recovery).
-    /// Returns `None` when no checkpoint can be read at all.
+    /// Returns `None` when no checkpoint can be read at all. Skipped files
+    /// are warned to stderr; use
+    /// [`load_latest_with_skips`](CheckpointStore::load_latest_with_skips)
+    /// to get them programmatically (for journal events / counters).
     pub fn load_latest<T: for<'de> Deserialize<'de>>(
         &self,
     ) -> Result<Option<(u64, T)>, PersistError> {
+        self.load_latest_with_skips().map(|(found, _)| found)
+    }
+
+    /// [`load_latest`](CheckpointStore::load_latest), but also reports the
+    /// torn/corrupt checkpoints it walked past (newest first) so the caller
+    /// can surface them as observability events instead of a silent
+    /// fallback.
+    pub fn load_latest_with_skips<T: for<'de> Deserialize<'de>>(
+        &self,
+    ) -> Result<LoadedWithSkips<T>, PersistError> {
         let seqs = self.list()?;
+        let mut skips = Vec::new();
         let mut last_err: Option<PersistError> = None;
         for &seq in seqs.iter().rev() {
             match self.load(&self.path_for(seq)) {
-                Ok(value) => return Ok(Some((seq, value))),
+                Ok(value) => return Ok((Some((seq, value)), skips)),
                 Err(e @ PersistError::Io(_)) => return Err(e),
-                Err(e) => last_err = Some(e), // corrupt: try the previous one
+                Err(e) => {
+                    // Corrupt: warn loudly, record the skip, try the
+                    // previous one.
+                    eprintln!("icpe-persist: skipping unreadable checkpoint seq={seq}: {e}");
+                    skips.push(SkippedCheckpoint {
+                        seq,
+                        reason: e.to_string(),
+                    });
+                    last_err = Some(e);
+                }
             }
         }
         match last_err {
-            // Every file on disk is corrupt: surface the newest failure
-            // rather than silently starting fresh over bad state.
+            // Every file on disk is corrupt: surface the failure rather
+            // than silently starting fresh over bad state.
             Some(e) => Err(e),
-            None => Ok(None),
+            None => Ok((None, skips)),
         }
     }
 
@@ -494,6 +588,57 @@ mod tests {
         let (seq, back): (u64, PipelineCheckpoint) = store.load_latest().unwrap().unwrap();
         assert_eq!(seq, 1, "fell back to the previous good checkpoint");
         assert_eq!(back, sample(1));
+        let _ = fs::remove_dir_all(store.dir());
+    }
+
+    #[test]
+    fn load_latest_with_skips_reports_the_torn_file() {
+        let store = CheckpointStore::open(tmp_dir("skips"), 3).unwrap();
+        store.save(1, &sample(1)).unwrap();
+        let newest = store.save(2, &sample(2)).unwrap();
+        let full = fs::read(&newest).unwrap();
+        fs::write(&newest, &full[..full.len() / 2]).unwrap();
+        let (found, skips) = store
+            .load_latest_with_skips::<PipelineCheckpoint>()
+            .unwrap();
+        assert_eq!(found.unwrap().0, 1);
+        assert_eq!(skips.len(), 1);
+        assert_eq!(skips[0].seq, 2);
+        assert!(skips[0].reason.contains("truncated"), "{}", skips[0].reason);
+        let _ = fs::remove_dir_all(store.dir());
+    }
+
+    #[test]
+    fn injected_save_fail_writes_nothing() {
+        let hook: SaveFaultHook = std::sync::Arc::new(|seq| (seq == 2).then_some(SaveFault::Fail));
+        let store = CheckpointStore::open(tmp_dir("savefail"), 3)
+            .unwrap()
+            .with_fault_hook(hook);
+        store.save(1, &sample(1)).unwrap();
+        assert!(matches!(
+            store.save(2, &sample(2)),
+            Err(PersistError::Io(_))
+        ));
+        assert_eq!(store.list().unwrap(), vec![1], "faulted seq never landed");
+        let (seq, _): (u64, PipelineCheckpoint) = store.load_latest().unwrap().unwrap();
+        assert_eq!(seq, 1);
+        let _ = fs::remove_dir_all(store.dir());
+    }
+
+    #[test]
+    fn injected_torn_save_lands_and_recovery_falls_back() {
+        let hook: SaveFaultHook = std::sync::Arc::new(|seq| (seq == 2).then_some(SaveFault::Torn));
+        let store = CheckpointStore::open(tmp_dir("savetorn"), 3)
+            .unwrap()
+            .with_fault_hook(hook);
+        store.save(1, &sample(1)).unwrap();
+        store.save(2, &sample(2)).unwrap(); // lands torn, reports success
+        assert_eq!(store.list().unwrap(), vec![1, 2]);
+        let (found, skips) = store
+            .load_latest_with_skips::<PipelineCheckpoint>()
+            .unwrap();
+        assert_eq!(found.unwrap().0, 1, "torn newest skipped");
+        assert_eq!(skips[0].seq, 2);
         let _ = fs::remove_dir_all(store.dir());
     }
 

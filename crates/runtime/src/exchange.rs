@@ -16,11 +16,58 @@
 //!   FIFO order "data before its tick/barrier" is preserved exactly as in
 //!   the record-at-a-time dataflow.
 
+use crate::fault::{FaultKind, FaultPlan};
 use crate::obs::ExchangeObs;
 use crate::routing::RoutingTable;
 use crossbeam::channel::Sender;
+use std::cell::Cell;
 use std::sync::Arc;
 use std::time::Instant;
+
+/// Chaos hook on one subtask's outbound hop: consulted before every batch
+/// send, keyed by the *receiving* stage's name (the same label the hop's
+/// instrumentation uses), the sending subtask, and a subtask-local send
+/// ordinal. See [`FaultPlan::send_fault`].
+pub(crate) struct SendFault {
+    plan: Arc<FaultPlan>,
+    stage: String,
+    subtask: usize,
+    sends: Cell<u64>,
+}
+
+impl SendFault {
+    pub(crate) fn new(plan: Arc<FaultPlan>, stage: &str) -> Self {
+        SendFault {
+            plan,
+            stage: stage.to_string(),
+            subtask: 0,
+            sends: Cell::new(0),
+        }
+    }
+
+    fn for_subtask(&self, subtask: usize) -> Self {
+        SendFault {
+            plan: Arc::clone(&self.plan),
+            stage: self.stage.clone(),
+            subtask,
+            sends: Cell::new(0),
+        }
+    }
+
+    /// Returns `true` when the batch about to be sent must be dropped.
+    fn before_send(&self) -> bool {
+        let ordinal = self.sends.get();
+        self.sends.set(ordinal + 1);
+        match self.plan.send_fault(&self.stage, self.subtask, ordinal) {
+            Some(FaultKind::DelaySend(ms)) => {
+                std::thread::sleep(std::time::Duration::from_millis(ms));
+                false
+            }
+            Some(FaultKind::DropSend) => true,
+            _ => false,
+        }
+    }
+}
 
 /// Routing failed because the downstream stage hung up (all of its
 /// receivers were dropped) — the upstream subtask should stop producing.
@@ -140,6 +187,8 @@ pub struct Router<T> {
     /// destination). `None` on uninstrumented dataflows: the hot path pays
     /// one branch.
     obs: Option<ExchangeObs>,
+    /// Chaos hook (delay/drop a send); `None` outside chaos runs.
+    fault: Option<SendFault>,
 }
 
 impl<T> Router<T> {
@@ -157,7 +206,15 @@ impl<T> Router<T> {
             batch: batch.max(1),
             rr: 0,
             obs,
+            fault: None,
         }
+    }
+
+    /// Arms the chaos hook on this hop (builder style; template routers
+    /// pass it on to every subtask clone).
+    pub(crate) fn with_fault(mut self, fault: Option<SendFault>) -> Self {
+        self.fault = fault;
+        self
     }
 
     pub(crate) fn clone_for_subtask(&self, subtask: usize) -> Self {
@@ -170,6 +227,7 @@ impl<T> Router<T> {
             // downstream subtask 0 first.
             rr: subtask % self.senders.len(),
             obs: self.obs.clone(),
+            fault: self.fault.as_ref().map(|f| f.for_subtask(subtask)),
         }
     }
 
@@ -243,6 +301,11 @@ impl<T> Router<T> {
     /// send and sampling the queue depth when the hop is instrumented — the
     /// per-exchange backpressure signal.
     fn send_to(&self, idx: usize, batch: Vec<T>) -> Result<(), Disconnected> {
+        if let Some(fault) = &self.fault {
+            if fault.before_send() {
+                return Ok(()); // injected drop: the batch is lost by design
+            }
+        }
         match &self.obs {
             Some(obs) => {
                 let started = Instant::now();
@@ -417,6 +480,27 @@ mod tests {
         let _ = reg
             .counter("down", 0, "exchange_blocked_seconds_total")
             .get();
+    }
+
+    #[test]
+    fn send_faults_drop_exactly_the_keyed_batch() {
+        let plan = FaultPlan::new()
+            .point("down", 0, 0, FaultKind::DropSend)
+            .point("down", 0, 1, FaultKind::DelaySend(1))
+            .build();
+        let (senders, receivers): (Vec<_>, Vec<_>) = (0..1).map(|_| bounded::<Vec<u64>>(8)).unzip();
+        let template = Router::new(senders, Exchange::Rebalance, 2, None)
+            .with_fault(Some(SendFault::new(plan, "down")));
+        let mut r = template.clone_for_subtask(0);
+        drop(template);
+        r.route(1).unwrap();
+        r.route(2).unwrap(); // size flush → send #0 → injected drop
+        r.route(3).unwrap();
+        r.flush().unwrap(); // send #1 → delayed, then delivered
+        r.route(4).unwrap();
+        r.flush().unwrap(); // send #2 → plan exhausted, normal
+        drop(r);
+        assert_eq!(drain(&receivers[0]), vec![3, 4], "batch [1,2] was dropped");
     }
 
     #[test]

@@ -32,6 +32,7 @@
 
 pub mod aligner;
 pub mod exchange;
+pub mod fault;
 pub mod metrics;
 pub mod obs;
 pub mod operator;
@@ -42,6 +43,7 @@ pub use aligner::{
     AlignOperator, AlignStats, AlignerConfig, AlignerStatus, Routed, ShardedAligner, TimeAligner,
 };
 pub use exchange::{Disconnected, Exchange, Routing};
+pub use fault::{FaultKind, FaultPlan, FaultPoint, StageFailure};
 pub use metrics::{MetricsReport, PipelineMetrics, StreamProgress};
 pub use obs::{
     Counter, ExchangeObs, Gauge, Histogram, MetricRegistry, ObsEvent, ObsEventKind, StageObs,

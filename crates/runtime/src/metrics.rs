@@ -78,7 +78,10 @@ impl PipelineMetrics {
         inner.completed = progress.snapshots_completed as usize;
         inner.late_records = progress.late_records;
         // At a consistent cut nothing is in flight: everything ingested has
-        // sealed, so both frontiers resume at the sealed frontier.
+        // sealed, so both frontiers resume at the sealed frontier and any
+        // in-flight ingest marks from before the cut are void (in-process
+        // recovery reuses the same metrics handle across generations).
+        inner.ingest.clear();
         inner.max_ingested = progress.max_sealed;
         inner.max_sealed = progress.max_sealed;
     }

@@ -48,8 +48,12 @@ const MAX_EXP: u32 = 35;
 /// Fine buckets between the two magnitudes.
 const BUCKETS: usize = ((MAX_EXP - MIN_EXP) as usize) << SUB_BITS;
 
-/// Events retained by the journal ring buffer.
-pub const EVENT_CAPACITY: usize = 1024;
+/// Events retained by the journal ring buffer. Sized so an `EVENTS
+/// since-seq` follower paging over a live stream has seconds — not
+/// hundreds of milliseconds — of slack before eviction outruns it, even
+/// with per-pattern journaling enabled (a rendered event is ~100 bytes,
+/// so the ring tops out around 1 MB per registry).
+pub const EVENT_CAPACITY: usize = 8192;
 
 /// Fine-bucket index for a nanosecond value; `None` means overflow.
 fn bucket_index(ns: u64) -> Option<usize> {
@@ -330,6 +334,57 @@ pub enum ObsEventKind {
         /// How many records the aligner dropped in this batch.
         records: u64,
     },
+    /// A supervised subtask died (panic caught at the worker boundary).
+    StageFailed {
+        /// Stage name of the dead worker.
+        stage: String,
+        /// Subtask index of the dead worker.
+        subtask: u64,
+    },
+    /// The supervisor began tearing down and relaunching the pipeline.
+    PipelineRecovering {
+        /// 1-based restart attempt number.
+        restart: u64,
+    },
+    /// The pipeline came back up and finished replaying buffered records.
+    PipelineRecovered {
+        /// 1-based restart attempt number that succeeded.
+        restart: u64,
+        /// Records replayed from the post-checkpoint buffer.
+        replayed: u64,
+    },
+    /// The supervisor exhausted its restart budget; the pipeline is
+    /// terminally failed.
+    PipelineFailed {
+        /// Restart attempts consumed before giving up.
+        restarts: u64,
+    },
+    /// `load_latest` skipped a torn or corrupt checkpoint on disk and fell
+    /// back to an older one.
+    CheckpointSkipped {
+        /// Sequence number of the skipped checkpoint.
+        seq: u64,
+        /// Why it was unreadable (rendered `PersistError`).
+        reason: String,
+    },
+    /// Malformed producer lines were moved to the dead-letter buffer.
+    RecordQuarantined {
+        /// Producer connection id the lines came from.
+        conn: u64,
+        /// How many lines this event covers.
+        records: u64,
+    },
+    /// A pattern was sealed and delivered downstream. Journaled at the
+    /// delivery edge so a subscriber shed mid-stream can reconnect and
+    /// backfill what it missed with `EVENTS since-seq` (best-effort: the
+    /// journal is a bounded ring, so backfill reaches at most
+    /// [`EVENT_CAPACITY`] events into the past).
+    PatternSealed {
+        /// Object ids in the pattern.
+        objects: Vec<u32>,
+        /// Snapshot times the pattern spans.
+        times: Vec<u32>,
+    },
 }
 
 impl ObsEvent {
@@ -366,8 +421,76 @@ impl ObsEvent {
                 "{{\"seq\":{},\"event\":\"late_batch_dropped\",\"records\":{}}}",
                 self.seq, records
             ),
+            ObsEventKind::StageFailed { stage, subtask } => format!(
+                "{{\"seq\":{},\"event\":\"stage_failed\",\"stage\":\"{}\",\"subtask\":{}}}",
+                self.seq,
+                json_escape(stage),
+                subtask
+            ),
+            ObsEventKind::PipelineRecovering { restart } => format!(
+                "{{\"seq\":{},\"event\":\"pipeline_recovering\",\"restart\":{}}}",
+                self.seq, restart
+            ),
+            ObsEventKind::PipelineRecovered { restart, replayed } => format!(
+                "{{\"seq\":{},\"event\":\"pipeline_recovered\",\"restart\":{},\"replayed\":{}}}",
+                self.seq, restart, replayed
+            ),
+            ObsEventKind::PipelineFailed { restarts } => format!(
+                "{{\"seq\":{},\"event\":\"pipeline_failed\",\"restarts\":{}}}",
+                self.seq, restarts
+            ),
+            ObsEventKind::CheckpointSkipped { seq, reason } => format!(
+                "{{\"seq\":{},\"event\":\"checkpoint_skipped\",\"checkpoint_seq\":{},\"reason\":\"{}\"}}",
+                self.seq,
+                seq,
+                json_escape(reason)
+            ),
+            ObsEventKind::RecordQuarantined { conn, records } => format!(
+                "{{\"seq\":{},\"event\":\"record_quarantined\",\"conn\":{},\"records\":{}}}",
+                self.seq, conn, records
+            ),
+            ObsEventKind::PatternSealed { objects, times } => format!(
+                "{{\"seq\":{},\"event\":\"pattern_sealed\",\"objects\":{},\"times\":{}}}",
+                self.seq,
+                render_u32_array(objects),
+                render_u32_array(times)
+            ),
         }
     }
+}
+
+/// `[1,2,3]` — JSON array of numbers without pulling in a serializer.
+fn render_u32_array(values: &[u32]) -> String {
+    let mut out = String::with_capacity(2 + values.len() * 4);
+    out.push('[');
+    for (i, v) in values.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        let _ = write!(out, "{v}");
+    }
+    out.push(']');
+    out
+}
+
+/// Minimal JSON string escaping for event fields that carry free text
+/// (error messages, stage names): backslash, quote, and control bytes.
+fn json_escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+    out
 }
 
 /// The cloneable registry handle shared by every stage, exchange hop, and
@@ -487,6 +610,23 @@ impl MetricRegistry {
         for row in &ckpt.counters {
             self.counter(&row.stage, 0, &row.name).add(row.value);
         }
+    }
+
+    /// Rewinds every registered counter to a checkpoint: all cells are
+    /// zeroed, then the checkpointed totals are re-credited to subtask 0.
+    /// Used by in-process recovery, where the relaunched generation shares
+    /// this registry's cells with the dead one — replay then re-accumulates
+    /// the post-checkpoint span exactly once. Gauges are left alone (the
+    /// new generation overwrites them) and histograms keep their samples
+    /// (latency distributions are informational, not conserved).
+    pub fn reset_counters_to(&self, ckpt: &ObsCheckpoint) {
+        {
+            let counters = self.inner.counters.lock();
+            for cell in counters.values() {
+                cell.cell.store(0, Relaxed);
+            }
+        }
+        self.restore(ckpt);
     }
 
     /// Wall-clock seconds spent in `process_batch` per stage (summed over
@@ -775,6 +915,89 @@ mod tests {
         assert_eq!(
             events[1].render_json(),
             "{\"seq\":2,\"event\":\"cell_coalesced\",\"x\":-2,\"y\":5,\"depth\":0}"
+        );
+    }
+
+    #[test]
+    fn recovery_events_render_as_one_json_line() {
+        let reg = MetricRegistry::new();
+        reg.emit(ObsEventKind::StageFailed {
+            stage: "grid-query".into(),
+            subtask: 1,
+        });
+        reg.emit(ObsEventKind::PipelineRecovering { restart: 1 });
+        reg.emit(ObsEventKind::PipelineRecovered {
+            restart: 1,
+            replayed: 42,
+        });
+        reg.emit(ObsEventKind::PipelineFailed { restarts: 3 });
+        reg.emit(ObsEventKind::CheckpointSkipped {
+            seq: 7,
+            reason: "checksum mismatch: \"bad\"".into(),
+        });
+        reg.emit(ObsEventKind::RecordQuarantined {
+            conn: 4,
+            records: 2,
+        });
+        let events = reg.events_since(0);
+        assert_eq!(
+            events[0].render_json(),
+            "{\"seq\":1,\"event\":\"stage_failed\",\"stage\":\"grid-query\",\"subtask\":1}"
+        );
+        assert_eq!(
+            events[1].render_json(),
+            "{\"seq\":2,\"event\":\"pipeline_recovering\",\"restart\":1}"
+        );
+        assert_eq!(
+            events[2].render_json(),
+            "{\"seq\":3,\"event\":\"pipeline_recovered\",\"restart\":1,\"replayed\":42}"
+        );
+        assert_eq!(
+            events[3].render_json(),
+            "{\"seq\":4,\"event\":\"pipeline_failed\",\"restarts\":3}"
+        );
+        assert_eq!(
+            events[4].render_json(),
+            "{\"seq\":5,\"event\":\"checkpoint_skipped\",\"checkpoint_seq\":7,\
+             \"reason\":\"checksum mismatch: \\\"bad\\\"\"}"
+        );
+        assert_eq!(
+            events[5].render_json(),
+            "{\"seq\":6,\"event\":\"record_quarantined\",\"conn\":4,\"records\":2}"
+        );
+    }
+
+    #[test]
+    fn pattern_sealed_renders_its_identity_arrays() {
+        let reg = MetricRegistry::new();
+        reg.emit(ObsEventKind::PatternSealed {
+            objects: vec![3, 1, 4],
+            times: vec![7, 8],
+        });
+        assert_eq!(
+            reg.events_since(0)[0].render_json(),
+            "{\"seq\":1,\"event\":\"pattern_sealed\",\"objects\":[3,1,4],\"times\":[7,8]}"
+        );
+    }
+
+    #[test]
+    fn reset_counters_to_rewinds_to_the_checkpoint() {
+        let reg = MetricRegistry::new();
+        reg.counter("align", 0, "stage_records_in_total").add(100);
+        let ckpt = reg.counter_checkpoint();
+        // Post-checkpoint progress on several subtasks…
+        reg.counter("align", 0, "stage_records_in_total").add(30);
+        reg.counter("align", 1, "stage_records_in_total").add(20);
+        reg.counter("grid-query", 0, "stage_batches_in_total")
+            .add(5);
+        // …is discarded by the rewind; the checkpointed span survives.
+        reg.reset_counters_to(&ckpt);
+        assert_eq!(reg.counter_checkpoint(), ckpt);
+        assert_eq!(reg.counter("align", 0, "stage_records_in_total").get(), 100);
+        assert_eq!(reg.counter("align", 1, "stage_records_in_total").get(), 0);
+        assert_eq!(
+            reg.counter("grid-query", 0, "stage_batches_in_total").get(),
+            0
         );
     }
 

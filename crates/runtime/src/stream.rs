@@ -19,16 +19,18 @@
 //! batching raises throughput under load without adding latency when the
 //! stream is idle.
 
-use crate::exchange::{Exchange, Router};
+use crate::exchange::{Exchange, Router, SendFault};
+use crate::fault::{panic_cause, FaultKind, FaultPlan, StageFailure};
 use crate::obs::{ExchangeObs, MetricRegistry, StageObs};
 use crate::operator::{Collector, Operator};
 use crossbeam::channel::{bounded, Receiver, Sender, TryRecvError};
-use std::sync::Mutex;
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::{Arc, Mutex};
 use std::thread::JoinHandle;
 use std::time::Instant;
 
 /// Runtime knobs shared by every stage of a dataflow.
-#[derive(Debug, Clone, Copy)]
+#[derive(Debug, Clone)]
 pub struct RuntimeConfig {
     /// Capacity of each inter-subtask channel, **in batches**. Bounded
     /// channels give the pipelined backpressure Flink's network stack
@@ -37,6 +39,11 @@ pub struct RuntimeConfig {
     /// Records per destination batch buffer before a size flush (see the
     /// `exchange` module docs). `1` restores record-at-a-time sends.
     pub batch_size: usize,
+    /// Deterministic fault injection (chaos testing): consulted by every
+    /// worker before each batch and by every exchange hop before each
+    /// send. `None` (the default) is branch-per-batch free of any fault
+    /// bookkeeping.
+    pub fault: Option<Arc<FaultPlan>>,
 }
 
 /// The default records-per-batch of every exchange hop (and of the serve
@@ -50,6 +57,7 @@ impl Default for RuntimeConfig {
         RuntimeConfig {
             channel_capacity: 1024,
             batch_size: DEFAULT_BATCH_SIZE,
+            fault: None,
         }
     }
 }
@@ -85,6 +93,49 @@ pub struct Stream<T> {
     /// in/out, and every exchange hop records queue depth plus
     /// blocked-send time, into this registry.
     obs: Option<MetricRegistry>,
+    /// When set (see [`Stream::supervise`]), a panicking subtask declared
+    /// from here on is *isolated*: the unwind is caught at the thread
+    /// boundary, a typed [`StageFailure`] is reported on this channel, and
+    /// the worker exits cleanly (its dropped channels cascade teardown
+    /// through the rest of the generation). Without a supervisor, panics
+    /// propagate to the driver via `join` exactly as before.
+    supervisor: Option<Sender<StageFailure>>,
+}
+
+/// Runs `body` under the stream's failure policy: supervised workers catch
+/// the unwind and report a typed failure; unsupervised workers let it
+/// propagate to the thread boundary (and from there to the driver's join).
+fn run_worker(
+    supervisor: Option<Sender<StageFailure>>,
+    stage: &str,
+    subtask: usize,
+    body: impl FnOnce(),
+) {
+    match supervisor {
+        None => body(),
+        Some(tx) => {
+            if let Err(payload) = catch_unwind(AssertUnwindSafe(body)) {
+                // Receiver gone (supervisor already tearing down): the
+                // worker still exits cleanly — that is the point.
+                let _ = tx.send(StageFailure {
+                    stage: stage.to_string(),
+                    subtask,
+                    cause: panic_cause(payload.as_ref()),
+                });
+            }
+        }
+    }
+}
+
+/// Applies a worker-scoped fault (consulted once per input batch).
+fn apply_worker_fault(plan: &FaultPlan, stage: &str, subtask: usize, batch: u64) {
+    match plan.worker_fault(stage, subtask, batch) {
+        Some(FaultKind::Panic) => {
+            panic!("injected fault: panic at stage `{stage}` subtask {subtask} batch {batch}")
+        }
+        Some(FaultKind::Stall(ms)) => std::thread::sleep(std::time::Duration::from_millis(ms)),
+        _ => {}
+    }
 }
 
 impl<T: Send + Clone + 'static> Stream<T> {
@@ -118,6 +169,7 @@ impl<T: Send + Clone + 'static> Stream<T> {
             handles: Vec::new(),
             config,
             obs: None,
+            supervisor: None,
         }
     }
 
@@ -165,7 +217,20 @@ impl<T: Send + Clone + 'static> Stream<T> {
             handles: Vec::new(),
             config,
             obs: None,
+            supervisor: None,
         }
+    }
+
+    /// Attaches a supervisor: every stage declared *after* this call runs
+    /// its subtasks behind a `catch_unwind` boundary — a panic becomes a
+    /// typed [`StageFailure`] on `failures` and a clean thread exit (whose
+    /// dropped channels cascade teardown through the generation) instead
+    /// of an unwind that [`Stream::for_each`]/[`StreamHandle::join`] would
+    /// re-raise on the driver. Source stages carry no operator code and
+    /// stay unsupervised.
+    pub fn supervise(mut self, failures: Sender<StageFailure>) -> Stream<T> {
+        self.supervisor = Some(failures);
+        self
     }
 
     /// Attaches a metric registry: every stage declared *after* this call
@@ -206,7 +271,13 @@ impl<T: Send + Clone + 'static> Stream<T> {
             .obs
             .as_ref()
             .map(|reg| ExchangeObs::new(reg, name, parallelism));
-        let template = Router::new(senders, exchange, self.config.batch_size, hop_obs);
+        let hop_fault = self
+            .config
+            .fault
+            .as_ref()
+            .map(|plan| SendFault::new(Arc::clone(plan), name));
+        let template =
+            Router::new(senders, exchange, self.config.batch_size, hop_obs).with_fault(hop_fault);
 
         // Fix the routing of the previous stage → spawn its subtasks now.
         let mut handles = std::mem::take(&mut self.handles);
@@ -220,53 +291,63 @@ impl<T: Send + Clone + 'static> Stream<T> {
         for (i, rx) in receivers.into_iter().enumerate() {
             let mut op = factory(i);
             let thread_name = format!("{name}-{i}");
+            let stage = name.to_string();
             let stage_obs = self.obs.as_ref().map(|reg| StageObs::new(reg, name, i));
+            let supervisor = self.supervisor.clone();
+            let fault = self.config.fault.clone();
             pending.push(Box::new(move |mut router: Router<O>| {
                 std::thread::Builder::new()
                     .name(thread_name)
                     .spawn(move || {
-                        let mut collector = Collector::new();
-                        loop {
-                            let batch = match rx.try_recv() {
-                                Ok(batch) => batch,
-                                Err(TryRecvError::Empty) => {
-                                    // About to wait: ship partial output
-                                    // batches so downstream keeps working.
-                                    if router.flush().is_err() {
+                        run_worker(supervisor, &stage, i, || {
+                            let mut collector = Collector::new();
+                            let mut batch_no = 0u64;
+                            loop {
+                                let batch = match rx.try_recv() {
+                                    Ok(batch) => batch,
+                                    Err(TryRecvError::Empty) => {
+                                        // About to wait: ship partial output
+                                        // batches so downstream keeps working.
+                                        if router.flush().is_err() {
+                                            return;
+                                        }
+                                        match rx.recv() {
+                                            Ok(batch) => batch,
+                                            Err(_) => break, // upstream done
+                                        }
+                                    }
+                                    Err(TryRecvError::Disconnected) => break,
+                                };
+                                if let Some(plan) = &fault {
+                                    apply_worker_fault(plan, &stage, i, batch_no);
+                                }
+                                batch_no += 1;
+                                let batch_len = batch.len();
+                                let started = stage_obs.as_ref().map(|_| Instant::now());
+                                op.process_batch(batch, &mut collector);
+                                // Processing time only: routing (and any
+                                // backpressure blocking) is the exchange hop's
+                                // measurement, taken separately.
+                                let elapsed = started.map(|t| t.elapsed());
+                                let mut emitted = 0u64;
+                                for out in collector.drain() {
+                                    emitted += 1;
+                                    if router.route(out).is_err() {
                                         return;
                                     }
-                                    match rx.recv() {
-                                        Ok(batch) => batch,
-                                        Err(_) => break, // upstream done
-                                    }
                                 }
-                                Err(TryRecvError::Disconnected) => break,
-                            };
-                            let batch_len = batch.len();
-                            let started = stage_obs.as_ref().map(|_| Instant::now());
-                            op.process_batch(batch, &mut collector);
-                            // Processing time only: routing (and any
-                            // backpressure blocking) is the exchange hop's
-                            // measurement, taken separately.
-                            let elapsed = started.map(|t| t.elapsed());
-                            let mut emitted = 0u64;
+                                if let (Some(obs), Some(elapsed)) = (&stage_obs, elapsed) {
+                                    obs.batch(batch_len, emitted, elapsed);
+                                }
+                            }
+                            op.finish(&mut collector);
                             for out in collector.drain() {
-                                emitted += 1;
                                 if router.route(out).is_err() {
                                     return;
                                 }
                             }
-                            if let (Some(obs), Some(elapsed)) = (&stage_obs, elapsed) {
-                                obs.batch(batch_len, emitted, elapsed);
-                            }
-                        }
-                        op.finish(&mut collector);
-                        for out in collector.drain() {
-                            if router.route(out).is_err() {
-                                return;
-                            }
-                        }
-                        let _ = router.flush();
+                            let _ = router.flush();
+                        });
                     })
                     .expect("failed to spawn stage thread")
             }));
@@ -276,6 +357,7 @@ impl<T: Send + Clone + 'static> Stream<T> {
             handles,
             config: self.config,
             obs: self.obs,
+            supervisor: self.supervisor,
         }
     }
 
@@ -487,6 +569,7 @@ mod tests {
         RuntimeConfig {
             channel_capacity: 16,
             batch_size: 4,
+            fault: None,
         }
     }
 
@@ -607,6 +690,7 @@ mod tests {
             let config = RuntimeConfig {
                 channel_capacity: 8,
                 batch_size,
+                fault: None,
             };
             let out = Stream::source(config, 2, |i| (0..100u64).map(move |x| x * 2 + i as u64))
                 .apply("inc", 3, Exchange::Rebalance, |_| map_fn(|x: u64| x + 1))
@@ -638,6 +722,7 @@ mod tests {
         let config = RuntimeConfig {
             channel_capacity: 16,
             batch_size: 8,
+            fault: None,
         };
         let sizes = Stream::source(config, 1, |_| 0..64u64)
             .apply("sizes", 1, Exchange::Rebalance, |_| BatchSizes)
@@ -655,6 +740,7 @@ mod tests {
         let config = RuntimeConfig {
             channel_capacity: 2,
             batch_size: 4,
+            fault: None,
         };
         let out = Stream::source(config, 1, |_| 0..2000u64)
             .apply("slow", 1, Exchange::Rebalance, |_| {
@@ -682,6 +768,46 @@ mod tests {
                 })
             })
             .run();
+    }
+
+    #[test]
+    fn supervised_panic_is_reported_not_propagated() {
+        let (failures, reports) = bounded(16);
+        Stream::source(cfg(), 1, |_| 0..10u64)
+            .supervise(failures)
+            .apply("bomb", 2, Exchange::Rebalance, |_| {
+                map_fn(|x: u64| {
+                    if x == 5 {
+                        panic!("boom");
+                    }
+                    x
+                })
+            })
+            .run();
+        let failure = reports.try_recv().expect("failure report");
+        assert_eq!(failure.stage, "bomb");
+        assert!(failure.subtask < 2);
+        assert!(failure.cause.contains("boom"), "cause: {}", failure.cause);
+    }
+
+    #[test]
+    fn injected_panic_fires_at_the_keyed_batch() {
+        let plan = FaultPlan::new()
+            .point("work", 0, 1, crate::fault::FaultKind::Panic)
+            .build();
+        let config = RuntimeConfig {
+            fault: Some(Arc::clone(&plan)),
+            ..cfg()
+        };
+        let (failures, reports) = bounded(16);
+        Stream::source(config, 1, |_| 0..100u64)
+            .supervise(failures)
+            .apply("work", 1, Exchange::Rebalance, |_| map_fn(|x: u64| x))
+            .run();
+        let failure = reports.try_recv().expect("failure report");
+        assert_eq!(failure.stage, "work");
+        assert!(failure.cause.contains("injected fault"));
+        assert!(plan.exhausted());
     }
 
     #[test]

@@ -15,6 +15,7 @@ fn cfg() -> RuntimeConfig {
     RuntimeConfig {
         channel_capacity: 8,
         batch_size: 4,
+        fault: None,
     }
 }
 

@@ -45,6 +45,26 @@
 //!                           the newest readable checkpoint in it at start
 //!   ICPE_CHECKPOINT_SECS    periodic checkpoint interval   (default 30)
 //!   ICPE_CHECKPOINT_RETAIN  checkpoints kept               (default 3)
+//!
+//! Self-healing & chaos (see the README "Fault tolerance" section):
+//!   ICPE_SUPERVISED     1 = run the pipeline under the supervisor: worker
+//!                       panics are caught, the pipeline relaunches from
+//!                       its latest checkpoint and replays (default off)
+//!   ICPE_MAX_RESTARTS   supervised restart budget          (default 5)
+//!   ICPE_CHECKPOINT_EVERY_RECORDS
+//!                       supervisor-internal checkpoint cadence in records
+//!                       (default 8192; bounds replay after a failure)
+//!   ICPE_FAULT          deterministic fault plan, e.g.
+//!                       `panic@grid-query:0:3;ckpttorn@2` — injects the
+//!                       listed one-shot faults (chaos testing only)
+//!   ICPE_SOCKET_TIMEOUT_SECS
+//!                       per-connection socket read/write timeout; silent
+//!                       dead peers are dropped cleanly (default 0 = none)
+//!   ICPE_JOURNAL_PATTERNS
+//!                       1 = journal every sealed pattern so shed
+//!                       subscribers can backfill with `EVENTS since-seq`
+//!                       (default 0: pattern volume can evict operational
+//!                       events from the bounded journal ring)
 //! ```
 //!
 //! Feed it with `icpe_serve::loadgen` (see `examples/streaming_live.rs`),
@@ -97,6 +117,17 @@ fn main() {
             .refine_split_frac(env_parse("ICPE_REFINE_SPLIT", 0.5))
             .refine_coalesce_frac(env_parse("ICPE_REFINE_COALESCE", 0.15));
     }
+    if env_parse("ICPE_SUPERVISED", 0u8) != 0 {
+        engine = engine.supervised(icpe_core::Supervision {
+            max_restarts: env_parse("ICPE_MAX_RESTARTS", 5),
+            checkpoint_every_records: Some(env_parse("ICPE_CHECKPOINT_EVERY_RECORDS", 8192)),
+            ..icpe_core::Supervision::default()
+        });
+    }
+    if let Ok(spec) = std::env::var("ICPE_FAULT") {
+        let plan = icpe_runtime::FaultPlan::from_spec(&spec).expect("valid ICPE_FAULT spec");
+        engine = engine.fault_plan(std::sync::Arc::new(plan));
+    }
     let engine = engine.build().expect("valid engine configuration");
 
     let mut config = ServeConfig::new(engine);
@@ -134,7 +165,8 @@ fn main() {
                 .unwrap_or_else(|| "?".into())
         };
         println!(
-            "[status] records_in={} records_per_s={} snapshots_sealed={} patterns={} subscribers={} shed={} epoch={} imbalance={} sync_pairs={} sync_imbalance={}",
+            "[status] health={} records_in={} records_per_s={} snapshots_sealed={} patterns={} subscribers={} shed={} epoch={} imbalance={} sync_pairs={} sync_imbalance={}",
+            pick("health"),
             pick("records_in"),
             pick("records_per_s"),
             pick("snapshots_sealed"),

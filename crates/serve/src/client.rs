@@ -13,6 +13,20 @@ pub struct Subscription {
 }
 
 impl Subscription {
+    /// Like [`Subscription::connect`], but retries the connection with
+    /// exponential backoff — the client side of fault tolerance: a server
+    /// that is restarting (or has shed this consumer and not yet settled)
+    /// is retried rather than given up on. `attempts` counts total tries;
+    /// `backoff` is the first retry's delay and doubles per retry.
+    pub fn connect_with_retry(
+        addr: &str,
+        topic: Topic,
+        attempts: u32,
+        backoff: std::time::Duration,
+    ) -> std::io::Result<Subscription> {
+        retry_with_backoff(attempts, backoff, || Subscription::connect(addr, topic))
+    }
+
     /// Connects and subscribes to `topic`.
     pub fn connect(addr: &str, topic: Topic) -> std::io::Result<Subscription> {
         let stream = TcpStream::connect(addr)?;
@@ -74,6 +88,91 @@ impl Subscription {
             }
         }
     }
+}
+
+/// Runs `op` up to `attempts` times, sleeping `backoff` (doubling each
+/// retry, capped at 2 s) between failures; returns the first success or the
+/// last error.
+fn retry_with_backoff<T>(
+    attempts: u32,
+    backoff: std::time::Duration,
+    mut op: impl FnMut() -> std::io::Result<T>,
+) -> std::io::Result<T> {
+    let cap = std::time::Duration::from_secs(2);
+    let mut delay = backoff;
+    let mut last_err = None;
+    for attempt in 0..attempts.max(1) {
+        if attempt > 0 {
+            std::thread::sleep(delay);
+            delay = (delay * 2).min(cap);
+        }
+        match op() {
+            Ok(value) => return Ok(value),
+            Err(e) => last_err = Some(e),
+        }
+    }
+    Err(last_err.unwrap_or_else(|| std::io::Error::other("no attempts made")))
+}
+
+/// A resumable `EVENTS` tail: remembers the last journal sequence number it
+/// has seen and asks only for what came after, so a consumer that was
+/// disconnected (shed as a slow subscriber, network blip, server restart)
+/// reconnects and backfills **without duplicates** — the journal's
+/// monotonic `seq` is the resume cursor, exactly as `EVENTS since-seq`
+/// serves it.
+pub struct EventFollower {
+    addr: String,
+    since: u64,
+    attempts: u32,
+    backoff: std::time::Duration,
+}
+
+impl EventFollower {
+    /// A follower starting from journal sequence `since` (0 = everything
+    /// retained), reconnecting with up to 5 attempts of doubling backoff
+    /// starting at 50 ms.
+    pub fn new(addr: &str, since: u64) -> EventFollower {
+        EventFollower {
+            addr: addr.to_string(),
+            since,
+            attempts: 5,
+            backoff: std::time::Duration::from_millis(50),
+        }
+    }
+
+    /// Overrides the reconnect policy.
+    pub fn with_retry(mut self, attempts: u32, backoff: std::time::Duration) -> EventFollower {
+        self.attempts = attempts.max(1);
+        self.backoff = backoff;
+        self
+    }
+
+    /// The resume cursor: the highest journal `seq` seen so far.
+    pub fn cursor(&self) -> u64 {
+        self.since
+    }
+
+    /// Fetches every journal line newer than the cursor (retrying the
+    /// connection per the policy) and advances the cursor past them. An
+    /// empty result means no new events, not end of stream.
+    pub fn poll(&mut self) -> std::io::Result<Vec<String>> {
+        let since = self.since;
+        let addr = self.addr.clone();
+        let lines = retry_with_backoff(self.attempts, self.backoff, || fetch_events(&addr, since))?;
+        for line in &lines {
+            if let Some(seq) = parse_event_seq(line) {
+                self.since = self.since.max(seq);
+            }
+        }
+        Ok(lines)
+    }
+}
+
+/// Extracts the `"seq":N` field a journal line leads with.
+fn parse_event_seq(line: &str) -> Option<u64> {
+    let rest = line.split("\"seq\":").nth(1)?;
+    let digits: String = rest.chars().take_while(char::is_ascii_digit).collect();
+    digits.parse().ok()
 }
 
 /// Fetches and parses the `STATUS` block as `(key, value)` pairs.

@@ -52,7 +52,7 @@ pub mod recovery;
 pub mod server;
 pub mod stats;
 
-pub use client::{fetch_events, fetch_metrics, fetch_status, Subscription};
+pub use client::{fetch_events, fetch_metrics, fetch_status, EventFollower, Subscription};
 pub use protocol::{Event, PatternEvent, SnapshotEvent, Topic, WireRecord};
 pub use recovery::{CheckpointPolicy, ServeCheckpoint};
 pub use server::{ServeConfig, Server};

@@ -23,8 +23,8 @@ use crate::protocol::{EventKind, PatternEvent, SnapshotEvent, Topic, WireRecord}
 use crate::recovery::{CheckpointPolicy, EdgeStatsCheckpoint, ServeCheckpoint};
 use crate::stats::ServerStats;
 use icpe_core::{
-    AlignHandle, IcpeConfig, IcpePipeline, LivePipeline, PipelineEvent, RecordSender,
-    RoutingHandle, SyncHandle,
+    AlignHandle, HealthHandle, HealthState, IcpeConfig, IcpePipeline, LivePipeline, PipelineEvent,
+    RecordSender, RoutingHandle, SyncHandle,
 };
 use icpe_persist::CheckpointStore;
 use icpe_runtime::{MetricRegistry, MetricsReport, ObsEventKind, PipelineMetrics};
@@ -82,6 +82,24 @@ pub struct ServeConfig {
     /// [`Server::suspend`] (final checkpoint + restartable shutdown).
     /// `None` (the default) keeps the server fully in-memory.
     pub checkpoint: Option<CheckpointPolicy>,
+    /// Socket read/write timeout applied to every accepted connection.
+    /// A producer that goes silent for this long (dead peer, half-open
+    /// connection after a network partition) is dropped cleanly — its
+    /// gathered records are flushed first — instead of pinning its handler
+    /// thread forever; a subscriber whose peer stops reading errors out of
+    /// its write instead of blocking the writer loop. `None` (the default)
+    /// trusts the kernel's TCP keepalive, i.e. effectively never. Also
+    /// settable via the `ICPE_SOCKET_TIMEOUT_SECS` environment variable
+    /// (picked up by [`ServeConfig::new`]; `0` disables).
+    pub socket_timeout: Option<std::time::Duration>,
+    /// Journal every sealed pattern as a `pattern_sealed` event, so a
+    /// subscriber shed for falling behind can reconnect and backfill its
+    /// gap with `EVENTS since-seq`. Off by default: pattern volume can
+    /// dwarf the journal's bounded ring and evict the operational events
+    /// (seals, failures, recoveries) it exists to retain. Also settable
+    /// via the `ICPE_JOURNAL_PATTERNS` environment variable (picked up by
+    /// [`ServeConfig::new`]; any value other than `0` enables).
+    pub journal_patterns: bool,
 }
 
 impl ServeConfig {
@@ -98,6 +116,8 @@ impl ServeConfig {
             startup_grace: std::time::Duration::from_millis(250),
             ingest_batch: icpe_runtime::DEFAULT_BATCH_SIZE,
             checkpoint: None,
+            socket_timeout: socket_timeout_from_env(),
+            journal_patterns: journal_patterns_from_env(),
         }
     }
 
@@ -106,6 +126,31 @@ impl ServeConfig {
         self.checkpoint = Some(policy);
         self
     }
+
+    /// Sets the per-connection socket read/write timeout.
+    pub fn with_socket_timeout(mut self, timeout: std::time::Duration) -> Self {
+        self.socket_timeout = (!timeout.is_zero()).then_some(timeout);
+        self
+    }
+}
+
+/// `ICPE_JOURNAL_PATTERNS` environment default for
+/// [`ServeConfig::journal_patterns`] (unset, unparsable, or `0` = off).
+fn journal_patterns_from_env() -> bool {
+    std::env::var("ICPE_JOURNAL_PATTERNS")
+        .ok()
+        .and_then(|v| v.parse::<u8>().ok())
+        .is_some_and(|v| v != 0)
+}
+
+/// `ICPE_SOCKET_TIMEOUT_SECS` environment default for
+/// [`ServeConfig::socket_timeout`] (unset, unparsable, or `0` = no timeout).
+fn socket_timeout_from_env() -> Option<std::time::Duration> {
+    std::env::var("ICPE_SOCKET_TIMEOUT_SECS")
+        .ok()
+        .and_then(|v| v.parse::<f64>().ok())
+        .filter(|&s| s > 0.0 && s.is_finite())
+        .map(std::time::Duration::from_secs_f64)
 }
 
 /// Ingestion-edge stream synchronization: tracks each connected producer's
@@ -221,8 +266,21 @@ struct Shared {
     /// The sharded aligner head's gauge view, when the engine runs one
     /// (for `STATUS`).
     align: Mutex<Option<AlignHandle>>,
+    /// The pipeline's supervision health (for `STATUS`/`METRICS`). Always
+    /// reads `healthy` for an unsupervised engine.
+    health: Mutex<Option<HealthHandle>>,
+    /// Dead-letter ring: the most recent malformed producer lines, kept for
+    /// post-mortem inspection (`Server::dead_letters`). Bounded — quarantine
+    /// must never become the unbounded queue the rest of the edge avoids.
+    dead_letters: Mutex<std::collections::VecDeque<String>>,
     /// Cross-producer skew control.
     skew: SkewLimiter,
+    /// Per-connection socket read/write timeout (see
+    /// [`ServeConfig::socket_timeout`]).
+    socket_timeout: Option<std::time::Duration>,
+    /// Journal sealed patterns for `EVENTS since-seq` backfill (see
+    /// [`ServeConfig::journal_patterns`]).
+    journal_patterns: bool,
     shutting_down: AtomicBool,
     /// Set by [`Server::suspend`] after its final checkpoint: events
     /// produced by the teardown flush are covered by the checkpoint and
@@ -322,17 +380,39 @@ impl Server {
         // Durability: open the store and load the resume point up front so
         // a broken checkpoint directory fails the start, not a later write.
         let store = match &config.checkpoint {
-            Some(policy) => Some(
-                CheckpointStore::open(&policy.dir, policy.retain)
-                    .map_err(|e| std::io::Error::other(e.to_string()))?,
-            ),
+            Some(policy) => {
+                let mut store = CheckpointStore::open(&policy.dir, policy.retain)
+                    .map_err(|e| std::io::Error::other(e.to_string()))?;
+                // Chaos harness: route the engine fault plan's checkpoint
+                // points (`ckptfail@SEQ` / `ckpttorn@SEQ`) into the persist
+                // layer's write-fault shim, so one deterministic plan drives
+                // worker, exchange, AND durability faults.
+                if let Some(plan) = &config.engine.runtime.fault {
+                    let plan = Arc::clone(plan);
+                    store = store.with_fault_hook(Arc::new(move |seq| {
+                        match plan.checkpoint_fault(seq) {
+                            Some(icpe_runtime::FaultKind::CheckpointFail) => {
+                                Some(icpe_persist::SaveFault::Fail)
+                            }
+                            Some(icpe_runtime::FaultKind::CheckpointTorn) => {
+                                Some(icpe_persist::SaveFault::Torn)
+                            }
+                            _ => None,
+                        }
+                    }));
+                }
+                Some(store)
+            }
             None => None,
         };
-        let resume: Option<(u64, ServeCheckpoint)> = match &store {
+        // Torn/corrupt files on the way to the newest readable checkpoint
+        // are skipped, not fatal — collected here and journaled once the
+        // registry is up, so `EVENTS` shows what recovery walked past.
+        let (resume, skipped): (Option<(u64, ServeCheckpoint)>, Vec<_>) = match &store {
             Some(store) => store
-                .load_latest()
+                .load_latest_with_skips()
                 .map_err(|e| std::io::Error::other(e.to_string()))?,
-            None => None,
+            None => (None, Vec::new()),
         };
 
         let discretizer = match &resume {
@@ -378,7 +458,11 @@ impl Server {
             routing: Mutex::new(None),
             sync: Mutex::new(None),
             align: Mutex::new(None),
+            health: Mutex::new(None),
+            dead_letters: Mutex::new(std::collections::VecDeque::new()),
             skew: SkewLimiter::new(config.max_producer_skew, config.startup_grace),
+            socket_timeout: config.socket_timeout,
+            journal_patterns: config.journal_patterns,
             shutting_down: AtomicBool::new(false),
             suppress_events: AtomicBool::new(false),
             conns: Mutex::new(HashMap::new()),
@@ -407,6 +491,18 @@ impl Server {
                     bridge.stats.patterns_out.fetch_add(1, Ordering::Relaxed);
                     if let Some(t) = p.times.max() {
                         *patterns_per_time.entry(t.0).or_insert(0) += 1;
+                    }
+                    // Journal every sealed pattern (opt-in): a subscriber
+                    // shed for falling behind can reconnect and backfill
+                    // what it missed with `EVENTS since-seq` (bounded by
+                    // the journal ring).
+                    if bridge.journal_patterns {
+                        if let Some(obs) = &*bridge.obs.lock() {
+                            obs.emit(ObsEventKind::PatternSealed {
+                                objects: p.objects.iter().map(|o| o.0).collect(),
+                                times: p.times.times().iter().map(|t| t.0).collect(),
+                            });
+                        }
                     }
                     if bridge.hub.accepts_any(EventKind::Pattern) {
                         let line: Arc<str> = Arc::from(
@@ -460,6 +556,21 @@ impl Server {
         *shared.routing.lock() = pipeline.routing().cloned();
         *shared.sync.lock() = pipeline.sync().cloned();
         *shared.align.lock() = pipeline.align().cloned();
+        *shared.health.lock() = Some(pipeline.health_handle());
+        if !skipped.is_empty() {
+            if let Some(obs) = &*shared.obs.lock() {
+                for skip in &skipped {
+                    obs.emit(ObsEventKind::CheckpointSkipped {
+                        seq: skip.seq,
+                        reason: skip.reason.clone(),
+                    });
+                }
+            }
+            eprintln!(
+                "icpe-serve: skipped {} unreadable checkpoint(s) while resuming",
+                skipped.len()
+            );
+        }
 
         // Periodic checkpointing: barrier through the live pipeline, then
         // one atomic file with the edge state captured at the same cut.
@@ -497,27 +608,19 @@ impl Server {
 
     /// The current status block, as served by the `STATUS` endpoint.
     pub fn status_text(&self) -> String {
-        let metrics = self
-            .shared
-            .pipeline_metrics
-            .lock()
-            .clone()
-            .unwrap_or_default();
-        let routing = self
-            .shared
-            .routing
-            .lock()
-            .as_ref()
-            .map(RoutingHandle::status);
-        let sync = self.shared.sync.lock().as_ref().map(SyncHandle::status);
-        let align = self.shared.align.lock().as_ref().map(AlignHandle::status);
-        self.shared.stats.render(
-            &metrics,
-            routing,
-            sync,
-            align,
-            self.shared.hub.max_queue_depth(),
-        )
+        render_status(&self.shared)
+    }
+
+    /// The pipeline's current supervision health. An unsupervised engine
+    /// is always `Healthy`.
+    pub fn health(&self) -> HealthState {
+        shared_health(&self.shared)
+    }
+
+    /// A snapshot of the dead-letter ring: the most recent malformed
+    /// producer lines (oldest first, bounded).
+    pub fn dead_letters(&self) -> Vec<String> {
+        self.shared.dead_letters.lock().iter().cloned().collect()
     }
 
     /// The current Prometheus exposition block, as served by the `METRICS`
@@ -772,6 +875,11 @@ fn accept_loop(listener: TcpListener, shared: Arc<Shared>) {
 
 fn handle_connection(shared: Arc<Shared>, stream: TcpStream) -> std::io::Result<()> {
     stream.set_nodelay(true).ok();
+    // Idle-dead defense: a silent producer or a subscriber that stopped
+    // reading errors its handler out instead of pinning the thread (and,
+    // for producers, the skew limiter's frontier) forever.
+    stream.set_read_timeout(shared.socket_timeout).ok();
+    stream.set_write_timeout(shared.socket_timeout).ok();
     let conn_id = shared.register_conn(&stream);
     let result = dispatch(&shared, stream, conn_id);
     shared.unregister_conn(conn_id);
@@ -811,10 +919,45 @@ fn serve_producer(
     };
     shared.stats.producers.fetch_add(1, Ordering::Relaxed);
     shared.skew.register(conn_id);
-    let result = producer_loop(shared, &mut reader, first_line, sender, conn_id);
+    let mut quarantined = 0u64;
+    let result = producer_loop(
+        shared,
+        &mut reader,
+        first_line,
+        sender,
+        conn_id,
+        &mut quarantined,
+    );
     shared.skew.deregister(conn_id);
     shared.stats.producers.fetch_sub(1, Ordering::Relaxed);
+    // One journal entry per connection that produced garbage: which peer,
+    // how many lines — the per-line payloads are in the dead-letter ring.
+    if quarantined > 0 {
+        if let Some(obs) = &*shared.obs.lock() {
+            obs.emit(ObsEventKind::RecordQuarantined {
+                conn: conn_id,
+                records: quarantined,
+            });
+        }
+    }
     result
+}
+
+/// Most recent malformed lines kept for inspection (older ones rotate out).
+const DEAD_LETTER_CAPACITY: usize = 256;
+
+/// Moves one malformed producer line into the bounded dead-letter ring.
+fn quarantine_line(shared: &Shared, line: &str, quarantined: &mut u64) {
+    *quarantined += 1;
+    shared
+        .stats
+        .records_quarantined
+        .fetch_add(1, Ordering::Relaxed);
+    let mut ring = shared.dead_letters.lock();
+    if ring.len() >= DEAD_LETTER_CAPACITY {
+        ring.pop_front();
+    }
+    ring.push_back(line.trim_end().to_string());
 }
 
 fn producer_loop(
@@ -823,6 +966,7 @@ fn producer_loop(
     first_line: String,
     sender: RecordSender,
     conn_id: u64,
+    quarantined: &mut u64,
 ) -> std::io::Result<()> {
     let ingest_batch = shared.ingest_batch;
     let span_bound = shared.skew.max_skew;
@@ -886,6 +1030,7 @@ fn producer_loop(
                             .stats
                             .records_rejected
                             .fetch_add(1, Ordering::Relaxed);
+                        quarantine_line(shared, &line, quarantined);
                         consecutive_errors += 1;
                         if consecutive_errors >= shared.max_consecutive_parse_errors {
                             // Dropping the peer must not drop the valid
@@ -1013,20 +1158,35 @@ fn serve_subscriber(
     result
 }
 
-/// `STATUS` connection: one text block, then close.
-fn serve_status(shared: &Arc<Shared>, stream: TcpStream) -> std::io::Result<()> {
+/// The pipeline's supervision health as seen from the serve edge
+/// (`Healthy` before launch completes or for an unsupervised engine).
+fn shared_health(shared: &Shared) -> HealthState {
+    shared
+        .health
+        .lock()
+        .as_ref()
+        .map_or(HealthState::Healthy, HealthHandle::get)
+}
+
+/// Assembles the `STATUS` block: the edge/pipeline counters plus the
+/// supervision health line.
+fn render_status(shared: &Shared) -> String {
     let metrics = shared.pipeline_metrics.lock().clone().unwrap_or_default();
     let routing = shared.routing.lock().as_ref().map(RoutingHandle::status);
     let sync = shared.sync.lock().as_ref().map(SyncHandle::status);
     let align = shared.align.lock().as_ref().map(AlignHandle::status);
     let depth = shared.hub.max_queue_depth();
+    let mut text = shared.stats.render(&metrics, routing, sync, align, depth);
+    text.push_str("health=");
+    text.push_str(shared_health(shared).as_str());
+    text.push('\n');
+    text
+}
+
+/// `STATUS` connection: one text block, then close.
+fn serve_status(shared: &Arc<Shared>, stream: TcpStream) -> std::io::Result<()> {
     let mut w = BufWriter::new(stream);
-    w.write_all(
-        shared
-            .stats
-            .render(&metrics, routing, sync, align, depth)
-            .as_bytes(),
-    )?;
+    w.write_all(render_status(shared).as_bytes())?;
     w.flush()
 }
 
@@ -1045,6 +1205,10 @@ fn render_metrics(shared: &Shared) -> String {
             .stats
             .render_prometheus(&metrics, shared.hub.max_queue_depth()),
     );
+    let health = shared_health(shared);
+    text.push_str("# HELP icpe_serve_health Pipeline supervision health (0=healthy 1=recovering 2=degraded 3=failed).\n");
+    text.push_str("# TYPE icpe_serve_health gauge\n");
+    text.push_str(&format!("icpe_serve_health {}\n", health as u8));
     text
 }
 

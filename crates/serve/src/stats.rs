@@ -23,6 +23,9 @@ pub struct ServerStats {
     pub ingest_batches: AtomicU64,
     /// Lines refused (malformed, non-finite, stale/duplicate tick).
     pub records_rejected: AtomicU64,
+    /// Malformed lines moved to the dead-letter ring (a subset of
+    /// `records_rejected`: parse failures only, not stale ticks).
+    pub records_quarantined: AtomicU64,
     /// Bytes read from producer sockets.
     pub bytes_in: AtomicU64,
     /// Pattern events published.
@@ -51,6 +54,7 @@ impl ServerStats {
             records_in: AtomicU64::new(0),
             ingest_batches: AtomicU64::new(0),
             records_rejected: AtomicU64::new(0),
+            records_quarantined: AtomicU64::new(0),
             bytes_in: AtomicU64::new(0),
             patterns_out: AtomicU64::new(0),
             snapshots_sealed: AtomicU64::new(0),
@@ -158,6 +162,10 @@ impl ServerStats {
         line(
             "records_rejected",
             self.records_rejected.load(Ordering::Relaxed).to_string(),
+        );
+        line(
+            "records_quarantined",
+            self.records_quarantined.load(Ordering::Relaxed).to_string(),
         );
         line("records_late", progress.late_records.to_string());
         line(
@@ -326,6 +334,12 @@ impl ServerStats {
             "counter",
             "Lines refused (malformed, non-finite, stale/duplicate tick).",
             count(self.records_rejected.load(Ordering::Relaxed)),
+        );
+        family(
+            "records_quarantined_total",
+            "counter",
+            "Malformed producer lines moved to the dead-letter ring.",
+            count(self.records_quarantined.load(Ordering::Relaxed)),
         );
         family(
             "records_late_total",

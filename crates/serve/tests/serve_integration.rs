@@ -259,6 +259,179 @@ fn slow_subscriber_is_shed_without_stalling_ingestion() {
 }
 
 #[test]
+fn shed_subscriber_backfills_sealed_patterns_via_events_since_seq() {
+    use icpe_serve::EventFollower;
+
+    // Small population, many ticks: enough event volume that the wedged
+    // subscriber's TCP buffers fill and the hub sheds it, while a
+    // rate-capped load keeps the journal growing slower than the follower
+    // polls (its cursor must stay inside the bounded event ring for the
+    // backfill to be gapless).
+    let generator = GroupWalkGenerator::new(GroupWalkConfig {
+        num_objects: 6,
+        num_groups: 1,
+        group_size: 4,
+        num_snapshots: 4_000,
+        seed: 13,
+        ..GroupWalkConfig::default()
+    });
+    let traces = generator.traces();
+
+    let engine = || {
+        IcpeConfig::builder()
+            .constraints(Constraints::new(3, 8, 4, 2).unwrap())
+            .epsilon(2.5)
+            .min_pts(3)
+            .parallelism(2)
+            .build()
+            .unwrap()
+    };
+    // Reference multiset from the in-process batch pipeline (includes the
+    // end-of-stream flush, so it is a superset of what seals mid-run).
+    let mut reference: HashMap<(Vec<u32>, Vec<u32>), usize> = HashMap::new();
+    for p in &IcpePipeline::run(&engine(), traces.to_gps_records()).patterns {
+        let key = (
+            p.objects.iter().map(|o| o.0).collect(),
+            p.times.times().iter().map(|t| t.0).collect(),
+        );
+        *reference.entry(key).or_insert(0) += 1;
+    }
+
+    let mut config = ServeConfig::new(engine());
+    config.subscriber_queue = 64;
+    config.journal_patterns = true;
+    let server = Server::start(config).unwrap();
+    let addr = server.local_addr().to_string();
+
+    // The doomed subscriber: subscribes to everything and never reads.
+    let mut slow = TcpStream::connect(&addr).unwrap();
+    slow.write_all(b"SUBSCRIBE all\n").unwrap();
+    slow.flush().unwrap();
+
+    let load_addr = addr.clone();
+    let loader = std::thread::spawn(move || {
+        loadgen::run(
+            &load_addr,
+            &traces,
+            &LoadConfig {
+                producers: 2,
+                // Paced so pattern_sealed production stays well under the
+                // journal ring's eviction horizon even when this test
+                // shares one CPU with the rest of the suite.
+                target_records_per_s: Some(6_000),
+                ..LoadConfig::default()
+            },
+        )
+        .unwrap()
+    });
+
+    // The shed subscriber's recovery path: page the journal over the wire
+    // with `EVENTS since-seq`, cursor advancing per page — reconnecting
+    // (with retry/backoff built into the follower) instead of holding a
+    // stream open.
+    let mut follower = EventFollower::new(&addr, 0);
+    let mut backfilled: Vec<(Vec<u32>, Vec<u32>)> = Vec::new();
+    let mut saw_shed_event = false;
+    let ingest_page =
+        |lines: Vec<String>, backfilled: &mut Vec<(Vec<u32>, Vec<u32>)>, saw_shed: &mut bool| {
+            for line in lines {
+                let v: serde::Value = serde_json::from_str(&line).unwrap();
+                let event = v
+                    .field("event", "obs event")
+                    .ok()
+                    .and_then(|e| e.as_str())
+                    .unwrap_or_default()
+                    .to_string();
+                match event.as_str() {
+                    "pattern_sealed" => {
+                        let ids = |name: &str| -> Vec<u32> {
+                            v.field(name, "pattern_sealed")
+                                .unwrap()
+                                .as_seq()
+                                .unwrap()
+                                .iter()
+                                .map(|x| match x {
+                                    serde::Value::Int(i) => *i as u32,
+                                    other => panic!("non-integer id {other:?}"),
+                                })
+                                .collect()
+                        };
+                        backfilled.push((ids("objects"), ids("times")));
+                    }
+                    "subscriber_shed" => *saw_shed = true,
+                    _ => {}
+                }
+            }
+        };
+    // Page as fast as the wire allows while the run is live — the cursor
+    // must stay within one ring capacity of the journal head through event
+    // bursts — and defer JSON parsing until the stream quiesces.
+    let mut pages: Vec<Vec<String>> = Vec::new();
+    while !loader.is_finished() {
+        pages.push(follower.poll().unwrap());
+    }
+    let report = loader.join().unwrap();
+    assert_eq!(report.records_sent, 6 * 4_000);
+    // Quiesce: keep paging until the journal stops growing.
+    let mut idle_polls = 0;
+    while idle_polls < 10 {
+        let page = follower.poll().unwrap();
+        if page.is_empty() {
+            idle_polls += 1;
+        } else {
+            idle_polls = 0;
+            pages.push(page);
+        }
+        std::thread::sleep(std::time::Duration::from_millis(10));
+    }
+    for page in pages {
+        ingest_page(page, &mut backfilled, &mut saw_shed_event);
+    }
+
+    // The wedged subscriber was shed, and the shed itself is visible in
+    // the journal the reconnected consumer paged through.
+    assert!(server.shed_count() >= 1, "wedged subscriber was never shed");
+    assert!(
+        saw_shed_event,
+        "subscriber_shed missing from EVENTS backfill"
+    );
+
+    // Exactly once: the journal emits one pattern_sealed per delivered
+    // pattern (same code path as the patterns_emitted counter), so a
+    // gapless, duplicate-free backfill matches the counter exactly.
+    let emitted: u64 = client::fetch_status(&addr)
+        .unwrap()
+        .iter()
+        .find(|(k, _)| k == "patterns_emitted")
+        .unwrap()
+        .1
+        .parse()
+        .unwrap();
+    assert!(!backfilled.is_empty(), "no patterns sealed mid-run");
+    assert_eq!(
+        backfilled.len() as u64,
+        emitted,
+        "EVENTS backfill saw every sealed pattern exactly once"
+    );
+    // And every backfilled pattern is a real one: within the reference
+    // run's multiset (the flush-tail of the reference may exceed what
+    // sealed mid-run, never the reverse).
+    let mut seen: HashMap<(Vec<u32>, Vec<u32>), usize> = HashMap::new();
+    for key in &backfilled {
+        *seen.entry(key.clone()).or_insert(0) += 1;
+    }
+    for (key, count) in &seen {
+        assert!(
+            reference.get(key).is_some_and(|r| r >= count),
+            "backfilled pattern {key:?} (x{count}) not in the reference run"
+        );
+    }
+
+    server.finish();
+    drop(slow);
+}
+
+#[test]
 fn status_endpoint_reports_counters_and_rejects() {
     let server = Server::start(ServeConfig::new(engine_config(2))).unwrap();
     let addr = server.local_addr().to_string();

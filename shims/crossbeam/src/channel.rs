@@ -126,6 +126,28 @@ pub enum TryRecvError {
     Disconnected,
 }
 
+/// Error returned by [`Receiver::recv_timeout`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum RecvTimeoutError {
+    /// The deadline passed with the channel still empty.
+    Timeout,
+    /// The channel is drained and every sender is gone.
+    Disconnected,
+}
+
+impl fmt::Display for RecvTimeoutError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            RecvTimeoutError::Timeout => write!(f, "timed out waiting on an empty channel"),
+            RecvTimeoutError::Disconnected => {
+                write!(f, "receiving on an empty, disconnected channel")
+            }
+        }
+    }
+}
+
+impl std::error::Error for RecvTimeoutError {}
+
 /// The sending half of a bounded channel.
 pub struct Sender<T> {
     shared: Arc<Shared<T>>,
@@ -232,6 +254,36 @@ impl<T> Receiver<T> {
                 .not_empty
                 .wait(inner)
                 .unwrap_or_else(|e| e.into_inner());
+        }
+    }
+
+    /// Receives a record, blocking at most `timeout` while the channel is
+    /// empty.
+    pub fn recv_timeout(&self, timeout: std::time::Duration) -> Result<T, RecvTimeoutError> {
+        let deadline = std::time::Instant::now() + timeout;
+        let mut inner = self.shared.lock();
+        loop {
+            if let Some(record) = inner.queue.pop_front() {
+                drop(inner);
+                self.shared.not_full.notify_one();
+                return Ok(record);
+            }
+            if inner.senders == 0 {
+                return Err(RecvTimeoutError::Disconnected);
+            }
+            let now = std::time::Instant::now();
+            let Some(left) = deadline
+                .checked_duration_since(now)
+                .filter(|d| !d.is_zero())
+            else {
+                return Err(RecvTimeoutError::Timeout);
+            };
+            let (guard, _) = self
+                .shared
+                .not_empty
+                .wait_timeout(inner, left)
+                .unwrap_or_else(|e| e.into_inner());
+            inner = guard;
         }
     }
 
@@ -408,6 +460,22 @@ mod tests {
         assert!(tx.try_send(2).unwrap_err().is_full());
         drop(rx);
         assert!(tx.try_send(3).unwrap_err().is_disconnected());
+    }
+
+    #[test]
+    fn recv_timeout_times_out_then_delivers() {
+        let (tx, rx) = bounded(2);
+        assert_eq!(
+            rx.recv_timeout(Duration::from_millis(5)),
+            Err(RecvTimeoutError::Timeout)
+        );
+        tx.send(7).unwrap();
+        assert_eq!(rx.recv_timeout(Duration::from_millis(5)), Ok(7));
+        drop(tx);
+        assert_eq!(
+            rx.recv_timeout(Duration::from_millis(5)),
+            Err(RecvTimeoutError::Disconnected)
+        );
     }
 
     #[test]
